@@ -1,0 +1,124 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table/figure benchmark draws from the same session-scoped artefacts so
+the expensive steps (corpus synthesis, model training) run exactly once per
+benchmark session.
+
+Profiles
+--------
+The ``REPRO_BENCH_PROFILE`` environment variable selects the scale:
+
+* ``quick`` (default) — small corpus, few epochs; the whole benchmark suite
+  runs in ~10 minutes on a laptop CPU.  Scores are well below the paper's
+  absolute numbers but preserve the qualitative shape (see EXPERIMENTS.md).
+* ``full``  — larger corpus and longer training; several hours on CPU,
+  approaches the reproduction's best achievable scores.
+
+Results are also written to ``benchmarks/results/`` as JSON/text so the
+regenerated tables survive the pytest run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import MiningConfig, build_corpus
+from repro.dataset import FilterConfig, build_dataset
+from repro.model.config import ExperimentConfig, ModelConfig, TrainingConfig
+from repro.mpirical import MPIRical
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_profile() -> str:
+    return os.environ.get("REPRO_BENCH_PROFILE", "quick")
+
+
+def profile_settings(profile: str) -> dict:
+    """Corpus / training scale per profile."""
+    if profile == "full":
+        return {
+            "num_repositories": 300,
+            "max_tokens": 320,
+            "epochs": 30,
+            "eval_limit": 60,
+            "d_model": 96,
+            "layers": 2,
+        }
+    return {
+        "num_repositories": 70,
+        "max_tokens": 240,
+        "epochs": 8,
+        "eval_limit": 20,
+        "d_model": 64,
+        "layers": 2,
+    }
+
+
+def make_experiment_config(settings: dict) -> ExperimentConfig:
+    return ExperimentConfig(
+        model=ModelConfig(
+            d_model=settings["d_model"],
+            num_heads=4,
+            num_encoder_layers=settings["layers"],
+            num_decoder_layers=settings["layers"],
+            ffn_dim=settings["d_model"] * 2,
+            dropout=0.1,
+        ),
+        training=TrainingConfig(
+            batch_size=8,
+            epochs=settings["epochs"],
+            learning_rate=2.5e-3,
+            warmup_steps=20,
+            label_smoothing=0.05,
+            seed=7,
+        ),
+        max_source_tokens=260,
+        max_xsbt_tokens=80,
+        max_target_tokens=300,
+    )
+
+
+def save_result(name: str, payload) -> Path:
+    """Persist one benchmark's regenerated table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=str))
+    return path
+
+
+def save_text(name: str, text: str) -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_settings():
+    return profile_settings(bench_profile())
+
+
+@pytest.fixture(scope="session")
+def bench_corpus(bench_settings):
+    """The synthetic MPICodeCorpus used by every corpus-level benchmark."""
+    return build_corpus(MiningConfig(num_repositories=bench_settings["num_repositories"],
+                                     seed=11))
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_corpus, bench_settings):
+    """Filtered + split dataset (Figure 4 pipeline)."""
+    return build_dataset(bench_corpus, FilterConfig(max_tokens=bench_settings["max_tokens"]))
+
+
+@pytest.fixture(scope="session")
+def bench_model(bench_dataset, bench_settings):
+    """The MPI-RICAL model trained once and shared by Table II / III / Figure 5."""
+    config = make_experiment_config(bench_settings)
+    return MPIRical.fit(bench_dataset.splits.train, bench_dataset.splits.validation,
+                        config, verbose=True)

@@ -1,0 +1,49 @@
+"""Figure 3 — histogram of the Init–Finalize span / whole-program-length ratio.
+
+The paper's observation: most MPI programs have more than half of their lines
+inside the parallel region (between MPI_Init and MPI_Finalize), which is what
+makes the corpus suitable for training.  The benchmark regenerates the
+histogram series and asserts the median ratio exceeds 0.5.
+"""
+
+import numpy as np
+
+from repro.corpus.statistics import (
+    files_with_init_and_finalize,
+    init_finalize_ratio_histogram,
+    median_parallel_ratio,
+)
+from repro.utils.textio import format_table
+
+from .conftest import save_result, save_text
+
+
+def test_fig3_init_finalize_ratio_histogram(benchmark, bench_corpus):
+    counts, edges = benchmark.pedantic(init_finalize_ratio_histogram,
+                                       args=(bench_corpus,), kwargs={"bins": 20},
+                                       rounds=1, iterations=1)
+
+    rows = [
+        [f"{edges[i]:.2f}-{edges[i + 1]:.2f}", int(counts[i])]
+        for i in range(len(counts))
+    ]
+    table = format_table(["Lines Ratio", "Frequency"], rows)
+    median = median_parallel_ratio(bench_corpus)
+    both = files_with_init_and_finalize(bench_corpus)
+    print("\nFigure 3 — Init-Finalize to all-lines ratio histogram\n" + table)
+    print(f"median ratio = {median:.3f}; files with both Init and Finalize = {both}")
+    save_result("fig3_parallel_ratio", {
+        "counts": [int(c) for c in counts],
+        "edges": [float(e) for e in edges],
+        "median_ratio": median,
+        "files_with_init_and_finalize": both,
+    })
+    save_text("fig3_parallel_ratio", table)
+
+    assert counts.sum() > 0
+    # Paper: most programs have more than half their lines in the parallel region.
+    assert median > 0.5
+    # Mass concentrates in the upper half of the ratio range.
+    upper_mass = counts[len(counts) // 2:].sum()
+    assert upper_mass >= counts.sum() * 0.5
+    assert np.isclose(edges[0], 0.0) and np.isclose(edges[-1], 1.0)

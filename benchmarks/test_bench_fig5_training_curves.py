@@ -1,0 +1,37 @@
+"""Figure 5 — training loss, validation loss and accuracy per epoch.
+
+The paper trains SPT-Code for 5 epochs (batch 32, 320 tokens) and plots the
+three curves.  The reproduction trains its NumPy Transformer on the synthetic
+MPICodeCorpus and regenerates the same three series; the asserted shape is
+that training and validation loss decrease monotonically-ish over epochs and
+token accuracy increases.
+"""
+
+from repro.utils.textio import format_table
+
+from .conftest import save_result, save_text
+
+
+def test_fig5_training_curves(benchmark, bench_model):
+    history = benchmark.pedantic(lambda: bench_model.history, rounds=1, iterations=1)
+
+    rows = [
+        [m.epoch, f"{m.train_loss:.4f}", f"{m.validation_loss:.4f}",
+         f"{m.validation_accuracy:.3f}", f"{m.seconds:.1f}"]
+        for m in history.epochs
+    ]
+    table = format_table(["Epoch", "Training Loss", "Validation Loss", "Accuracy", "Seconds"],
+                         rows)
+    print("\nFigure 5 — training curves\n" + table)
+    save_result("fig5_training_curves", [vars(m) for m in history.epochs])
+    save_text("fig5_training_curves", table)
+
+    train = history.train_losses()
+    validation = history.validation_losses()
+    accuracy = history.validation_accuracies()
+
+    assert len(train) >= 2
+    # Loss decreases over training; accuracy increases.
+    assert train[-1] < train[0]
+    assert validation[-1] < validation[0]
+    assert accuracy[-1] > accuracy[0]

@@ -1,0 +1,28 @@
+"""Table Ia — corpus code-length distribution.
+
+Paper values (59,446 mined files): <=10: 2,670; 11-50: 22,361; 51-99: 14,078;
+>=100: 10,575.  The synthetic corpus is smaller but must reproduce the shape:
+the 11-50 bucket dominates the portion of the corpus that survives the
+320-token cap.
+"""
+
+from repro.corpus.statistics import code_length_distribution
+from repro.utils.textio import format_table
+
+from .conftest import save_result, save_text
+
+
+def test_table1a_code_length_distribution(benchmark, bench_corpus):
+    buckets = benchmark.pedantic(code_length_distribution, args=(bench_corpus,),
+                                 rounds=1, iterations=1)
+
+    rows = [[label, count] for label, count in buckets.items()]
+    table = format_table(["# Line", "Amount"], rows)
+    print("\nTable Ia — code lengths\n" + table)
+    save_result("table1a_code_lengths", buckets)
+    save_text("table1a_code_lengths", table)
+
+    assert sum(buckets.values()) == len(bench_corpus)
+    # Shape: the 11-50 line bucket dominates (the paper's corpus after the
+    # token cap is concentrated there too).
+    assert buckets["11-50"] == max(buckets.values())

@@ -1,0 +1,39 @@
+"""Table Ib — MPI Common Core per-file counts.
+
+Paper values (per-file counts over the raw corpus): Finalize 35,983;
+Comm_rank 32,312; Comm_size 28,742; Init 25,114; Recv 10,340; Send 9,841;
+Reduce 8,503; Bcast 5,296.  The reproduction asserts the two qualitative
+claims: the environment-management four head the histogram, and the overall
+per-function distribution is (near) exponentially decreasing with the common
+core at the head.
+"""
+
+from repro.corpus.statistics import (
+    common_core_counts,
+    is_exponentially_decreasing,
+    mpi_function_histogram,
+)
+from repro.mpiknow import MPI_COMMON_CORE
+from repro.utils.textio import format_table
+
+from .conftest import save_result, save_text
+
+
+def test_table1b_common_core_counts(benchmark, bench_corpus):
+    counts = benchmark.pedantic(common_core_counts, args=(bench_corpus,),
+                                rounds=1, iterations=1)
+    histogram = mpi_function_histogram(bench_corpus)
+
+    rows = [[name, counts[name]] for name in MPI_COMMON_CORE]
+    table = format_table(["Function", "Amount (per file)"], rows)
+    print("\nTable Ib — MPI Common Core\n" + table)
+    save_result("table1b_common_core", {"common_core": counts, "histogram": histogram})
+    save_text("table1b_common_core", table)
+
+    # The four environment-management functions head the distribution.
+    top_four = set(list(histogram)[:4])
+    assert top_four == {"MPI_Init", "MPI_Finalize", "MPI_Comm_rank", "MPI_Comm_size"}
+    # Every common-core function occurs in the corpus.
+    assert all(counts[name] > 0 for name in MPI_COMMON_CORE)
+    # Decreasing-histogram shape.
+    assert is_exponentially_decreasing(histogram)

@@ -1,0 +1,79 @@
+"""Table III — MPI-RICAL on the 11 numerical-computation benchmark programs.
+
+Paper totals: M-F1 0.91, M-Precision 0.98, M-Recall 0.86 (precision above
+recall — the model rarely inserts a wrong call but sometimes misses one).
+The paper additionally validates generated programs by compiling and running
+them; the reproduction does the same on the simulated MPI runtime.
+"""
+
+from repro.benchprograms import BENCHMARK_PROGRAMS, check_for
+from repro.dataset.removal import remove_mpi_calls
+from repro.evaluation.report import evaluate_benchmark
+from repro.mpirical.suggestions import apply_suggestions
+from repro.mpisim import validate_program
+
+from .conftest import bench_profile, save_result, save_text
+
+
+def _predict_all(bench_model):
+    rows = []
+    predictions = {}
+    for program in BENCHMARK_PROGRAMS:
+        stripped = remove_mpi_calls(program.source).stripped_code
+        result = bench_model.predict_code(stripped)
+        rows.append((program.name, result.generated_code, program.source))
+        predictions[program.name] = result
+    return rows, predictions
+
+
+def test_table3_numerical_benchmark(benchmark, bench_model):
+    rows, predictions = benchmark.pedantic(_predict_all, args=(bench_model,),
+                                           rounds=1, iterations=1)
+    table3 = evaluate_benchmark(rows)
+
+    # Validity check of the *suggested* rewrites: apply the model's insertion
+    # suggestions to the stripped program and run it on the simulated MPI
+    # runtime (the paper compiles and runs the generated programs).
+    validity = {}
+    for program in BENCHMARK_PROGRAMS:
+        stripped = remove_mpi_calls(program.source).stripped_code
+        rewritten = apply_suggestions(stripped, predictions[program.name].suggestions)
+        verdict = validate_program(rewritten, num_ranks=program.num_ranks,
+                                   check=check_for(program.name).check, timeout=20.0)
+        validity[program.name] = {
+            "parses": verdict.parses,
+            "runs": verdict.runs,
+            "check_passed": verdict.check_passed,
+        }
+
+    text = table3.to_table()
+    print(f"\nTable III — numerical computations benchmark (profile={bench_profile()})\n"
+          + text)
+    print("validity (simulated compile-and-run of suggested rewrites):")
+    for name, v in validity.items():
+        print(f"  {name}: parses={v['parses']} runs={v['runs']} check={v['check_passed']}")
+
+    save_result("table3_numerical", {
+        "rows": [vars(p) for p in table3.programs],
+        "total": vars(table3.total),
+        "validity": validity,
+    })
+    save_text("table3_numerical", text)
+
+    assert len(table3.programs) == 11
+    assert table3.total is not None
+    # Shape: scores are valid, and precision >= recall on the pooled total
+    # (the paper reports 0.98 precision vs 0.86 recall) unless both are zero.
+    total = table3.total
+    assert 0.0 <= total.f1 <= 1.0
+    if total.precision > 0 or total.recall > 0:
+        assert total.precision >= total.recall - 0.05
+    # Validity verdicts were produced for every program.  Under the quick
+    # profile the under-trained model's suggested statements are not always
+    # syntactically complete, so parse success is reported (and recorded in
+    # the results JSON) rather than asserted; the oracle-reconstruction runs
+    # in tests/test_integration_end_to_end.py guarantee the checking machinery
+    # itself is sound.
+    assert set(validity) == {p.name for p in BENCHMARK_PROGRAMS}
+    parse_rate = sum(1 for v in validity.values() if v["parses"]) / len(validity)
+    print(f"suggested-rewrite parse rate: {parse_rate:.2f}")

@@ -1,0 +1,14 @@
+"""The 11 numerical benchmark programs and their reference checks (Table III)."""
+
+from .programs import BENCHMARK_PROGRAMS, BenchmarkProgram, program_by_name, program_names
+from .references import REFERENCE_CHECKS, ReferenceCheck, check_for
+
+__all__ = [
+    "BENCHMARK_PROGRAMS",
+    "BenchmarkProgram",
+    "program_by_name",
+    "program_names",
+    "REFERENCE_CHECKS",
+    "ReferenceCheck",
+    "check_for",
+]

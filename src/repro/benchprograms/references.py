@@ -1,0 +1,176 @@
+"""Reference results for the numerical benchmark programs.
+
+Each program has a stdout check used by the validity evaluation ("does the
+generated program still compute the right answer when run on the simulated
+MPI runtime?").  Expected values are computed analytically here rather than
+hard-coded so the checks stay correct if a program's problem size changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..mpisim.validate import all_floats, first_float
+
+
+@dataclass(frozen=True)
+class ReferenceCheck:
+    """A named stdout predicate for one benchmark program."""
+
+    program_name: str
+    description: str
+    check: Callable[[str], bool]
+
+
+def _close(value: float | None, expected: float, tolerance: float) -> bool:
+    return value is not None and abs(value - expected) <= tolerance
+
+
+# ----------------------------------------------------------------- expected values
+
+
+def expected_array_average(n: int = 100) -> float:
+    """Mean of 0..n-1."""
+    return (n - 1) / 2.0
+
+
+def expected_dot_product(n: int = 64) -> float:
+    """Dot of x[i] = i with y[i] = 2."""
+    return 2.0 * (n - 1) * n / 2.0
+
+
+def expected_min_max(n: int = 128) -> tuple[float, float]:
+    values = [((i * 7) % 101) for i in range(n)]
+    return float(min(values)), float(max(values))
+
+
+def expected_matvec_y0(n: int = 64) -> float:
+    """First entry of A @ x with A[i] = i % 7 (row-major) and x = 1."""
+    return float(sum((i % 7) for i in range(n)))
+
+
+def expected_sum(n: int = 1000) -> float:
+    return (n - 1) * n / 2.0
+
+
+def expected_merge_sort_head_tail(n: int = 64, num_ranks: int = 4) -> tuple[int, int]:
+    """Head and tail of the gathered per-chunk-sorted array."""
+    data = [(n - i) % 97 for i in range(n)]
+    chunk = n // num_ranks
+    gathered: list[int] = []
+    for r in range(num_ranks):
+        gathered.extend(sorted(data[r * chunk:(r + 1) * chunk]))
+    return gathered[0], gathered[-1]
+
+
+def expected_factorial(n: int = 10) -> float:
+    result = 1.0
+    for i in range(1, n + 1):
+        result *= i
+    return result
+
+
+def expected_fibonacci(index: int = 10) -> int:
+    a, b = 0, 1
+    for _ in range(index):
+        a, b = b, a + b
+    return a
+
+
+def expected_trapezoid(a: float = 0.0, b: float = 2.0) -> float:
+    """Integral of x^2 over [a, b]."""
+    return (b ** 3 - a ** 3) / 3.0
+
+
+# ----------------------------------------------------------------------- checks
+
+
+def _check_array_average(stdout: str) -> bool:
+    return _close(first_float(stdout), expected_array_average(), 1e-6)
+
+
+def _check_dot_product(stdout: str) -> bool:
+    return _close(first_float(stdout), expected_dot_product(), 1e-6)
+
+
+def _check_min_max(stdout: str) -> bool:
+    expected_min, expected_max = expected_min_max()
+    floats = all_floats(stdout)
+    if len(floats) < 2:
+        return False
+    return _close(floats[0], expected_min, 1e-6) and _close(floats[1], expected_max, 1e-6)
+
+
+def _check_matvec(stdout: str) -> bool:
+    return _close(first_float(stdout), expected_matvec_y0(), 1e-6)
+
+
+def _check_sum(stdout: str) -> bool:
+    floats = all_floats(stdout)
+    expected = expected_sum()
+    return (len(floats) >= 2 and _close(floats[0], expected, 1e-6)
+            and _close(floats[1], expected, 1e-6))
+
+
+def _check_merge_sort(stdout: str) -> bool:
+    import re
+
+    head, tail = expected_merge_sort_head_tail()
+    numbers = [int(m) for m in re.findall(r"-?\d+", stdout)]
+    return len(numbers) >= 2 and numbers[0] == head and numbers[1] == tail
+
+
+def _check_pi_monte_carlo(stdout: str) -> bool:
+    value = first_float(stdout)
+    return value is not None and 2.9 <= value <= 3.4
+
+
+def _check_pi_riemann(stdout: str) -> bool:
+    return _close(first_float(stdout), 3.14159265, 1e-4)
+
+
+def _check_factorial(stdout: str) -> bool:
+    return _close(first_float(stdout), expected_factorial(), 0.5)
+
+
+def _check_fibonacci(stdout: str) -> bool:
+    import re
+
+    numbers = [int(m) for m in re.findall(r"=\s*(-?\d+)", stdout)]
+    expected = [expected_fibonacci(10 + i) for i in range(4)]
+    return numbers[: len(expected)] == expected
+
+
+def _check_trapezoid(stdout: str) -> bool:
+    return _close(first_float(stdout), expected_trapezoid(), 0.05)
+
+
+#: Program name -> reference check, in Table III order.
+REFERENCE_CHECKS: dict[str, ReferenceCheck] = {
+    "Array Average": ReferenceCheck("Array Average", "mean of 0..99 is 49.5",
+                                    _check_array_average),
+    "Vector Dot Product": ReferenceCheck("Vector Dot Product", "2 * sum(0..63) = 4032",
+                                         _check_dot_product),
+    "Min-Max": ReferenceCheck("Min-Max", "extrema of (7i mod 101)", _check_min_max),
+    "Matrix-Vector Multiplication": ReferenceCheck("Matrix-Vector Multiplication",
+                                                   "row sum of i mod 7", _check_matvec),
+    "Sum (Reduce & Gather)": ReferenceCheck("Sum (Reduce & Gather)",
+                                            "both sums equal 499500", _check_sum),
+    "Merge Sort": ReferenceCheck("Merge Sort", "per-chunk sorted head/tail",
+                                 _check_merge_sort),
+    "Pi Monte-Carlo": ReferenceCheck("Pi Monte-Carlo", "estimate within [2.9, 3.4]",
+                                     _check_pi_monte_carlo),
+    "Pi Riemann Sum": ReferenceCheck("Pi Riemann Sum", "pi to 1e-4", _check_pi_riemann),
+    "Factorial": ReferenceCheck("Factorial", "10! = 3628800", _check_factorial),
+    "Fibonacci": ReferenceCheck("Fibonacci", "fib(10..13) gathered at root",
+                                _check_fibonacci),
+    "Trapezoidal Rule (Integration)": ReferenceCheck("Trapezoidal Rule (Integration)",
+                                                     "integral of x^2 on [0,2] = 8/3",
+                                                     _check_trapezoid),
+}
+
+
+def check_for(program_name: str) -> ReferenceCheck:
+    """Return the reference check for ``program_name``."""
+    return REFERENCE_CHECKS[program_name]

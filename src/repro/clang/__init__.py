@@ -1,0 +1,34 @@
+"""C language front-end: lexer, parser, AST, and code generator.
+
+This package is the reproduction's substitute for the paper's use of
+pycparser (strict parsing for corpus filtering) and TreeSitter (error-tolerant
+parsing for live advising and X-SBT construction).
+"""
+
+from . import ast_nodes
+from .codegen import CodeGenerator, generate_code, standardize
+from .errors import CFrontEndError, CodeGenError, LexError, ParseError
+from .lexer import Lexer, code_token_texts, tokenize
+from .parser import Parser, parse_source, parse_source_with_diagnostics, parses_cleanly
+from .tokens import Token, TokenKind, TokenStream
+
+__all__ = [
+    "ast_nodes",
+    "CodeGenerator",
+    "generate_code",
+    "standardize",
+    "CFrontEndError",
+    "CodeGenError",
+    "LexError",
+    "ParseError",
+    "Lexer",
+    "code_token_texts",
+    "tokenize",
+    "Parser",
+    "parse_source",
+    "parse_source_with_diagnostics",
+    "parses_cleanly",
+    "Token",
+    "TokenKind",
+    "TokenStream",
+]

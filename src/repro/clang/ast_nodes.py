@@ -1,0 +1,498 @@
+"""AST node classes for the C subset handled by the front-end.
+
+The node vocabulary intentionally mirrors TreeSitter's C grammar names
+(``compound_statement``, ``call_expression``, ``parameter_declaration`` …)
+because the X-SBT linearisation in the paper is defined over those names.
+Every node exposes:
+
+* ``kind``     — the TreeSitter-style node-type string,
+* ``children()`` — ordered child nodes (for traversals),
+* ``line``     — the 1-based source line the node starts on (0 = unknown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    kind: str = "node"
+    line: int = 0
+
+    def children(self) -> list["Node"]:
+        """Return the ordered list of child nodes (default: none)."""
+        return []
+
+    def walk(self) -> Iterator["Node"]:
+        """Yield this node and all descendants in pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def find_all(self, kind: str) -> list["Node"]:
+        """Return every descendant (including self) whose kind equals ``kind``."""
+        return [n for n in self.walk() if n.kind == kind]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} kind={self.kind!r} line={self.line}>"
+
+
+# --------------------------------------------------------------------------- expressions
+
+
+@dataclass(repr=False)
+class Identifier(Node):
+    name: str
+    line: int = 0
+    kind: str = field(default="identifier", init=False)
+
+
+@dataclass(repr=False)
+class Literal(Node):
+    """Number, string, or character literal.  ``category`` is one of
+    ``number``, ``string``, ``char``."""
+
+    value: str
+    category: str = "number"
+    line: int = 0
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        if self.category == "number":
+            return "number_literal"
+        if self.category == "string":
+            return "string_literal"
+        return "char_literal"
+
+
+@dataclass(repr=False)
+class BinaryOp(Node):
+    op: str
+    left: Node
+    right: Node
+    line: int = 0
+    kind: str = field(default="binary_expression", init=False)
+
+    def children(self) -> list[Node]:
+        return [self.left, self.right]
+
+
+@dataclass(repr=False)
+class UnaryOp(Node):
+    """Prefix unary operator (including ``&``, ``*``, ``!``, ``-``, ``~``,
+    ``++``, ``--``, ``sizeof``)."""
+
+    op: str
+    operand: Node
+    line: int = 0
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        if self.op == "&":
+            return "pointer_expression"
+        if self.op == "*":
+            return "pointer_expression"
+        if self.op in ("++", "--"):
+            return "update_expression"
+        if self.op == "sizeof":
+            return "sizeof_expression"
+        return "unary_expression"
+
+    def children(self) -> list[Node]:
+        return [self.operand]
+
+
+@dataclass(repr=False)
+class PostfixOp(Node):
+    """Postfix ``++`` / ``--``."""
+
+    op: str
+    operand: Node
+    line: int = 0
+    kind: str = field(default="update_expression", init=False)
+
+    def children(self) -> list[Node]:
+        return [self.operand]
+
+
+@dataclass(repr=False)
+class Assignment(Node):
+    op: str
+    target: Node
+    value: Node
+    line: int = 0
+    kind: str = field(default="assignment_expression", init=False)
+
+    def children(self) -> list[Node]:
+        return [self.target, self.value]
+
+
+@dataclass(repr=False)
+class Call(Node):
+    func: Node
+    args: list[Node] = field(default_factory=list)
+    line: int = 0
+    kind: str = field(default="call_expression", init=False)
+
+    def children(self) -> list[Node]:
+        return [self.func, *self.args]
+
+    @property
+    def callee_name(self) -> str | None:
+        """Return the simple name of the callee if it is an identifier."""
+        if isinstance(self.func, Identifier):
+            return self.func.name
+        return None
+
+
+@dataclass(repr=False)
+class ArraySubscript(Node):
+    array: Node
+    index: Node
+    line: int = 0
+    kind: str = field(default="subscript_expression", init=False)
+
+    def children(self) -> list[Node]:
+        return [self.array, self.index]
+
+
+@dataclass(repr=False)
+class MemberAccess(Node):
+    """``obj.field`` or ``ptr->field``."""
+
+    obj: Node
+    member: str
+    arrow: bool = False
+    line: int = 0
+    kind: str = field(default="field_expression", init=False)
+
+    def children(self) -> list[Node]:
+        return [self.obj]
+
+
+@dataclass(repr=False)
+class Cast(Node):
+    type_name: str
+    operand: Node
+    line: int = 0
+    kind: str = field(default="cast_expression", init=False)
+
+    def children(self) -> list[Node]:
+        return [self.operand]
+
+
+@dataclass(repr=False)
+class Conditional(Node):
+    """Ternary ``cond ? a : b``."""
+
+    cond: Node
+    then: Node
+    otherwise: Node
+    line: int = 0
+    kind: str = field(default="conditional_expression", init=False)
+
+    def children(self) -> list[Node]:
+        return [self.cond, self.then, self.otherwise]
+
+
+@dataclass(repr=False)
+class Parenthesized(Node):
+    inner: Node
+    line: int = 0
+    kind: str = field(default="parenthesized_expression", init=False)
+
+    def children(self) -> list[Node]:
+        return [self.inner]
+
+
+@dataclass(repr=False)
+class InitList(Node):
+    """Brace initialiser ``{1, 2, 3}``."""
+
+    values: list[Node] = field(default_factory=list)
+    line: int = 0
+    kind: str = field(default="initializer_list", init=False)
+
+    def children(self) -> list[Node]:
+        return list(self.values)
+
+
+@dataclass(repr=False)
+class CommaExpression(Node):
+    parts: list[Node] = field(default_factory=list)
+    line: int = 0
+    kind: str = field(default="comma_expression", init=False)
+
+    def children(self) -> list[Node]:
+        return list(self.parts)
+
+
+# --------------------------------------------------------------------------- declarations
+
+
+@dataclass(repr=False)
+class Declarator(Node):
+    """A single declarator: name, pointer depth, array dims, initialiser."""
+
+    name: str
+    pointer: int = 0
+    array_dims: list[Node | None] = field(default_factory=list)
+    init: Node | None = None
+    line: int = 0
+    kind: str = field(default="init_declarator", init=False)
+
+    def children(self) -> list[Node]:
+        out: list[Node] = [d for d in self.array_dims if d is not None]
+        if self.init is not None:
+            out.append(self.init)
+        return out
+
+
+@dataclass(repr=False)
+class Declaration(Node):
+    """A declaration statement: ``int i = 0, *p;``"""
+
+    type_name: str
+    declarators: list[Declarator] = field(default_factory=list)
+    storage: str | None = None  # static / extern / typedef ...
+    line: int = 0
+    kind: str = field(default="declaration", init=False)
+
+    def children(self) -> list[Node]:
+        return list(self.declarators)
+
+
+@dataclass(repr=False)
+class ParamDecl(Node):
+    type_name: str
+    name: str | None = None
+    pointer: int = 0
+    array: bool = False
+    line: int = 0
+    kind: str = field(default="parameter_declaration", init=False)
+
+
+@dataclass(repr=False)
+class StructDef(Node):
+    name: str | None
+    fields: list[Declaration] = field(default_factory=list)
+    line: int = 0
+    kind: str = field(default="struct_specifier", init=False)
+
+    def children(self) -> list[Node]:
+        return list(self.fields)
+
+
+@dataclass(repr=False)
+class TypedefDecl(Node):
+    type_name: str
+    alias: str
+    line: int = 0
+    kind: str = field(default="type_definition", init=False)
+
+
+# --------------------------------------------------------------------------- statements
+
+
+@dataclass(repr=False)
+class ExpressionStatement(Node):
+    expr: Node | None
+    line: int = 0
+    kind: str = field(default="expression_statement", init=False)
+
+    def children(self) -> list[Node]:
+        return [self.expr] if self.expr is not None else []
+
+
+@dataclass(repr=False)
+class Compound(Node):
+    statements: list[Node] = field(default_factory=list)
+    line: int = 0
+    kind: str = field(default="compound_statement", init=False)
+
+    def children(self) -> list[Node]:
+        return list(self.statements)
+
+
+@dataclass(repr=False)
+class If(Node):
+    cond: Node
+    then: Node
+    otherwise: Node | None = None
+    line: int = 0
+    kind: str = field(default="if_statement", init=False)
+
+    def children(self) -> list[Node]:
+        out = [self.cond, self.then]
+        if self.otherwise is not None:
+            out.append(self.otherwise)
+        return out
+
+
+@dataclass(repr=False)
+class While(Node):
+    cond: Node
+    body: Node
+    line: int = 0
+    kind: str = field(default="while_statement", init=False)
+
+    def children(self) -> list[Node]:
+        return [self.cond, self.body]
+
+
+@dataclass(repr=False)
+class DoWhile(Node):
+    body: Node
+    cond: Node
+    line: int = 0
+    kind: str = field(default="do_statement", init=False)
+
+    def children(self) -> list[Node]:
+        return [self.body, self.cond]
+
+
+@dataclass(repr=False)
+class For(Node):
+    init: Node | None
+    cond: Node | None
+    update: Node | None
+    body: Node
+    line: int = 0
+    kind: str = field(default="for_statement", init=False)
+
+    def children(self) -> list[Node]:
+        out: list[Node] = []
+        for part in (self.init, self.cond, self.update):
+            if part is not None:
+                out.append(part)
+        out.append(self.body)
+        return out
+
+
+@dataclass(repr=False)
+class Return(Node):
+    value: Node | None = None
+    line: int = 0
+    kind: str = field(default="return_statement", init=False)
+
+    def children(self) -> list[Node]:
+        return [self.value] if self.value is not None else []
+
+
+@dataclass(repr=False)
+class Break(Node):
+    line: int = 0
+    kind: str = field(default="break_statement", init=False)
+
+
+@dataclass(repr=False)
+class Continue(Node):
+    line: int = 0
+    kind: str = field(default="continue_statement", init=False)
+
+
+@dataclass(repr=False)
+class Switch(Node):
+    cond: Node
+    body: "Compound"
+    line: int = 0
+    kind: str = field(default="switch_statement", init=False)
+
+    def children(self) -> list[Node]:
+        return [self.cond, self.body]
+
+
+@dataclass(repr=False)
+class CaseLabel(Node):
+    """``case expr:`` or ``default:`` (value None)."""
+
+    value: Node | None
+    line: int = 0
+    kind: str = field(default="case_statement", init=False)
+
+    def children(self) -> list[Node]:
+        return [self.value] if self.value is not None else []
+
+
+@dataclass(repr=False)
+class Goto(Node):
+    label: str
+    line: int = 0
+    kind: str = field(default="goto_statement", init=False)
+
+
+@dataclass(repr=False)
+class Label(Node):
+    name: str
+    line: int = 0
+    kind: str = field(default="labeled_statement", init=False)
+
+
+# --------------------------------------------------------------------------- top level
+
+
+@dataclass(repr=False)
+class FunctionDef(Node):
+    return_type: str
+    name: str
+    params: list[ParamDecl] = field(default_factory=list)
+    body: Compound = field(default_factory=Compound)
+    pointer: int = 0
+    line: int = 0
+    kind: str = field(default="function_definition", init=False)
+
+    def children(self) -> list[Node]:
+        return [*self.params, self.body]
+
+
+@dataclass(repr=False)
+class Include(Node):
+    """A ``#include`` or other preprocessor directive preserved verbatim."""
+
+    text: str
+    line: int = 0
+    kind: str = field(default="preproc_include", init=False)
+
+
+@dataclass(repr=False)
+class TranslationUnit(Node):
+    items: list[Node] = field(default_factory=list)
+    line: int = 0
+    kind: str = field(default="translation_unit", init=False)
+
+    def children(self) -> list[Node]:
+        return list(self.items)
+
+    def functions(self) -> list[FunctionDef]:
+        """Return all function definitions in the unit."""
+        return [n for n in self.items if isinstance(n, FunctionDef)]
+
+    def function(self, name: str) -> FunctionDef | None:
+        """Return the function named ``name`` or None."""
+        for fn in self.functions():
+            if fn.name == name:
+                return fn
+        return None
+
+    def has_main(self) -> bool:
+        """True if the unit defines a ``main`` function (the paper's
+        definition of a *program*)."""
+        return self.function("main") is not None
+
+
+#: Node kinds considered "expression level or below" — X-SBT keeps only nodes
+#: at expression level and above, so these are the cut-off set's complement.
+EXPRESSION_KINDS = frozenset(
+    {
+        "identifier",
+        "number_literal",
+        "string_literal",
+        "char_literal",
+        "field_expression",
+        "subscript_expression",
+        "initializer_list",
+    }
+)

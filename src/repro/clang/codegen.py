@@ -1,0 +1,281 @@
+"""Regenerate C source text from the AST.
+
+This implements the paper's *code standardisation* step: every corpus program
+is regenerated from its AST so that indentation, spacing and line breaks are
+uniform across the dataset.  The generator is also what turns the model's
+predicted AST edits back into source the user sees.
+
+The emitted style is deterministic: 4-space indentation, one statement per
+line, a single blank line between top-level items, and ``{`` on the same line
+as its statement header.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+from .errors import CodeGenError
+
+INDENT = "    "
+
+
+class CodeGenerator:
+    """Convert AST nodes back into standardised C source text."""
+
+    def __init__(self, indent: str = INDENT) -> None:
+        self.indent = indent
+
+    # ------------------------------------------------------------------ api
+
+    def generate(self, node: ast.Node) -> str:
+        """Generate source text for ``node`` (usually a TranslationUnit)."""
+        if isinstance(node, ast.TranslationUnit):
+            return self._gen_unit(node)
+        if isinstance(node, ast.FunctionDef):
+            return "\n".join(self._gen_function(node))
+        lines = self._gen_statement(node, 0)
+        return "\n".join(lines)
+
+    def expression(self, node: ast.Node) -> str:
+        """Generate source text for an expression node."""
+        return self._gen_expr(node)
+
+    # ------------------------------------------------------------ top level
+
+    def _gen_unit(self, unit: ast.TranslationUnit) -> str:
+        chunks: list[str] = []
+        for item in unit.items:
+            if isinstance(item, ast.Include):
+                chunks.append(item.text)
+            elif isinstance(item, ast.FunctionDef):
+                chunks.append("\n".join(self._gen_function(item)))
+            elif isinstance(item, ast.Declaration):
+                chunks.append(self._gen_declaration(item) + ";")
+            elif isinstance(item, ast.TypedefDecl):
+                chunks.append(f"typedef {item.type_name} {item.alias};")
+            elif isinstance(item, ast.StructDef):
+                chunks.append(self._gen_struct(item))
+            else:
+                chunks.append("\n".join(self._gen_statement(item, 0)))
+        text = "\n".join(chunks)
+        if not text.endswith("\n"):
+            text += "\n"
+        return text
+
+    def _gen_function(self, fn: ast.FunctionDef) -> list[str]:
+        params = ", ".join(self._gen_param(p) for p in fn.params) or "void"
+        stars = "*" * fn.pointer
+        header = f"{fn.return_type} {stars}{fn.name}({params})"
+        lines = [header + " {"]
+        lines.extend(self._gen_block_body(fn.body, 1))
+        lines.append("}")
+        return lines
+
+    def _gen_param(self, p: ast.ParamDecl) -> str:
+        if p.type_name == "...":
+            return "..."
+        stars = "*" * p.pointer
+        suffix = "[]" if p.array else ""
+        if p.name:
+            return f"{p.type_name} {stars}{p.name}{suffix}"
+        return f"{p.type_name}{stars}"
+
+    def _gen_struct(self, s: ast.StructDef) -> str:
+        name = f" {s.name}" if s.name else ""
+        lines = [f"struct{name} {{"]
+        for f in s.fields:
+            lines.append(self.indent + self._gen_declaration(f) + ";")
+        lines.append("};")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------ statements
+
+    def _gen_block_body(self, block: ast.Compound, depth: int) -> list[str]:
+        lines: list[str] = []
+        for stmt in block.statements:
+            lines.extend(self._gen_statement(stmt, depth))
+        return lines
+
+    def _gen_statement(self, node: ast.Node, depth: int) -> list[str]:
+        pad = self.indent * depth
+
+        if isinstance(node, ast.Compound):
+            lines = [pad + "{"]
+            lines.extend(self._gen_block_body(node, depth + 1))
+            lines.append(pad + "}")
+            return lines
+
+        if isinstance(node, ast.Declaration):
+            return [pad + self._gen_declaration(node) + ";"]
+
+        if isinstance(node, ast.ExpressionStatement):
+            if node.expr is None:
+                return [pad + ";"]
+            return [pad + self._gen_expr(node.expr) + ";"]
+
+        if isinstance(node, ast.If):
+            cond = self._gen_expr(self._unwrap_paren(node.cond))
+            lines = [pad + f"if ({cond}) {{"]
+            lines.extend(self._gen_nested_body(node.then, depth + 1))
+            if node.otherwise is not None:
+                lines.append(pad + "} else {")
+                lines.extend(self._gen_nested_body(node.otherwise, depth + 1))
+            lines.append(pad + "}")
+            return lines
+
+        if isinstance(node, ast.While):
+            cond = self._gen_expr(self._unwrap_paren(node.cond))
+            lines = [pad + f"while ({cond}) {{"]
+            lines.extend(self._gen_nested_body(node.body, depth + 1))
+            lines.append(pad + "}")
+            return lines
+
+        if isinstance(node, ast.DoWhile):
+            cond = self._gen_expr(self._unwrap_paren(node.cond))
+            lines = [pad + "do {"]
+            lines.extend(self._gen_nested_body(node.body, depth + 1))
+            lines.append(pad + f"}} while ({cond});")
+            return lines
+
+        if isinstance(node, ast.For):
+            init = ""
+            if isinstance(node.init, ast.Declaration):
+                init = self._gen_declaration(node.init)
+            elif isinstance(node.init, ast.ExpressionStatement) and node.init.expr is not None:
+                init = self._gen_expr(node.init.expr)
+            elif node.init is not None:
+                init = self._gen_expr(node.init)
+            cond = self._gen_expr(node.cond) if node.cond is not None else ""
+            update = self._gen_expr(node.update) if node.update is not None else ""
+            lines = [pad + f"for ({init}; {cond}; {update}) {{"]
+            lines.extend(self._gen_nested_body(node.body, depth + 1))
+            lines.append(pad + "}")
+            return lines
+
+        if isinstance(node, ast.Switch):
+            cond = self._gen_expr(self._unwrap_paren(node.cond))
+            lines = [pad + f"switch ({cond}) {{"]
+            lines.extend(self._gen_block_body(node.body, depth + 1))
+            lines.append(pad + "}")
+            return lines
+
+        if isinstance(node, ast.CaseLabel):
+            if node.value is None:
+                return [pad + "default:"]
+            return [pad + f"case {self._gen_expr(node.value)}:"]
+
+        if isinstance(node, ast.Return):
+            if node.value is None:
+                return [pad + "return;"]
+            return [pad + f"return {self._gen_expr(node.value)};"]
+
+        if isinstance(node, ast.Break):
+            return [pad + "break;"]
+        if isinstance(node, ast.Continue):
+            return [pad + "continue;"]
+        if isinstance(node, ast.Goto):
+            return [pad + f"goto {node.label};"]
+        if isinstance(node, ast.Label):
+            return [pad + f"{node.name}:"]
+        if isinstance(node, ast.TypedefDecl):
+            return [pad + f"typedef {node.type_name} {node.alias};"]
+        if isinstance(node, ast.Include):
+            return [node.text]
+        if isinstance(node, ast.StructDef):
+            return [pad + line for line in self._gen_struct(node).splitlines()]
+
+        raise CodeGenError(f"cannot generate statement for node kind {node.kind!r}")
+
+    def _gen_nested_body(self, node: ast.Node, depth: int) -> list[str]:
+        """Emit the body of a control statement, flattening single compounds."""
+        if isinstance(node, ast.Compound):
+            return self._gen_block_body(node, depth)
+        return self._gen_statement(node, depth)
+
+    @staticmethod
+    def _unwrap_paren(node: ast.Node) -> ast.Node:
+        if isinstance(node, ast.Parenthesized):
+            return node.inner
+        return node
+
+    # ---------------------------------------------------------- declarations
+
+    def _gen_declaration(self, decl: ast.Declaration) -> str:
+        parts = []
+        if decl.storage:
+            parts.append(decl.storage)
+        parts.append(decl.type_name)
+        decls = []
+        for d in decl.declarators:
+            decls.append(self._gen_declarator(d))
+        return " ".join(parts) + " " + ", ".join(decls)
+
+    def _gen_declarator(self, d: ast.Declarator) -> str:
+        text = "*" * d.pointer + d.name
+        for dim in d.array_dims:
+            if dim is None:
+                text += "[]"
+            else:
+                text += f"[{self._gen_expr(dim)}]"
+        if d.init is not None:
+            text += f" = {self._gen_expr(d.init)}"
+        return text
+
+    # ----------------------------------------------------------- expressions
+
+    def _gen_expr(self, node: ast.Node) -> str:
+        if isinstance(node, ast.Identifier):
+            return node.name
+        if isinstance(node, ast.Literal):
+            return node.value
+        if isinstance(node, ast.BinaryOp):
+            return f"{self._gen_expr(node.left)} {node.op} {self._gen_expr(node.right)}"
+        if isinstance(node, ast.UnaryOp):
+            if node.op == "sizeof":
+                return f"sizeof({self._gen_expr(self._unwrap_paren(node.operand))})"
+            return f"{node.op}{self._gen_expr(node.operand)}"
+        if isinstance(node, ast.PostfixOp):
+            return f"{self._gen_expr(node.operand)}{node.op}"
+        if isinstance(node, ast.Assignment):
+            return f"{self._gen_expr(node.target)} {node.op} {self._gen_expr(node.value)}"
+        if isinstance(node, ast.Call):
+            args = ", ".join(self._gen_expr(a) for a in node.args)
+            return f"{self._gen_expr(node.func)}({args})"
+        if isinstance(node, ast.ArraySubscript):
+            return f"{self._gen_expr(node.array)}[{self._gen_expr(node.index)}]"
+        if isinstance(node, ast.MemberAccess):
+            sep = "->" if node.arrow else "."
+            return f"{self._gen_expr(node.obj)}{sep}{node.member}"
+        if isinstance(node, ast.Cast):
+            type_text = node.type_name
+            stars = len(type_text) - len(type_text.rstrip("*"))
+            if stars:
+                type_text = type_text.rstrip("*").strip() + " " + "*" * stars
+            return f"({type_text}) {self._gen_expr(node.operand)}"
+        if isinstance(node, ast.Conditional):
+            return (f"{self._gen_expr(node.cond)} ? {self._gen_expr(node.then)}"
+                    f" : {self._gen_expr(node.otherwise)}")
+        if isinstance(node, ast.Parenthesized):
+            return f"({self._gen_expr(node.inner)})"
+        if isinstance(node, ast.InitList):
+            return "{" + ", ".join(self._gen_expr(v) for v in node.values) + "}"
+        if isinstance(node, ast.CommaExpression):
+            return ", ".join(self._gen_expr(p) for p in node.parts)
+        raise CodeGenError(f"cannot generate expression for node kind {node.kind!r}")
+
+
+def generate_code(node: ast.Node) -> str:
+    """Convenience wrapper: generate standardised source for ``node``."""
+    return CodeGenerator().generate(node)
+
+
+def standardize(source: str) -> str:
+    """Round-trip ``source`` through the parser and code generator.
+
+    This is the corpus standardisation pass described in the paper: wrong
+    indentation is amended and unnecessary line breaks and spaces removed by
+    regenerating the program from its AST.
+    """
+    from .parser import parse_source
+
+    unit = parse_source(source, tolerant=True)
+    return generate_code(unit)

@@ -1,0 +1,52 @@
+"""Error types raised by the C front-end."""
+
+from __future__ import annotations
+
+
+class CFrontEndError(Exception):
+    """Base class for all C front-end errors."""
+
+
+class LexError(CFrontEndError):
+    """Raised when the lexer encounters an unrecognisable character sequence."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(CFrontEndError):
+    """Raised when the parser cannot make sense of the token stream.
+
+    The parser is error-tolerant when constructed with ``tolerant=True`` (the
+    default used by the live-advising pipeline); in that mode most recoverable
+    problems are recorded as :class:`ParseDiagnostic` entries instead of
+    raising.  ``tolerant=False`` is used by the corpus inclusion filter, where
+    a strict parse decides whether a file enters the dataset.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseDiagnostic:
+    """A recoverable problem recorded during a tolerant parse."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"ParseDiagnostic({self.message!r}, line={self.line}, column={self.column})"
+
+
+class CodeGenError(CFrontEndError):
+    """Raised when the code generator meets an AST node it cannot emit."""
+
+
+class InterpreterError(CFrontEndError):
+    """Raised by the C interpreter (repro.mpisim) for unsupported constructs."""

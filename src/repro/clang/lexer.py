@@ -1,0 +1,237 @@
+"""A hand-written lexer for the C subset used by MPI numerical codes.
+
+The lexer is deliberately forgiving: preprocessor directives and comments are
+kept as tokens (the standardiser needs ``#include`` lines, and comments are
+useful context for the sequence model), and unknown characters produce ERROR
+tokens rather than aborting, mirroring TreeSitter's ability to tokenise
+partially written code during live advising.
+"""
+
+from __future__ import annotations
+
+from .errors import LexError
+from .tokens import C_KEYWORDS, PUNCTUATORS, Token, TokenKind, TokenStream
+
+_WHITESPACE = " \t\r"
+_ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_ID_CONT = _ID_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+
+class Lexer:
+    """Tokenise C source text.
+
+    Parameters
+    ----------
+    source:
+        The full text of a C translation unit (or fragment).
+    keep_comments:
+        When True (default) comments are emitted as COMMENT tokens; when False
+        they are skipped entirely.
+    strict:
+        When True, unrecognised characters raise :class:`LexError`; when False
+        (default) they are emitted as ERROR tokens and lexing continues.
+    """
+
+    def __init__(self, source: str, *, keep_comments: bool = True, strict: bool = False) -> None:
+        self.source = source
+        self.keep_comments = keep_comments
+        self.strict = strict
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------ api
+
+    def tokenize(self) -> list[Token]:
+        """Lex the entire source and return the token list (EOF-terminated)."""
+        tokens: list[Token] = []
+        while self.pos < len(self.source):
+            tok = self._next_token()
+            if tok is None:
+                continue
+            if tok.kind is TokenKind.COMMENT and not self.keep_comments:
+                continue
+            tokens.append(tok)
+        tokens.append(Token(TokenKind.EOF, "", self.line, self.column))
+        return tokens
+
+    def stream(self) -> TokenStream:
+        """Lex and wrap the result in a :class:`TokenStream` for the parser.
+
+        Comments, newlines, directives and error tokens are filtered out of the
+        stream — the parser only sees syntactically relevant tokens.
+        """
+        relevant = [
+            t
+            for t in self.tokenize()
+            if t.kind
+            not in (TokenKind.COMMENT, TokenKind.NEWLINE, TokenKind.DIRECTIVE, TokenKind.ERROR)
+        ]
+        return TokenStream(relevant)
+
+    # ------------------------------------------------------------ internals
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        if idx < len(self.source):
+            return self.source[idx]
+        return ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def _make(self, kind: TokenKind, text: str, line: int, column: int) -> Token:
+        return Token(kind, text, line, column)
+
+    def _next_token(self) -> Token | None:
+        ch = self._peek()
+        line, column = self.line, self.column
+
+        # Whitespace (newlines become NEWLINE tokens so directives stay line-scoped).
+        if ch in _WHITESPACE:
+            self._advance()
+            return None
+        if ch == "\n":
+            self._advance()
+            return self._make(TokenKind.NEWLINE, "\n", line, column)
+
+        # Preprocessor directive: consume to end of line (handling \ continuation).
+        if ch == "#":
+            text = self._consume_directive()
+            return self._make(TokenKind.DIRECTIVE, text, line, column)
+
+        # Comments.
+        if ch == "/" and self._peek(1) == "/":
+            text = self._consume_until_newline()
+            return self._make(TokenKind.COMMENT, text, line, column)
+        if ch == "/" and self._peek(1) == "*":
+            text = self._consume_block_comment(line, column)
+            return self._make(TokenKind.COMMENT, text, line, column)
+
+        # String and character literals.
+        if ch == '"':
+            text = self._consume_quoted('"', line, column)
+            return self._make(TokenKind.STRING, text, line, column)
+        if ch == "'":
+            text = self._consume_quoted("'", line, column)
+            return self._make(TokenKind.CHAR, text, line, column)
+
+        # Numbers (integers, floats, hex, exponents, suffixes).
+        if ch in _DIGITS or (ch == "." and self._peek(1) in _DIGITS):
+            text = self._consume_number()
+            return self._make(TokenKind.NUMBER, text, line, column)
+
+        # Identifiers and keywords.
+        if ch in _ID_START:
+            text = self._consume_identifier()
+            kind = TokenKind.KEYWORD if text in C_KEYWORDS else TokenKind.IDENTIFIER
+            return self._make(kind, text, line, column)
+
+        # Punctuators (maximal munch).
+        for punct in PUNCTUATORS:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return self._make(TokenKind.PUNCT, punct, line, column)
+
+        # Unknown character.
+        if self.strict:
+            raise LexError(f"unexpected character {ch!r}", line, column)
+        self._advance()
+        return self._make(TokenKind.ERROR, ch, line, column)
+
+    def _consume_directive(self) -> str:
+        chars: list[str] = []
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch == "\n":
+                if chars and chars[-1] == "\\":
+                    chars.append(self._advance())
+                    continue
+                break
+            chars.append(self._advance())
+        return "".join(chars)
+
+    def _consume_until_newline(self) -> str:
+        chars: list[str] = []
+        while self.pos < len(self.source) and self._peek() != "\n":
+            chars.append(self._advance())
+        return "".join(chars)
+
+    def _consume_block_comment(self, line: int, column: int) -> str:
+        chars: list[str] = [self._advance(2)]
+        while self.pos < len(self.source):
+            if self._peek() == "*" and self._peek(1) == "/":
+                chars.append(self._advance(2))
+                return "".join(chars)
+            chars.append(self._advance())
+        if self.strict:
+            raise LexError("unterminated block comment", line, column)
+        return "".join(chars)
+
+    def _consume_quoted(self, quote: str, line: int, column: int) -> str:
+        chars: list[str] = [self._advance()]
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch == "\\":
+                chars.append(self._advance(2))
+                continue
+            if ch == quote:
+                chars.append(self._advance())
+                return "".join(chars)
+            if ch == "\n":
+                break
+            chars.append(self._advance())
+        if self.strict:
+            raise LexError(f"unterminated {quote} literal", line, column)
+        return "".join(chars)
+
+    def _consume_number(self) -> str:
+        chars: list[str] = []
+        # Hexadecimal.
+        if self._peek() == "0" and self._peek(1) in "xX":
+            chars.append(self._advance(2))
+            while self._peek() and (self._peek() in "0123456789abcdefABCDEF"):
+                chars.append(self._advance())
+        else:
+            while self._peek() and (self._peek() in _DIGITS or self._peek() == "."):
+                chars.append(self._advance())
+            if self._peek() in "eE" and (self._peek(1) in _DIGITS or self._peek(1) in "+-"):
+                chars.append(self._advance())
+                if self._peek() in "+-":
+                    chars.append(self._advance())
+                while self._peek() in _DIGITS:
+                    chars.append(self._advance())
+        # Suffixes (u, l, f combinations).
+        while self._peek() and self._peek() in "uUlLfF":
+            chars.append(self._advance())
+        return "".join(chars)
+
+    def _consume_identifier(self) -> str:
+        chars: list[str] = []
+        while self._peek() and self._peek() in _ID_CONT:
+            chars.append(self._advance())
+        return "".join(chars)
+
+
+def tokenize(source: str, *, keep_comments: bool = True, strict: bool = False) -> list[Token]:
+    """Convenience wrapper: lex ``source`` and return the token list."""
+    return Lexer(source, keep_comments=keep_comments, strict=strict).tokenize()
+
+
+def code_token_texts(source: str) -> list[str]:
+    """Return the syntactically relevant token texts of ``source``.
+
+    This is what the paper's "320 tokens" exclusion criterion counts and what
+    the sequence tokenizer consumes.
+    """
+    stream = Lexer(source, keep_comments=False).stream()
+    return [t.text for t in stream.tokens if t.kind is not TokenKind.EOF]

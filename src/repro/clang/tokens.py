@@ -1,0 +1,137 @@
+"""Token definitions for the C front-end.
+
+The lexer produces a flat stream of :class:`Token` objects.  Token kinds are
+deliberately coarse (identifier, keyword, number, string, char, punctuator,
+comment, directive) because the downstream consumers — the recursive-descent
+parser, the code standardiser, and the sequence tokenizer that feeds the
+Transformer — only need that level of granularity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    IDENTIFIER = "identifier"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    CHAR = "char"
+    PUNCT = "punct"
+    COMMENT = "comment"
+    DIRECTIVE = "directive"
+    NEWLINE = "newline"
+    EOF = "eof"
+    ERROR = "error"
+
+
+#: The C keywords recognised by the lexer (C99 plus a few common extensions).
+C_KEYWORDS = frozenset(
+    {
+        "auto", "break", "case", "char", "const", "continue", "default", "do",
+        "double", "else", "enum", "extern", "float", "for", "goto", "if",
+        "inline", "int", "long", "register", "restrict", "return", "short",
+        "signed", "sizeof", "static", "struct", "switch", "typedef", "union",
+        "unsigned", "void", "volatile", "while", "_Bool", "_Complex",
+        "_Imaginary", "bool",
+    }
+)
+
+#: Multi-character punctuators, longest first so the lexer can do maximal munch.
+PUNCTUATORS = (
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=",
+    "{", "}", "[", "]", "(", ")", ";", ",", ".", "?", ":",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+)
+
+
+@dataclass
+class Token:
+    """A single lexical token.
+
+    Attributes
+    ----------
+    kind:
+        The coarse lexical category.
+    text:
+        The exact source text of the token (including quotes for strings).
+    line:
+        1-based source line on which the token starts.
+    column:
+        1-based source column on which the token starts.
+    """
+
+    kind: TokenKind
+    text: str
+    line: int = 0
+    column: int = 0
+
+    def is_keyword(self, *names: str) -> bool:
+        """Return True if this token is a keyword with one of ``names``."""
+        return self.kind is TokenKind.KEYWORD and self.text in names
+
+    def is_punct(self, *texts: str) -> bool:
+        """Return True if this token is a punctuator with one of ``texts``."""
+        return self.kind is TokenKind.PUNCT and self.text in texts
+
+    def is_identifier(self, name: str | None = None) -> bool:
+        """Return True if this token is an identifier (optionally named)."""
+        if self.kind is not TokenKind.IDENTIFIER:
+            return False
+        return name is None or self.text == name
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind.value}({self.text!r}@{self.line}:{self.column})"
+
+
+@dataclass
+class TokenStream:
+    """A cursor over a list of tokens with lookahead and backtracking.
+
+    The parser uses :meth:`mark`/:meth:`reset` pairs for speculative parses
+    (e.g. disambiguating declarations from expressions).
+    """
+
+    tokens: list[Token]
+    index: int = 0
+    _marks: list[int] = field(default_factory=list)
+
+    def peek(self, offset: int = 0) -> Token:
+        """Return the token ``offset`` positions ahead without consuming it."""
+        idx = self.index + offset
+        if idx >= len(self.tokens):
+            return self.tokens[-1]
+        return self.tokens[idx]
+
+    def next(self) -> Token:
+        """Consume and return the current token."""
+        tok = self.peek()
+        if self.index < len(self.tokens) - 1:
+            self.index += 1
+        return tok
+
+    def at_end(self) -> bool:
+        """Return True when the cursor sits on the EOF token."""
+        return self.peek().kind is TokenKind.EOF
+
+    def mark(self) -> int:
+        """Record the current position for later :meth:`reset`."""
+        self._marks.append(self.index)
+        return self.index
+
+    def reset(self) -> None:
+        """Rewind to the most recent :meth:`mark`."""
+        self.index = self._marks.pop()
+
+    def commit(self) -> None:
+        """Discard the most recent :meth:`mark` without rewinding."""
+        self._marks.pop()
+
+    def __len__(self) -> int:
+        return len(self.tokens)

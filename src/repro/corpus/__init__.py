@@ -1,0 +1,43 @@
+"""MPICodeCorpus construction: simulated mining, synthesis, and statistics."""
+
+from .families import FAMILIES, MPI_FAMILIES, ProgramFamily, family_by_name, family_names
+from .mining import MiningConfig, Repository, SourceFile, generate_repositories, mine_c_programs
+from .statistics import (
+    CorpusStatistics,
+    code_length_distribution,
+    common_core_counts,
+    files_with_init_and_finalize,
+    init_finalize_ratio_histogram,
+    is_exponentially_decreasing,
+    median_parallel_ratio,
+    mpi_function_histogram,
+    summarize,
+)
+from .synthesis import Corpus, CorpusBuildReport, CorpusProgram, build_corpus, default_corpus
+
+__all__ = [
+    "FAMILIES",
+    "MPI_FAMILIES",
+    "ProgramFamily",
+    "family_by_name",
+    "family_names",
+    "MiningConfig",
+    "Repository",
+    "SourceFile",
+    "generate_repositories",
+    "mine_c_programs",
+    "Corpus",
+    "CorpusBuildReport",
+    "CorpusProgram",
+    "build_corpus",
+    "default_corpus",
+    "CorpusStatistics",
+    "code_length_distribution",
+    "common_core_counts",
+    "files_with_init_and_finalize",
+    "init_finalize_ratio_histogram",
+    "is_exponentially_decreasing",
+    "median_parallel_ratio",
+    "mpi_function_histogram",
+    "summarize",
+]

@@ -1,0 +1,87 @@
+"""Registry of program families used by the synthetic corpus generator.
+
+A *family* couples a template callable with a sampling weight (how often the
+family appears in the synthetic corpus) and a coarse category.  Weights were
+chosen so the resulting MPI-function histogram is exponentially decreasing and
+headed by the MPI Common Core, matching Table Ib of the paper qualitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .templates import Style, communication, linalg, misc, reductions
+
+TemplateFn = Callable[[np.random.Generator, Style], str]
+
+
+@dataclass(frozen=True)
+class ProgramFamily:
+    """One generative family of synthetic MPI programs."""
+
+    name: str
+    template: TemplateFn
+    category: str
+    weight: float
+    uses_mpi: bool = True
+
+
+#: All registered families.  Reduction-style programs dominate (as they do in
+#: mined teaching/sample code), point-to-point patterns come next, and more
+#: exotic families (topology, communicator splitting) sit in the tail.
+FAMILIES: tuple[ProgramFamily, ...] = (
+    ProgramFamily("pi_riemann", reductions.pi_riemann, "reduction", 10.0),
+    ProgramFamily("pi_monte_carlo", reductions.pi_monte_carlo, "reduction", 7.0),
+    ProgramFamily("trapezoidal_rule", reductions.trapezoidal_rule, "reduction", 7.0),
+    ProgramFamily("array_sum", reductions.array_sum, "reduction", 9.0),
+    ProgramFamily("array_average", reductions.array_average, "reduction", 8.0),
+    ProgramFamily("dot_product", reductions.dot_product, "reduction", 8.0),
+    ProgramFamily("min_max", reductions.min_max, "reduction", 6.0),
+    ProgramFamily("histogram", reductions.histogram, "reduction", 4.0),
+    ProgramFamily("variance", reductions.variance, "reduction", 4.0),
+    ProgramFamily("scan_prefix_sum", reductions.scan_prefix_sum, "reduction", 2.0),
+    ProgramFamily("matrix_vector", linalg.matrix_vector, "linalg", 6.0),
+    ProgramFamily("matrix_matrix", linalg.matrix_matrix, "linalg", 5.0),
+    ProgramFamily("jacobi_iteration", linalg.jacobi_iteration, "linalg", 4.0),
+    ProgramFamily("vector_norm", linalg.vector_norm, "linalg", 4.0),
+    ProgramFamily("matrix_transpose", linalg.matrix_transpose, "linalg", 2.0),
+    ProgramFamily("ping_pong", communication.ping_pong, "communication", 5.0),
+    ProgramFamily("ring_pass", communication.ring_pass, "communication", 6.0),
+    ProgramFamily("master_worker", communication.master_worker, "communication", 6.0),
+    ProgramFamily("nonblocking_exchange", communication.nonblocking_exchange,
+                  "communication", 3.0),
+    ProgramFamily("broadcast_config", communication.broadcast_config, "communication", 5.0),
+    ProgramFamily("gather_results", communication.gather_results, "communication", 5.0),
+    ProgramFamily("processor_names", communication.processor_names, "communication", 5.0),
+    ProgramFamily("cartesian_grid", communication.cartesian_grid, "topology", 2.0),
+    ProgramFamily("split_communicator", communication.split_communicator, "topology", 2.0),
+    ProgramFamily("merge_sort", misc.merge_sort, "sorting", 4.0),
+    ProgramFamily("odd_even_sort", misc.odd_even_sort, "sorting", 2.5),
+    ProgramFamily("factorial", misc.factorial, "number_theory", 3.0),
+    ProgramFamily("fibonacci", misc.fibonacci, "number_theory", 3.0),
+    ProgramFamily("prime_count", misc.prime_count, "number_theory", 3.0),
+    ProgramFamily("random_walk", misc.random_walk, "simulation", 3.0),
+    ProgramFamily("sum_reduce_gather", misc.sum_reduce_gather, "reduction", 4.0),
+    ProgramFamily("heat_1d", misc.heat_1d, "simulation", 3.0),
+    ProgramFamily("serial_program", misc.serial_program, "serial", 5.0, uses_mpi=False),
+)
+
+#: Families that emit MPI programs (the dataset draws only from these).
+MPI_FAMILIES: tuple[ProgramFamily, ...] = tuple(f for f in FAMILIES if f.uses_mpi)
+
+
+def family_by_name(name: str) -> ProgramFamily:
+    """Look a family up by name; raises KeyError if unknown."""
+    for fam in FAMILIES:
+        if fam.name == name:
+            return fam
+    raise KeyError(f"unknown program family: {name!r}")
+
+
+def family_names(*, mpi_only: bool = False) -> list[str]:
+    """Return the registered family names."""
+    pool = MPI_FAMILIES if mpi_only else FAMILIES
+    return [f.name for f in pool]

@@ -1,0 +1,198 @@
+"""Simulated GitHub repository mining.
+
+The paper builds MPICodeCorpus by running ``github-clone-all`` over GitHub
+repositories whose title/description/README mentions "MPI", then extracting C
+files that define a ``main`` function.  That mining step cannot run offline,
+so this module simulates it: it creates a population of synthetic
+*repositories* — each with a name, a description, a README, and a set of C
+files drawn from the program families — and then applies the same
+keyword-based repository filter and program-definition extraction the paper
+describes.
+
+The point of keeping the repository layer (rather than generating bare files)
+is that the filters are part of the system being reproduced: repositories
+whose metadata never mentions MPI are skipped, non-``main`` files are skipped,
+and deliberately corrupted files exercise the parse-failure exclusion path
+downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.rng import choice, make_rng, spawn
+from .families import FAMILIES, ProgramFamily
+from .templates import random_style
+
+_REPO_TOPICS = [
+    "hpc", "parallel-computing", "scientific-computing", "numerical-methods",
+    "simulation", "linear-algebra", "physics", "cfd", "molecular-dynamics",
+    "teaching", "coursework", "benchmarks",
+]
+
+_REPO_PREFIXES = ["mpi", "parallel", "distributed", "hpc", "numerics", "cluster"]
+_REPO_SUFFIXES = ["examples", "labs", "course", "solver", "toolkit", "experiments",
+                  "homework", "kernels", "benchmarks", "demos"]
+
+_NON_MPI_DESCRIPTIONS = [
+    "A collection of serial numerical routines.",
+    "Single-threaded utility programs for data processing.",
+    "Coursework on basic algorithms in C.",
+]
+
+_MPI_DESCRIPTIONS = [
+    "MPI examples for a parallel programming course.",
+    "Distributed memory solvers using the Message Passing Interface (MPI).",
+    "Domain decomposition kernels parallelised with MPI.",
+    "OpenMPI/MPICH sample programs for HPC training.",
+]
+
+
+@dataclass
+class SourceFile:
+    """A single C file inside a synthetic repository."""
+
+    path: str
+    text: str
+    family: str
+    has_main: bool = True
+    corrupted: bool = False
+
+
+@dataclass
+class Repository:
+    """A synthetic GitHub repository."""
+
+    name: str
+    description: str
+    readme: str
+    topics: list[str] = field(default_factory=list)
+    files: list[SourceFile] = field(default_factory=list)
+
+    def mentions_mpi(self) -> bool:
+        """The paper's repository filter: 'MPI' in title, description or README."""
+        haystack = " ".join([self.name, self.description, self.readme]).lower()
+        return "mpi" in haystack
+
+
+@dataclass
+class MiningConfig:
+    """Knobs for the simulated mining run."""
+
+    num_repositories: int = 200
+    files_per_repo_mean: float = 6.0
+    #: Fraction of repositories that are not MPI-related at all (filtered out).
+    non_mpi_repo_fraction: float = 0.15
+    #: Fraction of files that are headers/implementation files without main.
+    no_main_fraction: float = 0.08
+    #: Fraction of files that are deliberately corrupted (exercise the
+    #: parse-failure exclusion criterion).
+    corrupted_fraction: float = 0.05
+    seed: int = 20230
+
+
+def _corrupt(text: str, rng: np.random.Generator) -> str:
+    """Damage a program so it no longer parses cleanly."""
+    mode = choice(rng, ["drop_brace", "truncate", "garbage"])
+    if mode == "drop_brace" and "}" in text:
+        idx = text.rindex("}")
+        return text[:idx] + text[idx + 1:]
+    if mode == "truncate":
+        cut = max(10, int(len(text) * 0.6))
+        return text[:cut]
+    return text + "\n@@@ unbalanced (((\n"
+
+
+def _helper_file(rng: np.random.Generator) -> str:
+    """A header/implementation file without a main function."""
+    return (
+        "#include <math.h>\n"
+        "\n"
+        "double squared(double value) {\n"
+        "    return value * value;\n"
+        "}\n"
+        "\n"
+        "double scaled(double value, double factor) {\n"
+        "    return value * factor;\n"
+        "}\n"
+    )
+
+
+def _repo_name(rng: np.random.Generator, index: int, mpi_related: bool) -> str:
+    prefix = choice(rng, _REPO_PREFIXES if mpi_related else ["serial", "basic", "misc"])
+    suffix = choice(rng, _REPO_SUFFIXES)
+    return f"{prefix}-{suffix}-{index:04d}"
+
+
+def generate_repositories(config: MiningConfig | None = None) -> list[Repository]:
+    """Create the synthetic repository population."""
+    config = config or MiningConfig()
+    rng = make_rng(config.seed)
+    repo_rngs = spawn(rng, config.num_repositories)
+
+    weights = [f.weight for f in FAMILIES]
+    repos: list[Repository] = []
+    for idx, repo_rng in enumerate(repo_rngs):
+        mpi_related = bool(repo_rng.random() >= config.non_mpi_repo_fraction)
+        name = _repo_name(repo_rng, idx, mpi_related)
+        if mpi_related:
+            description = choice(repo_rng, _MPI_DESCRIPTIONS)
+            readme = (f"# {name}\n\nParallel programs written with MPI "
+                      "(tested with OpenMPI and MPICH).\n")
+        else:
+            description = choice(repo_rng, _NON_MPI_DESCRIPTIONS)
+            readme = f"# {name}\n\nSerial C programs.\n"
+        topics = [choice(repo_rng, _REPO_TOPICS) for _ in range(2)]
+
+        num_files = max(1, int(repo_rng.poisson(config.files_per_repo_mean)))
+        files: list[SourceFile] = []
+        for fidx in range(num_files):
+            family: ProgramFamily = choice(repo_rng, list(FAMILIES), weights)
+            if not mpi_related and family.uses_mpi:
+                # Non-MPI repositories only hold serial code.
+                family = next(f for f in FAMILIES if not f.uses_mpi)
+            style = random_style(repo_rng)
+            text = family.template(repo_rng, style)
+            has_main = True
+            corrupted = False
+            roll = repo_rng.random()
+            if roll < config.no_main_fraction:
+                text = _helper_file(repo_rng)
+                has_main = False
+            elif roll < config.no_main_fraction + config.corrupted_fraction:
+                text = _corrupt(text, repo_rng)
+                corrupted = True
+            files.append(
+                SourceFile(
+                    path=f"{name}/src/{family.name}_{fidx}.c",
+                    text=text,
+                    family=family.name,
+                    has_main=has_main,
+                    corrupted=corrupted,
+                )
+            )
+        repos.append(Repository(name=name, description=description, readme=readme,
+                                topics=topics, files=files))
+    return repos
+
+
+def mine_c_programs(repositories: list[Repository]) -> list[SourceFile]:
+    """Apply the paper's mining filters and return the extracted C programs.
+
+    Filters applied, in the paper's order:
+
+    1. Repository filter — only repositories mentioning "MPI" in name,
+       description, or README are cloned.
+    2. Program definition — a *program* is a source file containing ``main``.
+    """
+    programs: list[SourceFile] = []
+    for repo in repositories:
+        if not repo.mentions_mpi():
+            continue
+        for f in repo.files:
+            if not f.has_main:
+                continue
+            programs.append(f)
+    return programs

@@ -1,0 +1,138 @@
+"""Corpus statistics reproducing Table Ia, Table Ib and Figure 3 of the paper.
+
+* :func:`code_length_distribution` — files bucketed by line count
+  (≤10, 11–50, 51–99, ≥100), Table Ia.
+* :func:`common_core_counts` — per-file occurrence counts of the MPI Common
+  Core functions, Table Ib.  Multiple occurrences in one file count once.
+* :func:`init_finalize_ratio_histogram` — histogram of the ratio between the
+  Init–Finalize span and the full program length, Figure 3.
+* :func:`mpi_function_histogram` — full per-file histogram across every MPI
+  function observed (the 456-class label space of RQ1, scaled down).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mpiknow.registry import MPI_COMMON_CORE
+from .synthesis import Corpus
+
+#: The paper's Table Ia line-count buckets.
+LENGTH_BUCKETS: tuple[tuple[str, int, int], ...] = (
+    ("<= 10", 0, 10),
+    ("11-50", 11, 50),
+    ("51-99", 51, 99),
+    (">= 100", 100, 10**9),
+)
+
+
+@dataclass
+class CorpusStatistics:
+    """Bundle of every statistic the corpus benchmarks print."""
+
+    length_buckets: dict[str, int]
+    common_core: dict[str, int]
+    function_histogram: dict[str, int]
+    ratio_histogram: tuple[np.ndarray, np.ndarray]
+    files_with_init_and_finalize: int
+    total_programs: int
+
+
+def code_length_distribution(corpus: Corpus) -> dict[str, int]:
+    """Bucket programs by non-empty line count (Table Ia)."""
+    buckets = {label: 0 for label, _, _ in LENGTH_BUCKETS}
+    for program in corpus.programs:
+        for label, lo, hi in LENGTH_BUCKETS:
+            if lo <= program.line_count <= hi:
+                buckets[label] += 1
+                break
+    return buckets
+
+
+def mpi_function_histogram(corpus: Corpus) -> dict[str, int]:
+    """Per-file occurrence counts for every MPI function (descending)."""
+    counter: Counter[str] = Counter()
+    for program in corpus.programs:
+        for name in set(program.mpi_functions):
+            counter[name] += 1
+    return dict(counter.most_common())
+
+
+def common_core_counts(corpus: Corpus) -> dict[str, int]:
+    """Per-file counts restricted to the MPI Common Core (Table Ib)."""
+    hist = mpi_function_histogram(corpus)
+    return {name: hist.get(name, 0) for name in MPI_COMMON_CORE}
+
+
+def init_finalize_ratio_histogram(
+    corpus: Corpus, bins: int = 20
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of Init–Finalize span / program length (Figure 3).
+
+    Returns ``(counts, bin_edges)`` as from :func:`numpy.histogram`.
+    """
+    ratios = [
+        p.init_finalize_ratio
+        for p in corpus.programs
+        if p.init_finalize_ratio is not None
+    ]
+    if not ratios:
+        return np.zeros(bins, dtype=int), np.linspace(0.0, 1.0, bins + 1)
+    counts, edges = np.histogram(np.asarray(ratios), bins=bins, range=(0.0, 1.0))
+    return counts, edges
+
+
+def files_with_init_and_finalize(corpus: Corpus) -> int:
+    """Number of programs containing both MPI_Init and MPI_Finalize.
+
+    The paper reports 20,228 such files in the raw data; the synthetic corpus
+    reproduces the property that this is the large majority of MPI programs.
+    """
+    count = 0
+    for p in corpus.programs:
+        fns = set(p.mpi_functions)
+        if "MPI_Init" in fns and "MPI_Finalize" in fns:
+            count += 1
+    return count
+
+
+def median_parallel_ratio(corpus: Corpus) -> float:
+    """Median Init–Finalize span ratio (the paper observes most programs have
+    more than half their lines inside the parallel region)."""
+    ratios = [
+        p.init_finalize_ratio
+        for p in corpus.programs
+        if p.init_finalize_ratio is not None
+    ]
+    if not ratios:
+        return 0.0
+    return float(np.median(np.asarray(ratios)))
+
+
+def is_exponentially_decreasing(histogram: dict[str, int], *, tolerance: int = 1) -> bool:
+    """Check the paper's qualitative claim that the MPI-function frequency
+    distribution decreases sharply, with the common core at the head.
+
+    ``tolerance`` allows a few local inversions (the synthetic corpus is not a
+    perfectly smooth exponential either).
+    """
+    values = list(histogram.values())
+    if len(values) < 3:
+        return True
+    inversions = sum(1 for a, b in zip(values, values[1:]) if b > a)
+    return inversions <= max(tolerance, len(values) // 4)
+
+
+def summarize(corpus: Corpus, bins: int = 20) -> CorpusStatistics:
+    """Compute every corpus statistic in one pass."""
+    return CorpusStatistics(
+        length_buckets=code_length_distribution(corpus),
+        common_core=common_core_counts(corpus),
+        function_histogram=mpi_function_histogram(corpus),
+        ratio_histogram=init_finalize_ratio_histogram(corpus, bins=bins),
+        files_with_init_and_finalize=files_with_init_and_finalize(corpus),
+        total_programs=len(corpus),
+    )

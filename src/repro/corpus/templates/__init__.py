@@ -1,0 +1,6 @@
+"""Synthetic MPI program templates grouped by computational pattern."""
+
+from .base import Style, random_style
+from . import communication, linalg, misc, reductions
+
+__all__ = ["Style", "random_style", "communication", "linalg", "misc", "reductions"]

@@ -1,0 +1,162 @@
+"""Shared machinery for synthetic MPI program templates.
+
+Each template is a callable ``(rng, style) -> str`` that emits a complete C
+program (a ``main`` function plus headers) performing one domain-decomposition
+computation with MPI.  Templates draw identifier names, problem sizes,
+datatypes and optional code fragments from :class:`Style`, so repeated
+invocations of the same family produce lexically diverse programs — the
+stand-in for the natural diversity of mined GitHub code.
+
+All emitted code must parse under :func:`repro.clang.parser.parses_cleanly`;
+the synthesis pipeline asserts this for every generated file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...utils.rng import choice
+
+#: Pools of identifier spellings seen in real MPI codes; one spelling per
+#: program is picked for each role.
+_RANK_NAMES = ["rank", "my_rank", "myid", "me", "world_rank", "pid"]
+_SIZE_NAMES = ["size", "num_procs", "nprocs", "world_size", "numprocs", "np"]
+_DATA_NAMES = ["data", "a", "x", "values", "buffer", "arr", "vec", "local_data"]
+_RESULT_NAMES = ["result", "total", "global_sum", "answer", "out", "acc"]
+_LOCAL_NAMES = ["local", "local_sum", "partial", "my_sum", "local_result", "psum"]
+_INDEX_NAMES = ["i", "j", "k", "idx", "ii"]
+_COUNT_NAMES = ["n", "N", "count", "num_elements", "len", "total_n"]
+
+#: Problem sizes drawn per program.
+_SIZES = [64, 100, 128, 200, 256, 400, 512, 1000, 1024, 2048, 4096, 10000]
+
+#: Tags used for point-to-point messages.
+_TAGS = [0, 1, 7, 10, 42, 99, 100, 123]
+
+
+@dataclass
+class Style:
+    """Per-program stylistic choices shared by a template's fragments."""
+
+    rank: str = "rank"
+    size: str = "size"
+    data: str = "data"
+    result: str = "result"
+    local: str = "local"
+    index: str = "i"
+    count: str = "n"
+    problem_size: int = 1000
+    tag: int = 0
+    dtype_c: str = "double"
+    dtype_mpi: str = "MPI_DOUBLE"
+    use_status_object: bool = False
+    print_result: bool = True
+    time_it: bool = False
+    use_return_zero: bool = True
+    extra_headers: list[str] = field(default_factory=list)
+
+    @property
+    def fmt(self) -> str:
+        """printf conversion for the element datatype."""
+        return "%f" if self.dtype_c in ("double", "float") else "%d"
+
+
+def random_style(rng: np.random.Generator) -> Style:
+    """Draw a :class:`Style` for one program."""
+    use_int = bool(rng.random() < 0.3)
+    return Style(
+        rank=choice(rng, _RANK_NAMES),
+        size=choice(rng, _SIZE_NAMES),
+        data=choice(rng, _DATA_NAMES),
+        result=choice(rng, _RESULT_NAMES),
+        local=choice(rng, _LOCAL_NAMES),
+        index=choice(rng, _INDEX_NAMES),
+        count=choice(rng, _COUNT_NAMES),
+        problem_size=int(choice(rng, _SIZES)),
+        tag=int(choice(rng, _TAGS)),
+        dtype_c="int" if use_int else "double",
+        dtype_mpi="MPI_INT" if use_int else "MPI_DOUBLE",
+        use_status_object=bool(rng.random() < 0.4),
+        print_result=bool(rng.random() < 0.8),
+        time_it=bool(rng.random() < 0.25),
+        use_return_zero=bool(rng.random() < 0.9),
+    )
+
+
+def headers(style: Style, *, need_stdlib: bool = False, need_math: bool = False) -> list[str]:
+    """Standard include block for a generated program."""
+    lines = ["#include <stdio.h>"]
+    if need_stdlib:
+        lines.append("#include <stdlib.h>")
+    if need_math:
+        lines.append("#include <math.h>")
+    lines.extend(style.extra_headers)
+    lines.append("#include <mpi.h>")
+    return lines
+
+
+def mpi_prologue(style: Style) -> list[str]:
+    """The canonical Init / Comm_rank / Comm_size prologue."""
+    return [
+        "    MPI_Init(&argc, &argv);",
+        f"    MPI_Comm_rank(MPI_COMM_WORLD, &{style.rank});",
+        f"    MPI_Comm_size(MPI_COMM_WORLD, &{style.size});",
+    ]
+
+
+def mpi_epilogue(style: Style) -> list[str]:
+    """The canonical Finalize / return epilogue."""
+    lines = ["    MPI_Finalize();"]
+    if style.use_return_zero:
+        lines.append("    return 0;")
+    return lines
+
+
+def timing_start(style: Style) -> list[str]:
+    """Optional MPI_Wtime start fragment."""
+    if not style.time_it:
+        return []
+    return ["    double t_start = MPI_Wtime();"]
+
+
+def timing_end(style: Style) -> list[str]:
+    """Optional MPI_Wtime end + report fragment."""
+    if not style.time_it:
+        return []
+    return [
+        "    double t_end = MPI_Wtime();",
+        f"    if ({style.rank} == 0) {{",
+        '        printf("elapsed %f\\n", t_end - t_start);',
+        "    }",
+    ]
+
+
+def print_on_root(style: Style, expr: str, label: str | None = None) -> list[str]:
+    """A ``rank == 0`` guarded printf of ``expr``."""
+    if not style.print_result:
+        return []
+    label = label or "result"
+    return [
+        f"    if ({style.rank} == 0) {{",
+        f'        printf("{label} = {style.fmt}\\n", {expr});',
+        "    }",
+    ]
+
+
+def assemble(headers_lines: list[str], body_lines: list[str]) -> str:
+    """Join headers and a main body into a full program text."""
+    lines = list(headers_lines)
+    lines.append("")
+    lines.append("int main(int argc, char **argv) {")
+    lines.extend(body_lines)
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def status_arg(style: Style) -> tuple[list[str], str]:
+    """Return (declaration lines, argument spelling) for an MPI_Status."""
+    if style.use_status_object:
+        return (["    MPI_Status status;"], "&status")
+    return ([], "MPI_STATUS_IGNORE")

@@ -1,0 +1,276 @@
+"""Templates dominated by explicit point-to-point communication patterns."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...utils.rng import choice
+from .base import (
+    Style,
+    assemble,
+    headers,
+    mpi_epilogue,
+    mpi_prologue,
+    print_on_root,
+    status_arg,
+)
+
+
+def ping_pong(rng: np.random.Generator, style: Style) -> str:
+    """Two-rank ping-pong latency microbenchmark."""
+    count = int(choice(rng, [1, 16, 64, 256, 1024]))
+    reps = int(choice(rng, [10, 100, 1000]))
+    status_decl, status = status_arg(style)
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index};",
+        f"    int {style.count} = {count};",
+        f"    int reps = {reps};",
+        f"    double *{style.data} = (double *) malloc({count} * sizeof(double));",
+    ]
+    body += status_decl
+    body += mpi_prologue(style)
+    body += [
+        f"    for ({style.index} = 0; {style.index} < {style.count}; {style.index}++) {{",
+        f"        {style.data}[{style.index}] = (double) {style.index};",
+        "    }",
+        "    double t0 = MPI_Wtime();",
+        f"    for ({style.index} = 0; {style.index} < reps; {style.index}++) {{",
+        f"        if ({style.rank} == 0) {{",
+        f"            MPI_Send({style.data}, {style.count}, MPI_DOUBLE, 1, {style.tag}, "
+        "MPI_COMM_WORLD);",
+        f"            MPI_Recv({style.data}, {style.count}, MPI_DOUBLE, 1, {style.tag}, "
+        f"MPI_COMM_WORLD, {status});",
+        "        }",
+        f"        if ({style.rank} == 1) {{",
+        f"            MPI_Recv({style.data}, {style.count}, MPI_DOUBLE, 0, {style.tag}, "
+        f"MPI_COMM_WORLD, {status});",
+        f"            MPI_Send({style.data}, {style.count}, MPI_DOUBLE, 0, {style.tag}, "
+        "MPI_COMM_WORLD);",
+        "        }",
+        "    }",
+        "    double t1 = MPI_Wtime();",
+        f"    if ({style.rank} == 0) {{",
+        '        printf("roundtrip time %f\\n", (t1 - t0) / (double) reps);',
+        "    }",
+        f"    free({style.data});",
+    ]
+    body += mpi_epilogue(style)
+    return assemble(headers(style, need_stdlib=True), body)
+
+
+def ring_pass(rng: np.random.Generator, style: Style) -> str:
+    """Token passed around a ring of ranks with Send/Recv."""
+    status_decl, status = status_arg(style)
+    body = [
+        f"    int {style.rank}, {style.size};",
+        "    int token = 0;",
+    ]
+    body += status_decl
+    body += mpi_prologue(style)
+    body += [
+        f"    int next = ({style.rank} + 1) % {style.size};",
+        f"    int prev = ({style.rank} + {style.size} - 1) % {style.size};",
+        f"    if ({style.rank} == 0) {{",
+        f"        token = {int(choice(rng, [1, 7, 42, 100]))};",
+        f"        MPI_Send(&token, 1, MPI_INT, next, {style.tag}, MPI_COMM_WORLD);",
+        f"        MPI_Recv(&token, 1, MPI_INT, prev, {style.tag}, MPI_COMM_WORLD, {status});",
+        "    } else {",
+        f"        MPI_Recv(&token, 1, MPI_INT, prev, {style.tag}, MPI_COMM_WORLD, {status});",
+        "        token = token + 1;",
+        f"        MPI_Send(&token, 1, MPI_INT, next, {style.tag}, MPI_COMM_WORLD);",
+        "    }",
+        f'    printf("rank %d token %d\\n", {style.rank}, token);',
+    ]
+    body += mpi_epilogue(style)
+    return assemble(headers(style), body)
+
+
+def master_worker(rng: np.random.Generator, style: Style) -> str:
+    """Master rank distributes work items to workers and collects results."""
+    status_decl, status = status_arg(style)
+    n = style.problem_size
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index};",
+        f"    int {style.count} = {n};",
+        "    double work = 0.0;",
+        "    double partial = 0.0;",
+        "    double total = 0.0;",
+    ]
+    body += status_decl
+    body += mpi_prologue(style)
+    body += [
+        f"    if ({style.rank} == 0) {{",
+        f"        for ({style.index} = 1; {style.index} < {style.size}; {style.index}++) {{",
+        f"            work = (double) {style.index} * 10.0;",
+        f"            MPI_Send(&work, 1, MPI_DOUBLE, {style.index}, {style.tag}, "
+        "MPI_COMM_WORLD);",
+        "        }",
+        f"        for ({style.index} = 1; {style.index} < {style.size}; {style.index}++) {{",
+        f"            MPI_Recv(&partial, 1, MPI_DOUBLE, {style.index}, {style.tag + 1}, "
+        f"MPI_COMM_WORLD, {status});",
+        "            total += partial;",
+        "        }",
+        f'        printf("total = %f\\n", total);',
+        "    } else {",
+        f"        MPI_Recv(&work, 1, MPI_DOUBLE, 0, {style.tag}, MPI_COMM_WORLD, {status});",
+        "        partial = work * work;",
+        f"        MPI_Send(&partial, 1, MPI_DOUBLE, 0, {style.tag + 1}, MPI_COMM_WORLD);",
+        "    }",
+    ]
+    body += mpi_epilogue(style)
+    return assemble(headers(style), body)
+
+
+def nonblocking_exchange(rng: np.random.Generator, style: Style) -> str:
+    """Neighbour exchange with Isend/Irecv/Waitall."""
+    count = int(choice(rng, [8, 32, 128]))
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index};",
+        f"    int {style.count} = {count};",
+        f"    double *sendbuf = (double *) malloc({count} * sizeof(double));",
+        f"    double *recvbuf = (double *) malloc({count} * sizeof(double));",
+        "    MPI_Request requests[2];",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    int next = ({style.rank} + 1) % {style.size};",
+        f"    int prev = ({style.rank} + {style.size} - 1) % {style.size};",
+        f"    for ({style.index} = 0; {style.index} < {style.count}; {style.index}++) {{",
+        f"        sendbuf[{style.index}] = (double) {style.rank};",
+        "    }",
+        f"    MPI_Irecv(recvbuf, {style.count}, MPI_DOUBLE, prev, {style.tag}, MPI_COMM_WORLD, "
+        "&requests[0]);",
+        f"    MPI_Isend(sendbuf, {style.count}, MPI_DOUBLE, next, {style.tag}, MPI_COMM_WORLD, "
+        "&requests[1]);",
+        "    MPI_Waitall(2, requests, MPI_STATUSES_IGNORE);",
+        "    double got = recvbuf[0];",
+        f'    printf("rank %d received %f\\n", {style.rank}, got);',
+        "    free(sendbuf);",
+        "    free(recvbuf);",
+    ]
+    body += mpi_epilogue(style)
+    return assemble(headers(style, need_stdlib=True), body)
+
+
+def broadcast_config(rng: np.random.Generator, style: Style) -> str:
+    """Root reads a configuration value and broadcasts it to everyone."""
+    body = [
+        f"    int {style.rank}, {style.size};",
+        "    int config = 0;",
+        "    double scale = 0.0;",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    if ({style.rank} == 0) {{",
+        f"        config = {int(choice(rng, [10, 50, 100, 500]))};",
+        "        scale = 1.5;",
+        "    }",
+        "    MPI_Bcast(&config, 1, MPI_INT, 0, MPI_COMM_WORLD);",
+        "    MPI_Bcast(&scale, 1, MPI_DOUBLE, 0, MPI_COMM_WORLD);",
+        f"    double local_value = (double) config * scale + (double) {style.rank};",
+        f'    printf("rank %d value %f\\n", {style.rank}, local_value);',
+    ]
+    body += mpi_epilogue(style)
+    return assemble(headers(style), body)
+
+
+def gather_results(rng: np.random.Generator, style: Style) -> str:
+    """Each rank computes one value; root gathers the vector of values."""
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index};",
+        "    double my_value = 0.0;",
+        "    double *all_values = NULL;",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    my_value = (double) {style.rank} * 2.5;",
+        f"    if ({style.rank} == 0) {{",
+        f"        all_values = (double *) malloc({style.size} * sizeof(double));",
+        "    }",
+        "    MPI_Gather(&my_value, 1, MPI_DOUBLE, all_values, 1, MPI_DOUBLE, 0, MPI_COMM_WORLD);",
+        f"    if ({style.rank} == 0) {{",
+        f"        for ({style.index} = 0; {style.index} < {style.size}; {style.index}++) {{",
+        f'            printf("value[%d] = %f\\n", {style.index}, all_values[{style.index}]);',
+        "        }",
+        "        free(all_values);",
+        "    }",
+    ]
+    body += mpi_epilogue(style)
+    return assemble(headers(style, need_stdlib=True), body)
+
+
+def processor_names(rng: np.random.Generator, style: Style) -> str:
+    """Hello-world style program reporting processor names and a barrier."""
+    body = [
+        f"    int {style.rank}, {style.size};",
+        "    int namelen = 0;",
+        "    char name[MPI_MAX_PROCESSOR_NAME];",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        "    MPI_Get_processor_name(name, &namelen);",
+        f'    printf("rank %d of %d on %s\\n", {style.rank}, {style.size}, name);',
+        "    MPI_Barrier(MPI_COMM_WORLD);",
+        f"    if ({style.rank} == 0) {{",
+        '        printf("all ranks reported\\n");',
+        "    }",
+    ]
+    body += mpi_epilogue(style)
+    return assemble(headers(style), body)
+
+
+def cartesian_grid(rng: np.random.Generator, style: Style) -> str:
+    """2-D Cartesian communicator with coordinate lookup and neighbour shift."""
+    status_decl, status = status_arg(style)
+    body = [
+        f"    int {style.rank}, {style.size};",
+        "    int dims[2];",
+        "    int periods[2];",
+        "    int coords[2];",
+        "    int left, right;",
+        "    MPI_Comm cart_comm;",
+        "    double halo = 0.0;",
+        "    double my_cell = 0.0;",
+    ]
+    body += status_decl
+    body += mpi_prologue(style)
+    body += [
+        "    dims[0] = 0;",
+        "    dims[1] = 0;",
+        "    periods[0] = 1;",
+        "    periods[1] = 1;",
+        f"    MPI_Dims_create({style.size}, 2, dims);",
+        "    MPI_Cart_create(MPI_COMM_WORLD, 2, dims, periods, 1, &cart_comm);",
+        f"    MPI_Cart_coords(cart_comm, {style.rank}, 2, coords);",
+        "    MPI_Cart_shift(cart_comm, 0, 1, &left, &right);",
+        "    my_cell = (double) (coords[0] * 10 + coords[1]);",
+        f"    MPI_Sendrecv(&my_cell, 1, MPI_DOUBLE, right, {style.tag}, &halo, 1, MPI_DOUBLE, "
+        f"left, {style.tag}, cart_comm, {status});",
+        f'    printf("rank %d coords (%d, %d) halo %f\\n", {style.rank}, coords[0], coords[1], halo);',
+        "    MPI_Comm_free(&cart_comm);",
+    ]
+    body += mpi_epilogue(style)
+    return assemble(headers(style), body)
+
+
+def split_communicator(rng: np.random.Generator, style: Style) -> str:
+    """Split MPI_COMM_WORLD into row communicators and reduce within each."""
+    body = [
+        f"    int {style.rank}, {style.size};",
+        "    int row_rank, row_size;",
+        "    MPI_Comm row_comm;",
+        "    double my_value, row_sum;",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    int color = {style.rank} % 2;",
+        f"    MPI_Comm_split(MPI_COMM_WORLD, color, {style.rank}, &row_comm);",
+        "    MPI_Comm_rank(row_comm, &row_rank);",
+        "    MPI_Comm_size(row_comm, &row_size);",
+        f"    my_value = (double) {style.rank} + 1.0;",
+        "    MPI_Allreduce(&my_value, &row_sum, 1, MPI_DOUBLE, MPI_SUM, row_comm);",
+        f'    printf("rank %d color %d row_sum %f\\n", {style.rank}, color, row_sum);',
+        "    MPI_Comm_free(&row_comm);",
+    ]
+    body += mpi_epilogue(style)
+    return assemble(headers(style), body)

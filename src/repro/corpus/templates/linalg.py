@@ -1,0 +1,224 @@
+"""Templates for distributed linear-algebra programs (row-decomposed)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...utils.rng import choice
+from .base import (
+    Style,
+    assemble,
+    headers,
+    mpi_epilogue,
+    mpi_prologue,
+    print_on_root,
+    timing_end,
+    timing_start,
+)
+
+
+def matrix_vector(rng: np.random.Generator, style: Style) -> str:
+    """Row-decomposed matrix-vector multiplication (Bcast + Scatter + Gather)."""
+    n = int(choice(rng, [64, 128, 256, 512]))
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index}, j;",
+        f"    int {style.count} = {n};",
+        "    double *A = NULL;",
+        "    double *y = NULL;",
+        f"    double *x = (double *) malloc({n} * sizeof(double));",
+    ]
+    body += mpi_prologue(style)
+    body += timing_start(style)
+    body += [
+        f"    int rows = {style.count} / {style.size};",
+        f"    double *local_A = (double *) malloc(rows * {style.count} * sizeof(double));",
+        "    double *local_y = (double *) malloc(rows * sizeof(double));",
+        f"    if ({style.rank} == 0) {{",
+        f"        A = (double *) malloc({style.count} * {style.count} * sizeof(double));",
+        f"        y = (double *) malloc({style.count} * sizeof(double));",
+        f"        for ({style.index} = 0; {style.index} < {style.count} * {style.count}; "
+        f"{style.index}++) {{",
+        f"            A[{style.index}] = (double) ({style.index} % 7);",
+        "        }",
+        f"        for ({style.index} = 0; {style.index} < {style.count}; {style.index}++) {{",
+        f"            x[{style.index}] = 1.0;",
+        "        }",
+        "    }",
+        f"    MPI_Bcast(x, {style.count}, MPI_DOUBLE, 0, MPI_COMM_WORLD);",
+        f"    MPI_Scatter(A, rows * {style.count}, MPI_DOUBLE, local_A, rows * {style.count}, "
+        "MPI_DOUBLE, 0, MPI_COMM_WORLD);",
+        f"    for ({style.index} = 0; {style.index} < rows; {style.index}++) {{",
+        "        double acc = 0.0;",
+        f"        for (j = 0; j < {style.count}; j++) {{",
+        f"            acc += local_A[{style.index} * {style.count} + j] * x[j];",
+        "        }",
+        f"        local_y[{style.index}] = acc;",
+        "    }",
+        "    MPI_Gather(local_y, rows, MPI_DOUBLE, y, rows, MPI_DOUBLE, 0, MPI_COMM_WORLD);",
+    ]
+    body += timing_end(style)
+    body += print_on_root(style, "y[0]", "y0")
+    body += ["    free(local_A);", "    free(local_y);", "    free(x);"]
+    body += mpi_epilogue(style)
+    return assemble(headers(style, need_stdlib=True), body)
+
+
+def matrix_matrix(rng: np.random.Generator, style: Style) -> str:
+    """Row-decomposed matrix-matrix multiplication with Bcast of B."""
+    n = int(choice(rng, [32, 48, 64, 96, 128]))
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index}, j, k;",
+        f"    int {style.count} = {n};",
+        "    double *A = NULL;",
+        "    double *C = NULL;",
+        f"    double *B = (double *) malloc({n} * {n} * sizeof(double));",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    int rows = {style.count} / {style.size};",
+        f"    double *local_A = (double *) malloc(rows * {style.count} * sizeof(double));",
+        f"    double *local_C = (double *) malloc(rows * {style.count} * sizeof(double));",
+        f"    if ({style.rank} == 0) {{",
+        f"        A = (double *) malloc({style.count} * {style.count} * sizeof(double));",
+        f"        C = (double *) malloc({style.count} * {style.count} * sizeof(double));",
+        f"        for ({style.index} = 0; {style.index} < {style.count} * {style.count}; "
+        f"{style.index}++) {{",
+        f"            A[{style.index}] = 1.0;",
+        f"            B[{style.index}] = 2.0;",
+        "        }",
+        "    }",
+        f"    MPI_Bcast(B, {style.count} * {style.count}, MPI_DOUBLE, 0, MPI_COMM_WORLD);",
+        f"    MPI_Scatter(A, rows * {style.count}, MPI_DOUBLE, local_A, rows * {style.count}, "
+        "MPI_DOUBLE, 0, MPI_COMM_WORLD);",
+        f"    for ({style.index} = 0; {style.index} < rows; {style.index}++) {{",
+        f"        for (j = 0; j < {style.count}; j++) {{",
+        "            double acc = 0.0;",
+        f"            for (k = 0; k < {style.count}; k++) {{",
+        f"                acc += local_A[{style.index} * {style.count} + k] * "
+        f"B[k * {style.count} + j];",
+        "            }",
+        f"            local_C[{style.index} * {style.count} + j] = acc;",
+        "        }",
+        "    }",
+        f"    MPI_Gather(local_C, rows * {style.count}, MPI_DOUBLE, C, rows * {style.count}, "
+        "MPI_DOUBLE, 0, MPI_COMM_WORLD);",
+    ]
+    body += print_on_root(style, "C[0]", "C00")
+    body += ["    free(local_A);", "    free(local_C);", "    free(B);"]
+    body += mpi_epilogue(style)
+    return assemble(headers(style, need_stdlib=True), body)
+
+
+def jacobi_iteration(rng: np.random.Generator, style: Style) -> str:
+    """1-D Jacobi relaxation with halo exchange via Sendrecv."""
+    n = int(choice(rng, [128, 256, 512, 1024]))
+    iters = int(choice(rng, [10, 20, 50]))
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index}, it;",
+        f"    int {style.count} = {n};",
+        f"    int iters = {iters};",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    int chunk = {style.count} / {style.size};",
+        "    double *u = (double *) malloc((chunk + 2) * sizeof(double));",
+        "    double *unew = (double *) malloc((chunk + 2) * sizeof(double));",
+        f"    for ({style.index} = 0; {style.index} < chunk + 2; {style.index}++) {{",
+        f"        u[{style.index}] = 0.0;",
+        "    }",
+        f"    if ({style.rank} == 0) {{",
+        "        u[0] = 1.0;",
+        "    }",
+        f"    if ({style.rank} == {style.size} - 1) {{",
+        "        u[chunk + 1] = 1.0;",
+        "    }",
+        f"    int left = {style.rank} - 1;",
+        f"    int right = {style.rank} + 1;",
+        "    if (left < 0) {",
+        "        left = MPI_PROC_NULL;",
+        "    }",
+        f"    if (right >= {style.size}) {{",
+        "        right = MPI_PROC_NULL;",
+        "    }",
+        "    for (it = 0; it < iters; it++) {",
+        f"        MPI_Sendrecv(&u[1], 1, MPI_DOUBLE, left, {style.tag}, &u[chunk + 1], 1, "
+        f"MPI_DOUBLE, right, {style.tag}, MPI_COMM_WORLD, MPI_STATUS_IGNORE);",
+        f"        MPI_Sendrecv(&u[chunk], 1, MPI_DOUBLE, right, {style.tag}, &u[0], 1, "
+        f"MPI_DOUBLE, left, {style.tag}, MPI_COMM_WORLD, MPI_STATUS_IGNORE);",
+        f"        for ({style.index} = 1; {style.index} <= chunk; {style.index}++) {{",
+        f"            unew[{style.index}] = 0.5 * (u[{style.index} - 1] + u[{style.index} + 1]);",
+        "        }",
+        f"        for ({style.index} = 1; {style.index} <= chunk; {style.index}++) {{",
+        f"            u[{style.index}] = unew[{style.index}];",
+        "        }",
+        "    }",
+        "    double local_norm = 0.0;",
+        "    double global_norm = 0.0;",
+        f"    for ({style.index} = 1; {style.index} <= chunk; {style.index}++) {{",
+        f"        local_norm += u[{style.index}] * u[{style.index}];",
+        "    }",
+        "    MPI_Reduce(&local_norm, &global_norm, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);",
+    ]
+    body += print_on_root(style, "global_norm", "norm")
+    body += ["    free(u);", "    free(unew);"]
+    body += mpi_epilogue(style)
+    return assemble(headers(style, need_stdlib=True), body)
+
+
+def vector_norm(rng: np.random.Generator, style: Style) -> str:
+    """Distributed 2-norm of a vector (Allreduce + sqrt)."""
+    n = style.problem_size
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index};",
+        f"    int {style.count} = {n};",
+        "    double local_sq = 0.0;",
+        "    double global_sq = 0.0;",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    int chunk = {style.count} / {style.size};",
+        "    double *v = (double *) malloc(chunk * sizeof(double));",
+        f"    for ({style.index} = 0; {style.index} < chunk; {style.index}++) {{",
+        f"        v[{style.index}] = (double) ({style.rank} * chunk + {style.index}) / "
+        f"(double) {style.count};",
+        "    }",
+        f"    for ({style.index} = 0; {style.index} < chunk; {style.index}++) {{",
+        f"        local_sq += v[{style.index}] * v[{style.index}];",
+        "    }",
+        "    MPI_Allreduce(&local_sq, &global_sq, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);",
+        "    double norm = sqrt(global_sq);",
+    ]
+    body += print_on_root(style, "norm", "norm")
+    body += ["    free(v);"]
+    body += mpi_epilogue(style)
+    return assemble(headers(style, need_stdlib=True, need_math=True), body)
+
+
+def matrix_transpose(rng: np.random.Generator, style: Style) -> str:
+    """Block matrix transpose using Alltoall."""
+    n = int(choice(rng, [16, 32, 64]))
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index}, j;",
+        f"    int {style.count} = {n};",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    int rows = {style.count} / {style.size};",
+        f"    double *local_A = (double *) malloc(rows * {style.count} * sizeof(double));",
+        f"    double *local_T = (double *) malloc(rows * {style.count} * sizeof(double));",
+        f"    for ({style.index} = 0; {style.index} < rows * {style.count}; {style.index}++) {{",
+        f"        local_A[{style.index}] = (double) ({style.rank} * 1000 + {style.index});",
+        "    }",
+        f"    MPI_Alltoall(local_A, rows * rows, MPI_DOUBLE, local_T, rows * rows, MPI_DOUBLE, "
+        "MPI_COMM_WORLD);",
+        "    double checksum = 0.0;",
+        "    double total = 0.0;",
+        f"    for ({style.index} = 0; {style.index} < rows * {style.count}; {style.index}++) {{",
+        f"        checksum += local_T[{style.index}];",
+        "    }",
+        "    MPI_Reduce(&checksum, &total, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);",
+    ]
+    body += print_on_root(style, "total", "checksum")
+    body += ["    free(local_A);", "    free(local_T);"]
+    body += mpi_epilogue(style)
+    return assemble(headers(style, need_stdlib=True), body)

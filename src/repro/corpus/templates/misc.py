@@ -1,0 +1,362 @@
+"""Miscellaneous domain-decomposition templates: sorting, number theory,
+simulation kernels and serial (non-MPI) programs used as pre-training filler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...utils.rng import choice
+from .base import (
+    Style,
+    assemble,
+    headers,
+    mpi_epilogue,
+    mpi_prologue,
+    print_on_root,
+    status_arg,
+)
+
+
+def merge_sort(rng: np.random.Generator, style: Style) -> str:
+    """Distributed merge sort: scatter chunks, local insertion sort, gather."""
+    n = int(choice(rng, [64, 128, 256, 512]))
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index}, j;",
+        f"    int {style.count} = {n};",
+        f"    int *{style.data} = NULL;",
+        "    int *sorted_all = NULL;",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    int chunk = {style.count} / {style.size};",
+        "    int *local = (int *) malloc(chunk * sizeof(int));",
+        f"    if ({style.rank} == 0) {{",
+        f"        {style.data} = (int *) malloc({style.count} * sizeof(int));",
+        f"        sorted_all = (int *) malloc({style.count} * sizeof(int));",
+        f"        for ({style.index} = 0; {style.index} < {style.count}; {style.index}++) {{",
+        f"            {style.data}[{style.index}] = ({style.count} - {style.index}) % 97;",
+        "        }",
+        "    }",
+        f"    MPI_Scatter({style.data}, chunk, MPI_INT, local, chunk, MPI_INT, 0, "
+        "MPI_COMM_WORLD);",
+        f"    for ({style.index} = 1; {style.index} < chunk; {style.index}++) {{",
+        f"        int key = local[{style.index}];",
+        f"        j = {style.index} - 1;",
+        "        while (j >= 0 && local[j] > key) {",
+        "            local[j + 1] = local[j];",
+        "            j = j - 1;",
+        "        }",
+        "        local[j + 1] = key;",
+        "    }",
+        "    MPI_Gather(local, chunk, MPI_INT, sorted_all, chunk, MPI_INT, 0, MPI_COMM_WORLD);",
+        f"    if ({style.rank} == 0) {{",
+        f'        printf("first chunk head %d\\n", sorted_all[0]);',
+        "    }",
+        "    free(local);",
+    ]
+    body += mpi_epilogue(style)
+    return assemble(headers(style, need_stdlib=True), body)
+
+
+def odd_even_sort(rng: np.random.Generator, style: Style) -> str:
+    """Odd-even transposition sort of per-rank values."""
+    status_decl, status = status_arg(style)
+    body = [
+        f"    int {style.rank}, {style.size}, phase;",
+        "    int my_value, partner, other;",
+    ]
+    body += status_decl
+    body += mpi_prologue(style)
+    body += [
+        f"    my_value = ({style.rank} * 37 + 11) % 100;",
+        f"    for (phase = 0; phase < {style.size}; phase++) {{",
+        "        if (phase % 2 == 0) {",
+        f"            partner = ({style.rank} % 2 == 0) ? {style.rank} + 1 : {style.rank} - 1;",
+        "        } else {",
+        f"            partner = ({style.rank} % 2 == 0) ? {style.rank} - 1 : {style.rank} + 1;",
+        "        }",
+        f"        if (partner < 0 || partner >= {style.size}) {{",
+        "            continue;",
+        "        }",
+        f"        MPI_Sendrecv(&my_value, 1, MPI_INT, partner, {style.tag}, &other, 1, MPI_INT, "
+        f"partner, {style.tag}, MPI_COMM_WORLD, {status});",
+        f"        if ({style.rank} < partner) {{",
+        "            if (other < my_value) {",
+        "                my_value = other;",
+        "            }",
+        "        } else {",
+        "            if (other > my_value) {",
+        "                my_value = other;",
+        "            }",
+        "        }",
+        "    }",
+        f'    printf("rank %d sorted value %d\\n", {style.rank}, my_value);',
+    ]
+    body += mpi_epilogue(style)
+    return assemble(headers(style), body)
+
+
+def factorial(rng: np.random.Generator, style: Style) -> str:
+    """Distributed factorial: each rank multiplies its strided slice, then a
+    product reduction."""
+    n = int(choice(rng, [10, 12, 15, 20]))
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index};",
+        f"    int {style.count} = {n};",
+        "    double local_prod = 1.0;",
+        "    double total_prod = 1.0;",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    for ({style.index} = {style.rank} + 1; {style.index} <= {style.count}; "
+        f"{style.index} += {style.size}) {{",
+        f"        local_prod = local_prod * (double) {style.index};",
+        "    }",
+        "    MPI_Reduce(&local_prod, &total_prod, 1, MPI_DOUBLE, MPI_PROD, 0, MPI_COMM_WORLD);",
+    ]
+    body += print_on_root(style, "total_prod", "factorial")
+    body += mpi_epilogue(style)
+    return assemble(headers(style), body)
+
+
+def fibonacci(rng: np.random.Generator, style: Style) -> str:
+    """Each rank computes one Fibonacci number; results gathered at root."""
+    base = int(choice(rng, [10, 15, 20, 25]))
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index};",
+        "    long my_fib = 0;",
+        "    long *all_fib = NULL;",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    int target = {base} + {style.rank};",
+        "    long a = 0;",
+        "    long b = 1;",
+        f"    for ({style.index} = 0; {style.index} < target; {style.index}++) {{",
+        "        long tmp = a + b;",
+        "        a = b;",
+        "        b = tmp;",
+        "    }",
+        "    my_fib = a;",
+        f"    if ({style.rank} == 0) {{",
+        f"        all_fib = (long *) malloc({style.size} * sizeof(long));",
+        "    }",
+        "    MPI_Gather(&my_fib, 1, MPI_LONG, all_fib, 1, MPI_LONG, 0, MPI_COMM_WORLD);",
+        f"    if ({style.rank} == 0) {{",
+        f"        for ({style.index} = 0; {style.index} < {style.size}; {style.index}++) {{",
+        f'            printf("fib[%d] = %ld\\n", {base} + {style.index}, all_fib[{style.index}]);',
+        "        }",
+        "        free(all_fib);",
+        "    }",
+    ]
+    body += mpi_epilogue(style)
+    return assemble(headers(style, need_stdlib=True), body)
+
+
+def prime_count(rng: np.random.Generator, style: Style) -> str:
+    """Count primes below N with a strided trial-division loop and Reduce."""
+    n = int(choice(rng, [1000, 5000, 10000]))
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index}, j;",
+        f"    int {style.count} = {n};",
+        "    int local_count = 0;",
+        "    int total_count = 0;",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    for ({style.index} = 2 + {style.rank}; {style.index} < {style.count}; "
+        f"{style.index} += {style.size}) {{",
+        "        int is_prime = 1;",
+        f"        for (j = 2; j * j <= {style.index}; j++) {{",
+        f"            if ({style.index} % j == 0) {{",
+        "                is_prime = 0;",
+        "                break;",
+        "            }",
+        "        }",
+        "        if (is_prime == 1) {",
+        "            local_count = local_count + 1;",
+        "        }",
+        "    }",
+        "    MPI_Reduce(&local_count, &total_count, 1, MPI_INT, MPI_SUM, 0, MPI_COMM_WORLD);",
+        f"    if ({style.rank} == 0) {{",
+        f'        printf("primes below %d: %d\\n", {style.count}, total_count);',
+        "    }",
+    ]
+    body += mpi_epilogue(style)
+    return assemble(headers(style), body)
+
+
+def random_walk(rng: np.random.Generator, style: Style) -> str:
+    """Independent random walkers per rank with a final max-displacement reduce."""
+    steps = int(choice(rng, [100, 500, 1000]))
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index};",
+        f"    int steps = {steps};",
+        "    int position = 0;",
+        "    int max_pos = 0;",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    srand({style.rank} * 7 + 3);",
+        f"    for ({style.index} = 0; {style.index} < steps; {style.index}++) {{",
+        "        if (rand() % 2 == 0) {",
+        "            position = position + 1;",
+        "        } else {",
+        "            position = position - 1;",
+        "        }",
+        "    }",
+        "    if (position < 0) {",
+        "        position = -position;",
+        "    }",
+        "    MPI_Reduce(&position, &max_pos, 1, MPI_INT, MPI_MAX, 0, MPI_COMM_WORLD);",
+        f"    if ({style.rank} == 0) {{",
+        '        printf("max displacement %d\\n", max_pos);',
+        "    }",
+    ]
+    body += mpi_epilogue(style)
+    return assemble(headers(style, need_stdlib=True), body)
+
+
+def sum_reduce_gather(rng: np.random.Generator, style: Style) -> str:
+    """Sum computed twice — once with Reduce, once with Gather + root loop —
+    mirroring the paper's "Sum (Reduce & Gather)" benchmark program."""
+    n = style.problem_size
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index};",
+        f"    int {style.count} = {n};",
+        "    double local_sum = 0.0;",
+        "    double reduce_sum = 0.0;",
+        "    double gather_sum = 0.0;",
+        "    double *partials = NULL;",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    for ({style.index} = {style.rank}; {style.index} < {style.count}; "
+        f"{style.index} += {style.size}) {{",
+        f"        local_sum += (double) {style.index};",
+        "    }",
+        "    MPI_Reduce(&local_sum, &reduce_sum, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);",
+        f"    if ({style.rank} == 0) {{",
+        f"        partials = (double *) malloc({style.size} * sizeof(double));",
+        "    }",
+        "    MPI_Gather(&local_sum, 1, MPI_DOUBLE, partials, 1, MPI_DOUBLE, 0, MPI_COMM_WORLD);",
+        f"    if ({style.rank} == 0) {{",
+        f"        for ({style.index} = 0; {style.index} < {style.size}; {style.index}++) {{",
+        f"            gather_sum += partials[{style.index}];",
+        "        }",
+        f'        printf("reduce %f gather %f\\n", reduce_sum, gather_sum);',
+        "        free(partials);",
+        "    }",
+    ]
+    body += mpi_epilogue(style)
+    return assemble(headers(style, need_stdlib=True), body)
+
+
+def heat_1d(rng: np.random.Generator, style: Style) -> str:
+    """Explicit 1-D heat equation with blocking halo exchange (Send/Recv)."""
+    status_decl, status = status_arg(style)
+    n = int(choice(rng, [100, 200, 400]))
+    steps = int(choice(rng, [10, 25, 50]))
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index}, step;",
+        f"    int {style.count} = {n};",
+        f"    int steps = {steps};",
+        "    double alpha = 0.1;",
+    ]
+    body += status_decl
+    body += mpi_prologue(style)
+    body += [
+        f"    int chunk = {style.count} / {style.size};",
+        "    double *t_old = (double *) malloc((chunk + 2) * sizeof(double));",
+        "    double *t_new = (double *) malloc((chunk + 2) * sizeof(double));",
+        f"    for ({style.index} = 0; {style.index} < chunk + 2; {style.index}++) {{",
+        f"        t_old[{style.index}] = 20.0;",
+        "    }",
+        f"    if ({style.rank} == 0) {{",
+        "        t_old[0] = 100.0;",
+        "    }",
+        "    for (step = 0; step < steps; step++) {",
+        f"        if ({style.rank} > 0) {{",
+        f"            MPI_Send(&t_old[1], 1, MPI_DOUBLE, {style.rank} - 1, {style.tag}, "
+        "MPI_COMM_WORLD);",
+        f"            MPI_Recv(&t_old[0], 1, MPI_DOUBLE, {style.rank} - 1, {style.tag}, "
+        f"MPI_COMM_WORLD, {status});",
+        "        }",
+        f"        if ({style.rank} < {style.size} - 1) {{",
+        f"            MPI_Recv(&t_old[chunk + 1], 1, MPI_DOUBLE, {style.rank} + 1, {style.tag}, "
+        f"MPI_COMM_WORLD, {status});",
+        f"            MPI_Send(&t_old[chunk], 1, MPI_DOUBLE, {style.rank} + 1, {style.tag}, "
+        "MPI_COMM_WORLD);",
+        "        }",
+        f"        for ({style.index} = 1; {style.index} <= chunk; {style.index}++) {{",
+        f"            t_new[{style.index}] = t_old[{style.index}] + alpha * "
+        f"(t_old[{style.index} - 1] - 2.0 * t_old[{style.index}] + t_old[{style.index} + 1]);",
+        "        }",
+        f"        for ({style.index} = 1; {style.index} <= chunk; {style.index}++) {{",
+        f"            t_old[{style.index}] = t_new[{style.index}];",
+        "        }",
+        "    }",
+        "    double local_heat = 0.0;",
+        "    double total_heat = 0.0;",
+        f"    for ({style.index} = 1; {style.index} <= chunk; {style.index}++) {{",
+        f"        local_heat += t_old[{style.index}];",
+        "    }",
+        "    MPI_Reduce(&local_heat, &total_heat, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);",
+    ]
+    body += print_on_root(style, "total_heat", "heat")
+    body += ["    free(t_old);", "    free(t_new);"]
+    body += mpi_epilogue(style)
+    return assemble(headers(style, need_stdlib=True), body)
+
+
+def serial_program(rng: np.random.Generator, style: Style) -> str:
+    """A serial (non-MPI) numerical program.
+
+    These never enter the MPI dataset (they fail the MPI-presence filter) but
+    are used as generic-C pre-training filler — the stand-in for SPT-Code's
+    CodeSearchNet pre-training corpus — and exercise the corpus exclusion path.
+    """
+    n = style.problem_size
+    kind = choice(rng, ["sum", "sort", "poly"])
+    body = [
+        f"    int {style.index};",
+        f"    int {style.count} = {n};",
+        "    double acc = 0.0;",
+    ]
+    if kind == "sum":
+        body += [
+            f"    for ({style.index} = 0; {style.index} < {style.count}; {style.index}++) {{",
+            f"        acc += (double) {style.index} * 0.5;",
+            "    }",
+        ]
+    elif kind == "sort":
+        body += [
+            f"    double vals[100];",
+            "    int j;",
+            f"    for ({style.index} = 0; {style.index} < 100; {style.index}++) {{",
+            f"        vals[{style.index}] = (double) ((100 - {style.index}) % 13);",
+            "    }",
+            f"    for ({style.index} = 1; {style.index} < 100; {style.index}++) {{",
+            f"        double key = vals[{style.index}];",
+            f"        j = {style.index} - 1;",
+            "        while (j >= 0 && vals[j] > key) {",
+            "            vals[j + 1] = vals[j];",
+            "            j = j - 1;",
+            "        }",
+            "        vals[j + 1] = key;",
+            "    }",
+            "    acc = vals[0];",
+        ]
+    else:
+        body += [
+            "    double x = 0.37;",
+            f"    for ({style.index} = 0; {style.index} < {style.count}; {style.index}++) {{",
+            "        acc = acc * x + 1.0;",
+            "    }",
+        ]
+    body += [
+        '    printf("acc = %f\\n", acc);',
+        "    return 0;",
+    ]
+    return assemble(["#include <stdio.h>"], body)

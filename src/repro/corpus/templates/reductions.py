@@ -1,0 +1,346 @@
+"""Templates for reduction-style domain-decomposition programs.
+
+These families (pi estimation, numerical integration, array reductions) are
+the bread-and-butter of MPI teaching material and dominate mined corpora, so
+they get the highest sampling weights in the synthetic corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...utils.rng import choice
+from .base import (
+    Style,
+    assemble,
+    headers,
+    mpi_epilogue,
+    mpi_prologue,
+    print_on_root,
+    status_arg,
+    timing_end,
+    timing_start,
+)
+
+
+def pi_riemann(rng: np.random.Generator, style: Style) -> str:
+    """Pi computed with a Riemann sum (the paper's running example)."""
+    n = style.problem_size * 10
+    reduce_fn = choice(rng, ["MPI_Reduce", "MPI_Allreduce"], [0.7, 0.3])
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index};",
+        f"    int {style.count} = {n};",
+        "    double h, x, sum, pi;",
+        "    sum = 0.0;",
+    ]
+    body += mpi_prologue(style)
+    body += timing_start(style)
+    body += [
+        f"    h = 1.0 / (double) {style.count};",
+        f"    for ({style.index} = {style.rank}; {style.index} < {style.count}; "
+        f"{style.index} += {style.size}) {{",
+        f"        x = h * ((double) {style.index} + 0.5);",
+        "        sum += 4.0 / (1.0 + x * x);",
+        "    }",
+        f"    double {style.local} = h * sum;",
+    ]
+    if reduce_fn == "MPI_Reduce":
+        body.append(f"    MPI_Reduce(&{style.local}, &pi, 1, MPI_DOUBLE, MPI_SUM, 0, "
+                    "MPI_COMM_WORLD);")
+    else:
+        body.append(f"    MPI_Allreduce(&{style.local}, &pi, 1, MPI_DOUBLE, MPI_SUM, "
+                    "MPI_COMM_WORLD);")
+    body += timing_end(style)
+    body += print_on_root(Style(**{**vars(style), "dtype_c": "double"}), "pi", "pi")
+    body += mpi_epilogue(style)
+    return assemble(headers(style), body)
+
+
+def pi_monte_carlo(rng: np.random.Generator, style: Style) -> str:
+    """Pi estimated by Monte-Carlo sampling of the unit square."""
+    samples = style.problem_size * 100
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index};",
+        f"    int {style.count} = {samples};",
+        "    int local_hits = 0;",
+        "    int total_hits = 0;",
+        "    double x, y;",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    srand({style.rank} + 1);",
+        f"    for ({style.index} = {style.rank}; {style.index} < {style.count}; "
+        f"{style.index} += {style.size}) {{",
+        "        x = (double) rand() / (double) RAND_MAX;",
+        "        y = (double) rand() / (double) RAND_MAX;",
+        "        if (x * x + y * y <= 1.0) {",
+        "            local_hits = local_hits + 1;",
+        "        }",
+        "    }",
+        "    MPI_Reduce(&local_hits, &total_hits, 1, MPI_INT, MPI_SUM, 0, MPI_COMM_WORLD);",
+        f"    if ({style.rank} == 0) {{",
+        f"        double pi = 4.0 * (double) total_hits / (double) {style.count};",
+        '        printf("pi estimate = %f\\n", pi);',
+        "    }",
+    ]
+    body += mpi_epilogue(style)
+    return assemble(headers(style, need_stdlib=True), body)
+
+
+def trapezoidal_rule(rng: np.random.Generator, style: Style) -> str:
+    """Numerical integration of f(x) = x*x with the trapezoidal rule."""
+    n = style.problem_size
+    a_val = choice(rng, ["0.0", "1.0", "-1.0"])
+    b_val = choice(rng, ["1.0", "2.0", "4.0", "10.0"])
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index};",
+        f"    int {style.count} = {n};",
+        f"    double a = {a_val};",
+        f"    double b = {b_val};",
+        "    double h, local_a, local_b, local_int, total_int;",
+        "    int local_n;",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    h = (b - a) / (double) {style.count};",
+        f"    local_n = {style.count} / {style.size};",
+        f"    local_a = a + (double) {style.rank} * (double) local_n * h;",
+        "    local_b = local_a + (double) local_n * h;",
+        "    local_int = (local_a * local_a + local_b * local_b) / 2.0;",
+        f"    for ({style.index} = 1; {style.index} < local_n; {style.index}++) {{",
+        f"        double x = local_a + (double) {style.index} * h;",
+        "        local_int += x * x;",
+        "    }",
+        "    local_int = local_int * h;",
+        "    MPI_Reduce(&local_int, &total_int, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);",
+    ]
+    body += print_on_root(style, "total_int", "integral")
+    body += mpi_epilogue(style)
+    return assemble(headers(style), body)
+
+
+def array_sum(rng: np.random.Generator, style: Style) -> str:
+    """Sum of a distributed array via Scatter + local sum + Reduce."""
+    n = style.problem_size
+    c_type = style.dtype_c
+    mpi_type = style.dtype_mpi
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index};",
+        f"    int {style.count} = {n};",
+        f"    {c_type} *{style.data} = NULL;",
+        f"    {c_type} {style.local} = 0;",
+        f"    {c_type} {style.result} = 0;",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    int chunk = {style.count} / {style.size};",
+        f"    {c_type} *recv = ({c_type} *) malloc(chunk * sizeof({c_type}));",
+        f"    if ({style.rank} == 0) {{",
+        f"        {style.data} = ({c_type} *) malloc({style.count} * sizeof({c_type}));",
+        f"        for ({style.index} = 0; {style.index} < {style.count}; {style.index}++) {{",
+        f"            {style.data}[{style.index}] = ({c_type}) ({style.index} % 17);",
+        "        }",
+        "    }",
+        f"    MPI_Scatter({style.data}, chunk, {mpi_type}, recv, chunk, {mpi_type}, 0, "
+        "MPI_COMM_WORLD);",
+        f"    for ({style.index} = 0; {style.index} < chunk; {style.index}++) {{",
+        f"        {style.local} += recv[{style.index}];",
+        "    }",
+        f"    MPI_Reduce(&{style.local}, &{style.result}, 1, {mpi_type}, MPI_SUM, 0, "
+        "MPI_COMM_WORLD);",
+    ]
+    body += print_on_root(style, style.result, "sum")
+    body += ["    free(recv);"]
+    body += mpi_epilogue(style)
+    return assemble(headers(style, need_stdlib=True), body)
+
+
+def array_average(rng: np.random.Generator, style: Style) -> str:
+    """Average of a distributed array (Scatter, local mean, Gather/Reduce)."""
+    n = style.problem_size
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index};",
+        f"    int {style.count} = {n};",
+        f"    double *{style.data} = NULL;",
+        "    double local_avg = 0.0;",
+        "    double global_avg = 0.0;",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    int chunk = {style.count} / {style.size};",
+        "    double *sub = (double *) malloc(chunk * sizeof(double));",
+        f"    if ({style.rank} == 0) {{",
+        f"        {style.data} = (double *) malloc({style.count} * sizeof(double));",
+        f"        for ({style.index} = 0; {style.index} < {style.count}; {style.index}++) {{",
+        f"            {style.data}[{style.index}] = (double) {style.index};",
+        "        }",
+        "    }",
+        f"    MPI_Scatter({style.data}, chunk, MPI_DOUBLE, sub, chunk, MPI_DOUBLE, 0, "
+        "MPI_COMM_WORLD);",
+        "    double s = 0.0;",
+        f"    for ({style.index} = 0; {style.index} < chunk; {style.index}++) {{",
+        f"        s += sub[{style.index}];",
+        "    }",
+        "    local_avg = s / (double) chunk;",
+        "    MPI_Reduce(&local_avg, &global_avg, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);",
+        f"    if ({style.rank} == 0) {{",
+        f"        global_avg = global_avg / (double) {style.size};",
+        '        printf("average = %f\\n", global_avg);',
+        "    }",
+        "    free(sub);",
+    ]
+    body += mpi_epilogue(style)
+    return assemble(headers(style, need_stdlib=True), body)
+
+
+def dot_product(rng: np.random.Generator, style: Style) -> str:
+    """Dot product of two distributed vectors."""
+    n = style.problem_size
+    use_allreduce = bool(rng.random() < 0.5)
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index};",
+        f"    int {style.count} = {n};",
+        "    double local_dot = 0.0;",
+        "    double global_dot = 0.0;",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    int chunk = {style.count} / {style.size};",
+        "    double *x = (double *) malloc(chunk * sizeof(double));",
+        "    double *y = (double *) malloc(chunk * sizeof(double));",
+        f"    for ({style.index} = 0; {style.index} < chunk; {style.index}++) {{",
+        f"        x[{style.index}] = (double) ({style.rank} * chunk + {style.index});",
+        f"        y[{style.index}] = 2.0;",
+        "    }",
+        f"    for ({style.index} = 0; {style.index} < chunk; {style.index}++) {{",
+        f"        local_dot += x[{style.index}] * y[{style.index}];",
+        "    }",
+    ]
+    if use_allreduce:
+        body.append("    MPI_Allreduce(&local_dot, &global_dot, 1, MPI_DOUBLE, MPI_SUM, "
+                    "MPI_COMM_WORLD);")
+    else:
+        body.append("    MPI_Reduce(&local_dot, &global_dot, 1, MPI_DOUBLE, MPI_SUM, 0, "
+                    "MPI_COMM_WORLD);")
+    body += print_on_root(style, "global_dot", "dot")
+    body += ["    free(x);", "    free(y);"]
+    body += mpi_epilogue(style)
+    return assemble(headers(style, need_stdlib=True), body)
+
+
+def min_max(rng: np.random.Generator, style: Style) -> str:
+    """Global minimum and maximum of a distributed array."""
+    n = style.problem_size
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index};",
+        f"    int {style.count} = {n};",
+        "    double local_min, local_max, global_min, global_max;",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    int chunk = {style.count} / {style.size};",
+        "    double *vals = (double *) malloc(chunk * sizeof(double));",
+        f"    for ({style.index} = 0; {style.index} < chunk; {style.index}++) {{",
+        f"        vals[{style.index}] = (double) (({style.rank} * 31 + {style.index} * 7) % 101);",
+        "    }",
+        "    local_min = vals[0];",
+        "    local_max = vals[0];",
+        f"    for ({style.index} = 1; {style.index} < chunk; {style.index}++) {{",
+        f"        if (vals[{style.index}] < local_min) {{",
+        f"            local_min = vals[{style.index}];",
+        "        }",
+        f"        if (vals[{style.index}] > local_max) {{",
+        f"            local_max = vals[{style.index}];",
+        "        }",
+        "    }",
+        "    MPI_Reduce(&local_min, &global_min, 1, MPI_DOUBLE, MPI_MIN, 0, MPI_COMM_WORLD);",
+        "    MPI_Reduce(&local_max, &global_max, 1, MPI_DOUBLE, MPI_MAX, 0, MPI_COMM_WORLD);",
+        f"    if ({style.rank} == 0) {{",
+        '        printf("min = %f max = %f\\n", global_min, global_max);',
+        "    }",
+        "    free(vals);",
+    ]
+    body += mpi_epilogue(style)
+    return assemble(headers(style, need_stdlib=True), body)
+
+
+def histogram(rng: np.random.Generator, style: Style) -> str:
+    """Distributed histogram with an element-wise Reduce of bin counts."""
+    bins = int(choice(rng, [8, 10, 16, 20]))
+    n = style.problem_size
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index};",
+        f"    int {style.count} = {n};",
+        f"    int bins = {bins};",
+        f"    int local_hist[{bins}];",
+        f"    int global_hist[{bins}];",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    for ({style.index} = 0; {style.index} < bins; {style.index}++) {{",
+        f"        local_hist[{style.index}] = 0;",
+        "    }",
+        f"    for ({style.index} = {style.rank}; {style.index} < {style.count}; "
+        f"{style.index} += {style.size}) {{",
+        f"        int b = ({style.index} * 13) % bins;",
+        "        local_hist[b] = local_hist[b] + 1;",
+        "    }",
+        "    MPI_Reduce(local_hist, global_hist, bins, MPI_INT, MPI_SUM, 0, MPI_COMM_WORLD);",
+        f"    if ({style.rank} == 0) {{",
+        f"        for ({style.index} = 0; {style.index} < bins; {style.index}++) {{",
+        f'            printf("bin %d: %d\\n", {style.index}, global_hist[{style.index}]);',
+        "        }",
+        "    }",
+    ]
+    body += mpi_epilogue(style)
+    return assemble(headers(style), body)
+
+
+def variance(rng: np.random.Generator, style: Style) -> str:
+    """Two-pass distributed mean and variance using two Allreduce calls."""
+    n = style.problem_size
+    body = [
+        f"    int {style.rank}, {style.size}, {style.index};",
+        f"    int {style.count} = {n};",
+        "    double local_sum = 0.0;",
+        "    double local_sq = 0.0;",
+        "    double total_sum = 0.0;",
+        "    double total_sq = 0.0;",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    int chunk = {style.count} / {style.size};",
+        "    double *vals = (double *) malloc(chunk * sizeof(double));",
+        f"    for ({style.index} = 0; {style.index} < chunk; {style.index}++) {{",
+        f"        vals[{style.index}] = (double) (({style.rank} + {style.index}) % 10);",
+        "    }",
+        f"    for ({style.index} = 0; {style.index} < chunk; {style.index}++) {{",
+        f"        local_sum += vals[{style.index}];",
+        f"        local_sq += vals[{style.index}] * vals[{style.index}];",
+        "    }",
+        "    MPI_Allreduce(&local_sum, &total_sum, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);",
+        "    MPI_Allreduce(&local_sq, &total_sq, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);",
+        f"    double mean = total_sum / (double) {style.count};",
+        f"    double var = total_sq / (double) {style.count} - mean * mean;",
+    ]
+    body += print_on_root(style, "var", "variance")
+    body += ["    free(vals);"]
+    body += mpi_epilogue(style)
+    return assemble(headers(style, need_stdlib=True), body)
+
+
+def scan_prefix_sum(rng: np.random.Generator, style: Style) -> str:
+    """Prefix sum across ranks with MPI_Scan."""
+    body = [
+        f"    int {style.rank}, {style.size};",
+        f"    int {style.local} = 0;",
+        f"    int prefix = 0;",
+    ]
+    body += mpi_prologue(style)
+    body += [
+        f"    {style.local} = {style.rank} + 1;",
+        f"    MPI_Scan(&{style.local}, &prefix, 1, MPI_INT, MPI_SUM, MPI_COMM_WORLD);",
+        f'    printf("rank %d prefix %d\\n", {style.rank}, prefix);',
+    ]
+    body += mpi_epilogue(style)
+    return assemble(headers(style), body)

@@ -1,0 +1,35 @@
+"""Dataset pipeline: filters, MPI-call removal, example records and splits."""
+
+from .builder import DatasetBuildResult, build_dataset, build_examples, example_from_program
+from .filters import DEFAULT_MAX_TOKENS, FilterConfig, FilterReport, apply_filters, passes_filters
+from .records import DatasetSplits, RemovedCall, TranslationExample
+from .removal import (
+    RemovalResult,
+    count_mpi_calls,
+    find_mpi_calls_in_line,
+    ground_truth_pairs,
+    remove_mpi_calls,
+)
+from .splits import SplitConfig, split_examples
+
+__all__ = [
+    "DatasetBuildResult",
+    "build_dataset",
+    "build_examples",
+    "example_from_program",
+    "DEFAULT_MAX_TOKENS",
+    "FilterConfig",
+    "FilterReport",
+    "apply_filters",
+    "passes_filters",
+    "DatasetSplits",
+    "RemovedCall",
+    "TranslationExample",
+    "RemovalResult",
+    "count_mpi_calls",
+    "find_mpi_calls_in_line",
+    "ground_truth_pairs",
+    "remove_mpi_calls",
+    "SplitConfig",
+    "split_examples",
+]

@@ -1,0 +1,84 @@
+"""Dataset construction from the corpus (Figure 4 of the paper).
+
+Pipeline per program:
+
+1. the corpus program is already standardised (regenerated from its AST);
+2. every MPI call statement is removed, recording (function, line) ground
+   truth — the "Removed-Locations" subset;
+3. the X-SBT of the removed-locations code is computed (this is the second
+   half of the encoder input);
+4. the result is packaged as a :class:`TranslationExample`.
+
+The builder also exposes :func:`build_dataset` which chains corpus filtering,
+example creation and the 80:10:10 split into one call — the entry point used
+by the training pipeline and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..clang.lexer import code_token_texts
+from ..corpus.synthesis import Corpus, CorpusProgram
+from ..xsbt.xsbt import xsbt_for_source
+from .filters import FilterConfig, FilterReport, apply_filters
+from .records import DatasetSplits, TranslationExample
+from .removal import remove_mpi_calls
+from .splits import SplitConfig, split_examples
+
+
+@dataclass
+class DatasetBuildResult:
+    """Everything produced by one dataset build."""
+
+    examples: list[TranslationExample] = field(default_factory=list)
+    splits: DatasetSplits = field(default_factory=DatasetSplits)
+    filter_report: FilterReport = field(default_factory=FilterReport)
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+
+def example_from_program(program: CorpusProgram) -> TranslationExample | None:
+    """Create one translation example from a corpus program.
+
+    Returns None if the program contains no removable MPI calls (nothing to
+    learn from).
+    """
+    removal = remove_mpi_calls(program.code)
+    if not removal.removed:
+        return None
+    xsbt = xsbt_for_source(removal.stripped_code)
+    return TranslationExample(
+        example_id=program.program_id,
+        family=program.family,
+        source_code=removal.stripped_code,
+        source_xsbt=xsbt,
+        target_code=program.code,
+        removed_calls=removal.removed,
+        token_count=len(code_token_texts(program.code)),
+    )
+
+
+def build_examples(
+    corpus: Corpus, filter_config: FilterConfig | None = None
+) -> tuple[list[TranslationExample], FilterReport]:
+    """Filter the corpus and convert the surviving programs into examples."""
+    kept, report = apply_filters(corpus.programs, filter_config)
+    examples: list[TranslationExample] = []
+    for program in kept:
+        example = example_from_program(program)
+        if example is not None:
+            examples.append(example)
+    return examples, report
+
+
+def build_dataset(
+    corpus: Corpus,
+    filter_config: FilterConfig | None = None,
+    split_config: SplitConfig | None = None,
+) -> DatasetBuildResult:
+    """Full dataset build: filters, example creation, and 80:10:10 split."""
+    examples, report = build_examples(corpus, filter_config)
+    splits = split_examples(examples, split_config)
+    return DatasetBuildResult(examples=examples, splits=splits, filter_report=report)

@@ -1,0 +1,64 @@
+"""Dataclasses describing the supervised examples MPI-RICAL trains on.
+
+One example corresponds to one corpus program (Figure 4 of the paper):
+
+* ``source_code``   — the MPI program with every MPI call removed
+  ("Removed-Locations", the model input);
+* ``source_xsbt``   — the X-SBT of the removed-locations code (concatenated to
+  the code after ``[SEP]`` in the encoder);
+* ``target_code``   — the original MPI program (the label);
+* ``removed_calls`` — the ground-truth (function name, line number) pairs the
+  evaluation compares predictions against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RemovedCall:
+    """One MPI call stripped from the original program."""
+
+    function: str
+    #: 1-based line number in the *original* (standardised) program.
+    line: int
+    #: The full original statement text (useful for debugging and reports).
+    statement: str = ""
+
+
+@dataclass
+class TranslationExample:
+    """A single (input, label) pair for the translation task."""
+
+    example_id: str
+    family: str
+    source_code: str
+    source_xsbt: str
+    target_code: str
+    removed_calls: tuple[RemovedCall, ...] = ()
+    token_count: int = 0
+
+    @property
+    def mpi_function_names(self) -> tuple[str, ...]:
+        """Names of the ground-truth MPI functions, in source order."""
+        return tuple(rc.function for rc in self.removed_calls)
+
+
+@dataclass
+class DatasetSplits:
+    """Train / validation / test partition of the examples (80:10:10)."""
+
+    train: list[TranslationExample] = field(default_factory=list)
+    validation: list[TranslationExample] = field(default_factory=list)
+    test: list[TranslationExample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.train) + len(self.validation) + len(self.test)
+
+    def sizes(self) -> dict[str, int]:
+        return {
+            "train": len(self.train),
+            "validation": len(self.validation),
+            "test": len(self.test),
+        }

@@ -1,0 +1,110 @@
+"""MPI function-call removal — the "Removed-Locations" transformation.
+
+Given a standardised MPI program, this pass removes every statement whose
+top-level expression is a call to an MPI function (or an assignment whose
+right-hand side is such a call, e.g. ``t = MPI_Wtime();``), producing:
+
+* the MPI-free program text (the model input), and
+* the ordered list of :class:`RemovedCall` ground-truth records
+  (function name + original line number + statement text).
+
+Removal is text-line based over the standardised code: because the code
+generator emits exactly one statement per line, a line-level operation is an
+exact statement-level operation, and — crucially for RQ2 — the ground-truth
+location bookkeeping stays trivially correct.
+
+Declarations of MPI-specific variables (``MPI_Status``, ``MPI_Request``,
+communicators, …) are left in place; the paper removes function calls only.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..mpiknow.registry import is_mpi_call_name
+from .records import RemovedCall
+
+#: An MPI call appearing anywhere on a line, e.g. ``MPI_Reduce(`` .
+_MPI_CALL_RE = re.compile(r"\b(MPI_[A-Za-z_0-9]+)\s*\(")
+
+
+@dataclass
+class RemovalResult:
+    """Output of :func:`remove_mpi_calls`."""
+
+    stripped_code: str
+    removed: tuple[RemovedCall, ...]
+
+    @property
+    def removed_functions(self) -> tuple[str, ...]:
+        return tuple(rc.function for rc in self.removed)
+
+
+def find_mpi_calls_in_line(line: str) -> list[str]:
+    """Return MPI function names called on ``line`` (in textual order)."""
+    return [m for m in _MPI_CALL_RE.findall(line) if is_mpi_call_name(m)]
+
+
+def remove_mpi_calls(code: str) -> RemovalResult:
+    """Strip MPI call statements from ``code``.
+
+    Lines that both call an MPI function and carry other control structure
+    (e.g. ``if (MPI_Init(...) != MPI_SUCCESS) {``) keep their structure: only
+    pure call statements (optionally with an assignment of the return value)
+    are dropped.  The original line numbers are not preserved in the stripped
+    text — the paper explicitly notes the locations are lost, which is what
+    makes RQ2 non-trivial.
+    """
+    kept_lines: list[str] = []
+    removed: list[RemovedCall] = []
+
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        calls = find_mpi_calls_in_line(line)
+        if calls and _is_pure_call_statement(line):
+            for name in calls:
+                removed.append(RemovedCall(function=name, line=lineno,
+                                           statement=line.strip()))
+            continue
+        kept_lines.append(line)
+
+    stripped = "\n".join(kept_lines)
+    if code.endswith("\n") and not stripped.endswith("\n"):
+        stripped += "\n"
+    return RemovalResult(stripped_code=stripped, removed=tuple(removed))
+
+
+def _is_pure_call_statement(line: str) -> bool:
+    """True if ``line`` is a bare (possibly assigned) call statement.
+
+    Conservative: control-flow keywords or a brace on the line mean the call
+    is embedded in a larger construct and must not be removed wholesale.
+    """
+    stripped = line.strip()
+    if not stripped.endswith(";"):
+        return False
+    for keyword in ("if ", "if(", "while ", "while(", "for ", "for(", "return ",
+                    "switch ", "switch(", "else"):
+        if stripped.startswith(keyword):
+            return False
+    if "{" in stripped or "}" in stripped:
+        return False
+    # Allow `x = MPI_Wtime();` and `MPI_Send(...);` but reject e.g.
+    # `total += MPI_Wtime() - start;` style compound arithmetic? The paper
+    # removes every MPI call; arithmetic uses of MPI_Wtime are rare in the
+    # corpus because the templates always assign it directly.  Keep it simple:
+    # any statement-final call line qualifies.
+    return True
+
+
+def count_mpi_calls(code: str) -> int:
+    """Number of MPI calls present in ``code`` (textual count)."""
+    total = 0
+    for line in code.splitlines():
+        total += len(find_mpi_calls_in_line(line))
+    return total
+
+
+def ground_truth_pairs(result: RemovalResult) -> list[tuple[str, int]]:
+    """Return the (function, original line) ground-truth pairs for evaluation."""
+    return [(rc.function, rc.line) for rc in result.removed]

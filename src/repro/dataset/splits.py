@@ -1,0 +1,60 @@
+"""Deterministic 80:10:10 train/validation/test splitting (Section VI)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.rng import make_rng
+from .records import DatasetSplits, TranslationExample
+
+
+@dataclass
+class SplitConfig:
+    """Split ratios and shuffling seed."""
+
+    train_fraction: float = 0.8
+    validation_fraction: float = 0.1
+    test_fraction: float = 0.1
+    seed: int = 1234
+
+    def validate(self) -> None:
+        total = self.train_fraction + self.validation_fraction + self.test_fraction
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"split fractions must sum to 1.0, got {total}")
+        for name, frac in (("train", self.train_fraction),
+                           ("validation", self.validation_fraction),
+                           ("test", self.test_fraction)):
+            if frac < 0:
+                raise ValueError(f"{name} fraction must be non-negative, got {frac}")
+
+
+def split_examples(
+    examples: list[TranslationExample], config: SplitConfig | None = None
+) -> DatasetSplits:
+    """Shuffle and partition ``examples`` according to ``config``.
+
+    The shuffle is seeded so a given corpus always yields the same split —
+    important because the benchmark harness re-creates the dataset for each
+    table it regenerates.
+    """
+    config = config or SplitConfig()
+    config.validate()
+
+    rng = make_rng(config.seed)
+    order = np.arange(len(examples))
+    rng.shuffle(order)
+
+    n = len(examples)
+    n_train = int(round(n * config.train_fraction))
+    n_val = int(round(n * config.validation_fraction))
+    n_train = min(n_train, n)
+    n_val = min(n_val, n - n_train)
+
+    shuffled = [examples[i] for i in order]
+    return DatasetSplits(
+        train=shuffled[:n_train],
+        validation=shuffled[n_train:n_train + n_val],
+        test=shuffled[n_train + n_val:],
+    )

@@ -1,0 +1,50 @@
+"""Evaluation metrics: location-tolerant classification, BLEU, METEOR, ROUGE-L,
+exact match, and the Table II / Table III report builders."""
+
+from .accuracy import exact_match, exact_match_accuracy
+from .bleu import corpus_bleu, modified_precision, sentence_bleu
+from .classification import (
+    ClassificationScores,
+    MatchCounts,
+    MPICallSite,
+    evaluate_program,
+    extract_call_sites,
+    match_call_sites,
+    scores_from_counts,
+)
+from .meteor import corpus_meteor, meteor
+from .report import (
+    BenchmarkEvaluation,
+    CorpusEvaluation,
+    ExamplePrediction,
+    ProgramEvaluation,
+    evaluate_benchmark,
+    evaluate_corpus,
+)
+from .rouge import corpus_rouge_l, lcs_length, rouge_l
+
+__all__ = [
+    "exact_match",
+    "exact_match_accuracy",
+    "corpus_bleu",
+    "modified_precision",
+    "sentence_bleu",
+    "ClassificationScores",
+    "MatchCounts",
+    "MPICallSite",
+    "evaluate_program",
+    "extract_call_sites",
+    "match_call_sites",
+    "scores_from_counts",
+    "corpus_meteor",
+    "meteor",
+    "BenchmarkEvaluation",
+    "CorpusEvaluation",
+    "ExamplePrediction",
+    "ProgramEvaluation",
+    "evaluate_benchmark",
+    "evaluate_corpus",
+    "corpus_rouge_l",
+    "lcs_length",
+    "rouge_l",
+]

@@ -1,0 +1,20 @@
+"""Exact-match accuracy (the ACC row of Table II)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def exact_match(candidate: Sequence[str], reference: Sequence[str]) -> bool:
+    """True if the candidate token sequence equals the reference exactly."""
+    return list(candidate) == list(reference)
+
+
+def exact_match_accuracy(candidates: list[Sequence[str]],
+                         references: list[Sequence[str]]) -> float:
+    """Fraction of examples whose generated token sequence matches the label
+    exactly (the strictest Table II metric; the paper reports 0.57)."""
+    if not candidates or len(candidates) != len(references):
+        raise ValueError("candidates and references must be equal-length, non-empty lists")
+    hits = sum(1 for c, r in zip(candidates, references) if exact_match(c, r))
+    return hits / len(candidates)

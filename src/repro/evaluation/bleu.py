@@ -1,0 +1,87 @@
+"""Corpus and sentence BLEU (Papineni et al., 2002) over code tokens."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+
+def _ngram_counts(tokens: Sequence[str], order: int) -> Counter:
+    return Counter(
+        tuple(tokens[i:i + order]) for i in range(len(tokens) - order + 1)
+    )
+
+
+def modified_precision(candidate: Sequence[str], reference: Sequence[str],
+                       order: int) -> tuple[int, int]:
+    """Clipped n-gram matches and total candidate n-grams for one order."""
+    cand_counts = _ngram_counts(candidate, order)
+    ref_counts = _ngram_counts(reference, order)
+    matches = sum(min(count, ref_counts[ngram]) for ngram, count in cand_counts.items())
+    total = max(sum(cand_counts.values()), 0)
+    return matches, total
+
+
+def sentence_bleu(candidate: Sequence[str], reference: Sequence[str],
+                  max_order: int = 4, smooth: float = 1e-9) -> float:
+    """Sentence-level BLEU with add-epsilon smoothing and brevity penalty."""
+    if not candidate or not reference:
+        return 0.0
+    log_precision_sum = 0.0
+    effective_orders = 0
+    for order in range(1, max_order + 1):
+        matches, total = modified_precision(candidate, reference, order)
+        if total == 0:
+            # The candidate is shorter than this n-gram order; skip the order
+            # instead of zeroing the score (NLTK-style handling).
+            continue
+        precision = max(matches, smooth) / total
+        log_precision_sum += math.log(precision)
+        effective_orders += 1
+    if effective_orders == 0:
+        return 0.0
+    geo_mean = math.exp(log_precision_sum / effective_orders)
+
+    ratio = len(candidate) / len(reference)
+    brevity = 1.0 if ratio >= 1.0 else math.exp(1.0 - 1.0 / max(ratio, 1e-9))
+    return brevity * geo_mean
+
+
+def corpus_bleu(candidates: list[Sequence[str]], references: list[Sequence[str]],
+                max_order: int = 4, smooth: float = 1e-9) -> float:
+    """Corpus-level BLEU: n-gram statistics pooled before taking the geometric
+    mean (the standard definition, more stable than averaging sentence BLEU)."""
+    if not candidates or len(candidates) != len(references):
+        raise ValueError("candidates and references must be equal-length, non-empty lists")
+
+    match_totals = [0] * max_order
+    count_totals = [0] * max_order
+    candidate_length = 0
+    reference_length = 0
+
+    for candidate, reference in zip(candidates, references):
+        candidate_length += len(candidate)
+        reference_length += len(reference)
+        for order in range(1, max_order + 1):
+            matches, total = modified_precision(candidate, reference, order)
+            match_totals[order - 1] += matches
+            count_totals[order - 1] += total
+
+    log_precision_sum = 0.0
+    effective_orders = 0
+    for matches, total in zip(match_totals, count_totals):
+        if total == 0:
+            continue
+        precision = max(matches, smooth) / total
+        log_precision_sum += math.log(precision)
+        effective_orders += 1
+    if effective_orders == 0:
+        return 0.0
+    geo_mean = math.exp(log_precision_sum / effective_orders)
+
+    if candidate_length == 0 or reference_length == 0:
+        return 0.0
+    ratio = candidate_length / reference_length
+    brevity = 1.0 if ratio >= 1.0 else math.exp(1.0 - 1.0 / max(ratio, 1e-9))
+    return brevity * geo_mean

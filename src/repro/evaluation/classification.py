@@ -1,0 +1,196 @@
+"""Classification-style evaluation of MPI function insertion (RQ1 + RQ2).
+
+The paper scores a prediction as follows (Section VI-A):
+
+* **TP** — the model inserts an MPI function at a location and the same
+  function appears in the ground truth within one line of that location
+  ("one-line tolerance").
+* **FP** — the model inserts an MPI function but the ground truth has no
+  matching function within tolerance (wrong function, or wrong location).
+* **FN** — the ground truth contains an MPI call the model failed to produce.
+* TN is out of scope (the focus is on generated functions).
+
+From the TP/FP/FN counts, precision, recall and F1 are computed twice: over
+all MPI functions (**M-***) and restricted to the MPI Common Core
+(**MCC-***), matching Table II's rows.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..mpiknow.registry import is_common_core, is_mpi_call_name
+
+_MPI_CALL_RE = re.compile(r"\b(MPI_[A-Za-z_0-9]+)\s*\(")
+
+
+@dataclass(frozen=True)
+class MPICallSite:
+    """One MPI call occurrence: function name + 1-based line number."""
+
+    function: str
+    line: int
+
+
+def extract_call_sites(code: str) -> list[MPICallSite]:
+    """Extract every MPI call site from program text, in source order."""
+    sites: list[MPICallSite] = []
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        for name in _MPI_CALL_RE.findall(line):
+            if is_mpi_call_name(name):
+                sites.append(MPICallSite(function=name, line=lineno))
+    return sites
+
+
+@dataclass
+class MatchCounts:
+    """TP/FP/FN tallies, overall and per function."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+    per_function: dict[str, "MatchCounts"] = field(default_factory=dict)
+
+    def _bucket(self, function: str) -> "MatchCounts":
+        if function not in self.per_function:
+            self.per_function[function] = MatchCounts()
+        return self.per_function[function]
+
+    def add_tp(self, function: str) -> None:
+        self.tp += 1
+        self._bucket(function).tp += 1
+
+    def add_fp(self, function: str) -> None:
+        self.fp += 1
+        self._bucket(function).fp += 1
+
+    def add_fn(self, function: str) -> None:
+        self.fn += 1
+        self._bucket(function).fn += 1
+
+    def merge(self, other: "MatchCounts") -> None:
+        """Accumulate another example's counts into this one."""
+        self.tp += other.tp
+        self.fp += other.fp
+        self.fn += other.fn
+        for name, counts in other.per_function.items():
+            bucket = self._bucket(name)
+            bucket.tp += counts.tp
+            bucket.fp += counts.fp
+            bucket.fn += counts.fn
+
+    # ------------------------------------------------------------- metrics
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def restricted(self, predicate) -> "MatchCounts":
+        """Counts restricted to functions satisfying ``predicate`` (e.g. the
+        MPI Common Core)."""
+        out = MatchCounts()
+        for name, counts in self.per_function.items():
+            if not predicate(name):
+                continue
+            out.tp += counts.tp
+            out.fp += counts.fp
+            out.fn += counts.fn
+            out.per_function[name] = MatchCounts(tp=counts.tp, fp=counts.fp, fn=counts.fn)
+        return out
+
+
+def match_call_sites(
+    predicted: list[MPICallSite],
+    reference: list[MPICallSite],
+    *,
+    line_tolerance: int = 1,
+) -> MatchCounts:
+    """Match predicted call sites against reference sites.
+
+    Matching is greedy in source order: each predicted site claims the nearest
+    unclaimed reference site with the same function name within
+    ``line_tolerance`` lines.  Unclaimed predictions are FPs; unclaimed
+    references are FNs.
+    """
+    counts = MatchCounts()
+    available = list(range(len(reference)))
+
+    for site in predicted:
+        best_idx: int | None = None
+        best_distance: int | None = None
+        for ref_pos in available:
+            ref = reference[ref_pos]
+            if ref.function != site.function:
+                continue
+            distance = abs(ref.line - site.line)
+            if distance > line_tolerance:
+                continue
+            if best_distance is None or distance < best_distance:
+                best_idx = ref_pos
+                best_distance = distance
+        if best_idx is not None:
+            available.remove(best_idx)
+            counts.add_tp(site.function)
+        else:
+            counts.add_fp(site.function)
+
+    for ref_pos in available:
+        counts.add_fn(reference[ref_pos].function)
+    return counts
+
+
+def evaluate_program(predicted_code: str, reference_code: str, *,
+                     line_tolerance: int = 1) -> MatchCounts:
+    """Extract call sites from both programs and match them."""
+    return match_call_sites(
+        extract_call_sites(predicted_code),
+        extract_call_sites(reference_code),
+        line_tolerance=line_tolerance,
+    )
+
+
+@dataclass
+class ClassificationScores:
+    """The six Table II classification rows."""
+
+    m_f1: float
+    m_precision: float
+    m_recall: float
+    mcc_f1: float
+    mcc_precision: float
+    mcc_recall: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "M-F1": self.m_f1,
+            "M-Precision": self.m_precision,
+            "M-Recall": self.m_recall,
+            "MCC-F1": self.mcc_f1,
+            "MCC-Precision": self.mcc_precision,
+            "MCC-Recall": self.mcc_recall,
+        }
+
+
+def scores_from_counts(counts: MatchCounts) -> ClassificationScores:
+    """Compute M-* and MCC-* scores from accumulated counts."""
+    core = counts.restricted(is_common_core)
+    return ClassificationScores(
+        m_f1=counts.f1,
+        m_precision=counts.precision,
+        m_recall=counts.recall,
+        mcc_f1=core.f1,
+        mcc_precision=core.precision,
+        mcc_recall=core.recall,
+    )

@@ -1,0 +1,66 @@
+"""A METEOR-style metric over code tokens.
+
+Full METEOR uses stemming and WordNet synonym matching, neither of which is
+meaningful for C tokens.  This implementation keeps the parts that are:
+unigram precision/recall with the recall-weighted harmonic mean, and the
+fragmentation penalty computed from the number of contiguous matched chunks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _align(candidate: Sequence[str], reference: Sequence[str]) -> list[tuple[int, int]]:
+    """Greedy left-to-right exact-match alignment (candidate idx, reference idx)."""
+    used_reference: set[int] = set()
+    alignment: list[tuple[int, int]] = []
+    for ci, token in enumerate(candidate):
+        for ri, ref_token in enumerate(reference):
+            if ri in used_reference:
+                continue
+            if token == ref_token:
+                alignment.append((ci, ri))
+                used_reference.add(ri)
+                break
+    return alignment
+
+
+def _count_chunks(alignment: list[tuple[int, int]]) -> int:
+    """Number of maximal runs where both candidate and reference indices are
+    consecutive (METEOR's chunk definition)."""
+    if not alignment:
+        return 0
+    chunks = 1
+    for (prev_c, prev_r), (cur_c, cur_r) in zip(alignment, alignment[1:]):
+        if cur_c != prev_c + 1 or cur_r != prev_r + 1:
+            chunks += 1
+    return chunks
+
+
+def meteor(candidate: Sequence[str], reference: Sequence[str],
+           alpha: float = 0.9, beta: float = 3.0, gamma: float = 0.5) -> float:
+    """METEOR score between a candidate and a reference token sequence."""
+    if not candidate or not reference:
+        return 0.0
+    alignment = _align(candidate, reference)
+    matches = len(alignment)
+    if matches == 0:
+        return 0.0
+    precision = matches / len(candidate)
+    recall = matches / len(reference)
+    f_mean = precision * recall / (alpha * precision + (1 - alpha) * recall)
+
+    chunks = _count_chunks(alignment)
+    fragmentation = chunks / matches
+    penalty = gamma * (fragmentation ** beta)
+    return f_mean * (1.0 - penalty)
+
+
+def corpus_meteor(candidates: list[Sequence[str]], references: list[Sequence[str]],
+                  alpha: float = 0.9, beta: float = 3.0, gamma: float = 0.5) -> float:
+    """Mean METEOR over a corpus of (candidate, reference) pairs."""
+    if not candidates or len(candidates) != len(references):
+        raise ValueError("candidates and references must be equal-length, non-empty lists")
+    scores = [meteor(c, r, alpha, beta, gamma) for c, r in zip(candidates, references)]
+    return sum(scores) / len(scores)

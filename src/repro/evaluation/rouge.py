@@ -1,0 +1,49 @@
+"""ROUGE-L (longest-common-subsequence F-measure) over code tokens."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def lcs_length(a: Sequence[str], b: Sequence[str]) -> int:
+    """Length of the longest common subsequence of ``a`` and ``b``.
+
+    Linear-memory dynamic programme (two rows).
+    """
+    if not a or not b:
+        return 0
+    previous = [0] * (len(b) + 1)
+    for token_a in a:
+        current = [0] * (len(b) + 1)
+        for j, token_b in enumerate(b, start=1):
+            if token_a == token_b:
+                current[j] = previous[j - 1] + 1
+            else:
+                current[j] = max(previous[j], current[j - 1])
+        previous = current
+    return previous[-1]
+
+
+def rouge_l(candidate: Sequence[str], reference: Sequence[str],
+            beta: float = 1.2) -> float:
+    """ROUGE-L F-measure between a candidate and a reference token sequence."""
+    if not candidate or not reference:
+        return 0.0
+    lcs = lcs_length(candidate, reference)
+    if lcs == 0:
+        return 0.0
+    precision = lcs / len(candidate)
+    recall = lcs / len(reference)
+    denom = recall + (beta ** 2) * precision
+    if denom == 0:
+        return 0.0
+    return (1 + beta ** 2) * precision * recall / denom
+
+
+def corpus_rouge_l(candidates: list[Sequence[str]], references: list[Sequence[str]],
+                   beta: float = 1.2) -> float:
+    """Mean ROUGE-L over a corpus of (candidate, reference) pairs."""
+    if not candidates or len(candidates) != len(references):
+        raise ValueError("candidates and references must be equal-length, non-empty lists")
+    scores = [rouge_l(c, r, beta) for c, r in zip(candidates, references)]
+    return sum(scores) / len(scores)

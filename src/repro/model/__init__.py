@@ -1,0 +1,55 @@
+"""NumPy Transformer: autograd, layers, seq2seq model, trainer and decoding."""
+
+from .autograd import Tensor, concat, embedding_lookup, numerical_gradient, parameter
+from .attention import KVCache, MultiHeadAttention, causal_mask, combined_decoder_mask, padding_mask
+from .checkpoints import load_checkpoint, save_checkpoint
+from .config import ExperimentConfig, ModelConfig, TrainingConfig, paper_config, small_config, tiny_config
+from .generation import GenerationConfig, beam_search_decode, greedy_decode
+from .layers import Embedding, FeedForward, LayerNorm, Linear, Module, PositionalEncoding, sinusoidal_positions
+from .loss import LossResult, cross_entropy, perplexity
+from .optimizer import Adam, AdamConfig
+from .trainer import EpochMetrics, Trainer, TrainingHistory
+from .transformer import DecoderLayer, DecodingState, EncoderLayer, Seq2SeqTransformer
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "embedding_lookup",
+    "numerical_gradient",
+    "parameter",
+    "KVCache",
+    "MultiHeadAttention",
+    "causal_mask",
+    "combined_decoder_mask",
+    "padding_mask",
+    "load_checkpoint",
+    "save_checkpoint",
+    "ExperimentConfig",
+    "ModelConfig",
+    "TrainingConfig",
+    "paper_config",
+    "small_config",
+    "tiny_config",
+    "GenerationConfig",
+    "beam_search_decode",
+    "greedy_decode",
+    "Embedding",
+    "FeedForward",
+    "LayerNorm",
+    "Linear",
+    "Module",
+    "PositionalEncoding",
+    "sinusoidal_positions",
+    "LossResult",
+    "cross_entropy",
+    "perplexity",
+    "Adam",
+    "AdamConfig",
+    "EpochMetrics",
+    "Trainer",
+    "TrainingHistory",
+    "DecoderLayer",
+    "DecodingState",
+    "EncoderLayer",
+    "Seq2SeqTransformer",
+]

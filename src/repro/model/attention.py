@@ -1,0 +1,138 @@
+"""Multi-head scaled dot-product attention with optional KV caching.
+
+The cache is used only at inference time (greedy/beam decoding): the decoder
+feeds one new token per step and attends over the concatenation of cached and
+new keys/values, which turns the per-step cost from O(L²) to O(L).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .autograd import Tensor
+from .layers import Linear, Module
+
+
+@dataclass
+class KVCache:
+    """Cached key/value activations for one attention layer."""
+
+    keys: np.ndarray | None = None
+    values: np.ndarray | None = None
+
+    def append(self, new_keys: np.ndarray, new_values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Append new keys/values along the sequence axis and return the full arrays."""
+        if self.keys is None:
+            self.keys = new_keys
+            self.values = new_values
+        else:
+            self.keys = np.concatenate([self.keys, new_keys], axis=2)
+            self.values = np.concatenate([self.values, new_values], axis=2)
+        return self.keys, self.values
+
+    @property
+    def length(self) -> int:
+        return 0 if self.keys is None else self.keys.shape[2]
+
+
+class MultiHeadAttention(Module):
+    """Standard multi-head attention (self- or cross-)."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator,
+                 dropout: float = 0.0) -> None:
+        if dim % num_heads != 0:
+            raise ValueError(f"model dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.dropout = dropout
+        self.q_proj = Linear(dim, dim, rng)
+        self.k_proj = Linear(dim, dim, rng)
+        self.v_proj = Linear(dim, dim, rng)
+        self.out_proj = Linear(dim, dim, rng)
+
+    # ------------------------------------------------------------------ api
+
+    def __call__(
+        self,
+        query: Tensor,
+        key: Tensor,
+        value: Tensor,
+        mask: np.ndarray | None = None,
+        *,
+        rng: np.random.Generator | None = None,
+        training: bool = False,
+        cache: KVCache | None = None,
+        use_cached_kv: bool = False,
+    ) -> Tensor:
+        """Attend ``query`` over ``key``/``value``.
+
+        Parameters
+        ----------
+        mask:
+            Boolean array broadcastable to ``(batch, heads, q_len, k_len)``;
+            True marks positions that must NOT be attended.
+        cache:
+            When given for self-attention decoding, new keys/values are
+            appended to the cache and attention runs over the full history.
+        use_cached_kv:
+            For cross-attention decoding: reuse the cached keys/values without
+            recomputing the projections of the (static) encoder output.
+        """
+        batch, q_len, _ = query.shape
+
+        q = self._split_heads(self.q_proj(query), batch, q_len)
+
+        if use_cached_kv and cache is not None and cache.keys is not None:
+            k_data, v_data = cache.keys, cache.values
+            k = Tensor(k_data)
+            v = Tensor(v_data)
+        else:
+            k_len = key.shape[1]
+            k = self._split_heads(self.k_proj(key), batch, k_len)
+            v = self._split_heads(self.v_proj(value), batch, k_len)
+            if cache is not None:
+                if use_cached_kv:
+                    # First call of a cross-attention cache: store projections.
+                    cache.keys, cache.values = k.data, v.data
+                else:
+                    k_data, v_data = cache.append(k.data, v.data)
+                    k = Tensor(k_data)
+                    v = Tensor(v_data)
+
+        scores = q.matmul(k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        if mask is not None:
+            scores = scores.masked_fill(mask, -1e9)
+        weights = scores.softmax(axis=-1)
+        weights = weights.dropout(self.dropout, rng, training)
+        context = weights.matmul(v)
+        merged = self._merge_heads(context, batch, q_len)
+        return self.out_proj(merged)
+
+    # ------------------------------------------------------------ internals
+
+    def _split_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
+        """(batch, length, dim) -> (batch, heads, length, head_dim)"""
+        return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
+        """(batch, heads, length, head_dim) -> (batch, length, dim)"""
+        return x.transpose(0, 2, 1, 3).reshape(batch, length, self.dim)
+
+
+def padding_mask(ids: np.ndarray, pad_id: int) -> np.ndarray:
+    """Mask of shape (batch, 1, 1, length): True where ``ids`` is padding."""
+    return (ids == pad_id)[:, None, None, :]
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Mask of shape (1, 1, length, length): True above the diagonal."""
+    return np.triu(np.ones((length, length), dtype=bool), k=1)[None, None, :, :]
+
+
+def combined_decoder_mask(target_ids: np.ndarray, pad_id: int) -> np.ndarray:
+    """Causal mask combined with target padding mask."""
+    length = target_ids.shape[1]
+    return causal_mask(length) | padding_mask(target_ids, pad_id)

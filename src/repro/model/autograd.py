@@ -1,0 +1,382 @@
+"""A minimal reverse-mode automatic-differentiation engine on NumPy arrays.
+
+This is the reproduction's stand-in for PyTorch: the paper fine-tunes
+SPT-Code with PyTorch on a V100; here the Transformer is trained on CPU with
+this tape-based autograd.  Only the operations the Transformer needs are
+implemented (broadcast arithmetic, matmul, reshape/transpose, softmax,
+log-softmax, layer-norm statistics, embedding gather, masking, dropout,
+reductions), each with an explicit backward function.
+
+Design notes
+------------
+* A :class:`Tensor` wraps a ``float64``/``float32`` ndarray, a gradient buffer
+  and a closure list of ``(parent, backward_fn)`` pairs.
+* :meth:`Tensor.backward` runs a topological sort of the tape and accumulates
+  gradients; broadcasting is undone with :func:`_unbroadcast`.
+* No graph retention subtleties: each forward pass builds a fresh tape, which
+  matches how the trainer uses it (one tape per mini-batch).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+Array = np.ndarray
+
+
+def _unbroadcast(grad: Array, shape: tuple[int, ...]) -> Array:
+    """Reduce ``grad`` so its shape matches ``shape`` (reverse of broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum out leading extra dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A differentiable array node."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "name")
+
+    def __init__(self, data, *, requires_grad: bool = False, name: str = "") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Array | None = None
+        self.requires_grad = requires_grad
+        self._parents: list[tuple["Tensor", Callable[[Array], Array]]] = []
+        self.name = name
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def detach(self) -> "Tensor":
+        """A new tensor sharing data but cut from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def _add_parent(self, parent: "Tensor", backward_fn: Callable[[Array], Array]) -> None:
+        if parent.requires_grad:
+            self._parents.append((parent, backward_fn))
+            self.requires_grad = True
+
+    def backward(self, grad: Array | None = None) -> None:
+        """Backpropagate ``grad`` (defaults to ones) through the tape."""
+        if grad is None:
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological order of the sub-graph reachable from self.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent, _ in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, Array] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.get(id(node))
+            if node_grad is None:
+                continue
+            if node.requires_grad and not node._parents:
+                # Leaf parameter: accumulate.
+                node.grad = node_grad if node.grad is None else node.grad + node_grad
+            for parent, backward_fn in node._parents:
+                contribution = backward_fn(node_grad)
+                existing = grads.get(id(parent))
+                grads[id(parent)] = contribution if existing is None else existing + contribution
+        # Non-leaf tensors that the caller may inspect.
+        if self.requires_grad and self._parents:
+            self.grad = grad
+
+    # ------------------------------------------------------------ arithmetic
+
+    def __add__(self, other) -> "Tensor":
+        other = _as_tensor(other)
+        out = Tensor(self.data + other.data)
+        out._add_parent(self, lambda g: _unbroadcast(g, self.data.shape))
+        out._add_parent(other, lambda g: _unbroadcast(g, other.data.shape))
+        return out
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = _as_tensor(other)
+        out = Tensor(self.data - other.data)
+        out._add_parent(self, lambda g: _unbroadcast(g, self.data.shape))
+        out._add_parent(other, lambda g: _unbroadcast(-g, other.data.shape))
+        return out
+
+    def __mul__(self, other) -> "Tensor":
+        other = _as_tensor(other)
+        out = Tensor(self.data * other.data)
+        out._add_parent(self, lambda g: _unbroadcast(g * other.data, self.data.shape))
+        out._add_parent(other, lambda g: _unbroadcast(g * self.data, other.data.shape))
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = _as_tensor(other)
+        out = Tensor(self.data / other.data)
+        out._add_parent(self, lambda g: _unbroadcast(g / other.data, self.data.shape))
+        out._add_parent(
+            other,
+            lambda g: _unbroadcast(-g * self.data / (other.data ** 2), other.data.shape),
+        )
+        return out
+
+    def __neg__(self) -> "Tensor":
+        out = Tensor(-self.data)
+        out._add_parent(self, lambda g: -g)
+        return out
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        out = Tensor(self.data ** exponent)
+        out._add_parent(
+            self, lambda g: g * exponent * (self.data ** (exponent - 1))
+        )
+        return out
+
+    # ------------------------------------------------------------ linear alg
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = _as_tensor(other)
+        out = Tensor(np.matmul(self.data, other.data))
+
+        def grad_self(g: Array) -> Array:
+            return _unbroadcast(np.matmul(g, np.swapaxes(other.data, -1, -2)),
+                                self.data.shape)
+
+        def grad_other(g: Array) -> Array:
+            return _unbroadcast(np.matmul(np.swapaxes(self.data, -1, -2), g),
+                                other.data.shape)
+
+        out._add_parent(self, grad_self)
+        out._add_parent(other, grad_other)
+        return out
+
+    __matmul__ = matmul
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_tuple = axes if axes else tuple(reversed(range(self.ndim)))
+        out = Tensor(np.transpose(self.data, axes_tuple))
+        inverse = np.argsort(axes_tuple)
+        out._add_parent(self, lambda g: np.transpose(g, inverse))
+        return out
+
+    def reshape(self, *shape: int) -> "Tensor":
+        out = Tensor(self.data.reshape(shape))
+        original = self.data.shape
+        out._add_parent(self, lambda g: g.reshape(original))
+        return out
+
+    # -------------------------------------------------------------- reductions
+
+    def sum(self, axis: int | tuple[int, ...] | None = None,
+            keepdims: bool = False) -> "Tensor":
+        out = Tensor(self.data.sum(axis=axis, keepdims=keepdims))
+
+        def grad_fn(g: Array) -> Array:
+            if axis is None:
+                return np.broadcast_to(g, self.data.shape).copy()
+            g_expanded = g if keepdims else np.expand_dims(g, axis=axis)
+            return np.broadcast_to(g_expanded, self.data.shape).copy()
+
+        out._add_parent(self, grad_fn)
+        return out
+
+    def mean(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    # ------------------------------------------------------------ elementwise
+
+    def exp(self) -> "Tensor":
+        value = np.exp(self.data)
+        out = Tensor(value)
+        out._add_parent(self, lambda g: g * value)
+        return out
+
+    def log(self) -> "Tensor":
+        out = Tensor(np.log(self.data))
+        out._add_parent(self, lambda g: g / self.data)
+        return out
+
+    def sqrt(self) -> "Tensor":
+        value = np.sqrt(self.data)
+        out = Tensor(value)
+        out._add_parent(self, lambda g: g * 0.5 / value)
+        return out
+
+    def tanh(self) -> "Tensor":
+        value = np.tanh(self.data)
+        out = Tensor(value)
+        out._add_parent(self, lambda g: g * (1.0 - value ** 2))
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = (self.data > 0).astype(self.data.dtype)
+        out = Tensor(self.data * mask)
+        out._add_parent(self, lambda g: g * mask)
+        return out
+
+    def gelu(self) -> "Tensor":
+        """Gaussian error linear unit (tanh approximation)."""
+        x = self.data
+        c = np.sqrt(2.0 / np.pi)
+        inner = c * (x + 0.044715 * x ** 3)
+        t = np.tanh(inner)
+        value = 0.5 * x * (1.0 + t)
+        out = Tensor(value)
+
+        def grad_fn(g: Array) -> Array:
+            dinner = c * (1.0 + 3 * 0.044715 * x ** 2)
+            dt = (1.0 - t ** 2) * dinner
+            return g * (0.5 * (1.0 + t) + 0.5 * x * dt)
+
+        out._add_parent(self, grad_fn)
+        return out
+
+    # --------------------------------------------------------------- nn ops
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exps = np.exp(shifted)
+        value = exps / exps.sum(axis=axis, keepdims=True)
+        out = Tensor(value)
+
+        def grad_fn(g: Array) -> Array:
+            dot = (g * value).sum(axis=axis, keepdims=True)
+            return value * (g - dot)
+
+        out._add_parent(self, grad_fn)
+        return out
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        value = shifted - log_z
+        out = Tensor(value)
+        softmax_value = np.exp(value)
+
+        def grad_fn(g: Array) -> Array:
+            return g - softmax_value * g.sum(axis=axis, keepdims=True)
+
+        out._add_parent(self, grad_fn)
+        return out
+
+    def masked_fill(self, mask: Array, value: float) -> "Tensor":
+        """Replace entries where ``mask`` is True with ``value`` (no grad flows
+        through the filled positions)."""
+        mask = np.broadcast_to(mask, self.data.shape)
+        filled = np.where(mask, value, self.data)
+        out = Tensor(filled)
+        out._add_parent(self, lambda g: np.where(mask, 0.0, g))
+        return out
+
+    def dropout(self, rate: float, rng: np.random.Generator | None = None,
+                training: bool = True) -> "Tensor":
+        """Inverted dropout; identity when not training or rate == 0."""
+        if not training or rate <= 0.0:
+            return self
+        rng = rng or np.random.default_rng()
+        keep = (rng.random(self.data.shape) >= rate).astype(self.data.dtype)
+        scale = 1.0 / (1.0 - rate)
+        out = Tensor(self.data * keep * scale)
+        out._add_parent(self, lambda g: g * keep * scale)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+
+def _as_tensor(value) -> Tensor:
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=np.float64))
+
+
+# --------------------------------------------------------------------- helpers
+
+
+def parameter(data: Array, name: str = "") -> Tensor:
+    """Create a trainable parameter tensor."""
+    return Tensor(data, requires_grad=True, name=name)
+
+
+def embedding_lookup(weight: Tensor, ids: Array) -> Tensor:
+    """Gather rows ``ids`` from an embedding matrix with scatter-add backward."""
+    ids = np.asarray(ids, dtype=np.int64)
+    out = Tensor(weight.data[ids])
+
+    def grad_fn(g: Array) -> Array:
+        grad_weight = np.zeros_like(weight.data)
+        np.add.at(grad_weight, ids.reshape(-1), g.reshape(-1, weight.data.shape[1]))
+        return grad_weight
+
+    out._add_parent(weight, grad_fn)
+    return out
+
+
+def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    datas = [t.data for t in tensors]
+    out = Tensor(np.concatenate(datas, axis=axis))
+    sizes = [d.shape[axis] for d in datas]
+    offsets = np.cumsum([0] + sizes)
+
+    for i, t in enumerate(tensors):
+        start, stop = offsets[i], offsets[i + 1]
+
+        def make_grad(start=start, stop=stop):
+            def grad_fn(g: Array) -> Array:
+                slicer = [slice(None)] * g.ndim
+                slicer[axis] = slice(start, stop)
+                return g[tuple(slicer)]
+            return grad_fn
+
+        out._add_parent(t, make_grad())
+    return out
+
+
+def numerical_gradient(fn: Callable[[Tensor], Tensor], x: Tensor,
+                       epsilon: float = 1e-6) -> Array:
+    """Central-difference gradient of a scalar-valued ``fn`` w.r.t. ``x``
+    (used only by the test suite to validate analytic gradients)."""
+    grad = np.zeros_like(x.data)
+    flat = x.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        plus = fn(Tensor(x.data.copy())).data.item()
+        flat[i] = original - epsilon
+        minus = fn(Tensor(x.data.copy())).data.item()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * epsilon)
+    return grad

@@ -1,0 +1,56 @@
+"""Saving and restoring model weights + vocabulary + configuration."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from ..tokenization.vocab import Vocabulary
+from .config import ModelConfig
+from .transformer import Seq2SeqTransformer
+
+
+def save_checkpoint(path: str | Path, model: Seq2SeqTransformer,
+                    vocab: Vocabulary) -> Path:
+    """Write model weights (npz), config and vocabulary (json) under ``path``.
+
+    ``path`` is a directory; it is created if missing.
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+
+    params = model.parameters()
+    arrays = {f"param_{i}": p.data for i, p in enumerate(params)}
+    np.savez_compressed(path / "weights.npz", **arrays)
+
+    (path / "config.json").write_text(json.dumps(asdict(model.config), indent=2))
+    (path / "vocab.json").write_text(json.dumps(vocab.to_dict(), indent=2))
+    return path
+
+
+def load_checkpoint(path: str | Path) -> tuple[Seq2SeqTransformer, Vocabulary]:
+    """Rebuild a model + vocabulary saved with :func:`save_checkpoint`."""
+    path = Path(path)
+    config = ModelConfig(**json.loads((path / "config.json").read_text()))
+    vocab = Vocabulary.from_dict(json.loads((path / "vocab.json").read_text()))
+    model = Seq2SeqTransformer(config)
+
+    with np.load(path / "weights.npz") as data:
+        params = model.parameters()
+        if len(data.files) != len(params):
+            raise ValueError(
+                f"checkpoint has {len(data.files)} parameter arrays, "
+                f"model expects {len(params)}"
+            )
+        for i, p in enumerate(params):
+            stored = data[f"param_{i}"]
+            if stored.shape != p.data.shape:
+                raise ValueError(
+                    f"parameter {i} shape mismatch: checkpoint {stored.shape} "
+                    f"vs model {p.data.shape}"
+                )
+            p.data[...] = stored
+    return model, vocab

@@ -1,0 +1,93 @@
+"""Model and training hyper-parameter configuration.
+
+``paper_config`` mirrors the paper's setup as closely as the CPU substrate
+allows (batch 32, 320 tokens, 5 epochs); ``small_config`` and ``tiny_config``
+are scaled-down presets used by the benchmark harness and the test suite
+respectively so that the full pipeline runs in seconds/minutes instead of GPU
+hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ModelConfig:
+    """Transformer architecture hyper-parameters."""
+
+    vocab_size: int = 0  # filled in after the vocabulary is built
+    d_model: int = 96
+    num_heads: int = 4
+    num_encoder_layers: int = 2
+    num_decoder_layers: int = 2
+    ffn_dim: int = 192
+    dropout: float = 0.1
+    max_positions: int = 1024
+    seed: int = 2023
+
+    def validate(self) -> None:
+        if self.vocab_size <= 0:
+            raise ValueError("vocab_size must be set before building the model")
+        if self.d_model % self.num_heads != 0:
+            raise ValueError("d_model must be divisible by num_heads")
+
+
+@dataclass
+class TrainingConfig:
+    """Optimisation hyper-parameters."""
+
+    batch_size: int = 16
+    epochs: int = 5
+    learning_rate: float = 3e-4
+    warmup_steps: int = 50
+    label_smoothing: float = 0.1
+    gradient_clip: float = 1.0
+    seed: int = 7
+    log_every: int = 10
+    #: Optional cap on the number of optimisation steps per epoch (useful for
+    #: smoke tests); None = no cap.
+    max_steps_per_epoch: int | None = None
+
+
+@dataclass
+class ExperimentConfig:
+    """Bundle of model + training + sequence-length settings."""
+
+    model: ModelConfig = field(default_factory=ModelConfig)
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    max_source_tokens: int = 320
+    max_xsbt_tokens: int = 160
+    max_target_tokens: int = 360
+    use_xsbt: bool = True
+
+
+def paper_config() -> ExperimentConfig:
+    """Closest-to-paper settings (still CPU-sized)."""
+    return ExperimentConfig(
+        model=ModelConfig(d_model=128, num_heads=8, num_encoder_layers=3,
+                          num_decoder_layers=3, ffn_dim=256, dropout=0.1),
+        training=TrainingConfig(batch_size=32, epochs=5, learning_rate=3e-4),
+    )
+
+
+def small_config() -> ExperimentConfig:
+    """Benchmark-harness preset: minutes on a laptop CPU."""
+    return ExperimentConfig(
+        model=ModelConfig(d_model=64, num_heads=4, num_encoder_layers=2,
+                          num_decoder_layers=2, ffn_dim=128, dropout=0.1),
+        training=TrainingConfig(batch_size=16, epochs=5, learning_rate=1e-3),
+    )
+
+
+def tiny_config() -> ExperimentConfig:
+    """Test-suite preset: seconds."""
+    return ExperimentConfig(
+        model=ModelConfig(d_model=32, num_heads=2, num_encoder_layers=1,
+                          num_decoder_layers=1, ffn_dim=64, dropout=0.0),
+        training=TrainingConfig(batch_size=8, epochs=1, learning_rate=1e-3,
+                                label_smoothing=0.0),
+        max_source_tokens=160,
+        max_xsbt_tokens=64,
+        max_target_tokens=200,
+    )

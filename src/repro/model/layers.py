@@ -1,0 +1,137 @@
+"""Neural-network building blocks on top of the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor, embedding_lookup, parameter
+
+
+class Module:
+    """Base class: tracks parameters of itself and registered sub-modules."""
+
+    def parameters(self) -> list[Tensor]:
+        """Return every trainable parameter reachable from this module."""
+        params: list[Tensor] = []
+        seen: set[int] = set()
+        for value in vars(self).values():
+            params.extend(_collect(value, seen))
+        return params
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return int(sum(p.data.size for p in self.parameters()))
+
+
+def _collect(value, seen: set[int]) -> list[Tensor]:
+    if isinstance(value, Tensor) and value.requires_grad:
+        if id(value) in seen:
+            return []
+        seen.add(id(value))
+        return [value]
+    if isinstance(value, Module):
+        out = []
+        for sub in vars(value).values():
+            out.extend(_collect(sub, seen))
+        return out
+    if isinstance(value, (list, tuple)):
+        out = []
+        for item in value:
+            out.extend(_collect(item, seen))
+        return out
+    return []
+
+
+class Linear(Module):
+    """Affine projection ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, *, bias: bool = True) -> None:
+        scale = np.sqrt(2.0 / (in_features + out_features))
+        self.weight = parameter(rng.normal(0.0, scale, size=(in_features, out_features)),
+                                name="linear.weight")
+        self.bias = parameter(np.zeros(out_features), name="linear.bias") if bias else None
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, dim: int, epsilon: float = 1e-5) -> None:
+        self.gamma = parameter(np.ones(dim), name="layernorm.gamma")
+        self.beta = parameter(np.zeros(dim), name="layernorm.beta")
+        self.epsilon = epsilon
+
+    def __call__(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalised = centered / (variance + self.epsilon).sqrt()
+        return normalised * self.gamma + self.beta
+
+
+class Embedding(Module):
+    """Token embedding table."""
+
+    def __init__(self, vocab_size: int, dim: int, rng: np.random.Generator) -> None:
+        self.weight = parameter(rng.normal(0.0, 0.02, size=(vocab_size, dim)),
+                                name="embedding.weight")
+        self.dim = dim
+
+    def __call__(self, ids: np.ndarray) -> Tensor:
+        return embedding_lookup(self.weight, ids)
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward network with GELU activation."""
+
+    def __init__(self, dim: int, hidden_dim: int, rng: np.random.Generator,
+                 dropout: float = 0.0) -> None:
+        self.fc1 = Linear(dim, hidden_dim, rng)
+        self.fc2 = Linear(hidden_dim, dim, rng)
+        self.dropout = dropout
+
+    def __call__(self, x: Tensor, *, rng: np.random.Generator | None = None,
+                 training: bool = False) -> Tensor:
+        hidden = self.fc1(x).gelu()
+        hidden = hidden.dropout(self.dropout, rng, training)
+        return self.fc2(hidden)
+
+
+def sinusoidal_positions(length: int, dim: int) -> np.ndarray:
+    """Sinusoidal positional encoding matrix of shape ``(length, dim)``."""
+    positions = np.arange(length)[:, None].astype(np.float64)
+    dims = np.arange(dim)[None, :].astype(np.float64)
+    angle_rates = 1.0 / np.power(10000.0, (2 * (dims // 2)) / dim)
+    angles = positions * angle_rates
+    encoding = np.zeros((length, dim))
+    encoding[:, 0::2] = np.sin(angles[:, 0::2])
+    encoding[:, 1::2] = np.cos(angles[:, 1::2])
+    return encoding
+
+
+class PositionalEncoding(Module):
+    """Adds (non-trainable) sinusoidal position information to embeddings."""
+
+    def __init__(self, max_length: int, dim: int) -> None:
+        self.encoding = sinusoidal_positions(max_length, dim)
+        self.max_length = max_length
+        self.dim = dim
+
+    def __call__(self, x: Tensor, offset: int = 0) -> Tensor:
+        length = x.shape[-2]
+        if offset + length > self.max_length:
+            raise ValueError(
+                f"sequence of length {offset + length} exceeds positional table "
+                f"({self.max_length}); increase ModelConfig.max_positions"
+            )
+        positions = Tensor(self.encoding[offset:offset + length])
+        return x + positions

@@ -1,0 +1,63 @@
+"""Cross-entropy loss with label smoothing and padding masking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .autograd import Tensor
+
+
+@dataclass
+class LossResult:
+    """Loss tensor plus scalar monitoring values."""
+
+    loss: Tensor
+    token_accuracy: float
+    num_tokens: int
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, pad_id: int,
+                  label_smoothing: float = 0.0) -> LossResult:
+    """Token-level cross-entropy.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape (batch, length, vocab).
+    targets:
+        Integer array of shape (batch, length); positions equal to ``pad_id``
+        are excluded from both the loss and the accuracy.
+    label_smoothing:
+        Mass spread uniformly over the non-target classes.
+    """
+    batch, length, vocab = logits.shape
+    targets = np.asarray(targets, dtype=np.int64)
+    mask = (targets != pad_id).astype(np.float64)
+    num_tokens = int(mask.sum())
+    if num_tokens == 0:
+        raise ValueError("loss called on a batch with no non-padding tokens")
+
+    log_probs = logits.log_softmax(axis=-1)
+
+    # Dense one-hot (possibly smoothed) target distribution.
+    smooth_value = label_smoothing / max(vocab - 1, 1)
+    dense = np.full((batch, length, vocab), smooth_value, dtype=np.float64)
+    rows = np.arange(batch)[:, None]
+    cols = np.arange(length)[None, :]
+    dense[rows, cols, targets] = 1.0 - label_smoothing
+    dense *= mask[:, :, None]
+
+    weighted = log_probs * Tensor(dense)
+    loss = -(weighted.sum()) * (1.0 / num_tokens)
+
+    predictions = logits.data.argmax(axis=-1)
+    correct = ((predictions == targets) * mask).sum()
+    accuracy = float(correct / num_tokens)
+    return LossResult(loss=loss, token_accuracy=accuracy, num_tokens=num_tokens)
+
+
+def perplexity(loss_value: float) -> float:
+    """Perplexity corresponding to a mean cross-entropy value."""
+    return float(np.exp(min(loss_value, 50.0)))

@@ -1,0 +1,82 @@
+"""Adam optimiser with warmup + inverse-square-root decay and gradient clipping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .autograd import Tensor
+
+
+@dataclass
+class AdamConfig:
+    """Adam hyper-parameters."""
+
+    learning_rate: float = 3e-4
+    beta1: float = 0.9
+    beta2: float = 0.999
+    epsilon: float = 1e-8
+    warmup_steps: int = 0
+    gradient_clip: float = 0.0
+
+
+class Adam:
+    """Adam over a fixed list of parameter tensors."""
+
+    def __init__(self, parameters: list[Tensor], config: AdamConfig | None = None) -> None:
+        self.parameters = parameters
+        self.config = config or AdamConfig()
+        self.step_count = 0
+        self._m = [np.zeros_like(p.data) for p in parameters]
+        self._v = [np.zeros_like(p.data) for p in parameters]
+
+    # ------------------------------------------------------------------ api
+
+    def current_learning_rate(self) -> float:
+        """Learning rate after warmup scaling (Noam-style ramp then flat)."""
+        base = self.config.learning_rate
+        if self.config.warmup_steps <= 0:
+            return base
+        step = max(1, self.step_count)
+        if step < self.config.warmup_steps:
+            return base * step / self.config.warmup_steps
+        return base
+
+    def clip_gradients(self) -> float:
+        """Clip the global gradient norm; returns the pre-clip norm."""
+        total = 0.0
+        for p in self.parameters:
+            if p.grad is not None:
+                total += float((p.grad ** 2).sum())
+        norm = float(np.sqrt(total))
+        limit = self.config.gradient_clip
+        if limit and limit > 0 and norm > limit:
+            scale = limit / (norm + 1e-12)
+            for p in self.parameters:
+                if p.grad is not None:
+                    p.grad = p.grad * scale
+        return norm
+
+    def step(self) -> None:
+        """Apply one Adam update to every parameter with a gradient."""
+        self.step_count += 1
+        lr = self.current_learning_rate()
+        beta1, beta2 = self.config.beta1, self.config.beta2
+        eps = self.config.epsilon
+        bias1 = 1.0 - beta1 ** self.step_count
+        bias2 = 1.0 - beta2 ** self.step_count
+
+        for i, p in enumerate(self.parameters):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            self._m[i] = beta1 * self._m[i] + (1.0 - beta1) * grad
+            self._v[i] = beta2 * self._v[i] + (1.0 - beta2) * (grad * grad)
+            m_hat = self._m[i] / bias1
+            v_hat = self._v[i] / bias2
+            p.data -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()

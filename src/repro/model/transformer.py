@@ -1,0 +1,177 @@
+"""Encoder–decoder Transformer (the SPT-Code stand-in).
+
+The architecture is the standard Vaswani et al. design with pre-layer-norm
+blocks: the encoder consumes ``code [SEP] x-sbt`` token ids, the decoder is
+auto-regressive over the target program's token ids.  Sizes are configured by
+:class:`repro.model.config.ModelConfig` and are deliberately small so that
+training runs on CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .attention import KVCache, MultiHeadAttention, combined_decoder_mask, padding_mask
+from .autograd import Tensor
+from .config import ModelConfig
+from .layers import Embedding, FeedForward, LayerNorm, Linear, Module, PositionalEncoding
+
+
+class EncoderLayer(Module):
+    """One pre-norm encoder block: self-attention + feed-forward."""
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator) -> None:
+        self.self_attn = MultiHeadAttention(config.d_model, config.num_heads, rng,
+                                            config.dropout)
+        self.ffn = FeedForward(config.d_model, config.ffn_dim, rng, config.dropout)
+        self.norm1 = LayerNorm(config.d_model)
+        self.norm2 = LayerNorm(config.d_model)
+        self.dropout = config.dropout
+
+    def __call__(self, x: Tensor, mask: np.ndarray | None, *,
+                 rng: np.random.Generator | None = None, training: bool = False) -> Tensor:
+        normed = self.norm1(x)
+        attended = self.self_attn(normed, normed, normed, mask, rng=rng, training=training)
+        x = x + attended.dropout(self.dropout, rng, training)
+        normed = self.norm2(x)
+        x = x + self.ffn(normed, rng=rng, training=training).dropout(self.dropout, rng, training)
+        return x
+
+
+class DecoderLayer(Module):
+    """One pre-norm decoder block: masked self-attention, cross-attention, FFN."""
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator) -> None:
+        self.self_attn = MultiHeadAttention(config.d_model, config.num_heads, rng,
+                                            config.dropout)
+        self.cross_attn = MultiHeadAttention(config.d_model, config.num_heads, rng,
+                                             config.dropout)
+        self.ffn = FeedForward(config.d_model, config.ffn_dim, rng, config.dropout)
+        self.norm1 = LayerNorm(config.d_model)
+        self.norm2 = LayerNorm(config.d_model)
+        self.norm3 = LayerNorm(config.d_model)
+        self.dropout = config.dropout
+
+    def __call__(
+        self,
+        x: Tensor,
+        memory: Tensor,
+        self_mask: np.ndarray | None,
+        memory_mask: np.ndarray | None,
+        *,
+        rng: np.random.Generator | None = None,
+        training: bool = False,
+        self_cache: KVCache | None = None,
+        cross_cache: KVCache | None = None,
+    ) -> Tensor:
+        normed = self.norm1(x)
+        attended = self.self_attn(normed, normed, normed, self_mask, rng=rng,
+                                  training=training, cache=self_cache)
+        x = x + attended.dropout(self.dropout, rng, training)
+
+        normed = self.norm2(x)
+        crossed = self.cross_attn(normed, memory, memory, memory_mask, rng=rng,
+                                  training=training, cache=cross_cache,
+                                  use_cached_kv=cross_cache is not None)
+        x = x + crossed.dropout(self.dropout, rng, training)
+
+        normed = self.norm3(x)
+        x = x + self.ffn(normed, rng=rng, training=training).dropout(self.dropout, rng, training)
+        return x
+
+
+@dataclass
+class DecodingState:
+    """Per-layer caches used during incremental decoding."""
+
+    self_caches: list[KVCache] = field(default_factory=list)
+    cross_caches: list[KVCache] = field(default_factory=list)
+    position: int = 0
+
+
+class Seq2SeqTransformer(Module):
+    """The full encoder–decoder model with a tied output projection."""
+
+    def __init__(self, config: ModelConfig) -> None:
+        config.validate()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.token_embedding = Embedding(config.vocab_size, config.d_model, rng)
+        self.positional = PositionalEncoding(config.max_positions, config.d_model)
+        self.encoder_layers = [EncoderLayer(config, rng)
+                               for _ in range(config.num_encoder_layers)]
+        self.decoder_layers = [DecoderLayer(config, rng)
+                               for _ in range(config.num_decoder_layers)]
+        self.encoder_norm = LayerNorm(config.d_model)
+        self.decoder_norm = LayerNorm(config.d_model)
+        self.output_proj = Linear(config.d_model, config.vocab_size, rng)
+        self.embed_scale = float(np.sqrt(config.d_model))
+
+    # --------------------------------------------------------------- encoder
+
+    def encode(self, source_ids: np.ndarray, pad_id: int, *,
+               rng: np.random.Generator | None = None, training: bool = False) -> Tensor:
+        """Run the encoder; returns memory of shape (batch, src_len, d_model)."""
+        mask = padding_mask(source_ids, pad_id)
+        x = self.token_embedding(source_ids) * self.embed_scale
+        x = self.positional(x)
+        x = x.dropout(self.config.dropout, rng, training)
+        for layer in self.encoder_layers:
+            x = layer(x, mask, rng=rng, training=training)
+        return self.encoder_norm(x)
+
+    # --------------------------------------------------------------- decoder
+
+    def decode(self, target_ids: np.ndarray, memory: Tensor, source_ids: np.ndarray,
+               pad_id: int, *, rng: np.random.Generator | None = None,
+               training: bool = False) -> Tensor:
+        """Teacher-forced decoding; returns logits (batch, tgt_len, vocab)."""
+        self_mask = combined_decoder_mask(target_ids, pad_id)
+        memory_mask = padding_mask(source_ids, pad_id)
+        x = self.token_embedding(target_ids) * self.embed_scale
+        x = self.positional(x)
+        x = x.dropout(self.config.dropout, rng, training)
+        for layer in self.decoder_layers:
+            x = layer(x, memory, self_mask, memory_mask, rng=rng, training=training)
+        x = self.decoder_norm(x)
+        return self.output_proj(x)
+
+    def forward(self, source_ids: np.ndarray, target_ids: np.ndarray, pad_id: int, *,
+                rng: np.random.Generator | None = None, training: bool = False) -> Tensor:
+        """Full forward pass used by the trainer."""
+        memory = self.encode(source_ids, pad_id, rng=rng, training=training)
+        return self.decode(target_ids, memory, source_ids, pad_id, rng=rng,
+                           training=training)
+
+    __call__ = forward
+
+    # ------------------------------------------------------- incremental api
+
+    def start_decoding(self) -> DecodingState:
+        """Create fresh per-layer KV caches for incremental generation."""
+        return DecodingState(
+            self_caches=[KVCache() for _ in self.decoder_layers],
+            cross_caches=[KVCache() for _ in self.decoder_layers],
+            position=0,
+        )
+
+    def decode_step(self, token_ids: np.ndarray, memory: Tensor,
+                    source_ids: np.ndarray, pad_id: int,
+                    state: DecodingState) -> np.ndarray:
+        """Decode one step for a batch of single tokens.
+
+        ``token_ids`` has shape (batch, 1).  Returns logits (batch, vocab).
+        """
+        memory_mask = padding_mask(source_ids, pad_id)
+        x = self.token_embedding(token_ids) * self.embed_scale
+        x = self.positional(x, offset=state.position)
+        for layer, self_cache, cross_cache in zip(self.decoder_layers, state.self_caches,
+                                                  state.cross_caches):
+            x = layer(x, memory, None, memory_mask, self_cache=self_cache,
+                      cross_cache=cross_cache)
+        x = self.decoder_norm(x)
+        logits = self.output_proj(x)
+        state.position += 1
+        return logits.data[:, 0, :]

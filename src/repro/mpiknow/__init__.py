@@ -1,0 +1,33 @@
+"""MPI knowledge base: function registry, categories, call signatures."""
+
+from .registry import (
+    ALL_MPI_FUNCTION_NAMES,
+    MPI_COMMON_CORE,
+    MPI_CONSTANTS,
+    MPI_FUNCTIONS,
+    MPIFunctionInfo,
+    categories,
+    functions_in_category,
+    is_common_core,
+    is_mpi_call_name,
+    is_mpi_function,
+    is_mpi_identifier,
+)
+from .signatures import CALL_SKELETONS, DEFAULT_PLACEHOLDERS, render_call
+
+__all__ = [
+    "ALL_MPI_FUNCTION_NAMES",
+    "MPI_COMMON_CORE",
+    "MPI_CONSTANTS",
+    "MPI_FUNCTIONS",
+    "MPIFunctionInfo",
+    "categories",
+    "functions_in_category",
+    "is_common_core",
+    "is_mpi_call_name",
+    "is_mpi_function",
+    "is_mpi_identifier",
+    "CALL_SKELETONS",
+    "DEFAULT_PLACEHOLDERS",
+    "render_call",
+]

@@ -1,0 +1,252 @@
+"""Registry of MPI functions known to the system.
+
+The paper frames RQ1 as a multi-class classification over the 456 MPI
+functions observed in MPICodeCorpus, with a distinguished "MPI Common Core"
+of the eight most frequent functions (Table Ib).  This module provides:
+
+* :data:`MPI_COMMON_CORE` — the common-core list in the paper's frequency order;
+* :data:`MPI_FUNCTIONS` — a broad registry of MPI-1/2/3 function names grouped
+  by category, used by the corpus generator, the dataset removal pass, the
+  classifier head of the evaluation, and the MPI runtime simulator;
+* helpers to test whether an identifier is an MPI call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MPIFunctionInfo:
+    """Metadata about a single MPI function."""
+
+    name: str
+    category: str
+    #: Number of arguments in the canonical C binding (informational only).
+    arity: int
+    #: True if the function is in the paper's "MPI Common Core" (Table Ib).
+    common_core: bool = False
+
+
+#: The paper's MPI Common Core, ordered by corpus frequency (Table Ib).
+MPI_COMMON_CORE: tuple[str, ...] = (
+    "MPI_Finalize",
+    "MPI_Comm_rank",
+    "MPI_Comm_size",
+    "MPI_Init",
+    "MPI_Recv",
+    "MPI_Send",
+    "MPI_Reduce",
+    "MPI_Bcast",
+)
+
+#: (name, category, arity, common_core)
+_RAW_FUNCTIONS: list[tuple[str, str, int]] = [
+    # --- environment management
+    ("MPI_Init", "environment", 2),
+    ("MPI_Init_thread", "environment", 4),
+    ("MPI_Finalize", "environment", 0),
+    ("MPI_Initialized", "environment", 1),
+    ("MPI_Finalized", "environment", 1),
+    ("MPI_Abort", "environment", 2),
+    ("MPI_Get_processor_name", "environment", 2),
+    ("MPI_Get_version", "environment", 2),
+    ("MPI_Wtime", "environment", 0),
+    ("MPI_Wtick", "environment", 0),
+    ("MPI_Error_string", "environment", 3),
+    ("MPI_Error_class", "environment", 2),
+    ("MPI_Errhandler_set", "environment", 2),
+    ("MPI_Comm_set_errhandler", "environment", 2),
+    # --- communicator / group management
+    ("MPI_Comm_rank", "communicator", 2),
+    ("MPI_Comm_size", "communicator", 2),
+    ("MPI_Comm_split", "communicator", 4),
+    ("MPI_Comm_dup", "communicator", 2),
+    ("MPI_Comm_free", "communicator", 1),
+    ("MPI_Comm_create", "communicator", 3),
+    ("MPI_Comm_group", "communicator", 2),
+    ("MPI_Comm_compare", "communicator", 3),
+    ("MPI_Group_incl", "communicator", 4),
+    ("MPI_Group_excl", "communicator", 4),
+    ("MPI_Group_rank", "communicator", 2),
+    ("MPI_Group_size", "communicator", 2),
+    ("MPI_Group_free", "communicator", 1),
+    ("MPI_Group_union", "communicator", 3),
+    ("MPI_Group_intersection", "communicator", 3),
+    ("MPI_Comm_create_group", "communicator", 4),
+    # --- point to point
+    ("MPI_Send", "point_to_point", 6),
+    ("MPI_Recv", "point_to_point", 7),
+    ("MPI_Isend", "point_to_point", 7),
+    ("MPI_Irecv", "point_to_point", 7),
+    ("MPI_Ssend", "point_to_point", 6),
+    ("MPI_Rsend", "point_to_point", 6),
+    ("MPI_Bsend", "point_to_point", 6),
+    ("MPI_Issend", "point_to_point", 7),
+    ("MPI_Irsend", "point_to_point", 7),
+    ("MPI_Ibsend", "point_to_point", 7),
+    ("MPI_Sendrecv", "point_to_point", 12),
+    ("MPI_Sendrecv_replace", "point_to_point", 9),
+    ("MPI_Probe", "point_to_point", 4),
+    ("MPI_Iprobe", "point_to_point", 5),
+    ("MPI_Get_count", "point_to_point", 3),
+    ("MPI_Wait", "point_to_point", 2),
+    ("MPI_Waitall", "point_to_point", 3),
+    ("MPI_Waitany", "point_to_point", 4),
+    ("MPI_Waitsome", "point_to_point", 5),
+    ("MPI_Test", "point_to_point", 3),
+    ("MPI_Testall", "point_to_point", 4),
+    ("MPI_Testany", "point_to_point", 5),
+    ("MPI_Cancel", "point_to_point", 1),
+    ("MPI_Request_free", "point_to_point", 1),
+    # --- collectives
+    ("MPI_Bcast", "collective", 5),
+    ("MPI_Reduce", "collective", 7),
+    ("MPI_Allreduce", "collective", 6),
+    ("MPI_Scatter", "collective", 8),
+    ("MPI_Scatterv", "collective", 9),
+    ("MPI_Gather", "collective", 8),
+    ("MPI_Gatherv", "collective", 9),
+    ("MPI_Allgather", "collective", 7),
+    ("MPI_Allgatherv", "collective", 8),
+    ("MPI_Alltoall", "collective", 7),
+    ("MPI_Alltoallv", "collective", 9),
+    ("MPI_Barrier", "collective", 1),
+    ("MPI_Scan", "collective", 6),
+    ("MPI_Exscan", "collective", 6),
+    ("MPI_Reduce_scatter", "collective", 6),
+    ("MPI_Ibcast", "collective", 6),
+    ("MPI_Ireduce", "collective", 8),
+    ("MPI_Iallreduce", "collective", 7),
+    ("MPI_Igather", "collective", 9),
+    ("MPI_Iscatter", "collective", 9),
+    ("MPI_Ibarrier", "collective", 2),
+    # --- derived datatypes
+    ("MPI_Type_contiguous", "datatype", 3),
+    ("MPI_Type_vector", "datatype", 5),
+    ("MPI_Type_create_struct", "datatype", 5),
+    ("MPI_Type_commit", "datatype", 1),
+    ("MPI_Type_free", "datatype", 1),
+    ("MPI_Type_size", "datatype", 2),
+    ("MPI_Type_get_extent", "datatype", 3),
+    ("MPI_Type_create_subarray", "datatype", 7),
+    ("MPI_Type_indexed", "datatype", 5),
+    ("MPI_Pack", "datatype", 7),
+    ("MPI_Unpack", "datatype", 7),
+    ("MPI_Pack_size", "datatype", 4),
+    ("MPI_Op_create", "datatype", 3),
+    ("MPI_Op_free", "datatype", 1),
+    # --- topology
+    ("MPI_Cart_create", "topology", 6),
+    ("MPI_Cart_coords", "topology", 4),
+    ("MPI_Cart_rank", "topology", 3),
+    ("MPI_Cart_shift", "topology", 5),
+    ("MPI_Cart_sub", "topology", 3),
+    ("MPI_Dims_create", "topology", 3),
+    ("MPI_Graph_create", "topology", 6),
+    ("MPI_Cartdim_get", "topology", 2),
+    ("MPI_Cart_get", "topology", 5),
+    # --- one sided
+    ("MPI_Win_create", "one_sided", 6),
+    ("MPI_Win_allocate", "one_sided", 6),
+    ("MPI_Win_free", "one_sided", 1),
+    ("MPI_Win_fence", "one_sided", 2),
+    ("MPI_Win_lock", "one_sided", 4),
+    ("MPI_Win_unlock", "one_sided", 2),
+    ("MPI_Put", "one_sided", 8),
+    ("MPI_Get", "one_sided", 8),
+    ("MPI_Accumulate", "one_sided", 9),
+    # --- I/O
+    ("MPI_File_open", "io", 5),
+    ("MPI_File_close", "io", 1),
+    ("MPI_File_read", "io", 5),
+    ("MPI_File_write", "io", 5),
+    ("MPI_File_read_at", "io", 6),
+    ("MPI_File_write_at", "io", 6),
+    ("MPI_File_read_all", "io", 5),
+    ("MPI_File_write_all", "io", 5),
+    ("MPI_File_set_view", "io", 6),
+    ("MPI_File_seek", "io", 3),
+    ("MPI_File_get_size", "io", 2),
+    ("MPI_File_set_size", "io", 2),
+    ("MPI_File_delete", "io", 2),
+    # --- attribute / info / misc
+    ("MPI_Attr_get", "misc", 4),
+    ("MPI_Info_create", "misc", 1),
+    ("MPI_Info_set", "misc", 3),
+    ("MPI_Info_free", "misc", 1),
+    ("MPI_Status_set_elements", "misc", 3),
+    ("MPI_Address", "misc", 2),
+    ("MPI_Get_address", "misc", 2),
+    ("MPI_Buffer_attach", "misc", 2),
+    ("MPI_Buffer_detach", "misc", 2),
+]
+
+
+def _build_registry() -> dict[str, MPIFunctionInfo]:
+    registry: dict[str, MPIFunctionInfo] = {}
+    core = set(MPI_COMMON_CORE)
+    for name, category, arity in _RAW_FUNCTIONS:
+        registry[name] = MPIFunctionInfo(
+            name=name, category=category, arity=arity, common_core=name in core
+        )
+    return registry
+
+
+#: Mapping of MPI function name -> :class:`MPIFunctionInfo`.
+MPI_FUNCTIONS: dict[str, MPIFunctionInfo] = _build_registry()
+
+#: Sorted tuple of every registered MPI function name (the classifier label set).
+ALL_MPI_FUNCTION_NAMES: tuple[str, ...] = tuple(sorted(MPI_FUNCTIONS))
+
+#: MPI constants that appear as call arguments; the interpreter and corpus
+#: generator both need them.
+MPI_CONSTANTS: tuple[str, ...] = (
+    "MPI_COMM_WORLD", "MPI_COMM_SELF", "MPI_COMM_NULL",
+    "MPI_INT", "MPI_DOUBLE", "MPI_FLOAT", "MPI_CHAR", "MPI_LONG",
+    "MPI_UNSIGNED", "MPI_LONG_LONG", "MPI_BYTE",
+    "MPI_SUM", "MPI_MAX", "MPI_MIN", "MPI_PROD", "MPI_LAND", "MPI_LOR",
+    "MPI_MAXLOC", "MPI_MINLOC",
+    "MPI_ANY_SOURCE", "MPI_ANY_TAG", "MPI_STATUS_IGNORE", "MPI_STATUSES_IGNORE",
+    "MPI_IN_PLACE", "MPI_SUCCESS", "MPI_PROC_NULL", "MPI_REQUEST_NULL",
+    "MPI_MAX_PROCESSOR_NAME", "MPI_THREAD_MULTIPLE", "MPI_INFO_NULL",
+)
+
+
+def is_mpi_function(name: str) -> bool:
+    """True if ``name`` is a registered MPI function."""
+    return name in MPI_FUNCTIONS
+
+
+def is_mpi_identifier(name: str) -> bool:
+    """True if ``name`` looks like any MPI API symbol (function or constant).
+
+    The dataset removal pass uses :func:`is_mpi_call_name` (functions only);
+    this broader check is useful for analyses of MPI surface area in code.
+    """
+    return name in MPI_FUNCTIONS or name in MPI_CONSTANTS or name.startswith("MPI_")
+
+
+def is_mpi_call_name(name: str) -> bool:
+    """True if ``name`` should be treated as an MPI *call* for removal.
+
+    Any identifier starting with ``MPI_`` that is used in call position counts,
+    even if it is not in the registry — mined code contains wrappers and less
+    common MPI routines, and the paper removes all of them.
+    """
+    return name.startswith("MPI_") and name not in MPI_CONSTANTS
+
+
+def is_common_core(name: str) -> bool:
+    """True if ``name`` is one of the paper's MPI Common Core functions."""
+    return name in MPI_COMMON_CORE
+
+
+def functions_in_category(category: str) -> list[str]:
+    """Return all registered function names in ``category`` (sorted)."""
+    return sorted(n for n, info in MPI_FUNCTIONS.items() if info.category == category)
+
+
+def categories() -> list[str]:
+    """Return the sorted list of function categories."""
+    return sorted({info.category for info in MPI_FUNCTIONS.values()})

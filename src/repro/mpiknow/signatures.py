@@ -1,0 +1,124 @@
+"""Canonical C signatures for the MPI functions used by the corpus generator.
+
+The corpus templates need syntactically valid MPI calls with plausible
+arguments; the signature table records, per function, the canonical argument
+skeleton with placeholders that templates substitute:
+
+``{buf}`` / ``{recvbuf}`` — data buffers, ``{count}`` — element counts,
+``{dtype}`` — MPI datatype constants, ``{op}`` — reduction ops, ``{root}`` /
+``{dest}`` / ``{src}`` — ranks, ``{tag}`` — message tags, ``{comm}`` —
+communicators, ``{status}`` / ``{request}`` — status/request objects.
+"""
+
+from __future__ import annotations
+
+#: Argument skeletons for the functions the synthetic corpus emits.
+CALL_SKELETONS: dict[str, str] = {
+    "MPI_Init": "&argc, &argv",
+    "MPI_Init_thread": "&argc, &argv, MPI_THREAD_MULTIPLE, &{var}",
+    "MPI_Finalize": "",
+    "MPI_Abort": "{comm}, 1",
+    "MPI_Comm_rank": "{comm}, &{rank}",
+    "MPI_Comm_size": "{comm}, &{size}",
+    "MPI_Comm_split": "{comm}, {color}, {rank}, &{newcomm}",
+    "MPI_Comm_dup": "{comm}, &{newcomm}",
+    "MPI_Comm_free": "&{newcomm}",
+    "MPI_Get_processor_name": "{name}, &{len}",
+    "MPI_Wtime": "",
+    "MPI_Barrier": "{comm}",
+    "MPI_Send": "{buf}, {count}, {dtype}, {dest}, {tag}, {comm}",
+    "MPI_Recv": "{buf}, {count}, {dtype}, {src}, {tag}, {comm}, {status}",
+    "MPI_Isend": "{buf}, {count}, {dtype}, {dest}, {tag}, {comm}, &{request}",
+    "MPI_Irecv": "{buf}, {count}, {dtype}, {src}, {tag}, {comm}, &{request}",
+    "MPI_Ssend": "{buf}, {count}, {dtype}, {dest}, {tag}, {comm}",
+    "MPI_Sendrecv": ("{buf}, {count}, {dtype}, {dest}, {tag}, "
+                     "{recvbuf}, {count}, {dtype}, {src}, {tag}, {comm}, {status}"),
+    "MPI_Wait": "&{request}, {status}",
+    "MPI_Waitall": "{count}, {requests}, MPI_STATUSES_IGNORE",
+    "MPI_Probe": "{src}, {tag}, {comm}, {status}",
+    "MPI_Get_count": "{status}, {dtype}, &{count}",
+    "MPI_Bcast": "{buf}, {count}, {dtype}, {root}, {comm}",
+    "MPI_Reduce": "{buf}, {recvbuf}, {count}, {dtype}, {op}, {root}, {comm}",
+    "MPI_Allreduce": "{buf}, {recvbuf}, {count}, {dtype}, {op}, {comm}",
+    "MPI_Scatter": ("{buf}, {count}, {dtype}, {recvbuf}, {count}, {dtype}, "
+                    "{root}, {comm}"),
+    "MPI_Gather": ("{buf}, {count}, {dtype}, {recvbuf}, {count}, {dtype}, "
+                   "{root}, {comm}"),
+    "MPI_Allgather": "{buf}, {count}, {dtype}, {recvbuf}, {count}, {dtype}, {comm}",
+    "MPI_Alltoall": "{buf}, {count}, {dtype}, {recvbuf}, {count}, {dtype}, {comm}",
+    "MPI_Scatterv": ("{buf}, {counts}, {displs}, {dtype}, {recvbuf}, {count}, "
+                     "{dtype}, {root}, {comm}"),
+    "MPI_Gatherv": ("{buf}, {count}, {dtype}, {recvbuf}, {counts}, {displs}, "
+                    "{dtype}, {root}, {comm}"),
+    "MPI_Scan": "{buf}, {recvbuf}, {count}, {dtype}, {op}, {comm}",
+    "MPI_Reduce_scatter": "{buf}, {recvbuf}, {counts}, {dtype}, {op}, {comm}",
+    "MPI_Type_contiguous": "{count}, {dtype}, &{newtype}",
+    "MPI_Type_vector": "{count}, 1, {size}, {dtype}, &{newtype}",
+    "MPI_Type_commit": "&{newtype}",
+    "MPI_Type_free": "&{newtype}",
+    "MPI_Cart_create": "{comm}, 2, {dims}, {periods}, 1, &{newcomm}",
+    "MPI_Cart_coords": "{newcomm}, {rank}, 2, {coords}",
+    "MPI_Cart_shift": "{newcomm}, 0, 1, &{src}, &{dest}",
+    "MPI_Dims_create": "{size}, 2, {dims}",
+    "MPI_Win_create": ("{buf}, {count} * sizeof(double), sizeof(double), "
+                       "MPI_INFO_NULL, {comm}, &{win}"),
+    "MPI_Win_fence": "0, {win}",
+    "MPI_Win_free": "&{win}",
+    "MPI_Put": "{buf}, {count}, {dtype}, {dest}, 0, {count}, {dtype}, {win}",
+    "MPI_Get": "{buf}, {count}, {dtype}, {src}, 0, {count}, {dtype}, {win}",
+    "MPI_File_open": ("{comm}, \"out.dat\", MPI_MODE_WRONLY | MPI_MODE_CREATE, "
+                      "MPI_INFO_NULL, &{file}"),
+    "MPI_File_close": "&{file}",
+    "MPI_File_write_at": "{file}, {rank} * {count}, {buf}, {count}, {dtype}, {status}",
+    "MPI_File_read_at": "{file}, {rank} * {count}, {buf}, {count}, {dtype}, {status}",
+}
+
+#: Reasonable default substitutions for skeleton placeholders.
+DEFAULT_PLACEHOLDERS: dict[str, str] = {
+    "buf": "data",
+    "recvbuf": "result",
+    "count": "n",
+    "counts": "counts",
+    "displs": "displs",
+    "dtype": "MPI_DOUBLE",
+    "op": "MPI_SUM",
+    "root": "0",
+    "dest": "dest",
+    "src": "source",
+    "tag": "0",
+    "comm": "MPI_COMM_WORLD",
+    "status": "MPI_STATUS_IGNORE",
+    "request": "request",
+    "requests": "requests",
+    "rank": "rank",
+    "size": "size",
+    "newcomm": "newcomm",
+    "newtype": "newtype",
+    "color": "rank % 2",
+    "name": "name",
+    "len": "namelen",
+    "var": "provided",
+    "dims": "dims",
+    "periods": "periods",
+    "coords": "coords",
+    "win": "win",
+    "file": "fh",
+}
+
+
+def render_call(name: str, **overrides: str) -> str:
+    """Render a full MPI call statement for ``name``.
+
+    Unknown functions get an empty argument list.  ``overrides`` replace the
+    default placeholder substitutions.
+    """
+    skeleton = CALL_SKELETONS.get(name, "")
+    values = dict(DEFAULT_PLACEHOLDERS)
+    values.update(overrides)
+
+    class _SafeDict(dict):
+        def __missing__(self, key: str) -> str:  # pragma: no cover - defensive
+            return key
+
+    args = skeleton.format_map(_SafeDict(values))
+    return f"{name}({args});"

@@ -1,0 +1,25 @@
+"""MPI-RICAL core: training pipeline, prediction, suggestions, assistant, baseline."""
+
+from .assistant import Advice, AdviceSession, MPIAssistant
+from .baseline import BaselineConfig, RuleBasedBaseline
+from .pipeline import MPIRical, PredictionResult
+from .suggestions import (
+    MPISuggestion,
+    apply_suggestions,
+    extract_suggestions,
+    suggestions_by_function,
+)
+
+__all__ = [
+    "Advice",
+    "AdviceSession",
+    "MPIAssistant",
+    "BaselineConfig",
+    "RuleBasedBaseline",
+    "MPIRical",
+    "PredictionResult",
+    "MPISuggestion",
+    "apply_suggestions",
+    "extract_suggestions",
+    "suggestions_by_function",
+]

@@ -1,0 +1,101 @@
+"""IDE-style programming assistant wrapper around a trained MPI-RICAL model.
+
+The paper positions MPI-RICAL as an in-editor advisor: the programmer writes
+serial domain-decomposition code and the tool proposes MPI calls and their
+locations on the fly.  :class:`MPIAssistant` exposes that interaction:
+
+* :meth:`advise` — given a (possibly incomplete) source buffer, return a list
+  of :class:`Advice` items, each a renderable suggestion with a confidence
+  proxy and the affected line;
+* :meth:`rewrite` — return the buffer with the accepted suggestions applied;
+* incomplete code is handled through the tolerant parser, mirroring the
+  TreeSitter-based live advising discussed in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..clang.parser import parse_source_with_diagnostics
+from ..mpiknow.registry import MPI_COMMON_CORE
+from ..xsbt.xsbt import xsbt_string
+from .pipeline import MPIRical
+from .suggestions import MPISuggestion, apply_suggestions
+
+
+@dataclass
+class Advice:
+    """One piece of advice shown to the programmer."""
+
+    suggestion: MPISuggestion
+    #: Rough confidence proxy: common-core functions are suggested far more
+    #: reliably than tail functions (Table II MCC vs M rows), so they are
+    #: flagged "high"; everything else "medium".
+    confidence: str = "medium"
+    note: str = ""
+
+    def render(self) -> str:
+        text = self.suggestion.render()
+        return f"[{self.confidence}] {text}" + (f" — {self.note}" if self.note else "")
+
+
+@dataclass
+class AdviceSession:
+    """The result of one advise() call."""
+
+    advice: list[Advice] = field(default_factory=list)
+    parse_diagnostics: list[str] = field(default_factory=list)
+    generated_code: str = ""
+
+    def summary(self) -> str:
+        lines = [a.render() for a in self.advice]
+        if not lines:
+            return "no MPI insertions suggested"
+        return "\n".join(lines)
+
+
+class MPIAssistant:
+    """Interactive advisor facade over :class:`MPIRical`."""
+
+    def __init__(self, mpirical: MPIRical) -> None:
+        self.mpirical = mpirical
+
+    # ------------------------------------------------------------------ api
+
+    def advise(self, source_code: str) -> AdviceSession:
+        """Suggest MPI insertions for ``source_code``.
+
+        The buffer is parsed tolerantly; parse diagnostics are surfaced to the
+        caller (an IDE would show them as soft warnings) but never block the
+        suggestion flow — incomplete code is the expected case while typing.
+        """
+        unit, diagnostics = parse_source_with_diagnostics(source_code)
+        xsbt = xsbt_string(unit)
+        result = self.mpirical.predict_code(source_code, xsbt)
+
+        session = AdviceSession(
+            parse_diagnostics=[d.message for d in diagnostics],
+            generated_code=result.generated_code,
+        )
+        for suggestion in result.suggestions:
+            confidence = "high" if suggestion.function in MPI_COMMON_CORE else "medium"
+            note = ""
+            if suggestion.function in ("MPI_Init", "MPI_Finalize"):
+                note = "required to bracket the parallel region"
+            session.advice.append(Advice(suggestion=suggestion, confidence=confidence,
+                                         note=note))
+        return session
+
+    def rewrite(self, source_code: str, advice: list[Advice] | None = None) -> str:
+        """Apply advice to the buffer and return the new text.
+
+        With ``advice=None`` every suggestion from a fresh :meth:`advise` pass
+        is applied (the "accept all" action).
+        """
+        if advice is None:
+            advice = self.advise(source_code).advice
+        return apply_suggestions(source_code, [a.suggestion for a in advice])
+
+    def advise_functions(self, source_code: str) -> list[str]:
+        """Just the MPI function names the assistant would insert (RQ1 view)."""
+        return [a.suggestion.function for a in self.advise(source_code).advice]

@@ -1,0 +1,154 @@
+"""Rule-based baseline for MPI insertion.
+
+The paper motivates MPI-RICAL by arguing that deterministic, rule-based
+tooling cannot handle the open-ended placement decisions of domain
+decomposition.  This baseline is the strongest *simple* deterministic policy
+we could write without program analysis, and the ablation benchmark compares
+it against the learned model:
+
+* ``MPI_Init(&argc, &argv);`` right after the last declaration at the top of
+  ``main``;
+* ``MPI_Comm_rank`` / ``MPI_Comm_size`` immediately after ``MPI_Init`` (using
+  rank/size variable names found among the declarations, else defaults);
+* ``MPI_Finalize();`` immediately before ``main``'s final ``return`` (or at
+  the end of ``main``);
+* optionally, a single ``MPI_Reduce`` before the first root-guarded ``printf``
+  if the code accumulates into a scalar inside a loop (the most common
+  reduction idiom).
+
+Everything else (Send/Recv placement, Scatter/Gather pairing, non-blocking
+communication) is out of reach for the rules — which is exactly the gap the
+learned model closes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .suggestions import MPISuggestion
+
+_DECLARATION_RE = re.compile(
+    r"^\s*(?:static\s+|const\s+)?(?:unsigned\s+|signed\s+)?"
+    r"(?:int|long|float|double|char|size_t|MPI_\w+)\b[^=;()]*(=[^;]*)?;"
+)
+_RANK_NAME_RE = re.compile(r"\b(?:int)\b[^;]*\b(rank|my_rank|myid|me|world_rank|pid)\b")
+_SIZE_NAME_RE = re.compile(r"\b(?:int)\b[^;]*\b(size|num_procs|nprocs|world_size|numprocs|np)\b")
+_ACCUMULATION_RE = re.compile(r"\b(\w+)\s*(\+=|=\s*\1\s*[+*])")
+_ROOT_PRINT_RE = re.compile(r"if\s*\(\s*\w+\s*==\s*0\s*\)")
+
+
+@dataclass
+class BaselineConfig:
+    """Baseline behaviour switches (for the ablation grid)."""
+
+    insert_reduce: bool = True
+
+
+class RuleBasedBaseline:
+    """Deterministic MPI-insertion policy."""
+
+    def __init__(self, config: BaselineConfig | None = None) -> None:
+        self.config = config or BaselineConfig()
+
+    # ------------------------------------------------------------------ api
+
+    def suggest(self, source_code: str) -> list[MPISuggestion]:
+        """Produce insertion suggestions for ``source_code``."""
+        lines = source_code.splitlines()
+        main_start = self._find_main(lines)
+        if main_start is None:
+            return []
+
+        rank_var, size_var = self._find_rank_size_names(lines)
+        last_decl = self._last_declaration_line(lines, main_start)
+        insert_anchor = last_decl if last_decl is not None else main_start + 1
+
+        suggestions = [
+            MPISuggestion("MPI_Init", insert_anchor, "MPI_Init(&argc, &argv);"),
+            MPISuggestion("MPI_Comm_rank", insert_anchor,
+                          f"MPI_Comm_rank(MPI_COMM_WORLD, &{rank_var});"),
+            MPISuggestion("MPI_Comm_size", insert_anchor,
+                          f"MPI_Comm_size(MPI_COMM_WORLD, &{size_var});"),
+        ]
+
+        finalize_anchor = self._finalize_anchor(lines, main_start)
+        suggestions.append(MPISuggestion("MPI_Finalize", finalize_anchor, "MPI_Finalize();"))
+
+        if self.config.insert_reduce:
+            reduce_suggestion = self._maybe_reduce(lines, rank_var)
+            if reduce_suggestion is not None:
+                suggestions.append(reduce_suggestion)
+        return suggestions
+
+    def predict_code(self, source_code: str) -> str:
+        """Return the program with the baseline's insertions applied."""
+        from .suggestions import apply_suggestions
+
+        return apply_suggestions(source_code, self.suggest(source_code))
+
+    # ------------------------------------------------------------ internals
+
+    @staticmethod
+    def _find_main(lines: list[str]) -> int | None:
+        for idx, line in enumerate(lines):
+            if re.search(r"\bmain\s*\(", line):
+                return idx + 1  # 1-based
+        return None
+
+    @staticmethod
+    def _find_rank_size_names(lines: list[str]) -> tuple[str, str]:
+        rank_var, size_var = "rank", "size"
+        for line in lines:
+            rank_match = _RANK_NAME_RE.search(line)
+            if rank_match:
+                rank_var = rank_match.group(1)
+            size_match = _SIZE_NAME_RE.search(line)
+            if size_match:
+                size_var = size_match.group(1)
+        return rank_var, size_var
+
+    @staticmethod
+    def _last_declaration_line(lines: list[str], main_start: int) -> int | None:
+        last = None
+        for idx in range(main_start, len(lines)):
+            line = lines[idx]
+            if _DECLARATION_RE.match(line):
+                last = idx + 1  # 1-based
+                continue
+            if line.strip() and last is not None:
+                break
+        return last
+
+    @staticmethod
+    def _finalize_anchor(lines: list[str], main_start: int) -> int:
+        # Before the last `return` in the file; else before the final brace.
+        last_return = None
+        for idx in range(main_start, len(lines)):
+            if re.match(r"\s*return\b", lines[idx]):
+                last_return = idx
+        if last_return is not None:
+            return last_return  # insert after the line preceding the return
+        for idx in range(len(lines) - 1, -1, -1):
+            if lines[idx].strip() == "}":
+                return idx
+        return len(lines)
+
+    @staticmethod
+    def _maybe_reduce(lines: list[str], rank_var: str) -> MPISuggestion | None:
+        accumulator: str | None = None
+        for line in lines:
+            match = _ACCUMULATION_RE.search(line)
+            if match:
+                accumulator = match.group(1)
+        if accumulator is None:
+            return None
+        for idx, line in enumerate(lines):
+            if _ROOT_PRINT_RE.search(line):
+                return MPISuggestion(
+                    "MPI_Reduce",
+                    idx,  # before the root-guarded print
+                    f"MPI_Reduce(&{accumulator}, &{accumulator}_total, 1, MPI_DOUBLE, "
+                    "MPI_SUM, 0, MPI_COMM_WORLD);",
+                )
+        return None

@@ -1,0 +1,159 @@
+"""The MPI-RICAL pipeline: dataset → vocabulary → Transformer → predictions.
+
+This is the library's primary entry point.  :class:`MPIRical` wires the
+dataset builder, the tokenizer, the seq2seq Transformer, greedy decoding and
+the evaluation metrics into the workflow of Figure 1a:
+
+>>> corpus = default_corpus(num_repositories=80)
+>>> dataset = build_dataset(corpus)
+>>> mpirical = MPIRical.fit(dataset.splits.train, dataset.splits.validation)
+>>> evaluation = mpirical.evaluate(dataset.splits.test)   # Table II metrics
+>>> generated = mpirical.predict_code(some_mpi_free_program)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..dataset.records import TranslationExample
+from ..evaluation.report import CorpusEvaluation, ExamplePrediction, evaluate_corpus
+from ..model.checkpoints import load_checkpoint, save_checkpoint
+from ..model.config import ExperimentConfig, small_config
+from ..model.generation import greedy_decode
+from ..model.trainer import Trainer, TrainingHistory
+from ..model.transformer import Seq2SeqTransformer
+from ..tokenization.code_tokenizer import ExampleEncoder, SequenceConfig, tokenize_code
+from ..xsbt.xsbt import xsbt_for_source
+from .suggestions import MPISuggestion, extract_suggestions
+
+
+@dataclass
+class PredictionResult:
+    """Everything produced for one input program."""
+
+    generated_code: str
+    generated_tokens: list[str]
+    suggestions: list[MPISuggestion] = field(default_factory=list)
+
+
+class MPIRical:
+    """The trained MPI-RICAL assistant."""
+
+    def __init__(self, model: Seq2SeqTransformer, encoder: ExampleEncoder,
+                 config: ExperimentConfig, history: TrainingHistory | None = None) -> None:
+        self.model = model
+        self.encoder = encoder
+        self.config = config
+        self.history = history or TrainingHistory()
+
+    # --------------------------------------------------------------- training
+
+    @classmethod
+    def fit(cls, train_examples: list[TranslationExample],
+            validation_examples: list[TranslationExample] | None = None,
+            config: ExperimentConfig | None = None, *, verbose: bool = False) -> "MPIRical":
+        """Fine-tune the Transformer on translation examples.
+
+        This is the reproduction's equivalent of fine-tuning SPT-Code on
+        MPICodeCorpus.  The vocabulary is built from the training split only.
+        """
+        config = config or small_config()
+        sequence_config = SequenceConfig(
+            max_source_tokens=config.max_source_tokens,
+            max_xsbt_tokens=config.max_xsbt_tokens,
+            max_target_tokens=config.max_target_tokens,
+        )
+        encoder = ExampleEncoder.fit(train_examples, sequence_config,
+                                     use_xsbt=config.use_xsbt)
+        config.model.vocab_size = len(encoder.vocab)
+        model = Seq2SeqTransformer(config.model)
+
+        trainer = Trainer(model, encoder.vocab.pad_id, config.training)
+        encoded_train = encoder.encode_examples(train_examples)
+        encoded_val = encoder.encode_examples(validation_examples or [])
+        history = trainer.fit(encoded_train, encoded_val, verbose=verbose)
+        return cls(model=model, encoder=encoder, config=config, history=history)
+
+    # -------------------------------------------------------------- inference
+
+    def predict_tokens(self, source_code: str, xsbt: str | None = None) -> list[str]:
+        """Generate the output token sequence for ``source_code``."""
+        if xsbt is None and self.config.use_xsbt:
+            xsbt = xsbt_for_source(source_code)
+        source_ids = self.encoder.encode_source(source_code, xsbt)
+        vocab = self.encoder.vocab
+        max_length = self.config.max_target_tokens + 2
+        generated_ids = greedy_decode(
+            self.model, source_ids,
+            sos_id=vocab.sos_id, eos_id=vocab.eos_id, pad_id=vocab.pad_id,
+            max_length=max_length,
+        )
+        return vocab.decode(generated_ids)
+
+    def predict_code(self, source_code: str, xsbt: str | None = None) -> PredictionResult:
+        """Generate a full program and extract insertion suggestions.
+
+        When the generated token stream parses cleanly it is re-standardised
+        through the code generator, so well-formed predictions come back in
+        exactly the corpus' canonical style (same line discipline as the
+        reference labels); malformed generations fall back to the raw
+        detokenised text.
+        """
+        tokens = self.predict_tokens(source_code, xsbt)
+        from ..clang.codegen import standardize
+        from ..clang.parser import parses_cleanly
+        from ..tokenization.code_tokenizer import detokenize
+
+        generated_code = detokenize(tokens)
+        if parses_cleanly(generated_code):
+            generated_code = standardize(generated_code)
+        suggestions = extract_suggestions(source_code, generated_code)
+        return PredictionResult(generated_code=generated_code,
+                                generated_tokens=tokens,
+                                suggestions=suggestions)
+
+    def predict_example(self, example: TranslationExample) -> ExamplePrediction:
+        """Generate and package a prediction for a dataset example."""
+        result = self.predict_code(example.source_code, example.source_xsbt)
+        return ExamplePrediction(
+            example_id=example.example_id,
+            predicted_code=result.generated_code,
+            reference_code=example.target_code,
+            predicted_tokens=result.generated_tokens,
+            reference_tokens=tokenize_code(example.target_code),
+        )
+
+    # -------------------------------------------------------------- evaluation
+
+    def evaluate(self, examples: list[TranslationExample], *,
+                 line_tolerance: int = 1,
+                 limit: int | None = None) -> CorpusEvaluation:
+        """Run Table II's metric suite over ``examples``.
+
+        ``limit`` caps the number of evaluated examples (decoding whole
+        programs is the slow part); None evaluates everything.
+        """
+        selected = examples[:limit] if limit is not None else examples
+        predictions = [self.predict_example(example) for example in selected]
+        return evaluate_corpus(predictions, line_tolerance=line_tolerance)
+
+    # ------------------------------------------------------------ persistence
+
+    def save(self, path: str | Path) -> Path:
+        """Save weights + vocabulary + config under ``path`` (a directory)."""
+        return save_checkpoint(path, self.model, self.encoder.vocab)
+
+    @classmethod
+    def load(cls, path: str | Path, config: ExperimentConfig | None = None) -> "MPIRical":
+        """Load a model saved with :meth:`save`."""
+        config = config or small_config()
+        model, vocab = load_checkpoint(path)
+        sequence_config = SequenceConfig(
+            max_source_tokens=config.max_source_tokens,
+            max_xsbt_tokens=config.max_xsbt_tokens,
+            max_target_tokens=config.max_target_tokens,
+        )
+        encoder = ExampleEncoder(vocab, sequence_config, use_xsbt=config.use_xsbt)
+        config.model = model.config
+        return cls(model=model, encoder=encoder, config=config)

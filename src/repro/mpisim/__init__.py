@@ -1,0 +1,68 @@
+"""Simulated MPI runtime: communicator, C interpreter, multi-rank runner,
+program validation."""
+
+from .comm import (
+    CollectiveExchange,
+    CommGroup,
+    MessageBox,
+    SimCommunicator,
+    SimulationDeadlock,
+    SplitRegistry,
+    make_world,
+)
+from .datatypes import (
+    MPI_CONSTANT_VALUES,
+    MPI_DOUBLE,
+    MPI_INT,
+    MPI_MAX,
+    MPI_MIN,
+    MPI_PROD,
+    MPI_SUM,
+    MPIDatatype,
+    MPIOp,
+    MPISentinel,
+    datatype_for_c_type,
+)
+from .interpreter import CInterpreter, MPIBindings, RankContext
+from .memory import Cell, Pointer, RawAllocation, Scope, read_buffer, write_buffer
+from .runtime import MPIRuntime, RankResult, RunResult, run_program
+from .validate import ValidationResult, all_floats, expect_close, first_float, validate_program
+
+__all__ = [
+    "CollectiveExchange",
+    "CommGroup",
+    "MessageBox",
+    "SimCommunicator",
+    "SimulationDeadlock",
+    "SplitRegistry",
+    "make_world",
+    "MPI_CONSTANT_VALUES",
+    "MPI_DOUBLE",
+    "MPI_INT",
+    "MPI_MAX",
+    "MPI_MIN",
+    "MPI_PROD",
+    "MPI_SUM",
+    "MPIDatatype",
+    "MPIOp",
+    "MPISentinel",
+    "datatype_for_c_type",
+    "CInterpreter",
+    "MPIBindings",
+    "RankContext",
+    "Cell",
+    "Pointer",
+    "RawAllocation",
+    "Scope",
+    "read_buffer",
+    "write_buffer",
+    "MPIRuntime",
+    "RankResult",
+    "RunResult",
+    "run_program",
+    "ValidationResult",
+    "all_floats",
+    "expect_close",
+    "first_float",
+    "validate_program",
+]

@@ -1,0 +1,145 @@
+"""MPI constants and datatype descriptors used by the simulator.
+
+The interpreter resolves identifiers such as ``MPI_COMM_WORLD``,
+``MPI_DOUBLE`` or ``MPI_SUM`` to the sentinel objects defined here; the
+communicator implementation dispatches on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MPIDatatype:
+    """An MPI element datatype."""
+
+    name: str
+    size_bytes: int
+    python_type: type
+
+    def coerce(self, value):
+        """Coerce a Python value to this datatype's Python representation."""
+        return self.python_type(value)
+
+
+@dataclass(frozen=True)
+class MPIOp:
+    """A reduction operator."""
+
+    name: str
+
+    def combine(self, a, b):
+        if self.name == "MPI_SUM":
+            return a + b
+        if self.name == "MPI_PROD":
+            return a * b
+        if self.name == "MPI_MAX":
+            return a if a >= b else b
+        if self.name == "MPI_MIN":
+            return a if a <= b else b
+        if self.name == "MPI_LAND":
+            return 1 if (a and b) else 0
+        if self.name == "MPI_LOR":
+            return 1 if (a or b) else 0
+        raise ValueError(f"unsupported reduction operator {self.name}")
+
+
+@dataclass(frozen=True)
+class MPISentinel:
+    """Opaque constants (MPI_COMM_WORLD, MPI_STATUS_IGNORE, ...)."""
+
+    name: str
+
+
+MPI_INT = MPIDatatype("MPI_INT", 4, int)
+MPI_LONG = MPIDatatype("MPI_LONG", 8, int)
+MPI_LONG_LONG = MPIDatatype("MPI_LONG_LONG", 8, int)
+MPI_FLOAT = MPIDatatype("MPI_FLOAT", 4, float)
+MPI_DOUBLE = MPIDatatype("MPI_DOUBLE", 8, float)
+MPI_CHAR = MPIDatatype("MPI_CHAR", 1, int)
+MPI_BYTE = MPIDatatype("MPI_BYTE", 1, int)
+MPI_UNSIGNED = MPIDatatype("MPI_UNSIGNED", 4, int)
+
+MPI_SUM = MPIOp("MPI_SUM")
+MPI_PROD = MPIOp("MPI_PROD")
+MPI_MAX = MPIOp("MPI_MAX")
+MPI_MIN = MPIOp("MPI_MIN")
+MPI_LAND = MPIOp("MPI_LAND")
+MPI_LOR = MPIOp("MPI_LOR")
+
+MPI_COMM_WORLD = MPISentinel("MPI_COMM_WORLD")
+MPI_COMM_SELF = MPISentinel("MPI_COMM_SELF")
+MPI_STATUS_IGNORE = MPISentinel("MPI_STATUS_IGNORE")
+MPI_STATUSES_IGNORE = MPISentinel("MPI_STATUSES_IGNORE")
+MPI_ANY_SOURCE = MPISentinel("MPI_ANY_SOURCE")
+MPI_ANY_TAG = MPISentinel("MPI_ANY_TAG")
+MPI_IN_PLACE = MPISentinel("MPI_IN_PLACE")
+MPI_PROC_NULL = MPISentinel("MPI_PROC_NULL")
+MPI_REQUEST_NULL = MPISentinel("MPI_REQUEST_NULL")
+MPI_INFO_NULL = MPISentinel("MPI_INFO_NULL")
+
+MPI_SUCCESS = 0
+MPI_MAX_PROCESSOR_NAME = 256
+MPI_THREAD_MULTIPLE = 3
+
+#: Identifier -> constant mapping the interpreter injects into every scope.
+MPI_CONSTANT_VALUES: dict[str, object] = {
+    "MPI_INT": MPI_INT,
+    "MPI_LONG": MPI_LONG,
+    "MPI_LONG_LONG": MPI_LONG_LONG,
+    "MPI_FLOAT": MPI_FLOAT,
+    "MPI_DOUBLE": MPI_DOUBLE,
+    "MPI_CHAR": MPI_CHAR,
+    "MPI_BYTE": MPI_BYTE,
+    "MPI_UNSIGNED": MPI_UNSIGNED,
+    "MPI_SUM": MPI_SUM,
+    "MPI_PROD": MPI_PROD,
+    "MPI_MAX": MPI_MAX,
+    "MPI_MIN": MPI_MIN,
+    "MPI_LAND": MPI_LAND,
+    "MPI_LOR": MPI_LOR,
+    "MPI_COMM_WORLD": MPI_COMM_WORLD,
+    "MPI_COMM_SELF": MPI_COMM_SELF,
+    "MPI_STATUS_IGNORE": MPI_STATUS_IGNORE,
+    "MPI_STATUSES_IGNORE": MPI_STATUSES_IGNORE,
+    "MPI_ANY_SOURCE": MPI_ANY_SOURCE,
+    "MPI_ANY_TAG": MPI_ANY_TAG,
+    "MPI_IN_PLACE": MPI_IN_PLACE,
+    "MPI_PROC_NULL": MPI_PROC_NULL,
+    "MPI_REQUEST_NULL": MPI_REQUEST_NULL,
+    "MPI_INFO_NULL": MPI_INFO_NULL,
+    "MPI_SUCCESS": MPI_SUCCESS,
+    "MPI_MAX_PROCESSOR_NAME": MPI_MAX_PROCESSOR_NAME,
+    "MPI_THREAD_MULTIPLE": MPI_THREAD_MULTIPLE,
+    "RAND_MAX": 2147483647,
+    "NULL": None,
+}
+
+#: C type name -> byte size, used by ``sizeof`` and malloc element inference.
+C_TYPE_SIZES: dict[str, int] = {
+    "char": 1,
+    "short": 2,
+    "int": 4,
+    "unsigned": 4,
+    "unsigned int": 4,
+    "long": 8,
+    "long long": 8,
+    "unsigned long": 8,
+    "float": 4,
+    "double": 8,
+    "long double": 16,
+    "size_t": 8,
+}
+
+
+def datatype_for_c_type(type_name: str) -> MPIDatatype:
+    """Best-effort mapping from a C element type to an MPI datatype."""
+    cleaned = type_name.replace("*", "").strip()
+    if "double" in cleaned or "float" in cleaned:
+        return MPI_DOUBLE
+    if "long" in cleaned:
+        return MPI_LONG
+    if "char" in cleaned:
+        return MPI_CHAR
+    return MPI_INT

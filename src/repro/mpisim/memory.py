@@ -1,0 +1,147 @@
+"""Value model for the C interpreter: cells, arrays, pointers.
+
+The interpreter models just enough of C's storage semantics to execute MPI
+numerical kernels:
+
+* a scalar variable lives in a :class:`Cell` (a mutable box);
+* an array (fixed-size or malloc'ed) is a Python list stored in a cell;
+* ``&x`` produces a :class:`Pointer` to the cell, ``&a[i]`` and plain ``a``
+  produce a pointer into the list with an offset;
+* pointer arithmetic, indexing and dereferencing work on those pointers.
+
+MPI buffer arguments accept any of the three forms; the helpers
+:func:`read_buffer` / :func:`write_buffer` normalise them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Cell:
+    """A mutable storage location for one variable."""
+
+    value: Any = 0
+    c_type: str = "int"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cell({self.value!r}: {self.c_type})"
+
+
+@dataclass
+class RawAllocation:
+    """The (typeless) result of ``malloc(bytes)`` before a cast assigns an
+    element type."""
+
+    num_bytes: int
+
+
+@dataclass
+class Pointer:
+    """A pointer either to a scalar cell or into a Python list."""
+
+    target: Any  # Cell or list
+    offset: int = 0
+
+    def deref(self) -> Any:
+        if isinstance(self.target, Cell):
+            return self.target.value
+        return self.target[self.offset]
+
+    def store(self, value: Any) -> None:
+        if isinstance(self.target, Cell):
+            self.target.value = value
+        else:
+            self.target[self.offset] = value
+
+    def index(self, i: int) -> Any:
+        if isinstance(self.target, Cell):
+            if i == 0:
+                return self.target.value
+            raise IndexError("scalar pointer indexed beyond offset 0")
+        return self.target[self.offset + i]
+
+    def store_index(self, i: int, value: Any) -> None:
+        if isinstance(self.target, Cell):
+            if i != 0:
+                raise IndexError("scalar pointer indexed beyond offset 0")
+            self.target.value = value
+        else:
+            self.target[self.offset + i] = value
+
+    def shifted(self, delta: int) -> "Pointer":
+        return Pointer(self.target, self.offset + delta)
+
+
+class Scope:
+    """A lexical scope chain of name -> :class:`Cell` bindings."""
+
+    def __init__(self, parent: "Scope | None" = None) -> None:
+        self.parent = parent
+        self.bindings: dict[str, Cell] = {}
+
+    def declare(self, name: str, value: Any = 0, c_type: str = "int") -> Cell:
+        cell = Cell(value=value, c_type=c_type)
+        self.bindings[name] = cell
+        return cell
+
+    def lookup(self, name: str) -> Cell | None:
+        scope: Scope | None = self
+        while scope is not None:
+            if name in scope.bindings:
+                return scope.bindings[name]
+            scope = scope.parent
+        return None
+
+    def child(self) -> "Scope":
+        return Scope(parent=self)
+
+
+def read_buffer(buffer: Any, count: int) -> list:
+    """Normalise an MPI send buffer argument into a list of ``count`` values."""
+    if isinstance(buffer, Pointer):
+        if isinstance(buffer.target, Cell):
+            value = buffer.target.value
+            if isinstance(value, list):
+                return list(value[buffer.offset:buffer.offset + count])
+            return [value] * min(count, 1) if count >= 1 else []
+        return list(buffer.target[buffer.offset:buffer.offset + count])
+    if isinstance(buffer, list):
+        return list(buffer[:count])
+    if isinstance(buffer, Cell):
+        if isinstance(buffer.value, list):
+            return list(buffer.value[:count])
+        return [buffer.value]
+    # A bare scalar (e.g. literal) — only meaningful for count == 1.
+    return [buffer]
+
+
+def write_buffer(buffer: Any, values: list) -> None:
+    """Write received values back through an MPI receive buffer argument."""
+    if isinstance(buffer, Pointer):
+        if isinstance(buffer.target, Cell):
+            cell_value = buffer.target.value
+            if isinstance(cell_value, list):
+                for i, v in enumerate(values):
+                    cell_value[buffer.offset + i] = v
+            else:
+                if values:
+                    buffer.target.value = values[0]
+            return
+        for i, v in enumerate(values):
+            buffer.target[buffer.offset + i] = v
+        return
+    if isinstance(buffer, list):
+        for i, v in enumerate(values):
+            buffer[i] = v
+        return
+    if isinstance(buffer, Cell):
+        if isinstance(buffer.value, list):
+            for i, v in enumerate(values):
+                buffer.value[i] = v
+        elif values:
+            buffer.value = values[0]
+        return
+    raise TypeError(f"cannot write into MPI buffer of type {type(buffer)!r}")

@@ -1,0 +1,99 @@
+"""Multi-rank execution of a C program on the simulated MPI runtime.
+
+Each rank parses the same source, gets its own interpreter and communicator
+handle, and runs in its own thread.  The runner collects per-rank exit codes,
+stdout and exceptions, and reports deadlocks (blocking operations that never
+complete within the timeout).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ..clang.parser import parse_source
+from .comm import DEFAULT_TIMEOUT, SplitRegistry, make_world
+from .interpreter import CInterpreter, RankContext
+
+
+@dataclass
+class RankResult:
+    """Outcome of one rank's execution."""
+
+    rank: int
+    exit_code: int = 0
+    stdout: str = ""
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.exit_code == 0
+
+
+@dataclass
+class RunResult:
+    """Outcome of a whole simulated run."""
+
+    num_ranks: int
+    ranks: list[RankResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.ranks)
+
+    @property
+    def stdout(self) -> str:
+        """Concatenated stdout, ordered by rank."""
+        return "".join(r.stdout for r in sorted(self.ranks, key=lambda r: r.rank))
+
+    def errors(self) -> list[str]:
+        return [f"rank {r.rank}: {r.error}" for r in self.ranks if r.error]
+
+
+class MPIRuntime:
+    """Run C programs on a simulated MPI world."""
+
+    def __init__(self, num_ranks: int = 4, timeout: float = DEFAULT_TIMEOUT) -> None:
+        if num_ranks < 1:
+            raise ValueError("num_ranks must be at least 1")
+        self.num_ranks = num_ranks
+        self.timeout = timeout
+
+    def run_source(self, source: str, argv: list[str] | None = None) -> RunResult:
+        """Parse ``source`` once per rank and execute all ranks concurrently."""
+        communicators = make_world(self.num_ranks, timeout=self.timeout)
+        split_registry = SplitRegistry(timeout=self.timeout)
+        result = RunResult(num_ranks=self.num_ranks,
+                           ranks=[RankResult(rank=r) for r in range(self.num_ranks)])
+
+        def worker(rank: int) -> None:
+            rank_result = result.ranks[rank]
+            try:
+                unit = parse_source(source, tolerant=False)
+                context = RankContext(rank=rank, comm_world=communicators[rank],
+                                      split_registry=split_registry)
+                interpreter = CInterpreter(unit, context)
+                rank_result.exit_code = interpreter.run_main(argv)
+                rank_result.stdout = interpreter.stdout
+            except Exception as exc:  # noqa: BLE001 - reported to the caller
+                rank_result.error = f"{type(exc).__name__}: {exc}"
+
+        threads = [threading.Thread(target=worker, args=(rank,), daemon=True)
+                   for rank in range(self.num_ranks)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=self.timeout + 5.0)
+            if thread.is_alive():
+                # A stuck rank: report it as a deadlock instead of hanging the caller.
+                for rank_result in result.ranks:
+                    if rank_result.error is None and not rank_result.stdout:
+                        rank_result.error = rank_result.error or "deadlock: rank did not finish"
+                break
+        return result
+
+
+def run_program(source: str, num_ranks: int = 4,
+                timeout: float = DEFAULT_TIMEOUT) -> RunResult:
+    """Convenience wrapper: run ``source`` on ``num_ranks`` simulated ranks."""
+    return MPIRuntime(num_ranks=num_ranks, timeout=timeout).run_source(source)

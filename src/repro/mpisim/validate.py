@@ -1,0 +1,77 @@
+"""Validity checking of (generated) MPI programs.
+
+Section VI-C of the paper evaluates the validity of the programs MPI-RICAL
+generates for the numerical benchmark by compiling and running them.  The
+simulator provides the equivalent check:
+
+* **parses** — the program parses cleanly in strict mode;
+* **runs** — it executes on N simulated ranks without an error or deadlock;
+* **numerical check** — optionally, a caller-supplied predicate over the
+  captured stdout (e.g. "pi is within 1e-2 of 3.14159") passes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from ..clang.parser import parses_cleanly
+from .runtime import RunResult, run_program
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of validating one program."""
+
+    parses: bool
+    runs: bool
+    check_passed: bool | None
+    run_result: RunResult | None = None
+    message: str = ""
+
+    @property
+    def valid(self) -> bool:
+        """Overall verdict: parses, runs, and (if present) the check passes."""
+        if not self.parses or not self.runs:
+            return False
+        return self.check_passed is not False
+
+
+def validate_program(source: str, *, num_ranks: int = 4,
+                     check: Callable[[str], bool] | None = None,
+                     timeout: float = 30.0) -> ValidationResult:
+    """Validate one program end to end."""
+    if not parses_cleanly(source):
+        return ValidationResult(parses=False, runs=False, check_passed=None,
+                                message="program does not parse cleanly")
+    run = run_program(source, num_ranks=num_ranks, timeout=timeout)
+    if not run.ok:
+        return ValidationResult(parses=True, runs=False, check_passed=None, run_result=run,
+                                message="; ".join(run.errors()) or "non-zero exit")
+    if check is None:
+        return ValidationResult(parses=True, runs=True, check_passed=None, run_result=run)
+    passed = bool(check(run.stdout))
+    return ValidationResult(parses=True, runs=True, check_passed=passed, run_result=run,
+                            message="" if passed else "numerical check failed")
+
+
+def first_float(text: str) -> float | None:
+    """Extract the first floating-point number from program output."""
+    match = re.search(r"[-+]?\d+\.\d+(?:[eE][-+]?\d+)?", text)
+    if match is None:
+        return None
+    return float(match.group(0))
+
+
+def all_floats(text: str) -> list[float]:
+    """Extract every floating-point number from program output."""
+    return [float(m) for m in re.findall(r"[-+]?\d+\.\d+(?:[eE][-+]?\d+)?", text)]
+
+
+def expect_close(expected: float, tolerance: float = 1e-6) -> Callable[[str], bool]:
+    """Build a stdout check asserting the first printed float is near ``expected``."""
+    def check(stdout: str) -> bool:
+        value = first_float(stdout)
+        return value is not None and abs(value - expected) <= tolerance
+    return check

@@ -1,0 +1,29 @@
+"""Tokenisation: vocabulary, example encoding, detokenisation, batching."""
+
+from .code_tokenizer import (
+    EncodedExample,
+    ExampleEncoder,
+    SequenceConfig,
+    detokenize,
+    pad_batch,
+    tokenize_code,
+    tokenize_xsbt,
+)
+from .vocab import EOS, PAD, SEP, SOS, SPECIAL_TOKENS, UNK, Vocabulary
+
+__all__ = [
+    "EncodedExample",
+    "ExampleEncoder",
+    "SequenceConfig",
+    "detokenize",
+    "pad_batch",
+    "tokenize_code",
+    "tokenize_xsbt",
+    "Vocabulary",
+    "PAD",
+    "SOS",
+    "EOS",
+    "SEP",
+    "UNK",
+    "SPECIAL_TOKENS",
+]

@@ -1,0 +1,129 @@
+"""Vocabulary for the sequence-to-sequence model.
+
+A word-level vocabulary over C code tokens and X-SBT tags.  Special tokens
+follow SPT-Code's conventions: ``[PAD]`` for padding, ``[SOS]``/``[EOS]`` to
+bracket decoder sequences, ``[SEP]`` to separate the code from its X-SBT in
+the encoder input, and ``[UNK]`` for out-of-vocabulary tokens.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+PAD = "[PAD]"
+SOS = "[SOS]"
+EOS = "[EOS]"
+SEP = "[SEP]"
+UNK = "[UNK]"
+
+SPECIAL_TOKENS: tuple[str, ...] = (PAD, SOS, EOS, SEP, UNK)
+
+
+@dataclass
+class Vocabulary:
+    """Bidirectional token <-> id mapping."""
+
+    token_to_id: dict[str, int] = field(default_factory=dict)
+    id_to_token: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.token_to_id:
+            for token in SPECIAL_TOKENS:
+                self.add(token)
+
+    # ------------------------------------------------------------------ api
+
+    def add(self, token: str) -> int:
+        """Add ``token`` if missing; return its id."""
+        if token in self.token_to_id:
+            return self.token_to_id[token]
+        idx = len(self.id_to_token)
+        self.token_to_id[token] = idx
+        self.id_to_token.append(token)
+        return idx
+
+    def __len__(self) -> int:
+        return len(self.id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self.token_to_id
+
+    def encode_token(self, token: str) -> int:
+        """Id of ``token`` (UNK id if unknown)."""
+        return self.token_to_id.get(token, self.token_to_id[UNK])
+
+    def decode_id(self, idx: int) -> str:
+        """Token for ``idx`` (UNK if out of range)."""
+        if 0 <= idx < len(self.id_to_token):
+            return self.id_to_token[idx]
+        return UNK
+
+    def encode(self, tokens: Iterable[str]) -> list[int]:
+        """Encode a token sequence into ids."""
+        return [self.encode_token(t) for t in tokens]
+
+    def decode(self, ids: Iterable[int], *, strip_special: bool = True) -> list[str]:
+        """Decode ids back into tokens, optionally dropping special tokens."""
+        tokens = [self.decode_id(i) for i in ids]
+        if strip_special:
+            tokens = [t for t in tokens if t not in SPECIAL_TOKENS]
+        return tokens
+
+    # ------------------------------------------------------------- special ids
+
+    @property
+    def pad_id(self) -> int:
+        return self.token_to_id[PAD]
+
+    @property
+    def sos_id(self) -> int:
+        return self.token_to_id[SOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self.token_to_id[EOS]
+
+    @property
+    def sep_id(self) -> int:
+        return self.token_to_id[SEP]
+
+    @property
+    def unk_id(self) -> int:
+        return self.token_to_id[UNK]
+
+    # --------------------------------------------------------------- builders
+
+    @classmethod
+    def build(cls, sequences: Iterable[Iterable[str]], *, min_count: int = 1,
+              max_size: int | None = None) -> "Vocabulary":
+        """Build a vocabulary from token sequences.
+
+        Tokens appearing fewer than ``min_count`` times are dropped; if
+        ``max_size`` is given only the most frequent tokens are kept.
+        """
+        counter: Counter[str] = Counter()
+        for seq in sequences:
+            counter.update(seq)
+        vocab = cls()
+        items = counter.most_common()
+        if max_size is not None:
+            items = items[: max(0, max_size - len(SPECIAL_TOKENS))]
+        for token, count in items:
+            if count < min_count:
+                continue
+            vocab.add(token)
+        return vocab
+
+    def to_dict(self) -> dict:
+        """Serialisable representation (used by checkpointing)."""
+        return {"tokens": list(self.id_to_token)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Vocabulary":
+        """Rebuild a vocabulary saved with :meth:`to_dict`."""
+        vocab = cls()
+        for token in payload["tokens"]:
+            vocab.add(token)
+        return vocab

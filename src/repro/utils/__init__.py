@@ -1,0 +1,16 @@
+"""Shared utilities: deterministic RNG, timing, text/table IO."""
+
+from .rng import choice, make_rng, spawn
+from .textio import count_lines, format_table, read_json, write_json
+from .timing import Stopwatch
+
+__all__ = [
+    "choice",
+    "make_rng",
+    "spawn",
+    "count_lines",
+    "format_table",
+    "read_json",
+    "write_json",
+    "Stopwatch",
+]

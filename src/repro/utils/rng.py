@@ -1,0 +1,34 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the library (corpus synthesis, dataset splits,
+weight initialisation, dropout) takes an explicit seed and derives independent
+sub-streams through :func:`spawn`, so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | None = None) -> np.random.Generator:
+    """Create a NumPy Generator from ``seed`` (None = nondeterministic)."""
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``."""
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def choice(rng: np.random.Generator, items: list, weights: list[float] | None = None):
+    """Pick one element of ``items``, optionally with unnormalised ``weights``."""
+    if not items:
+        raise ValueError("cannot choose from an empty list")
+    if weights is None:
+        idx = int(rng.integers(0, len(items)))
+        return items[idx]
+    probs = np.asarray(weights, dtype=float)
+    probs = probs / probs.sum()
+    idx = int(rng.choice(len(items), p=probs))
+    return items[idx]

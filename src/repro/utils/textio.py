@@ -1,0 +1,49 @@
+"""Small text/IO helpers shared across the library."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+
+def count_lines(text: str) -> int:
+    """Count non-empty source lines (the unit used by the corpus statistics)."""
+    return sum(1 for line in text.splitlines() if line.strip())
+
+
+def write_json(path: str | Path, payload: Any) -> Path:
+    """Serialise ``payload`` as pretty-printed JSON at ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=_default))
+    return path
+
+
+def read_json(path: str | Path) -> Any:
+    """Read a JSON file written with :func:`write_json`."""
+    return json.loads(Path(path).read_text())
+
+
+def _default(obj: Any) -> Any:
+    """JSON encoder fallback for NumPy scalars and dataclass-like objects."""
+    if hasattr(obj, "item"):
+        return obj.item()
+    if hasattr(obj, "__dict__"):
+        return vars(obj)
+    raise TypeError(f"cannot serialise {type(obj)!r}")
+
+
+def format_table(headers: list[str], rows: list[list[Any]]) -> str:
+    """Render an aligned plain-text table (used by benchmark harnesses to
+    print the same rows the paper's tables report)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)

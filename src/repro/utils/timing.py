@@ -1,0 +1,36 @@
+"""Lightweight wall-clock timing helpers used by the trainer and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps."""
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str):
+        """Context manager that adds the elapsed time to lap ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.laps[name] = self.laps.get(name, 0.0) + elapsed
+
+    def total(self) -> float:
+        """Total time across all laps."""
+        return sum(self.laps.values())
+
+    def report(self) -> str:
+        """Human-readable summary, longest lap first."""
+        lines = [
+            f"{name}: {seconds:.3f}s"
+            for name, seconds in sorted(self.laps.items(), key=lambda kv: -kv[1])
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""AST linearisation: SBT and X-SBT sequences for the Transformer encoder."""
+
+from .sbt import sbt_length, sbt_string, sbt_tokens
+from .xsbt import (
+    compression_ratio,
+    xsbt_for_source,
+    xsbt_length,
+    xsbt_string,
+    xsbt_tokens,
+)
+
+__all__ = [
+    "sbt_tokens",
+    "sbt_string",
+    "sbt_length",
+    "xsbt_tokens",
+    "xsbt_string",
+    "xsbt_length",
+    "xsbt_for_source",
+    "compression_ratio",
+]

@@ -1,0 +1,50 @@
+"""Structure-Based Traversal (SBT) of the C AST.
+
+SBT (Hu et al., 2018) is a parenthesised traversal of the AST that — unlike a
+plain depth-first token dump — can be unambiguously mapped back to a tree.
+SPT-Code's X-SBT (see :mod:`repro.xsbt.xsbt`) is a compressed, XML-like variant
+of SBT restricted to nodes at expression level and above.
+
+The SBT string for a node ``n`` with children ``c1..ck`` is::
+
+    ( kind(n) ( sbt(c1) ... sbt(ck) ) kind(n)
+
+and for a leaf simply ``( kind_value )`` where the value is appended for
+identifier/literal leaves so the original token content is recoverable.
+"""
+
+from __future__ import annotations
+
+from ..clang import ast_nodes as ast
+
+
+def _leaf_label(node: ast.Node) -> str:
+    """Return the label used for a leaf node, embedding its token value."""
+    if isinstance(node, ast.Identifier):
+        return f"identifier_{node.name}"
+    if isinstance(node, ast.Literal):
+        return f"{node.kind}_{node.value}"
+    return node.kind
+
+
+def sbt_tokens(node: ast.Node) -> list[str]:
+    """Return the SBT token sequence for ``node``."""
+    children = node.children()
+    if not children:
+        label = _leaf_label(node)
+        return ["(", label, ")", label]
+    out: list[str] = ["(", node.kind]
+    for child in children:
+        out.extend(sbt_tokens(child))
+    out.extend([")", node.kind])
+    return out
+
+
+def sbt_string(node: ast.Node) -> str:
+    """Return the SBT sequence as a single space-joined string."""
+    return " ".join(sbt_tokens(node))
+
+
+def sbt_length(node: ast.Node) -> int:
+    """Number of tokens in the SBT sequence (used to compare against X-SBT)."""
+    return len(sbt_tokens(node))

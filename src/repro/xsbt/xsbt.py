@@ -1,0 +1,115 @@
+"""X-SBT: the XML-like, expression-level-and-above AST linearisation.
+
+X-SBT is SPT-Code's compression of SBT.  Two changes shrink the sequence to
+roughly half the SBT length:
+
+1. *Syntax-level truncation* — only nodes at expression level and above are
+   kept (identifiers, literals, field accesses, subscripts and other
+   token-level leaves are dropped).
+2. *XML-like form* — an internal node emits ``kind`` once as an opening tag
+   and once as ``__``-prefixed closing tag only when it has surviving
+   children; childless (after truncation) nodes emit a single tag.
+
+The resulting sequence, joined with spaces, is what gets concatenated after
+the ``[SEP]`` symbol in the encoder input (Figure 1b of the paper).  The
+examples in Figure 2 of the paper show exactly this shape, e.g.::
+
+    parameter_declaration parameter_declaration compound_statement__ declaration
+    declaration expression_statement__ call_expression__ pointer_expression
+    pointer_expression__call_expression__expression_statement ...
+"""
+
+from __future__ import annotations
+
+from ..clang import ast_nodes as ast
+from ..clang.ast_nodes import EXPRESSION_KINDS
+
+#: Node kinds that are dropped from the X-SBT (below expression level).
+_DROPPED_KINDS = EXPRESSION_KINDS | {
+    "init_declarator",
+    "preproc_include",
+}
+
+#: Kinds whose subtree is kept but not descended into any further (their
+#: children are all below expression level by construction).
+_ATOMIC_KINDS = frozenset({
+    "number_literal",
+    "string_literal",
+    "char_literal",
+    "identifier",
+})
+
+
+def _kept(node: ast.Node) -> bool:
+    """Return True if ``node`` survives the expression-level truncation."""
+    return node.kind not in _DROPPED_KINDS
+
+
+def xsbt_tokens(node: ast.Node) -> list[str]:
+    """Return the X-SBT token sequence for ``node`` (excluding the node itself
+    if it is below expression level)."""
+    out: list[str] = []
+    _emit(node, out)
+    return out
+
+
+def _emit(node: ast.Node, out: list[str]) -> None:
+    if not _kept(node):
+        # The node itself is dropped but structural children may survive
+        # (e.g. an init_declarator containing a call_expression initialiser).
+        for child in node.children():
+            _emit(child, out)
+        return
+
+    surviving_children = [c for c in node.children() if _has_surviving(c)]
+    if not surviving_children:
+        out.append(node.kind)
+        return
+    out.append(node.kind + "__")
+    for child in surviving_children:
+        _emit(child, out)
+    out.append("__" + node.kind)
+
+
+def _has_surviving(node: ast.Node) -> bool:
+    """True if ``node`` or any descendant survives truncation."""
+    if _kept(node):
+        return True
+    return any(_has_surviving(c) for c in node.children())
+
+
+def xsbt_string(node: ast.Node) -> str:
+    """Return the X-SBT sequence as a single space-joined string."""
+    return " ".join(xsbt_tokens(node))
+
+
+def xsbt_length(node: ast.Node) -> int:
+    """Number of tokens in the X-SBT sequence."""
+    return len(xsbt_tokens(node))
+
+
+def xsbt_for_source(source: str) -> str:
+    """Parse ``source`` (tolerantly) and return its X-SBT string.
+
+    This is the representation concatenated to the code after ``[SEP]`` in the
+    encoder input.
+    """
+    from ..clang.parser import parse_source
+
+    unit = parse_source(source, tolerant=True)
+    return xsbt_string(unit)
+
+
+def compression_ratio(node: ast.Node) -> float:
+    """Return ``len(xsbt) / len(sbt)`` for ``node``.
+
+    The paper reports X-SBT reduces sequence length by more than half compared
+    to SBT; the property tests assert this ratio stays below 1 and the
+    statistics module reports the corpus-level average.
+    """
+    from .sbt import sbt_length
+
+    sbt_len = sbt_length(node)
+    if sbt_len == 0:
+        return 0.0
+    return xsbt_length(node) / sbt_len

@@ -1,0 +1,66 @@
+"""Shared fixtures: a small corpus, dataset and a tiny trained model.
+
+Expensive artefacts are session-scoped so the whole suite builds them once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import MiningConfig, build_corpus
+from repro.dataset import build_dataset
+from repro.model.config import tiny_config
+from repro.mpirical import MPIRical
+
+PI_SOURCE = """#include <stdio.h>
+#include <mpi.h>
+int main(int argc, char **argv) {
+    int rank, size, i;
+    int n = 1000;
+    double h, x, sum, pi;
+    sum = 0.0;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    h = 1.0 / (double) n;
+    for (i = rank; i < n; i += size) {
+        x = h * ((double) i + 0.5);
+        sum += 4.0 / (1.0 + x * x);
+    }
+    double local = h * sum;
+    MPI_Reduce(&local, &pi, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);
+    if (rank == 0) {
+        printf("pi = %f\\n", pi);
+    }
+    MPI_Finalize();
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def pi_source() -> str:
+    """A standardised MPI pi program (the paper's running example)."""
+    return PI_SOURCE
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A small synthetic MPICodeCorpus (about 150 programs)."""
+    return build_corpus(MiningConfig(num_repositories=35, seed=101))
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_corpus):
+    """Dataset built from the small corpus with default filters."""
+    return build_dataset(small_corpus)
+
+
+@pytest.fixture(scope="session")
+def tiny_model(small_dataset):
+    """A tiny MPI-RICAL model trained for one epoch (integration smoke tests)."""
+    config = tiny_config()
+    config.training.max_steps_per_epoch = 8
+    train = small_dataset.splits.train[:40]
+    validation = small_dataset.splits.validation[:8]
+    return MPIRical.fit(train, validation, config)

@@ -1,0 +1,78 @@
+"""Tests for the 11 numerical benchmark programs (Table III evaluation set)."""
+
+import pytest
+
+from repro.benchprograms import BENCHMARK_PROGRAMS, check_for, program_by_name, program_names
+from repro.clang.lexer import code_token_texts
+from repro.clang.parser import parses_cleanly
+from repro.dataset.removal import count_mpi_calls, remove_mpi_calls
+from repro.mpisim import validate_program
+
+
+class TestCatalogue:
+    def test_exactly_eleven_programs(self):
+        assert len(BENCHMARK_PROGRAMS) == 11
+
+    def test_names_match_table_3(self):
+        assert program_names() == [
+            "Array Average",
+            "Vector Dot Product",
+            "Min-Max",
+            "Matrix-Vector Multiplication",
+            "Sum (Reduce & Gather)",
+            "Merge Sort",
+            "Pi Monte-Carlo",
+            "Pi Riemann Sum",
+            "Factorial",
+            "Fibonacci",
+            "Trapezoidal Rule (Integration)",
+        ]
+
+    def test_lookup_by_name(self):
+        assert program_by_name("Merge Sort").name == "Merge Sort"
+        with pytest.raises(KeyError):
+            program_by_name("Bubble Sort")
+
+    def test_every_program_has_reference_check(self):
+        for program in BENCHMARK_PROGRAMS:
+            assert check_for(program.name).check is not None
+
+
+class TestInclusionCriteria:
+    def test_all_programs_parse_cleanly(self):
+        for program in BENCHMARK_PROGRAMS:
+            assert parses_cleanly(program.source), program.name
+
+    def test_all_programs_are_short(self):
+        # The paper's exclusion limit is ~320 tokens (~50 lines); the
+        # matrix-vector program is the longest and stays within ~50 lines.
+        for program in BENCHMARK_PROGRAMS:
+            lines = [l for l in program.source.splitlines() if l.strip()]
+            assert len(lines) <= 50, program.name
+            assert len(code_token_texts(program.source)) <= 400, program.name
+
+    def test_all_programs_use_domain_decomposition_core(self):
+        for program in BENCHMARK_PROGRAMS:
+            assert "MPI_Init" in program.source
+            assert "MPI_Finalize" in program.source
+            assert "MPI_Comm_rank" in program.source
+            assert count_mpi_calls(program.source) >= 5
+
+    def test_programs_are_standardised(self):
+        from repro.clang.codegen import standardize
+
+        for program in BENCHMARK_PROGRAMS:
+            assert standardize(program.source) == program.source, program.name
+
+
+class TestExecution:
+    @pytest.mark.parametrize("program", BENCHMARK_PROGRAMS, ids=lambda p: p.name)
+    def test_program_runs_and_passes_reference_check(self, program):
+        verdict = validate_program(program.source, num_ranks=program.num_ranks,
+                                   check=check_for(program.name).check)
+        assert verdict.valid, f"{program.name}: {verdict.message}"
+
+    def test_stripped_programs_lose_all_mpi(self):
+        for program in BENCHMARK_PROGRAMS:
+            stripped = remove_mpi_calls(program.source).stripped_code
+            assert count_mpi_calls(stripped) == 0

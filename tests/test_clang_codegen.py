@@ -1,0 +1,126 @@
+"""Tests for the code generator / standardiser."""
+
+import pytest
+
+from repro.clang.codegen import CodeGenerator, generate_code, standardize
+from repro.clang.parser import parse_source, parses_cleanly
+
+
+class TestRoundTrip:
+    def test_pi_program_round_trips(self, pi_source):
+        unit = parse_source(pi_source)
+        regenerated = generate_code(unit)
+        assert parses_cleanly(regenerated)
+
+    def test_idempotent_standardisation(self, pi_source):
+        once = standardize(pi_source)
+        twice = standardize(once)
+        assert once == twice
+
+    def test_messy_formatting_is_normalised(self):
+        messy = (
+            "#include <stdio.h>\n"
+            "int main(  )   {int x=1;   if(x>0)\n\n\n   { x = x+ 1 ;}  return x;}"
+        )
+        clean = standardize(messy)
+        assert "int x = 1;" in clean
+        assert "if (x > 0) {" in clean
+        assert clean.count("\n\n") == 0
+
+    def test_preserves_include_directives(self, pi_source):
+        clean = standardize(pi_source)
+        assert "#include <mpi.h>" in clean
+        assert "#include <stdio.h>" in clean
+
+    def test_statement_per_line(self, pi_source):
+        clean = standardize(pi_source)
+        for line in clean.splitlines():
+            # no two statements share one line in standardised output
+            assert line.count(";") <= 1 or "for (" in line
+
+
+class TestStatements:
+    def _roundtrip(self, body: str) -> str:
+        return standardize("int main() {\n" + body + "\n}")
+
+    def test_for_loop(self):
+        out = self._roundtrip("for (i = 0; i < n; i++) { total += i; }")
+        assert "for (i = 0; i < n; i++) {" in out
+
+    def test_while_loop(self):
+        out = self._roundtrip("while (!done) { step(); }")
+        assert "while (!done) {" in out
+
+    def test_do_while(self):
+        out = self._roundtrip("do { x--; } while (x > 0);")
+        assert "} while (x > 0);" in out
+
+    def test_if_else(self):
+        out = self._roundtrip("if (rank == 0) { a = 1; } else { a = 2; }")
+        assert "} else {" in out
+
+    def test_switch_case(self):
+        out = self._roundtrip("switch (m) { case 1: x = 1; break; default: x = 0; }")
+        assert "switch (m) {" in out
+        assert "case 1:" in out
+        assert "default:" in out
+
+    def test_return_without_value(self):
+        out = self._roundtrip("return;")
+        assert "return;" in out
+
+    def test_array_declaration_with_init_list(self):
+        out = self._roundtrip("int periods[2] = {1, 0};")
+        assert "int periods[2] = {1, 0};" in out
+
+    def test_pointer_declaration(self):
+        out = self._roundtrip("double *buf = NULL;")
+        assert "double *buf = NULL;" in out
+
+
+class TestExpressions:
+    def _roundtrip_expr(self, expr: str) -> str:
+        return standardize(f"int main() {{ result = {expr}; }}")
+
+    def test_mpi_call_arguments_preserved(self):
+        out = standardize(
+            "int main() { MPI_Reduce(&local, &pi, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD); }"
+        )
+        assert "MPI_Reduce(&local, &pi, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);" in out
+
+    def test_cast_and_sizeof(self):
+        out = self._roundtrip_expr("(double *) malloc(n * sizeof(double))")
+        assert "(double *) malloc(n * sizeof(double))" in out
+
+    def test_ternary(self):
+        out = self._roundtrip_expr("a > b ? a : b")
+        assert "?" in out and ":" in out
+
+    def test_string_literal_preserved(self):
+        out = standardize('int main() { printf("pi = %f\\n", pi); }')
+        assert '"pi = %f\\n"' in out
+
+    def test_nested_subscripts_and_members(self):
+        out = self._roundtrip_expr("grid[i][j]")
+        assert "grid[i][j]" in out
+
+    def test_unary_operators(self):
+        out = self._roundtrip_expr("-x + !flag")
+        assert "-x + !flag" in out
+
+
+class TestCodeGeneratorDirect:
+    def test_generate_expression(self):
+        from repro.clang import ast_nodes as ast
+
+        expr = ast.BinaryOp("+", ast.Identifier("a"), ast.Literal("1"))
+        assert CodeGenerator().expression(expr) == "a + 1"
+
+    def test_custom_indent(self):
+        unit = parse_source("int main() { return 0; }")
+        text = CodeGenerator(indent="  ").generate(unit)
+        assert "\n  return 0;" in text
+
+    def test_function_without_params_emits_void(self):
+        unit = parse_source("int main() { return 0; }")
+        assert "int main(void) {" in generate_code(unit)

@@ -1,0 +1,226 @@
+"""Tests for the recursive-descent C parser."""
+
+import pytest
+
+from repro.clang import ast_nodes as ast
+from repro.clang.errors import ParseError
+from repro.clang.parser import parse_source, parse_source_with_diagnostics, parses_cleanly
+
+
+class TestTopLevel:
+    def test_function_definition(self):
+        unit = parse_source("int main(int argc, char **argv) { return 0; }")
+        assert unit.has_main()
+        main = unit.function("main")
+        assert main.return_type == "int"
+        assert [p.name for p in main.params] == ["argc", "argv"]
+        assert main.params[1].pointer == 2
+
+    def test_includes_preserved(self):
+        unit = parse_source("#include <mpi.h>\n#include <stdio.h>\nint main() { return 0; }")
+        includes = [i for i in unit.items if isinstance(i, ast.Include)]
+        assert len(includes) == 2
+
+    def test_global_declaration(self):
+        unit = parse_source("static int counter = 0;\nint main() { return counter; }")
+        declarations = [i for i in unit.items if isinstance(i, ast.Declaration)]
+        assert declarations[0].storage == "static"
+        assert declarations[0].declarators[0].name == "counter"
+
+    def test_typedef_registers_type_name(self):
+        unit = parse_source("typedef unsigned long word_t;\nint main() { word_t w = 3; return 0; }")
+        typedefs = [i for i in unit.items if isinstance(i, ast.TypedefDecl)]
+        assert typedefs[0].alias == "word_t"
+        body = unit.function("main").body
+        assert any(isinstance(s, ast.Declaration) and s.type_name == "word_t"
+                   for s in body.statements)
+
+    def test_struct_definition(self):
+        unit = parse_source("struct point { int x; int y; };\nint main() { return 0; }")
+        structs = [i for i in unit.items if isinstance(i, ast.StructDef)]
+        assert structs[0].name == "point"
+        assert len(structs[0].fields) == 2
+
+    def test_function_prototype_is_declaration(self):
+        unit = parse_source("double work(double x);\nint main() { return 0; }")
+        assert unit.function("work") is None
+        assert unit.has_main()
+
+    def test_multiple_functions(self):
+        source = """
+        double square(double v) { return v * v; }
+        int main() { double y = square(3.0); return 0; }
+        """
+        unit = parse_source(source)
+        assert len(unit.functions()) == 2
+
+
+class TestStatements:
+    def _main_body(self, body: str) -> ast.Compound:
+        unit = parse_source("int main() {\n" + body + "\n}")
+        return unit.function("main").body
+
+    def test_if_else(self):
+        body = self._main_body("if (a > 0) { b = 1; } else { b = 2; }")
+        statement = body.statements[0]
+        assert isinstance(statement, ast.If)
+        assert statement.otherwise is not None
+
+    def test_while_and_do_while(self):
+        body = self._main_body("while (x) { x--; } do { y++; } while (y < 3);")
+        assert isinstance(body.statements[0], ast.While)
+        assert isinstance(body.statements[1], ast.DoWhile)
+
+    def test_for_with_declaration_init(self):
+        body = self._main_body("for (int i = 0; i < 10; i++) { total += i; }")
+        loop = body.statements[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.Declaration)
+
+    def test_for_with_empty_clauses(self):
+        body = self._main_body("for (;;) { break; }")
+        loop = body.statements[0]
+        assert loop.init is None and loop.cond is None and loop.update is None
+
+    def test_switch_with_cases(self):
+        body = self._main_body(
+            "switch (mode) { case 1: x = 1; break; default: x = 0; }"
+        )
+        switch = body.statements[0]
+        assert isinstance(switch, ast.Switch)
+        labels = [s for s in switch.body.statements if isinstance(s, ast.CaseLabel)]
+        assert len(labels) == 2
+
+    def test_break_continue_return(self):
+        body = self._main_body("while (1) { if (x) { break; } continue; } return 2;")
+        assert isinstance(body.statements[-1], ast.Return)
+
+    def test_declaration_with_multiple_declarators(self):
+        body = self._main_body("int a = 1, b, *c;")
+        declaration = body.statements[0]
+        assert [d.name for d in declaration.declarators] == ["a", "b", "c"]
+        assert declaration.declarators[2].pointer == 1
+
+    def test_array_declaration(self):
+        body = self._main_body("double grid[100]; int dims[2];")
+        first = body.statements[0].declarators[0]
+        assert len(first.array_dims) == 1
+
+    def test_initializer_list(self):
+        body = self._main_body("int periods[2] = {1, 0};")
+        init = body.statements[0].declarators[0].init
+        assert isinstance(init, ast.InitList)
+        assert len(init.values) == 2
+
+
+class TestExpressions:
+    def _expr(self, text: str) -> ast.Node:
+        unit = parse_source(f"int main() {{ result = {text}; }}")
+        statement = unit.function("main").body.statements[0]
+        return statement.expr.value
+
+    def test_precedence_multiplication_before_addition(self):
+        expr = self._expr("a + b * c")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "*"
+
+    def test_parenthesized_grouping(self):
+        expr = self._expr("(a + b) * c")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "*"
+        assert isinstance(expr.left, ast.Parenthesized)
+
+    def test_call_with_arguments(self):
+        expr = self._expr("MPI_Reduce(&local, &total, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD)")
+        assert isinstance(expr, ast.Call)
+        assert expr.callee_name == "MPI_Reduce"
+        assert len(expr.args) == 7
+
+    def test_address_of_and_dereference(self):
+        expr = self._expr("&value")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "&"
+        assert expr.kind == "pointer_expression"
+
+    def test_cast_expression(self):
+        expr = self._expr("(double) count")
+        assert isinstance(expr, ast.Cast)
+        assert expr.type_name == "double"
+
+    def test_cast_of_malloc(self):
+        expr = self._expr("(double *) malloc(n * sizeof(double))")
+        assert isinstance(expr, ast.Cast)
+        assert "double" in expr.type_name
+        assert isinstance(expr.operand, ast.Call)
+
+    def test_sizeof_type(self):
+        expr = self._expr("sizeof(double)")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "sizeof"
+
+    def test_ternary(self):
+        expr = self._expr("(a > b) ? a : b")
+        assert isinstance(expr, ast.Conditional)
+
+    def test_array_subscript_chain(self):
+        expr = self._expr("matrix[i * n + j]")
+        assert isinstance(expr, ast.ArraySubscript)
+
+    def test_member_access(self):
+        expr = self._expr("status.MPI_SOURCE")
+        assert isinstance(expr, ast.MemberAccess)
+        assert expr.member == "MPI_SOURCE"
+
+    def test_postfix_increment(self):
+        unit = parse_source("int main() { i++; }")
+        statement = unit.function("main").body.statements[0]
+        assert isinstance(statement.expr, ast.PostfixOp)
+
+    def test_compound_assignment(self):
+        unit = parse_source("int main() { sum += 4.0 / (1.0 + x * x); }")
+        statement = unit.function("main").body.statements[0]
+        assert isinstance(statement.expr, ast.Assignment)
+        assert statement.expr.op == "+="
+
+    def test_logical_operators(self):
+        expr = self._expr("a && b || !c")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "||"
+
+
+class TestToleranceAndStrictness:
+    def test_tolerant_parse_of_incomplete_code(self):
+        unit, diagnostics = parse_source_with_diagnostics(
+            "int main() { int x = ; MPI_Init(&argc, &argv); }"
+        )
+        assert unit.has_main()
+        assert diagnostics
+
+    def test_strict_parse_raises_on_garbage(self):
+        with pytest.raises(ParseError):
+            parse_source("int main() { int x = (1 + ; }", tolerant=False)
+
+    def test_parses_cleanly_true_for_valid_program(self, pi_source):
+        assert parses_cleanly(pi_source)
+
+    def test_parses_cleanly_false_for_broken_program(self):
+        assert not parses_cleanly("int main() { if (x { } }")
+
+    def test_parses_cleanly_false_for_fragment_without_functions(self):
+        assert not parses_cleanly("@@@@")
+
+    def test_line_numbers_recorded(self, pi_source):
+        unit = parse_source(pi_source)
+        calls = unit.find_all("call_expression")
+        lines = [c.line for c in calls]
+        assert all(l > 0 for l in lines)
+        assert lines == sorted(lines)
+
+
+class TestNodeHelpers:
+    def test_walk_and_find_all(self, pi_source):
+        unit = parse_source(pi_source)
+        call_names = [c.callee_name for c in unit.find_all("call_expression")]
+        assert "MPI_Init" in call_names
+        assert "MPI_Finalize" in call_names
+        assert len(list(unit.walk())) > 50
+
+    def test_function_lookup_missing(self, pi_source):
+        unit = parse_source(pi_source)
+        assert unit.function("does_not_exist") is None

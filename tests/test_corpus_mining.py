@@ -1,0 +1,63 @@
+"""Tests for the simulated GitHub mining layer."""
+
+from repro.corpus.mining import MiningConfig, generate_repositories, mine_c_programs
+
+
+class TestRepositoryGeneration:
+    def test_population_size(self):
+        repos = generate_repositories(MiningConfig(num_repositories=25, seed=3))
+        assert len(repos) == 25
+
+    def test_deterministic_given_seed(self):
+        config = MiningConfig(num_repositories=10, seed=42)
+        first = generate_repositories(config)
+        second = generate_repositories(config)
+        assert [r.name for r in first] == [r.name for r in second]
+        assert [f.text for r in first for f in r.files] == \
+               [f.text for r in second for f in r.files]
+
+    def test_different_seeds_differ(self):
+        a = generate_repositories(MiningConfig(num_repositories=10, seed=1))
+        b = generate_repositories(MiningConfig(num_repositories=10, seed=2))
+        assert [r.name for r in a] != [r.name for r in b]
+
+    def test_some_repositories_are_not_mpi_related(self):
+        repos = generate_repositories(MiningConfig(num_repositories=60, seed=5,
+                                                   non_mpi_repo_fraction=0.3))
+        assert any(not r.mentions_mpi() for r in repos)
+        assert any(r.mentions_mpi() for r in repos)
+
+    def test_repositories_have_files_and_metadata(self):
+        repos = generate_repositories(MiningConfig(num_repositories=5, seed=7))
+        for repo in repos:
+            assert repo.files
+            assert repo.readme
+            assert repo.description
+
+    def test_corrupted_and_no_main_files_exist(self):
+        config = MiningConfig(num_repositories=40, seed=9, corrupted_fraction=0.2,
+                              no_main_fraction=0.2)
+        repos = generate_repositories(config)
+        files = [f for r in repos for f in r.files]
+        assert any(f.corrupted for f in files)
+        assert any(not f.has_main for f in files)
+
+
+class TestMiningFilters:
+    def test_non_mpi_repositories_excluded(self):
+        config = MiningConfig(num_repositories=50, seed=11, non_mpi_repo_fraction=0.4)
+        repos = generate_repositories(config)
+        programs = mine_c_programs(repos)
+        mpi_repo_names = {r.name for r in repos if r.mentions_mpi()}
+        for program in programs:
+            assert program.path.split("/")[0] in mpi_repo_names
+
+    def test_files_without_main_excluded(self):
+        config = MiningConfig(num_repositories=40, seed=13, no_main_fraction=0.3)
+        repos = generate_repositories(config)
+        programs = mine_c_programs(repos)
+        assert all(p.has_main for p in programs)
+
+    def test_mining_returns_nonempty_for_default_config(self):
+        repos = generate_repositories(MiningConfig(num_repositories=20, seed=17))
+        assert len(mine_c_programs(repos)) > 20

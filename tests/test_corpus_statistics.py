@@ -1,0 +1,97 @@
+"""Tests for the corpus statistics that back Table Ia, Ib and Figure 3."""
+
+import numpy as np
+
+from repro.corpus.statistics import (
+    LENGTH_BUCKETS,
+    code_length_distribution,
+    common_core_counts,
+    files_with_init_and_finalize,
+    init_finalize_ratio_histogram,
+    is_exponentially_decreasing,
+    median_parallel_ratio,
+    mpi_function_histogram,
+    summarize,
+)
+from repro.mpiknow import MPI_COMMON_CORE
+
+
+class TestLengthDistribution:
+    def test_buckets_cover_all_programs(self, small_corpus):
+        buckets = code_length_distribution(small_corpus)
+        assert sum(buckets.values()) == len(small_corpus)
+
+    def test_bucket_labels_match_paper(self, small_corpus):
+        buckets = code_length_distribution(small_corpus)
+        assert list(buckets.keys()) == [label for label, _, _ in LENGTH_BUCKETS]
+
+    def test_majority_in_11_to_50_lines(self, small_corpus):
+        # Table Ia: the 11-50 bucket dominates for <=320 token programs.
+        buckets = code_length_distribution(small_corpus)
+        assert buckets["11-50"] >= buckets["<= 10"]
+        assert buckets["11-50"] >= buckets[">= 100"]
+
+
+class TestFunctionHistogram:
+    def test_counts_are_per_file(self, small_corpus):
+        hist = mpi_function_histogram(small_corpus)
+        assert hist["MPI_Init"] <= len(small_corpus)
+        # Init appears at most once per file even though some files call it once only anyway.
+        assert hist["MPI_Init"] == sum(
+            1 for p in small_corpus.programs if "MPI_Init" in p.mpi_functions
+        )
+
+    def test_histogram_sorted_descending(self, small_corpus):
+        values = list(mpi_function_histogram(small_corpus).values())
+        assert values == sorted(values, reverse=True)
+
+    def test_common_core_heads_the_distribution(self, small_corpus):
+        hist = mpi_function_histogram(small_corpus)
+        top_four = list(hist.keys())[:4]
+        assert set(top_four) == {"MPI_Init", "MPI_Finalize", "MPI_Comm_rank", "MPI_Comm_size"}
+
+    def test_exponentially_decreasing_shape(self, small_corpus):
+        hist = mpi_function_histogram(small_corpus)
+        assert is_exponentially_decreasing(hist)
+
+    def test_common_core_counts_cover_all_eight(self, small_corpus):
+        counts = common_core_counts(small_corpus)
+        assert list(counts.keys()) == list(MPI_COMMON_CORE)
+
+
+class TestParallelRatio:
+    def test_histogram_shape(self, small_corpus):
+        counts, edges = init_finalize_ratio_histogram(small_corpus, bins=20)
+        assert len(counts) == 20
+        assert len(edges) == 21
+        assert counts.sum() > 0
+
+    def test_most_programs_have_majority_parallel_lines(self, small_corpus):
+        # Figure 3: most programs have more than half their lines between
+        # MPI_Init and MPI_Finalize.
+        assert median_parallel_ratio(small_corpus) > 0.5
+
+    def test_files_with_init_and_finalize_is_most_of_corpus(self, small_corpus):
+        count = files_with_init_and_finalize(small_corpus)
+        assert count >= 0.8 * len(small_corpus.mpi_programs())
+
+    def test_empty_corpus_histogram(self):
+        from repro.corpus.synthesis import Corpus
+
+        counts, edges = init_finalize_ratio_histogram(Corpus(), bins=10)
+        assert counts.sum() == 0
+        assert np.isclose(edges[-1], 1.0)
+
+
+class TestSummary:
+    def test_summarize_bundles_everything(self, small_corpus):
+        stats = summarize(small_corpus)
+        assert stats.total_programs == len(small_corpus)
+        assert stats.common_core["MPI_Init"] > 0
+        assert stats.ratio_histogram[0].sum() > 0
+
+    def test_is_exponentially_decreasing_edge_cases(self):
+        assert is_exponentially_decreasing({})
+        assert is_exponentially_decreasing({"a": 5})
+        assert is_exponentially_decreasing({"a": 5, "b": 3, "c": 1})
+        assert not is_exponentially_decreasing({"a": 1, "b": 2, "c": 3, "d": 4, "e": 5})

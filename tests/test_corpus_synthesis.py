@@ -1,0 +1,89 @@
+"""Tests for corpus synthesis (standardisation + inclusion filtering)."""
+
+from repro.clang.lexer import code_token_texts
+from repro.clang.parser import parses_cleanly
+from repro.corpus import MiningConfig, build_corpus
+from repro.corpus.families import FAMILIES, MPI_FAMILIES, family_by_name, family_names
+from repro.corpus.templates import random_style
+from repro.utils.rng import make_rng
+
+
+class TestFamilies:
+    def test_registry_has_many_families(self):
+        assert len(FAMILIES) >= 30
+        assert len(MPI_FAMILIES) >= 29
+
+    def test_family_lookup(self):
+        family = family_by_name("pi_riemann")
+        assert family.category == "reduction"
+
+    def test_family_lookup_unknown_raises(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            family_by_name("nonexistent_family")
+
+    def test_family_names_mpi_only_excludes_serial(self):
+        assert "serial_program" not in family_names(mpi_only=True)
+        assert "serial_program" in family_names()
+
+    def test_every_mpi_template_generates_parseable_code(self):
+        rng = make_rng(123)
+        for family in MPI_FAMILIES:
+            for trial in range(2):
+                style = random_style(rng)
+                source = family.template(rng, style)
+                assert parses_cleanly(source), f"{family.name} trial {trial} does not parse"
+                assert "MPI_Init" in source
+                assert "MPI_Finalize" in source
+
+    def test_templates_produce_lexically_diverse_programs(self):
+        rng = make_rng(7)
+        family = family_by_name("pi_riemann")
+        sources = {family.template(rng, random_style(rng)) for _ in range(8)}
+        assert len(sources) > 1
+
+
+class TestCorpusBuild:
+    def test_build_reports_filtering(self, small_corpus):
+        report = small_corpus.report
+        assert report.programs_kept == len(small_corpus)
+        assert report.files_extracted >= report.programs_kept
+        assert report.files_parse_failed >= 0
+
+    def test_programs_are_standardised(self, small_corpus):
+        from repro.clang.codegen import standardize
+
+        for program in small_corpus.programs[:10]:
+            assert standardize(program.code) == program.code
+
+    def test_programs_parse_cleanly(self, small_corpus):
+        for program in small_corpus.programs[:20]:
+            assert parses_cleanly(program.code)
+
+    def test_token_counts_recorded(self, small_corpus):
+        for program in small_corpus.programs[:20]:
+            assert program.token_count == len(code_token_texts(program.code))
+
+    def test_mpi_functions_extracted(self, small_corpus):
+        mpi_programs = small_corpus.mpi_programs()
+        assert mpi_programs
+        for program in mpi_programs[:20]:
+            assert "MPI_Init" in program.mpi_functions
+
+    def test_init_finalize_ratio_in_unit_interval(self, small_corpus):
+        for program in small_corpus.programs:
+            if program.init_finalize_ratio is not None:
+                assert 0.0 <= program.init_finalize_ratio <= 1.0
+
+    def test_by_family_subsets(self, small_corpus):
+        for family_name in ("pi_riemann", "ring_pass"):
+            subset = small_corpus.by_family(family_name)
+            for program in subset:
+                assert program.family == family_name
+
+    def test_deterministic_corpus(self):
+        config = MiningConfig(num_repositories=8, seed=77)
+        a = build_corpus(config)
+        b = build_corpus(config)
+        assert [p.code for p in a.programs] == [p.code for p in b.programs]

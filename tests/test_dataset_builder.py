@@ -1,0 +1,68 @@
+"""Tests for the dataset builder (Figure 4 pipeline)."""
+
+from repro.dataset.builder import build_dataset, build_examples, example_from_program
+from repro.dataset.filters import FilterConfig
+from repro.dataset.removal import count_mpi_calls
+
+
+class TestExampleCreation:
+    def test_example_from_program(self, small_corpus):
+        program = small_corpus.mpi_programs()[0]
+        example = example_from_program(program)
+        assert example is not None
+        assert example.target_code == program.code
+        assert count_mpi_calls(example.source_code) == 0
+        assert example.source_xsbt
+        assert example.removed_calls
+        assert example.mpi_function_names == tuple(rc.function for rc in example.removed_calls)
+
+    def test_serial_program_yields_no_example(self):
+        from repro.corpus.synthesis import CorpusProgram
+
+        program = CorpusProgram(
+            program_id="serial", family="serial_program",
+            code="int main() {\n    return 0;\n}\n",
+            token_count=12, line_count=3, mpi_functions=(), mpi_call_lines=(),
+        )
+        assert example_from_program(program) is None
+
+    def test_xsbt_matches_stripped_code(self, small_dataset):
+        from repro.xsbt import xsbt_for_source
+
+        example = small_dataset.examples[0]
+        assert example.source_xsbt == xsbt_for_source(example.source_code)
+
+
+class TestBuildDataset:
+    def test_build_examples_respects_filters(self, small_corpus):
+        examples, report = build_examples(small_corpus, FilterConfig(max_tokens=200))
+        assert report.dropped_too_long >= 0
+        for example in examples:
+            assert example.token_count <= 320  # target token count bound is loose
+
+    def test_build_dataset_splits_cover_examples(self, small_dataset):
+        splits = small_dataset.splits
+        assert len(splits) == len(small_dataset.examples)
+        assert len(splits.train) > len(splits.test)
+
+    def test_examples_have_unique_ids(self, small_dataset):
+        ids = [e.example_id for e in small_dataset.examples]
+        assert len(ids) == len(set(ids))
+
+    def test_every_example_has_ground_truth(self, small_dataset):
+        for example in small_dataset.examples:
+            assert example.removed_calls
+            assert all(rc.line >= 1 for rc in example.removed_calls)
+
+    def test_dataset_contains_common_core_labels(self, small_dataset):
+        from repro.mpiknow import MPI_COMMON_CORE
+
+        seen = set()
+        for example in small_dataset.examples:
+            seen.update(example.mpi_function_names)
+        assert set(MPI_COMMON_CORE[:4]).issubset(seen)
+
+    def test_filter_report_drop_fraction_consistent(self, small_dataset, small_corpus):
+        report = small_dataset.filter_report
+        assert report.total == len(small_corpus.programs)
+        assert report.kept <= report.total

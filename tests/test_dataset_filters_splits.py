@@ -1,0 +1,104 @@
+"""Tests for the dataset inclusion/exclusion filters and the 80:10:10 split."""
+
+import pytest
+
+from repro.corpus.synthesis import CorpusProgram
+from repro.dataset.filters import DEFAULT_MAX_TOKENS, FilterConfig, apply_filters, passes_filters
+from repro.dataset.records import TranslationExample
+from repro.dataset.splits import SplitConfig, split_examples
+
+
+def _program(token_count=100, mpi=("MPI_Init", "MPI_Finalize"), line_count=30):
+    return CorpusProgram(
+        program_id="p", family="pi_riemann", code="int main() { }",
+        token_count=token_count, line_count=line_count,
+        mpi_functions=tuple(mpi), mpi_call_lines=(1,) * len(mpi),
+    )
+
+
+class TestFilters:
+    def test_default_max_tokens_matches_paper(self):
+        assert DEFAULT_MAX_TOKENS == 320
+
+    def test_token_cap_excludes_long_programs(self):
+        ok, reason = passes_filters(_program(token_count=400), FilterConfig())
+        assert not ok and reason == "too_long"
+
+    def test_mpi_required(self):
+        ok, reason = passes_filters(_program(mpi=()), FilterConfig())
+        assert not ok and reason == "no_mpi"
+
+    def test_init_finalize_requirement_optional(self):
+        program = _program(mpi=("MPI_Send",))
+        assert passes_filters(program, FilterConfig())[0]
+        ok, reason = passes_filters(program, FilterConfig(require_init_finalize=True))
+        assert not ok and reason == "missing_init_finalize"
+
+    def test_apply_filters_report(self):
+        programs = [
+            _program(),
+            _program(token_count=500),
+            _program(mpi=()),
+        ]
+        kept, report = apply_filters(programs)
+        assert len(kept) == 1
+        assert report.total == 3
+        assert report.kept == 1
+        assert report.dropped_too_long == 1
+        assert report.dropped_no_mpi == 1
+        assert 0.0 < report.drop_fraction < 1.0
+
+    def test_small_corpus_filter_rates(self, small_corpus):
+        kept, report = apply_filters(small_corpus.programs)
+        assert report.kept == len(kept)
+        assert report.kept > 0
+        # Serial programs exist in the corpus and must be dropped.
+        assert report.dropped_no_mpi >= 0
+
+
+def _examples(n):
+    return [
+        TranslationExample(example_id=f"e{i}", family="f", source_code="s",
+                           source_xsbt="x", target_code="t")
+        for i in range(n)
+    ]
+
+
+class TestSplits:
+    def test_ratios_80_10_10(self):
+        splits = split_examples(_examples(100))
+        assert splits.sizes() == {"train": 80, "validation": 10, "test": 10}
+
+    def test_all_examples_kept_exactly_once(self):
+        examples = _examples(53)
+        splits = split_examples(examples)
+        ids = [e.example_id for e in splits.train + splits.validation + splits.test]
+        assert sorted(ids) == sorted(e.example_id for e in examples)
+        assert len(splits) == 53
+
+    def test_deterministic_given_seed(self):
+        examples = _examples(40)
+        a = split_examples(examples, SplitConfig(seed=5))
+        b = split_examples(examples, SplitConfig(seed=5))
+        assert [e.example_id for e in a.test] == [e.example_id for e in b.test]
+
+    def test_different_seed_changes_assignment(self):
+        examples = _examples(40)
+        a = split_examples(examples, SplitConfig(seed=5))
+        b = split_examples(examples, SplitConfig(seed=6))
+        assert [e.example_id for e in a.train] != [e.example_id for e in b.train]
+
+    def test_invalid_fractions_raise(self):
+        with pytest.raises(ValueError):
+            split_examples(_examples(10), SplitConfig(train_fraction=0.9,
+                                                      validation_fraction=0.2,
+                                                      test_fraction=0.1))
+
+    def test_negative_fraction_raises(self):
+        with pytest.raises(ValueError):
+            SplitConfig(train_fraction=1.2, validation_fraction=-0.1,
+                        test_fraction=-0.1).validate()
+
+    def test_empty_input(self):
+        splits = split_examples([])
+        assert len(splits) == 0

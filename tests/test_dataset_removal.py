@@ -1,0 +1,107 @@
+"""Tests for the MPI-call removal ("Removed-Locations") pass."""
+
+from repro.dataset.removal import (
+    count_mpi_calls,
+    find_mpi_calls_in_line,
+    ground_truth_pairs,
+    remove_mpi_calls,
+)
+
+
+class TestFindCalls:
+    def test_single_call(self):
+        assert find_mpi_calls_in_line("    MPI_Init(&argc, &argv);") == ["MPI_Init"]
+
+    def test_multiple_calls_on_one_line(self):
+        line = "x = MPI_Wtime(); MPI_Barrier(MPI_COMM_WORLD);"
+        assert find_mpi_calls_in_line(line) == ["MPI_Wtime", "MPI_Barrier"]
+
+    def test_constants_are_not_calls(self):
+        assert find_mpi_calls_in_line("int c = MPI_COMM_WORLD;") == []
+
+    def test_non_mpi_call(self):
+        assert find_mpi_calls_in_line("printf(\"hello\");") == []
+
+
+class TestRemoval:
+    def test_removes_every_mpi_call(self, pi_source):
+        result = remove_mpi_calls(pi_source)
+        assert count_mpi_calls(result.stripped_code) == 0
+        assert "MPI_Init" not in result.stripped_code
+        assert "MPI_Reduce" not in result.stripped_code
+
+    def test_ground_truth_functions_recorded_in_order(self, pi_source):
+        result = remove_mpi_calls(pi_source)
+        assert result.removed_functions == (
+            "MPI_Init", "MPI_Comm_rank", "MPI_Comm_size", "MPI_Reduce", "MPI_Finalize",
+        )
+
+    def test_ground_truth_lines_match_source(self, pi_source):
+        result = remove_mpi_calls(pi_source)
+        source_lines = pi_source.splitlines()
+        for removed in result.removed:
+            assert removed.function in source_lines[removed.line - 1]
+
+    def test_non_mpi_lines_preserved(self, pi_source):
+        result = remove_mpi_calls(pi_source)
+        assert "for (i = rank; i < n; i += size) {" in result.stripped_code
+        assert 'printf("pi = %f\\n", pi);' in result.stripped_code
+
+    def test_stripped_code_still_parses_tolerantly(self, pi_source):
+        from repro.clang.parser import parse_source
+
+        result = remove_mpi_calls(pi_source)
+        unit = parse_source(result.stripped_code, tolerant=True)
+        assert unit.has_main()
+
+    def test_embedded_call_in_if_is_kept(self):
+        source = (
+            "int main(int argc, char **argv) {\n"
+            "    if (MPI_Init(&argc, &argv) != MPI_SUCCESS) {\n"
+            "        return 1;\n"
+            "    }\n"
+            "    MPI_Finalize();\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        result = remove_mpi_calls(source)
+        # The guarded Init is structural and stays; the bare Finalize goes.
+        assert "MPI_Init" in result.stripped_code
+        assert "MPI_Finalize" not in result.stripped_code
+        assert result.removed_functions == ("MPI_Finalize",)
+
+    def test_assigned_call_removed(self):
+        source = (
+            "int main(int argc, char **argv) {\n"
+            "    double t0 = MPI_Wtime();\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        result = remove_mpi_calls(source)
+        assert "MPI_Wtime" not in result.stripped_code
+        assert result.removed_functions == ("MPI_Wtime",)
+
+    def test_no_mpi_code_is_a_noop(self):
+        source = "int main() {\n    int x = 1;\n    return x;\n}\n"
+        result = remove_mpi_calls(source)
+        assert result.stripped_code == source
+        assert result.removed == ()
+
+    def test_ground_truth_pairs_helper(self, pi_source):
+        result = remove_mpi_calls(pi_source)
+        pairs = ground_truth_pairs(result)
+        assert ("MPI_Init", result.removed[0].line) == pairs[0]
+        assert len(pairs) == len(result.removed)
+
+    def test_trailing_newline_preserved(self, pi_source):
+        result = remove_mpi_calls(pi_source)
+        assert result.stripped_code.endswith("\n")
+
+
+class TestCountCalls:
+    def test_count_matches_removed(self, pi_source):
+        result = remove_mpi_calls(pi_source)
+        assert count_mpi_calls(pi_source) == len(result.removed)
+
+    def test_count_zero_for_serial_code(self):
+        assert count_mpi_calls("int main() { return 0; }") == 0

@@ -1,0 +1,144 @@
+"""Tests for the location-tolerant classification metrics (RQ1 + RQ2)."""
+
+import pytest
+
+from repro.evaluation.classification import (
+    MatchCounts,
+    MPICallSite,
+    evaluate_program,
+    extract_call_sites,
+    match_call_sites,
+    scores_from_counts,
+)
+
+
+class TestExtractCallSites:
+    def test_extracts_functions_and_lines(self, pi_source):
+        sites = extract_call_sites(pi_source)
+        names = [s.function for s in sites]
+        assert names == ["MPI_Init", "MPI_Comm_rank", "MPI_Comm_size", "MPI_Reduce",
+                         "MPI_Finalize"]
+        for site in sites:
+            assert site.function in pi_source.splitlines()[site.line - 1]
+
+    def test_ignores_constants(self):
+        sites = extract_call_sites("int main() { int c = MPI_COMM_WORLD; }")
+        assert sites == []
+
+    def test_multiple_calls_one_line(self):
+        sites = extract_call_sites("MPI_Barrier(MPI_COMM_WORLD); MPI_Finalize();")
+        assert [s.function for s in sites] == ["MPI_Barrier", "MPI_Finalize"]
+
+
+class TestMatching:
+    def test_exact_match_is_tp(self):
+        predicted = [MPICallSite("MPI_Init", 5)]
+        reference = [MPICallSite("MPI_Init", 5)]
+        counts = match_call_sites(predicted, reference)
+        assert (counts.tp, counts.fp, counts.fn) == (1, 0, 0)
+
+    def test_one_line_tolerance(self):
+        counts = match_call_sites([MPICallSite("MPI_Send", 10)],
+                                  [MPICallSite("MPI_Send", 11)])
+        assert counts.tp == 1
+
+    def test_two_line_difference_is_fp_and_fn(self):
+        counts = match_call_sites([MPICallSite("MPI_Send", 10)],
+                                  [MPICallSite("MPI_Send", 13)])
+        assert (counts.tp, counts.fp, counts.fn) == (0, 1, 1)
+
+    def test_wrong_function_is_fp_and_fn(self):
+        counts = match_call_sites([MPICallSite("MPI_Send", 10)],
+                                  [MPICallSite("MPI_Recv", 10)])
+        assert (counts.tp, counts.fp, counts.fn) == (0, 1, 1)
+
+    def test_missing_prediction_is_fn(self):
+        counts = match_call_sites([], [MPICallSite("MPI_Reduce", 3)])
+        assert (counts.tp, counts.fp, counts.fn) == (0, 0, 1)
+
+    def test_extra_prediction_is_fp(self):
+        counts = match_call_sites([MPICallSite("MPI_Reduce", 3)], [])
+        assert (counts.tp, counts.fp, counts.fn) == (0, 1, 0)
+
+    def test_each_reference_claimed_once(self):
+        predicted = [MPICallSite("MPI_Send", 10), MPICallSite("MPI_Send", 10)]
+        reference = [MPICallSite("MPI_Send", 10)]
+        counts = match_call_sites(predicted, reference)
+        assert (counts.tp, counts.fp) == (1, 1)
+
+    def test_nearest_reference_preferred(self):
+        predicted = [MPICallSite("MPI_Send", 10)]
+        reference = [MPICallSite("MPI_Send", 11), MPICallSite("MPI_Send", 10)]
+        counts = match_call_sites(predicted, reference)
+        assert counts.tp == 1 and counts.fn == 1
+
+    def test_custom_tolerance(self):
+        counts = match_call_sites([MPICallSite("MPI_Send", 10)],
+                                  [MPICallSite("MPI_Send", 14)], line_tolerance=5)
+        assert counts.tp == 1
+
+
+class TestMetrics:
+    def test_precision_recall_f1(self):
+        counts = MatchCounts(tp=8, fp=2, fn=4)
+        assert counts.precision == pytest.approx(0.8)
+        assert counts.recall == pytest.approx(8 / 12)
+        assert counts.f1 == pytest.approx(2 * 0.8 * (8 / 12) / (0.8 + 8 / 12))
+
+    def test_zero_denominators(self):
+        counts = MatchCounts()
+        assert counts.precision == 0.0
+        assert counts.recall == 0.0
+        assert counts.f1 == 0.0
+
+    def test_merge_accumulates_per_function(self):
+        a = MatchCounts()
+        a.add_tp("MPI_Send")
+        b = MatchCounts()
+        b.add_fp("MPI_Send")
+        b.add_fn("MPI_Reduce")
+        a.merge(b)
+        assert a.tp == 1 and a.fp == 1 and a.fn == 1
+        assert a.per_function["MPI_Send"].tp == 1
+        assert a.per_function["MPI_Send"].fp == 1
+
+    def test_restricted_to_common_core(self):
+        counts = MatchCounts()
+        counts.add_tp("MPI_Reduce")        # common core
+        counts.add_tp("MPI_Allreduce")     # not common core
+        counts.add_fn("MPI_Send")          # common core
+        from repro.mpiknow import is_common_core
+
+        core = counts.restricted(is_common_core)
+        assert core.tp == 1 and core.fn == 1
+        assert "MPI_Allreduce" not in core.per_function
+
+    def test_scores_from_counts_produces_all_six(self):
+        counts = MatchCounts()
+        counts.add_tp("MPI_Init")
+        counts.add_fp("MPI_Allreduce")
+        scores = scores_from_counts(counts)
+        table = scores.as_dict()
+        assert set(table) == {"M-F1", "M-Precision", "M-Recall",
+                              "MCC-F1", "MCC-Precision", "MCC-Recall"}
+        assert table["MCC-Precision"] == 1.0
+        assert table["M-Precision"] == 0.5
+
+
+class TestEvaluateProgram:
+    def test_perfect_prediction_scores_one(self, pi_source):
+        counts = evaluate_program(pi_source, pi_source)
+        assert counts.fp == 0 and counts.fn == 0
+        assert counts.f1 == 1.0
+
+    def test_missing_reduce_lowers_recall(self, pi_source):
+        predicted = "\n".join(l for l in pi_source.splitlines() if "MPI_Reduce" not in l)
+        counts = evaluate_program(predicted, pi_source)
+        assert counts.fn == 1
+        assert counts.recall < 1.0
+        assert counts.precision == 1.0
+
+    def test_shifted_by_many_lines_fails(self, pi_source):
+        predicted = ("\n" * 5) + pi_source
+        counts = evaluate_program(predicted, pi_source)
+        assert counts.tp == 0

@@ -1,0 +1,69 @@
+"""Tests for the Table II / Table III report builders."""
+
+import pytest
+
+from repro.evaluation.report import (
+    ExamplePrediction,
+    evaluate_benchmark,
+    evaluate_corpus,
+)
+from repro.tokenization import tokenize_code
+
+
+class TestCorpusEvaluation:
+    def _prediction(self, pi_source, predicted=None):
+        predicted = predicted if predicted is not None else pi_source
+        return ExamplePrediction(
+            example_id="x",
+            predicted_code=predicted,
+            reference_code=pi_source,
+            predicted_tokens=tokenize_code(predicted),
+            reference_tokens=tokenize_code(pi_source),
+        )
+
+    def test_perfect_predictions_score_one(self, pi_source):
+        result = evaluate_corpus([self._prediction(pi_source)])
+        table = result.as_dict()
+        assert table["M-F1"] == pytest.approx(1.0)
+        assert table["MCC-F1"] == pytest.approx(1.0)
+        assert table["BLEU"] == pytest.approx(1.0)
+        assert table["Rouge-l"] == pytest.approx(1.0)
+        assert table["ACC"] == pytest.approx(1.0)
+
+    def test_imperfect_prediction_lowers_scores(self, pi_source):
+        damaged = "\n".join(l for l in pi_source.splitlines() if "MPI_Reduce" not in l)
+        result = evaluate_corpus([self._prediction(pi_source, damaged)])
+        table = result.as_dict()
+        assert table["M-Recall"] < 1.0
+        assert table["ACC"] == 0.0
+        assert 0.0 < table["BLEU"] < 1.0
+
+    def test_table_rendering_contains_all_rows(self, pi_source):
+        result = evaluate_corpus([self._prediction(pi_source)])
+        text = result.to_table()
+        for row in ("M-F1", "MCC-Precision", "BLEU", "Meteor", "Rouge-l", "ACC"):
+            assert row in text
+
+    def test_empty_predictions_raise(self):
+        with pytest.raises(ValueError):
+            evaluate_corpus([])
+
+
+class TestBenchmarkEvaluation:
+    def test_per_program_rows_and_total(self, pi_source):
+        damaged = "\n".join(l for l in pi_source.splitlines() if "MPI_Reduce" not in l)
+        result = evaluate_benchmark([
+            ("Pi Riemann Sum", pi_source, pi_source),
+            ("Damaged", damaged, pi_source),
+        ])
+        assert len(result.programs) == 2
+        assert result.programs[0].f1 == pytest.approx(1.0)
+        assert result.programs[1].recall < 1.0
+        assert result.total is not None
+        # Pooled total sits between the per-program extremes.
+        assert result.programs[1].f1 <= result.total.f1 <= result.programs[0].f1
+
+    def test_table_rendering_matches_table3_columns(self, pi_source):
+        result = evaluate_benchmark([("Pi Riemann Sum", pi_source, pi_source)])
+        text = result.to_table()
+        assert "Code" in text and "M-F1" in text and "Total" in text

@@ -1,0 +1,108 @@
+"""Tests for BLEU, METEOR, ROUGE-L and exact-match accuracy."""
+
+import pytest
+
+from repro.evaluation.accuracy import exact_match, exact_match_accuracy
+from repro.evaluation.bleu import corpus_bleu, modified_precision, sentence_bleu
+from repro.evaluation.meteor import corpus_meteor, meteor
+from repro.evaluation.rouge import corpus_rouge_l, lcs_length, rouge_l
+
+
+class TestBLEU:
+    def test_identical_sequences_score_one(self):
+        tokens = list("abcdefgh")
+        assert sentence_bleu(tokens, tokens) == pytest.approx(1.0)
+
+    def test_disjoint_sequences_score_near_zero(self):
+        assert sentence_bleu(list("aaaa"), list("bbbb")) < 1e-6
+
+    def test_modified_precision_clipping(self):
+        matches, total = modified_precision(["the", "the", "the"], ["the", "cat"], 1)
+        assert matches == 1 and total == 3
+
+    def test_brevity_penalty(self):
+        reference = list("abcdefghij")
+        short = sentence_bleu(list("abcde"), reference)
+        full = sentence_bleu(reference, reference)
+        assert short < full
+
+    def test_corpus_bleu_pools_statistics(self):
+        candidates = [list("abcd"), list("wxyz")]
+        references = [list("abcd"), list("wxyz")]
+        assert corpus_bleu(candidates, references) == pytest.approx(1.0)
+
+    def test_corpus_bleu_validates_lengths(self):
+        with pytest.raises(ValueError):
+            corpus_bleu([list("ab")], [])
+
+    def test_partial_overlap_between_zero_and_one(self):
+        score = sentence_bleu(list("abcdxyzw"), list("abcdefgh"))
+        assert 0.0 < score < 1.0
+
+
+class TestROUGE:
+    def test_lcs_length(self):
+        assert lcs_length("abcde", "ace") == 3
+        assert lcs_length("abc", "xyz") == 0
+        assert lcs_length("", "abc") == 0
+
+    def test_identical_sequences_score_one(self):
+        assert rouge_l(list("hello"), list("hello")) == pytest.approx(1.0)
+
+    def test_subsequence_scores_between_zero_and_one(self):
+        score = rouge_l(list("abcdefgh"), list("axcxexgx"))
+        assert 0.0 < score < 1.0
+
+    def test_corpus_rouge_is_mean(self):
+        perfect = list("abc")
+        poor = list("xyz")
+        score = corpus_rouge_l([perfect, poor], [perfect, list("abc")])
+        assert score == pytest.approx(rouge_l(perfect, perfect) / 2 +
+                                      rouge_l(poor, list("abc")) / 2)
+
+
+class TestMETEOR:
+    def test_identical_sequences_score_high(self):
+        tokens = list("abcdefgh")
+        assert meteor(tokens, tokens) > 0.9
+
+    def test_reordered_sequences_penalised(self):
+        reference = list("abcdefgh")
+        reordered = list("efghabcd")
+        assert meteor(reordered, reference) < meteor(reference, reference)
+
+    def test_no_overlap_scores_zero(self):
+        assert meteor(list("abc"), list("xyz")) == 0.0
+
+    def test_empty_candidate_scores_zero(self):
+        assert meteor([], list("abc")) == 0.0
+
+    def test_corpus_meteor_mean(self):
+        a, b = list("abcd"), list("wxyz")
+        score = corpus_meteor([a, b], [a, b])
+        assert score == pytest.approx((meteor(a, a) + meteor(b, b)) / 2)
+
+
+class TestExactMatch:
+    def test_exact_match_true_false(self):
+        assert exact_match(["a", "b"], ["a", "b"])
+        assert not exact_match(["a"], ["a", "b"])
+
+    def test_accuracy_fraction(self):
+        candidates = [["a"], ["b"], ["c"]]
+        references = [["a"], ["x"], ["c"]]
+        assert exact_match_accuracy(candidates, references) == pytest.approx(2 / 3)
+
+    def test_accuracy_validates_input(self):
+        with pytest.raises(ValueError):
+            exact_match_accuracy([], [])
+
+
+class TestMetricOrdering:
+    def test_better_candidate_scores_higher_on_all_metrics(self):
+        reference = "int main ( ) { MPI_Init ( ) ; return 0 ; }".split()
+        good = "int main ( ) { MPI_Init ( ) ; return 0 ; }".split()
+        bad = "void helper ( ) { exit ( 1 ) ; }".split()
+        assert sentence_bleu(good, reference) > sentence_bleu(bad, reference)
+        assert rouge_l(good, reference) > rouge_l(bad, reference)
+        assert meteor(good, reference) > meteor(bad, reference)

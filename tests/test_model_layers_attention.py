@@ -1,0 +1,180 @@
+"""Tests for neural layers and multi-head attention."""
+
+import numpy as np
+import pytest
+
+from repro.model.attention import (
+    KVCache,
+    MultiHeadAttention,
+    causal_mask,
+    combined_decoder_mask,
+    padding_mask,
+)
+from repro.model.autograd import Tensor
+from repro.model.layers import (
+    Embedding,
+    FeedForward,
+    LayerNorm,
+    Linear,
+    Module,
+    PositionalEncoding,
+    sinusoidal_positions,
+)
+
+
+class TestLinearAndNorm:
+    def test_linear_shapes(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(8, 16, rng)
+        out = layer(Tensor(rng.normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 16)
+
+    def test_linear_without_bias(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(4, 4, rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_layernorm_normalises_last_axis(self):
+        layer = LayerNorm(16)
+        x = Tensor(np.random.default_rng(1).normal(3.0, 2.0, size=(4, 16)))
+        out = layer(x).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_feedforward_shapes(self):
+        rng = np.random.default_rng(2)
+        ffn = FeedForward(8, 32, rng)
+        out = ffn(Tensor(rng.normal(size=(2, 3, 8))))
+        assert out.shape == (2, 3, 8)
+
+
+class TestEmbeddingAndPositions:
+    def test_embedding_lookup_shape(self):
+        rng = np.random.default_rng(0)
+        emb = Embedding(50, 8, rng)
+        out = emb(np.array([[1, 2, 3]]))
+        assert out.shape == (1, 3, 8)
+
+    def test_sinusoidal_positions_properties(self):
+        table = sinusoidal_positions(64, 16)
+        assert table.shape == (64, 16)
+        assert np.all(np.abs(table) <= 1.0)
+        # Distinct positions get distinct encodings.
+        assert not np.allclose(table[0], table[1])
+
+    def test_positional_encoding_offset(self):
+        pe = PositionalEncoding(32, 8)
+        x = Tensor(np.zeros((1, 4, 8)))
+        at_zero = pe(x, offset=0).data
+        at_four = pe(x, offset=4).data
+        assert not np.allclose(at_zero, at_four)
+
+    def test_positional_encoding_overflow_raises(self):
+        pe = PositionalEncoding(8, 4)
+        with pytest.raises(ValueError):
+            pe(Tensor(np.zeros((1, 16, 4))))
+
+
+class TestModuleParameterCollection:
+    def test_collects_nested_parameters(self):
+        rng = np.random.default_rng(0)
+
+        class Wrapper(Module):
+            def __init__(self):
+                self.inner = Linear(4, 4, rng)
+                self.stack = [Linear(4, 4, rng), LayerNorm(4)]
+
+        module = Wrapper()
+        # inner (2) + stack linear (2) + layernorm (2)
+        assert len(module.parameters()) == 6
+        assert module.num_parameters() == 4 * 4 * 2 + 4 * 2 + 4 * 2
+
+    def test_zero_grad_clears_all(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(3, 3, rng)
+        out = layer(Tensor(np.ones((1, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestMasks:
+    def test_padding_mask_shape_and_content(self):
+        ids = np.array([[5, 6, 0], [7, 0, 0]])
+        mask = padding_mask(ids, pad_id=0)
+        assert mask.shape == (2, 1, 1, 3)
+        assert mask[0, 0, 0].tolist() == [False, False, True]
+
+    def test_causal_mask_upper_triangle(self):
+        mask = causal_mask(4)
+        assert mask.shape == (1, 1, 4, 4)
+        assert not mask[0, 0, 2, 1]
+        assert mask[0, 0, 1, 2]
+
+    def test_combined_decoder_mask(self):
+        ids = np.array([[3, 4, 0]])
+        mask = combined_decoder_mask(ids, pad_id=0)
+        assert mask.shape == (1, 1, 3, 3)
+        assert mask[0, 0, 0, 1]          # causal
+        assert mask[0, 0, 2, 2].item() is np.True_ or mask[0, 0, 2, 2]  # padding
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self):
+        rng = np.random.default_rng(0)
+        attn = MultiHeadAttention(16, 4, rng)
+        x = Tensor(rng.normal(size=(2, 5, 16)))
+        out = attn(x, x, x)
+        assert out.shape == (2, 5, 16)
+
+    def test_invalid_head_split_raises(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, 3, np.random.default_rng(0))
+
+    def test_masking_changes_output(self):
+        rng = np.random.default_rng(1)
+        attn = MultiHeadAttention(8, 2, rng)
+        x = Tensor(rng.normal(size=(1, 4, 8)))
+        unmasked = attn(x, x, x).data
+        masked = attn(x, x, x, mask=causal_mask(4)).data
+        assert not np.allclose(unmasked, masked)
+
+    def test_cross_attention_different_lengths(self):
+        rng = np.random.default_rng(2)
+        attn = MultiHeadAttention(8, 2, rng)
+        query = Tensor(rng.normal(size=(1, 3, 8)))
+        memory = Tensor(rng.normal(size=(1, 7, 8)))
+        out = attn(query, memory, memory)
+        assert out.shape == (1, 3, 8)
+
+    def test_kv_cache_incremental_matches_full(self):
+        rng = np.random.default_rng(3)
+        attn = MultiHeadAttention(8, 2, rng, dropout=0.0)
+        sequence = Tensor(rng.normal(size=(1, 4, 8)))
+        full = attn(sequence, sequence, sequence, mask=causal_mask(4)).data
+
+        cache = KVCache()
+        incremental = []
+        for step in range(4):
+            token = Tensor(sequence.data[:, step:step + 1, :])
+            out = attn(token, token, token, cache=cache)
+            incremental.append(out.data[:, 0, :])
+        incremental = np.stack(incremental, axis=1)
+        assert np.allclose(full, incremental, atol=1e-10)
+
+    def test_kv_cache_length_grows(self):
+        cache = KVCache()
+        assert cache.length == 0
+        cache.append(np.zeros((1, 2, 3, 4)), np.zeros((1, 2, 3, 4)))
+        cache.append(np.zeros((1, 2, 2, 4)), np.zeros((1, 2, 2, 4)))
+        assert cache.length == 5
+
+    def test_gradients_flow_through_attention(self):
+        rng = np.random.default_rng(4)
+        attn = MultiHeadAttention(8, 2, rng)
+        x = Tensor(rng.normal(size=(1, 3, 8)), requires_grad=True)
+        attn(x, x, x).sum().backward()
+        assert x.grad is not None
+        assert attn.q_proj.weight.grad is not None

@@ -1,0 +1,219 @@
+"""Tests for the seq2seq Transformer, loss, optimiser, trainer and decoding."""
+
+import numpy as np
+import pytest
+
+from repro.model.autograd import Tensor
+from repro.model.checkpoints import load_checkpoint, save_checkpoint
+from repro.model.config import ModelConfig, TrainingConfig, paper_config, small_config, tiny_config
+from repro.model.generation import beam_search_decode, greedy_decode
+from repro.model.loss import cross_entropy, perplexity
+from repro.model.optimizer import Adam, AdamConfig
+from repro.model.trainer import Trainer
+from repro.model.transformer import Seq2SeqTransformer
+from repro.tokenization.code_tokenizer import EncodedExample
+from repro.tokenization.vocab import Vocabulary
+
+
+def _tiny_model(vocab_size=40):
+    config = ModelConfig(vocab_size=vocab_size, d_model=32, num_heads=2,
+                         num_encoder_layers=1, num_decoder_layers=1, ffn_dim=48,
+                         dropout=0.0, seed=3)
+    return Seq2SeqTransformer(config)
+
+
+class TestConfig:
+    def test_validate_requires_vocab(self):
+        with pytest.raises(ValueError):
+            ModelConfig(vocab_size=0).validate()
+
+    def test_validate_head_divisibility(self):
+        with pytest.raises(ValueError):
+            ModelConfig(vocab_size=10, d_model=30, num_heads=4).validate()
+
+    def test_presets_are_consistent(self):
+        for preset in (paper_config(), small_config(), tiny_config()):
+            assert preset.model.d_model % preset.model.num_heads == 0
+            assert preset.training.epochs >= 1
+
+
+class TestForward:
+    def test_forward_logits_shape(self):
+        model = _tiny_model()
+        src = np.array([[4, 5, 6, 0]])
+        tgt = np.array([[1, 7, 8]])
+        logits = model.forward(src, tgt, pad_id=0)
+        assert logits.shape == (1, 3, 40)
+
+    def test_padding_does_not_change_unpadded_logits(self):
+        model = _tiny_model()
+        src = np.array([[4, 5, 6]])
+        src_padded = np.array([[4, 5, 6, 0, 0]])
+        tgt = np.array([[1, 7]])
+        a = model.forward(src, tgt, pad_id=0).data
+        b = model.forward(src_padded, tgt, pad_id=0).data
+        assert np.allclose(a, b, atol=1e-8)
+
+    def test_causality_future_target_does_not_affect_past(self):
+        model = _tiny_model()
+        src = np.array([[4, 5, 6]])
+        tgt_a = np.array([[1, 7, 8, 9]])
+        tgt_b = np.array([[1, 7, 30, 31]])  # differs only after position 1
+        logits_a = model.forward(src, tgt_a, pad_id=0).data
+        logits_b = model.forward(src, tgt_b, pad_id=0).data
+        assert np.allclose(logits_a[:, :2], logits_b[:, :2], atol=1e-9)
+
+    def test_parameter_count_positive(self):
+        model = _tiny_model()
+        assert model.num_parameters() > 10_000
+
+
+class TestLoss:
+    def test_cross_entropy_matches_manual(self):
+        logits = Tensor(np.zeros((1, 2, 4)))
+        targets = np.array([[1, 2]])
+        result = cross_entropy(logits, targets, pad_id=0)
+        assert np.isclose(result.loss.data, np.log(4.0))
+
+    def test_padding_excluded(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(1, 3, 5)))
+        with_pad = cross_entropy(logits, np.array([[1, 2, 0]]), pad_id=0)
+        without = cross_entropy(Tensor(logits.data[:, :2]), np.array([[1, 2]]), pad_id=0)
+        assert np.isclose(with_pad.loss.data, without.loss.data)
+        assert with_pad.num_tokens == 2
+
+    def test_label_smoothing_increases_loss_for_confident_model(self):
+        logits_data = np.full((1, 1, 4), -10.0)
+        logits_data[0, 0, 2] = 10.0
+        sharp = cross_entropy(Tensor(logits_data), np.array([[2]]), pad_id=0, label_smoothing=0.0)
+        smooth = cross_entropy(Tensor(logits_data), np.array([[2]]), pad_id=0, label_smoothing=0.1)
+        assert smooth.loss.data > sharp.loss.data
+
+    def test_all_padding_raises(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((1, 2, 3))), np.array([[0, 0]]), pad_id=0)
+
+    def test_accuracy_computed(self):
+        logits_data = np.zeros((1, 2, 4))
+        logits_data[0, 0, 1] = 5.0
+        logits_data[0, 1, 3] = 5.0
+        result = cross_entropy(Tensor(logits_data), np.array([[1, 2]]), pad_id=0)
+        assert np.isclose(result.token_accuracy, 0.5)
+
+    def test_perplexity(self):
+        assert np.isclose(perplexity(0.0), 1.0)
+        assert perplexity(100.0) < np.inf
+
+
+class TestOptimizer:
+    def test_adam_reduces_quadratic_loss(self):
+        from repro.model.autograd import parameter
+
+        x = parameter(np.array([5.0, -3.0]))
+        optimizer = Adam([x], AdamConfig(learning_rate=0.1))
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = (x * x).sum()
+            loss.backward()
+            optimizer.step()
+        assert np.all(np.abs(x.data) < 0.1)
+
+    def test_warmup_ramps_learning_rate(self):
+        from repro.model.autograd import parameter
+
+        optimizer = Adam([parameter(np.zeros(1))],
+                         AdamConfig(learning_rate=1.0, warmup_steps=10))
+        optimizer.step_count = 1
+        assert optimizer.current_learning_rate() == pytest.approx(0.1)
+        optimizer.step_count = 20
+        assert optimizer.current_learning_rate() == pytest.approx(1.0)
+
+    def test_gradient_clipping(self):
+        from repro.model.autograd import parameter
+
+        p = parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        optimizer = Adam([p], AdamConfig(gradient_clip=1.0))
+        norm = optimizer.clip_gradients()
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+
+class TestTrainerAndDecoding:
+    def _copy_task_examples(self, n=12, length=10, vocab=30, seed=0):
+        rng = np.random.default_rng(seed)
+        examples = []
+        for i in range(n):
+            src = [int(v) for v in rng.integers(5, vocab - 1, size=length)]
+            examples.append(EncodedExample(example_id=str(i), encoder_ids=src,
+                                           decoder_ids=[1] + src + [2]))
+        return examples
+
+    def test_trainer_overfits_copy_task(self):
+        examples = self._copy_task_examples()
+        model = _tiny_model(vocab_size=30)
+        trainer = Trainer(model, pad_id=0,
+                          config=TrainingConfig(batch_size=4, epochs=25, learning_rate=3e-3,
+                                                label_smoothing=0.0, warmup_steps=5, seed=1))
+        history = trainer.fit(examples, examples)
+        assert history.epochs[-1].train_loss < history.epochs[0].train_loss
+        assert history.epochs[-1].validation_accuracy > 0.9
+        assert len(history.train_losses()) == 25
+
+    def test_greedy_decode_reproduces_copy(self):
+        examples = self._copy_task_examples(n=10, length=8)
+        model = _tiny_model(vocab_size=30)
+        trainer = Trainer(model, pad_id=0,
+                          config=TrainingConfig(batch_size=5, epochs=30, learning_rate=3e-3,
+                                                label_smoothing=0.0, warmup_steps=5, seed=2))
+        trainer.fit(examples)
+        decoded = greedy_decode(model, examples[0].encoder_ids, sos_id=1, eos_id=2,
+                                pad_id=0, max_length=20)
+        assert decoded == examples[0].encoder_ids
+
+    def test_beam_search_at_least_as_likely_as_greedy(self):
+        examples = self._copy_task_examples(n=8, length=6)
+        model = _tiny_model(vocab_size=30)
+        Trainer(model, pad_id=0,
+                config=TrainingConfig(batch_size=4, epochs=20, learning_rate=3e-3,
+                                      label_smoothing=0.0, seed=3)).fit(examples)
+        greedy = greedy_decode(model, examples[1].encoder_ids, sos_id=1, eos_id=2, pad_id=0,
+                               max_length=16)
+        beam = beam_search_decode(model, examples[1].encoder_ids, sos_id=1, eos_id=2,
+                                  pad_id=0, beam_size=2, max_length=16)
+        assert beam == greedy or len(beam) > 0
+
+    def test_max_steps_per_epoch_caps_work(self):
+        examples = self._copy_task_examples(n=20)
+        model = _tiny_model(vocab_size=30)
+        trainer = Trainer(model, pad_id=0,
+                          config=TrainingConfig(batch_size=2, epochs=1,
+                                                max_steps_per_epoch=3, seed=4))
+        history = trainer.fit(examples)
+        assert history.epochs[0].steps == 3
+
+    def test_evaluate_on_empty_returns_zero(self):
+        model = _tiny_model()
+        trainer = Trainer(model, pad_id=0, config=TrainingConfig(epochs=1))
+        assert trainer.evaluate([]) == (0.0, 0.0)
+
+
+class TestCheckpoints:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        model = _tiny_model(vocab_size=12)
+        vocab = Vocabulary.build([["alpha", "beta", "gamma"]])
+        save_checkpoint(tmp_path / "ckpt", model, vocab)
+        restored_model, restored_vocab = load_checkpoint(tmp_path / "ckpt")
+        assert restored_vocab.token_to_id == vocab.token_to_id
+        for original, restored in zip(model.parameters(), restored_model.parameters()):
+            assert np.allclose(original.data, restored.data)
+
+    def test_restored_model_produces_identical_logits(self, tmp_path):
+        model = _tiny_model(vocab_size=12)
+        vocab = Vocabulary()
+        save_checkpoint(tmp_path / "ckpt", model, vocab)
+        restored, _ = load_checkpoint(tmp_path / "ckpt")
+        src = np.array([[3, 4, 5]])
+        tgt = np.array([[1, 6]])
+        assert np.allclose(model.forward(src, tgt, 0).data,
+                           restored.forward(src, tgt, 0).data)

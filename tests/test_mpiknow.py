@@ -1,0 +1,90 @@
+"""Tests for the MPI knowledge base."""
+
+from repro.mpiknow import (
+    ALL_MPI_FUNCTION_NAMES,
+    MPI_COMMON_CORE,
+    MPI_FUNCTIONS,
+    categories,
+    functions_in_category,
+    is_common_core,
+    is_mpi_call_name,
+    is_mpi_function,
+    is_mpi_identifier,
+    render_call,
+)
+
+
+class TestRegistry:
+    def test_common_core_matches_paper_table_1b(self):
+        assert MPI_COMMON_CORE == (
+            "MPI_Finalize", "MPI_Comm_rank", "MPI_Comm_size", "MPI_Init",
+            "MPI_Recv", "MPI_Send", "MPI_Reduce", "MPI_Bcast",
+        )
+
+    def test_common_core_functions_registered(self):
+        for name in MPI_COMMON_CORE:
+            assert name in MPI_FUNCTIONS
+            assert MPI_FUNCTIONS[name].common_core
+
+    def test_registry_has_broad_coverage(self):
+        assert len(ALL_MPI_FUNCTION_NAMES) >= 100
+        assert "MPI_Allreduce" in MPI_FUNCTIONS
+        assert "MPI_Cart_create" in MPI_FUNCTIONS
+        assert "MPI_File_open" in MPI_FUNCTIONS
+
+    def test_categories_cover_major_groups(self):
+        names = categories()
+        for expected in ("environment", "communicator", "point_to_point", "collective"):
+            assert expected in names
+
+    def test_functions_in_category(self):
+        collectives = functions_in_category("collective")
+        assert "MPI_Bcast" in collectives
+        assert "MPI_Reduce" in collectives
+        assert collectives == sorted(collectives)
+
+
+class TestPredicates:
+    def test_is_mpi_function(self):
+        assert is_mpi_function("MPI_Send")
+        assert not is_mpi_function("printf")
+
+    def test_is_common_core(self):
+        assert is_common_core("MPI_Reduce")
+        assert not is_common_core("MPI_Allreduce")
+
+    def test_is_mpi_call_name_excludes_constants(self):
+        assert is_mpi_call_name("MPI_Send")
+        assert is_mpi_call_name("MPI_Nonstandard_wrapper")  # any MPI_ call counts
+        assert not is_mpi_call_name("MPI_COMM_WORLD")
+        assert not is_mpi_call_name("MPI_STATUS_IGNORE")
+
+    def test_is_mpi_identifier(self):
+        assert is_mpi_identifier("MPI_COMM_WORLD")
+        assert is_mpi_identifier("MPI_Send")
+        assert not is_mpi_identifier("rank")
+
+
+class TestRenderCall:
+    def test_render_simple_call(self):
+        assert render_call("MPI_Finalize") == "MPI_Finalize();"
+
+    def test_render_with_defaults(self):
+        text = render_call("MPI_Comm_rank")
+        assert text == "MPI_Comm_rank(MPI_COMM_WORLD, &rank);"
+
+    def test_render_with_overrides(self):
+        text = render_call("MPI_Reduce", buf="&local", recvbuf="&total", count="1")
+        assert text.startswith("MPI_Reduce(&local, &total, 1,")
+
+    def test_render_unknown_function_empty_args(self):
+        assert render_call("MPI_Unknown_thing") == "MPI_Unknown_thing();"
+
+    def test_rendered_calls_parse(self):
+        from repro.clang.parser import parse_source
+
+        for name in ("MPI_Init", "MPI_Send", "MPI_Recv", "MPI_Bcast", "MPI_Reduce",
+                     "MPI_Scatter", "MPI_Gather", "MPI_Allreduce", "MPI_Barrier"):
+            program = "int main(int argc, char **argv) { " + render_call(name) + " }"
+            unit = parse_source(program, tolerant=False)
+            assert unit.has_main()

@@ -1,0 +1,88 @@
+"""Integration tests for the MPI-RICAL pipeline and the assistant API.
+
+These use the session-scoped ``tiny_model`` fixture (one epoch, tiny
+Transformer) — they validate the plumbing end to end, not model quality.
+Quality is measured by the benchmark harness.
+"""
+
+import numpy as np
+
+from repro.dataset.removal import remove_mpi_calls
+from repro.mpirical import MPIAssistant, MPIRical
+from repro.mpirical.pipeline import PredictionResult
+
+
+class TestTraining:
+    def test_history_has_requested_epochs(self, tiny_model):
+        assert len(tiny_model.history.epochs) == tiny_model.config.training.epochs
+
+    def test_vocabulary_covers_mpi_functions(self, tiny_model):
+        assert "MPI_Init" in tiny_model.encoder.vocab
+        assert "MPI_Finalize" in tiny_model.encoder.vocab
+
+    def test_losses_are_finite(self, tiny_model):
+        for metrics in tiny_model.history.epochs:
+            assert np.isfinite(metrics.train_loss)
+            assert np.isfinite(metrics.validation_loss)
+
+
+class TestPrediction:
+    def test_predict_code_returns_result(self, tiny_model, small_dataset):
+        example = small_dataset.splits.test[0]
+        result = tiny_model.predict_code(example.source_code, example.source_xsbt)
+        assert isinstance(result, PredictionResult)
+        assert isinstance(result.generated_code, str)
+        assert isinstance(result.generated_tokens, list)
+
+    def test_predict_example_packages_reference(self, tiny_model, small_dataset):
+        example = small_dataset.splits.test[0]
+        prediction = tiny_model.predict_example(example)
+        assert prediction.reference_code == example.target_code
+        assert prediction.reference_tokens
+
+    def test_evaluate_produces_all_metrics(self, tiny_model, small_dataset):
+        evaluation = tiny_model.evaluate(small_dataset.splits.test, limit=2)
+        table = evaluation.as_dict()
+        for key in ("M-F1", "MCC-F1", "BLEU", "Meteor", "Rouge-l", "ACC"):
+            assert key in table
+            assert 0.0 <= table[key] <= 1.0
+        assert evaluation.num_examples == 2
+
+
+class TestPersistence:
+    def test_save_and_load_preserve_predictions(self, tiny_model, small_dataset, tmp_path):
+        example = small_dataset.splits.test[0]
+        before = tiny_model.predict_tokens(example.source_code, example.source_xsbt)
+        tiny_model.save(tmp_path / "model")
+        restored = MPIRical.load(tmp_path / "model", tiny_model.config)
+        after = restored.predict_tokens(example.source_code, example.source_xsbt)
+        assert before == after
+
+
+class TestAssistant:
+    def test_advise_returns_session(self, tiny_model, pi_source):
+        assistant = MPIAssistant(tiny_model)
+        stripped = remove_mpi_calls(pi_source).stripped_code
+        session = assistant.advise(stripped)
+        assert isinstance(session.summary(), str)
+        for advice in session.advice:
+            assert advice.confidence in ("high", "medium")
+
+    def test_advise_tolerates_incomplete_code(self, tiny_model):
+        assistant = MPIAssistant(tiny_model)
+        session = assistant.advise("int main(int argc, char **argv) {\n    int rank\n")
+        assert isinstance(session.advice, list)
+        assert session.parse_diagnostics  # the missing ';' is reported
+
+    def test_rewrite_applies_all_advice(self, tiny_model, pi_source):
+        assistant = MPIAssistant(tiny_model)
+        stripped = remove_mpi_calls(pi_source).stripped_code
+        rewritten = assistant.rewrite(stripped)
+        assert isinstance(rewritten, str)
+        assert len(rewritten.splitlines()) >= len(stripped.splitlines())
+
+    def test_advise_functions_lists_names(self, tiny_model, pi_source):
+        assistant = MPIAssistant(tiny_model)
+        stripped = remove_mpi_calls(pi_source).stripped_code
+        names = assistant.advise_functions(stripped)
+        assert all(name.startswith("MPI_") for name in names)

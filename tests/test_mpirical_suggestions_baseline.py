@@ -1,0 +1,131 @@
+"""Tests for suggestion extraction/application and the rule-based baseline."""
+
+from repro.dataset.removal import remove_mpi_calls
+from repro.evaluation.classification import evaluate_program
+from repro.mpirical.baseline import BaselineConfig, RuleBasedBaseline
+from repro.mpirical.suggestions import (
+    MPISuggestion,
+    apply_suggestions,
+    extract_suggestions,
+    suggestions_by_function,
+)
+
+
+class TestExtractSuggestions:
+    def test_recovers_removed_calls(self, pi_source):
+        stripped = remove_mpi_calls(pi_source).stripped_code
+        suggestions = extract_suggestions(stripped, pi_source)
+        functions = [s.function for s in suggestions]
+        assert functions == ["MPI_Init", "MPI_Comm_rank", "MPI_Comm_size",
+                             "MPI_Reduce", "MPI_Finalize"]
+
+    def test_anchors_are_within_file(self, pi_source):
+        stripped = remove_mpi_calls(pi_source).stripped_code
+        total_lines = len(stripped.splitlines())
+        for suggestion in extract_suggestions(stripped, pi_source):
+            assert 0 <= suggestion.insert_after_line <= total_lines
+
+    def test_identical_codes_produce_no_suggestions(self, pi_source):
+        assert extract_suggestions(pi_source, pi_source) == []
+
+    def test_non_mpi_insertions_ignored(self):
+        original = "int main() {\n    int x = 1;\n}\n"
+        generated = "int main() {\n    int x = 1;\n    int y = 2;\n}\n"
+        assert extract_suggestions(original, generated) == []
+
+    def test_render_mentions_function_and_anchor(self):
+        suggestion = MPISuggestion("MPI_Init", 3, "MPI_Init(&argc, &argv);")
+        text = suggestion.render()
+        assert "MPI_Init" in text and "after line 3" in text
+
+    def test_suggestions_by_function_histogram(self):
+        suggestions = [
+            MPISuggestion("MPI_Send", 1, "MPI_Send();"),
+            MPISuggestion("MPI_Send", 2, "MPI_Send();"),
+            MPISuggestion("MPI_Recv", 3, "MPI_Recv();"),
+        ]
+        assert suggestions_by_function(suggestions) == {"MPI_Send": 2, "MPI_Recv": 1}
+
+
+class TestApplySuggestions:
+    def test_roundtrip_restores_all_calls(self, pi_source):
+        stripped = remove_mpi_calls(pi_source).stripped_code
+        suggestions = extract_suggestions(stripped, pi_source)
+        rebuilt = apply_suggestions(stripped, suggestions)
+        counts = evaluate_program(rebuilt, pi_source, line_tolerance=1)
+        assert counts.fn == 0
+        assert counts.recall == 1.0
+
+    def test_indentation_copied_from_anchor(self):
+        original = "int main() {\n    int x = 1;\n}\n"
+        suggestion = MPISuggestion("MPI_Init", 2, "MPI_Init(&argc, &argv);")
+        rebuilt = apply_suggestions(original, [suggestion])
+        assert "    MPI_Init(&argc, &argv);" in rebuilt.splitlines()[2]
+
+    def test_insert_at_top(self):
+        original = "int x;\n"
+        rebuilt = apply_suggestions(original, [MPISuggestion("MPI_Init", 0, "MPI_Init();")])
+        assert rebuilt.splitlines()[0] == "MPI_Init();"
+
+
+class TestRuleBasedBaseline:
+    def test_inserts_canonical_prologue_and_epilogue(self, pi_source):
+        stripped = remove_mpi_calls(pi_source).stripped_code
+        suggestions = RuleBasedBaseline().suggest(stripped)
+        functions = {s.function for s in suggestions}
+        assert {"MPI_Init", "MPI_Comm_rank", "MPI_Comm_size", "MPI_Finalize"} <= functions
+
+    def test_uses_declared_rank_and_size_names(self):
+        source = (
+            "int main(int argc, char **argv) {\n"
+            "    int my_rank, nprocs;\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        suggestions = RuleBasedBaseline().suggest(source)
+        by_function = {s.function: s.statement for s in suggestions}
+        assert "&my_rank" in by_function["MPI_Comm_rank"]
+        assert "&nprocs" in by_function["MPI_Comm_size"]
+
+    def test_no_main_no_suggestions(self):
+        assert RuleBasedBaseline().suggest("int helper(int x) { return x; }") == []
+
+    def test_reduce_heuristic_can_be_disabled(self, pi_source):
+        stripped = remove_mpi_calls(pi_source).stripped_code
+        with_reduce = RuleBasedBaseline(BaselineConfig(insert_reduce=True)).suggest(stripped)
+        without = RuleBasedBaseline(BaselineConfig(insert_reduce=False)).suggest(stripped)
+        assert len(without) <= len(with_reduce)
+        assert all(s.function != "MPI_Reduce" for s in without)
+
+    def test_baseline_precision_on_pi_program(self, pi_source):
+        # The baseline nails Init/rank/size/Finalize for the canonical pi code
+        # but cannot invent Send/Recv patterns — recall stays below 1.
+        stripped = remove_mpi_calls(pi_source).stripped_code
+        predicted = RuleBasedBaseline().predict_code(stripped)
+        counts = evaluate_program(predicted, pi_source, line_tolerance=1)
+        assert counts.tp >= 3
+        assert counts.recall <= 1.0
+
+    def test_baseline_misses_point_to_point(self):
+        source = (
+            "#include <mpi.h>\n"
+            "int main(int argc, char **argv) {\n"
+            "    int rank, size;\n"
+            "    double value = 1.0;\n"
+            "    MPI_Init(&argc, &argv);\n"
+            "    MPI_Comm_rank(MPI_COMM_WORLD, &rank);\n"
+            "    MPI_Comm_size(MPI_COMM_WORLD, &size);\n"
+            "    if (rank == 0) {\n"
+            "        MPI_Send(&value, 1, MPI_DOUBLE, 1, 0, MPI_COMM_WORLD);\n"
+            "    } else {\n"
+            "        MPI_Recv(&value, 1, MPI_DOUBLE, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);\n"
+            "    }\n"
+            "    MPI_Finalize();\n"
+            "    return 0;\n"
+            "}\n"
+        )
+        stripped = remove_mpi_calls(source).stripped_code
+        predicted = RuleBasedBaseline().predict_code(stripped)
+        counts = evaluate_program(predicted, source, line_tolerance=1)
+        missed = {name for name, c in counts.per_function.items() if c.fn > 0}
+        assert "MPI_Send" in missed or "MPI_Recv" in missed

@@ -1,0 +1,161 @@
+"""Tests for the vocabulary and example encoding."""
+
+import numpy as np
+import pytest
+
+from repro.tokenization import (
+    EOS,
+    PAD,
+    SEP,
+    SOS,
+    UNK,
+    ExampleEncoder,
+    SequenceConfig,
+    Vocabulary,
+    detokenize,
+    pad_batch,
+    tokenize_code,
+    tokenize_xsbt,
+)
+
+
+class TestVocabulary:
+    def test_special_tokens_present_by_default(self):
+        vocab = Vocabulary()
+        for token in (PAD, SOS, EOS, SEP, UNK):
+            assert token in vocab
+
+    def test_add_and_encode_roundtrip(self):
+        vocab = Vocabulary()
+        idx = vocab.add("MPI_Init")
+        assert vocab.encode_token("MPI_Init") == idx
+        assert vocab.decode_id(idx) == "MPI_Init"
+
+    def test_unknown_token_maps_to_unk(self):
+        vocab = Vocabulary()
+        assert vocab.encode_token("never_seen") == vocab.unk_id
+
+    def test_build_from_sequences(self):
+        vocab = Vocabulary.build([["a", "b", "a"], ["c"]])
+        assert "a" in vocab and "b" in vocab and "c" in vocab
+
+    def test_build_with_min_count(self):
+        vocab = Vocabulary.build([["a", "a", "b"]], min_count=2)
+        assert "a" in vocab
+        assert "b" not in vocab
+
+    def test_build_with_max_size_keeps_most_frequent(self):
+        vocab = Vocabulary.build([["a"] * 5 + ["b"] * 3 + ["c"]], max_size=7)
+        assert len(vocab) == 7
+        assert "a" in vocab and "b" in vocab
+        assert "c" not in vocab
+
+    def test_decode_strips_special_tokens(self):
+        vocab = Vocabulary.build([["x"]])
+        ids = [vocab.sos_id, vocab.encode_token("x"), vocab.eos_id]
+        assert vocab.decode(ids) == ["x"]
+        assert vocab.decode(ids, strip_special=False) == [SOS, "x", EOS]
+
+    def test_serialisation_roundtrip(self):
+        vocab = Vocabulary.build([["alpha", "beta"]])
+        restored = Vocabulary.from_dict(vocab.to_dict())
+        assert restored.token_to_id == vocab.token_to_id
+
+
+class TestTokenizers:
+    def test_tokenize_code_is_lexer_based(self, pi_source):
+        tokens = tokenize_code(pi_source)
+        assert "MPI_Init" in tokens
+        assert '"pi = %f\\n"' in tokens
+
+    def test_tokenize_xsbt_splits_on_whitespace(self):
+        assert tokenize_xsbt("a__ b __a") == ["a__", "b", "__a"]
+
+
+class TestExampleEncoder:
+    def test_fit_builds_joint_vocabulary(self, small_dataset):
+        encoder = ExampleEncoder.fit(small_dataset.splits.train[:20])
+        assert "MPI_Init" in encoder.vocab
+        assert "compound_statement__" in encoder.vocab
+
+    def test_encoder_tokens_contain_sep(self, small_dataset):
+        encoder = ExampleEncoder.fit(small_dataset.splits.train[:20])
+        tokens = encoder.encoder_tokens(small_dataset.splits.train[0])
+        assert SEP in tokens
+
+    def test_no_xsbt_mode(self, small_dataset):
+        encoder = ExampleEncoder.fit(small_dataset.splits.train[:20], use_xsbt=False)
+        tokens = encoder.encoder_tokens(small_dataset.splits.train[0])
+        assert SEP not in tokens
+
+    def test_decoder_tokens_bracketed(self, small_dataset):
+        encoder = ExampleEncoder.fit(small_dataset.splits.train[:20])
+        tokens = encoder.decoder_tokens(small_dataset.splits.train[0])
+        assert tokens[0] == SOS and tokens[-1] == EOS
+
+    def test_truncation_respected(self, small_dataset):
+        config = SequenceConfig(max_source_tokens=50, max_xsbt_tokens=10, max_target_tokens=60)
+        encoder = ExampleEncoder.fit(small_dataset.splits.train[:20], config)
+        example = small_dataset.splits.train[0]
+        assert len(encoder.encoder_tokens(example)) <= 50 + 1 + 10
+        assert len(encoder.decoder_tokens(example)) <= 62
+
+    def test_encode_example_ids_within_vocab(self, small_dataset):
+        encoder = ExampleEncoder.fit(small_dataset.splits.train[:20])
+        encoded = encoder.encode_example(small_dataset.splits.train[0])
+        assert max(encoded.encoder_ids) < len(encoder.vocab)
+        assert max(encoded.decoder_ids) < len(encoder.vocab)
+
+    def test_encode_source_for_inference(self, small_dataset, pi_source):
+        encoder = ExampleEncoder.fit(small_dataset.splits.train[:20])
+        ids = encoder.encode_source(pi_source, "compound_statement")
+        assert ids
+        assert encoder.vocab.sep_id in ids
+
+
+class TestDetokenize:
+    def test_statements_split_per_line(self):
+        text = detokenize(["int", "x", "=", "1", ";", "x", "++", ";"])
+        lines = text.strip().splitlines()
+        assert len(lines) == 2
+
+    def test_braces_adjust_indentation(self):
+        tokens = ["int", "main", "(", ")", "{", "return", "0", ";", "}"]
+        text = detokenize(tokens)
+        assert "int main()" in text.splitlines()[0]
+        assert text.splitlines()[1].startswith("    return")
+        assert text.splitlines()[2] == "}"
+
+    def test_roundtrip_preserves_mpi_call_shape(self, pi_source):
+        tokens = tokenize_code(pi_source)
+        text = detokenize(tokens)
+        assert "MPI_Reduce(&local, &pi, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);" in text
+
+    def test_roundtrip_line_count_close_to_original(self, pi_source):
+        from repro.clang.codegen import standardize
+
+        standardized = standardize(pi_source)
+        text = detokenize(tokenize_code(standardized))
+        original_lines = len([l for l in standardized.splitlines() if l.strip()])
+        detok_lines = len([l for l in text.splitlines() if l.strip()])
+        assert abs(original_lines - detok_lines) <= 3
+
+
+class TestPadBatch:
+    def test_padding_shape_and_value(self):
+        batch = pad_batch([[1, 2, 3], [4]], pad_id=0)
+        assert batch.shape == (2, 3)
+        assert batch[1, 1] == 0 and batch[1, 2] == 0
+
+    def test_max_len_truncates(self):
+        batch = pad_batch([[1, 2, 3, 4, 5]], pad_id=0, max_len=3)
+        assert batch.shape == (1, 3)
+        assert list(batch[0]) == [1, 2, 3]
+
+    def test_empty_batch(self):
+        batch = pad_batch([], pad_id=0)
+        assert batch.shape == (0, 0)
+
+    def test_dtype_is_integer(self):
+        batch = pad_batch([[1]], pad_id=0)
+        assert np.issubdtype(batch.dtype, np.integer)

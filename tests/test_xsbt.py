@@ -1,0 +1,78 @@
+"""Tests for SBT and X-SBT linearisation."""
+
+from repro.clang.parser import parse_source
+from repro.xsbt import (
+    compression_ratio,
+    sbt_length,
+    sbt_string,
+    sbt_tokens,
+    xsbt_for_source,
+    xsbt_length,
+    xsbt_string,
+    xsbt_tokens,
+)
+
+
+class TestSBT:
+    def test_sbt_is_balanced(self, pi_source):
+        unit = parse_source(pi_source)
+        tokens = sbt_tokens(unit)
+        assert tokens.count("(") == tokens.count(")")
+
+    def test_sbt_embeds_leaf_values(self):
+        unit = parse_source("int main() { total = 42; }")
+        text = sbt_string(unit)
+        assert "identifier_total" in text
+        assert "number_literal_42" in text
+
+    def test_sbt_reconstructible_node_names(self, pi_source):
+        unit = parse_source(pi_source)
+        text = sbt_string(unit)
+        assert "function_definition" in text
+        assert "compound_statement" in text
+
+
+class TestXSBT:
+    def test_xsbt_shorter_than_sbt(self, pi_source):
+        unit = parse_source(pi_source)
+        assert xsbt_length(unit) < sbt_length(unit)
+
+    def test_compression_ratio_below_threshold(self, pi_source):
+        # The paper reports X-SBT cuts the sequence by more than half.
+        unit = parse_source(pi_source)
+        assert compression_ratio(unit) < 0.5
+
+    def test_drops_identifier_leaves(self, pi_source):
+        unit = parse_source(pi_source)
+        text = xsbt_string(unit)
+        assert "identifier" not in text
+        assert "number_literal" not in text
+
+    def test_keeps_statement_structure(self, pi_source):
+        unit = parse_source(pi_source)
+        tokens = xsbt_tokens(unit)
+        assert any(t.startswith("function_definition") for t in tokens)
+        assert any("for_statement" in t for t in tokens)
+        assert any("call_expression" in t for t in tokens)
+
+    def test_open_close_tags_match(self, pi_source):
+        unit = parse_source(pi_source)
+        tokens = xsbt_tokens(unit)
+        opens = sum(1 for t in tokens if t.endswith("__"))
+        closes = sum(1 for t in tokens if t.startswith("__"))
+        assert opens == closes
+
+    def test_parameter_declarations_present(self):
+        text = xsbt_for_source("int main(int argc, char **argv) { return 0; }")
+        assert text.count("parameter_declaration") == 2
+
+    def test_xsbt_of_empty_function(self):
+        text = xsbt_for_source("void noop(void) { }")
+        assert "function_definition" in text
+
+    def test_xsbt_for_source_tolerates_broken_code(self):
+        text = xsbt_for_source("int main() { MPI_Init(&argc, ")
+        assert "function_definition" in text
+
+    def test_deterministic(self, pi_source):
+        assert xsbt_for_source(pi_source) == xsbt_for_source(pi_source)
