@@ -11,6 +11,7 @@ Top-level layout
 ``repro.tokenization``  vocabulary and example encoding
 ``repro.model``         NumPy Transformer (autograd, trainer, decoding)
 ``repro.mpirical``      the MPI-RICAL pipeline, assistant API and rule baseline
+``repro.serving``       batched inference service (micro-batching, LRU cache, HTTP)
 ``repro.evaluation``    Table II / Table III metrics (F1, BLEU, METEOR, ROUGE-L, ACC)
 ``repro.mpisim``        simulated MPI runtime + C interpreter (program validation)
 ``repro.benchprograms`` the 11 numerical benchmark programs
@@ -37,6 +38,7 @@ __all__ = [
     "tokenization",
     "model",
     "mpirical",
+    "serving",
     "evaluation",
     "mpisim",
     "benchprograms",

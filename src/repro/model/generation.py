@@ -23,7 +23,10 @@ def greedy_decode(model: Seq2SeqTransformer, source_ids: list[int], *, sos_id: i
     """Greedy auto-regressive decoding for a single source sequence.
 
     Returns the generated ids without the leading SOS or trailing EOS.
+    An empty source generates nothing (there is no memory to attend over).
     """
+    if not source_ids:
+        return []
     src = np.asarray([source_ids], dtype=np.int64)
     memory = model.encode(src, pad_id, training=False)
     state = model.start_decoding()
@@ -38,6 +41,61 @@ def greedy_decode(model: Seq2SeqTransformer, source_ids: list[int], *, sos_id: i
         generated.append(next_id)
         current = np.asarray([[next_id]], dtype=np.int64)
     return generated
+
+
+def greedy_decode_batch(model: Seq2SeqTransformer, source_ids_batch: list[list[int]],
+                        *, sos_id: int, eos_id: int, pad_id: int,
+                        max_length: int = 400) -> list[list[int]]:
+    """Greedy decoding for a batch of (possibly ragged) source sequences.
+
+    Sources are right-padded with ``pad_id`` to a common length and encoded in
+    one pass; decoding then runs one :meth:`Seq2SeqTransformer.decode_step`
+    per step for the whole batch.  Each sequence stops contributing once it
+    emits EOS; the batch keeps stepping until every sequence has finished (or
+    ``max_length`` is reached).  Finished rows are fed their own EOS as a
+    dummy input — rows of a batched step are computed independently, so the
+    dummy never leaks into live rows.
+
+    The output is exact-match identical to calling :func:`greedy_decode` on
+    each source individually: the encoder's padding mask zeroes attention to
+    pad positions, so a padded row produces the same memory — and therefore
+    the same argmax path — as its unpadded encoding.  Empty sources generate
+    ``[]``, matching the single-sequence contract.
+    """
+    if not source_ids_batch:
+        return []
+
+    outputs: list[list[int]] = [[] for _ in source_ids_batch]
+    live_indices = [i for i, ids in enumerate(source_ids_batch) if ids]
+    if not live_indices:
+        return outputs
+
+    live_sources = [source_ids_batch[i] for i in live_indices]
+    width = max(len(ids) for ids in live_sources)
+    src = np.full((len(live_sources), width), pad_id, dtype=np.int64)
+    for row, ids in enumerate(live_sources):
+        src[row, : len(ids)] = ids
+
+    memory = model.encode(src, pad_id, training=False)
+    state = model.start_decoding()
+
+    finished = np.zeros(len(live_sources), dtype=bool)
+    current = np.full((len(live_sources), 1), sos_id, dtype=np.int64)
+    for _ in range(max_length):
+        logits = model.decode_step(current, memory, src, pad_id, state)
+        next_ids = np.argmax(logits, axis=-1)
+        for row, token in enumerate(next_ids):
+            token = int(token)
+            if finished[row]:
+                continue
+            if token == eos_id:
+                finished[row] = True
+            else:
+                outputs[live_indices[row]].append(token)
+        if finished.all():
+            break
+        current = np.where(finished[:, None], eos_id, next_ids[:, None]).astype(np.int64)
+    return outputs
 
 
 @dataclass
@@ -61,6 +119,8 @@ def beam_search_decode(model: Seq2SeqTransformer, source_ids: list[int], *, sos_
     if beam_size <= 1:
         return greedy_decode(model, source_ids, sos_id=sos_id, eos_id=eos_id,
                              pad_id=pad_id, max_length=max_length)
+    if not source_ids:
+        return []
 
     src = np.asarray([source_ids], dtype=np.int64)
     memory = model.encode(src, pad_id, training=False)

@@ -1,6 +1,6 @@
 """MPI-RICAL core: training pipeline, prediction, suggestions, assistant, baseline."""
 
-from .assistant import Advice, AdviceSession, MPIAssistant
+from .assistant import Advice, AdviceSession, MPIAssistant, build_advice_session
 from .baseline import BaselineConfig, RuleBasedBaseline
 from .pipeline import MPIRical, PredictionResult
 from .suggestions import (
@@ -14,6 +14,7 @@ __all__ = [
     "Advice",
     "AdviceSession",
     "MPIAssistant",
+    "build_advice_session",
     "BaselineConfig",
     "RuleBasedBaseline",
     "MPIRical",

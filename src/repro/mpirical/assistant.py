@@ -54,6 +54,26 @@ class AdviceSession:
         return "\n".join(lines)
 
 
+def build_advice_session(diagnostics, result) -> AdviceSession:
+    """Package a :class:`PredictionResult` + parse diagnostics into a session.
+
+    Shared by :class:`MPIAssistant` and the serving layer (which parses the
+    buffer itself for cache keying and hands the pre-parsed pieces here).
+    """
+    session = AdviceSession(
+        parse_diagnostics=[d.message for d in diagnostics],
+        generated_code=result.generated_code,
+    )
+    for suggestion in result.suggestions:
+        confidence = "high" if suggestion.function in MPI_COMMON_CORE else "medium"
+        note = ""
+        if suggestion.function in ("MPI_Init", "MPI_Finalize"):
+            note = "required to bracket the parallel region"
+        session.advice.append(Advice(suggestion=suggestion, confidence=confidence,
+                                     note=note))
+    return session
+
+
 class MPIAssistant:
     """Interactive advisor facade over :class:`MPIRical`."""
 
@@ -72,19 +92,22 @@ class MPIAssistant:
         unit, diagnostics = parse_source_with_diagnostics(source_code)
         xsbt = xsbt_string(unit)
         result = self.mpirical.predict_code(source_code, xsbt)
+        return build_advice_session(diagnostics, result)
 
-        session = AdviceSession(
-            parse_diagnostics=[d.message for d in diagnostics],
-            generated_code=result.generated_code,
-        )
-        for suggestion in result.suggestions:
-            confidence = "high" if suggestion.function in MPI_COMMON_CORE else "medium"
-            note = ""
-            if suggestion.function in ("MPI_Init", "MPI_Finalize"):
-                note = "required to bracket the parallel region"
-            session.advice.append(Advice(suggestion=suggestion, confidence=confidence,
-                                         note=note))
-        return session
+    def advise_batch(self, sources: list[str]) -> list[AdviceSession]:
+        """Batched :meth:`advise` — one session per input buffer.
+
+        All buffers go through :meth:`MPIRical.predict_code_batch`, so the
+        model runs one batched decode instead of ``len(sources)`` sequential
+        ones.  Sessions are exact-match identical to per-buffer
+        :meth:`advise`; this is the entry point the serving layer's
+        micro-batcher flushes into.
+        """
+        parsed = [parse_source_with_diagnostics(source) for source in sources]
+        xsbts = [xsbt_string(unit) for unit, _ in parsed]
+        results = self.mpirical.predict_code_batch(sources, xsbts)
+        return [build_advice_session(diagnostics, result)
+                for (_, diagnostics), result in zip(parsed, results)]
 
     def rewrite(self, source_code: str, advice: list[Advice] | None = None) -> str:
         """Apply advice to the buffer and return the new text.

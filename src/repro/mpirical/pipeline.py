@@ -20,7 +20,12 @@ from ..dataset.records import TranslationExample
 from ..evaluation.report import CorpusEvaluation, ExamplePrediction, evaluate_corpus
 from ..model.checkpoints import load_checkpoint, save_checkpoint
 from ..model.config import ExperimentConfig, small_config
-from ..model.generation import greedy_decode
+from ..model.generation import (
+    GenerationConfig,
+    beam_search_decode,
+    greedy_decode,
+    greedy_decode_batch,
+)
 from ..model.trainer import Trainer, TrainingHistory
 from ..model.transformer import Seq2SeqTransformer
 from ..tokenization.code_tokenizer import ExampleEncoder, SequenceConfig, tokenize_code
@@ -41,11 +46,16 @@ class MPIRical:
     """The trained MPI-RICAL assistant."""
 
     def __init__(self, model: Seq2SeqTransformer, encoder: ExampleEncoder,
-                 config: ExperimentConfig, history: TrainingHistory | None = None) -> None:
+                 config: ExperimentConfig, history: TrainingHistory | None = None,
+                 generation: GenerationConfig | None = None) -> None:
         self.model = model
         self.encoder = encoder
         self.config = config
         self.history = history or TrainingHistory()
+        #: Default decoding settings for every ``predict_*`` call; pass an
+        #: explicit ``generation=`` to an individual call to override them.
+        self.generation = generation or GenerationConfig(
+            max_length=config.max_target_tokens + 2)
 
     # --------------------------------------------------------------- training
 
@@ -77,30 +87,74 @@ class MPIRical:
 
     # -------------------------------------------------------------- inference
 
-    def predict_tokens(self, source_code: str, xsbt: str | None = None) -> list[str]:
-        """Generate the output token sequence for ``source_code``."""
+    def _encode_for_inference(self, source_code: str, xsbt: str | None,
+                              tokens: list[str] | None = None) -> list[int]:
         if xsbt is None and self.config.use_xsbt:
             xsbt = xsbt_for_source(source_code)
-        source_ids = self.encoder.encode_source(source_code, xsbt)
+        return self.encoder.encode_source(source_code, xsbt, tokens=tokens)
+
+    def predict_tokens(self, source_code: str, xsbt: str | None = None, *,
+                       generation: GenerationConfig | None = None) -> list[str]:
+        """Generate the output token sequence for ``source_code``.
+
+        ``generation`` overrides the pipeline-level :attr:`generation`
+        defaults (beam size, max length, length penalty) for this call.
+        """
+        generation = generation or self.generation
+        source_ids = self._encode_for_inference(source_code, xsbt)
         vocab = self.encoder.vocab
-        max_length = self.config.max_target_tokens + 2
-        generated_ids = greedy_decode(
-            self.model, source_ids,
-            sos_id=vocab.sos_id, eos_id=vocab.eos_id, pad_id=vocab.pad_id,
-            max_length=max_length,
-        )
+        if generation.beam_size > 1:
+            generated_ids = beam_search_decode(
+                self.model, source_ids,
+                sos_id=vocab.sos_id, eos_id=vocab.eos_id, pad_id=vocab.pad_id,
+                beam_size=generation.beam_size, max_length=generation.max_length,
+                length_penalty=generation.length_penalty,
+            )
+        else:
+            generated_ids = greedy_decode(
+                self.model, source_ids,
+                sos_id=vocab.sos_id, eos_id=vocab.eos_id, pad_id=vocab.pad_id,
+                max_length=generation.max_length,
+            )
         return vocab.decode(generated_ids)
 
-    def predict_code(self, source_code: str, xsbt: str | None = None) -> PredictionResult:
-        """Generate a full program and extract insertion suggestions.
+    def predict_tokens_batch(self, sources: list[str],
+                             xsbts: list[str | None] | None = None, *,
+                             generation: GenerationConfig | None = None,
+                             source_tokens: list[list[str] | None] | None = None,
+                             ) -> list[list[str]]:
+        """Batched :meth:`predict_tokens` for a list of programs.
 
-        When the generated token stream parses cleanly it is re-standardised
-        through the code generator, so well-formed predictions come back in
-        exactly the corpus' canonical style (same line discipline as the
-        reference labels); malformed generations fall back to the raw
-        detokenised text.
+        All sources are decoded together through
+        :func:`repro.model.generation.greedy_decode_batch` (one encoder pass
+        and one decoder step per generated position for the whole batch),
+        which is the serving layer's hot path.  Output is exact-match
+        identical to per-example :meth:`predict_tokens`.  Beam search has no
+        batched implementation, so ``beam_size > 1`` falls back to the
+        per-example path.  ``source_tokens`` optionally carries pre-lexed
+        token streams (the serving layer lexes each buffer once).
         """
-        tokens = self.predict_tokens(source_code, xsbt)
+        generation = generation or self.generation
+        xsbts = xsbts if xsbts is not None else [None] * len(sources)
+        if len(xsbts) != len(sources):
+            raise ValueError(f"{len(sources)} sources but {len(xsbts)} xsbts")
+        if source_tokens is None:
+            source_tokens = [None] * len(sources)
+        if generation.beam_size > 1:
+            return [self.predict_tokens(source, xsbt, generation=generation)
+                    for source, xsbt in zip(sources, xsbts)]
+        source_ids = [self._encode_for_inference(source, xsbt, tokens)
+                      for source, xsbt, tokens in zip(sources, xsbts, source_tokens)]
+        vocab = self.encoder.vocab
+        generated = greedy_decode_batch(
+            self.model, source_ids,
+            sos_id=vocab.sos_id, eos_id=vocab.eos_id, pad_id=vocab.pad_id,
+            max_length=generation.max_length,
+        )
+        return [vocab.decode(ids) for ids in generated]
+
+    @staticmethod
+    def _package_prediction(source_code: str, tokens: list[str]) -> PredictionResult:
         from ..clang.codegen import standardize
         from ..clang.parser import parses_cleanly
         from ..tokenization.code_tokenizer import detokenize
@@ -112,6 +166,30 @@ class MPIRical:
         return PredictionResult(generated_code=generated_code,
                                 generated_tokens=tokens,
                                 suggestions=suggestions)
+
+    def predict_code(self, source_code: str, xsbt: str | None = None, *,
+                     generation: GenerationConfig | None = None) -> PredictionResult:
+        """Generate a full program and extract insertion suggestions.
+
+        When the generated token stream parses cleanly it is re-standardised
+        through the code generator, so well-formed predictions come back in
+        exactly the corpus' canonical style (same line discipline as the
+        reference labels); malformed generations fall back to the raw
+        detokenised text.
+        """
+        tokens = self.predict_tokens(source_code, xsbt, generation=generation)
+        return self._package_prediction(source_code, tokens)
+
+    def predict_code_batch(self, sources: list[str],
+                           xsbts: list[str | None] | None = None, *,
+                           generation: GenerationConfig | None = None,
+                           source_tokens: list[list[str] | None] | None = None,
+                           ) -> list[PredictionResult]:
+        """Batched :meth:`predict_code`; one result per input program."""
+        token_batches = self.predict_tokens_batch(sources, xsbts, generation=generation,
+                                                  source_tokens=source_tokens)
+        return [self._package_prediction(source, tokens)
+                for source, tokens in zip(sources, token_batches)]
 
     def predict_example(self, example: TranslationExample) -> ExamplePrediction:
         """Generate and package a prediction for a dataset example."""

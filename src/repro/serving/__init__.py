@@ -1,0 +1,39 @@
+"""repro.serving — throughput-oriented serving layer over the MPI-RICAL model.
+
+The seed pipeline answers one ``predict_code()`` call at a time; this package
+turns it into a concurrent service:
+
+``repro.serving.batching``  dynamic micro-batching scheduler + worker pool
+``repro.serving.cache``     thread-safe LRU keyed on the canonical xSBT form
+``repro.serving.metrics``   hit rate, batch-size histogram, p50/p95 latency
+``repro.serving.service``   the :class:`InferenceService` facade
+``repro.serving.server``    stdlib HTTP endpoint (/advise, /healthz, /metrics)
+                            (import explicitly: ``repro.serving.server``)
+
+Quick start
+-----------
+>>> from repro.serving import InferenceService
+>>> service = InferenceService(mpirical, max_batch_size=8, max_wait_ms=5)
+>>> served = service.advise(source_code)      # blocking; batched under load
+>>> service.metrics()["cache_hit_rate"]
+"""
+
+from .batching import MicroBatcher
+from .cache import CacheStats, LRUCache, canonical_cache_key
+from .metrics import ServingMetrics, percentile
+from .service import InferenceService, ServedAdvice
+
+# NOTE: the HTTP layer (repro.serving.server) is intentionally not imported
+# here so that `python -m repro.serving.server` does not double-import the
+# module; use `from repro.serving.server import make_server`.
+
+__all__ = [
+    "MicroBatcher",
+    "CacheStats",
+    "LRUCache",
+    "canonical_cache_key",
+    "ServingMetrics",
+    "percentile",
+    "InferenceService",
+    "ServedAdvice",
+]

@@ -1,0 +1,175 @@
+"""Dynamic micro-batching: coalesce concurrent requests into model batches.
+
+A single NumPy decode step costs almost the same for one sequence as for
+eight — the per-step Python/autograd overhead dominates at serving sizes — so
+the scheduler's job is to trade a bounded sliver of latency for batch
+occupancy.  The policy is the classic dynamic micro-batching rule used by
+production inference servers:
+
+* a batch is flushed **immediately** once ``max_batch_size`` requests are
+  waiting, and
+* otherwise when the *oldest* waiting request has been queued for
+  ``max_wait_ms`` — a hard per-request queueing-latency bound that does not
+  reset as later requests trickle in.
+
+Requests are submitted from any thread and resolved through
+:class:`concurrent.futures.Future`, so callers can block (``result()``) or
+compose asynchronously.  A small pool of worker threads pulls batches off the
+shared queue; while one worker is inside the model (NumPy releases the GIL in
+its BLAS kernels) another can already be collecting the next batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class _PendingRequest:
+    """One queued request: payload, completion future, enqueue timestamp."""
+
+    payload: Any
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+class MicroBatcher:
+    """Collects submitted payloads into batches and hands them to a worker pool.
+
+    Parameters
+    ----------
+    process_batch:
+        Called with a list of payloads (1..``max_batch_size``); must return a
+        list of results of the same length, in the same order.  Exceptions
+        fail every request in the flushed batch.
+    max_batch_size:
+        Flush threshold and upper bound on a batch.
+    max_wait_ms:
+        Maximum time a request may sit in the queue waiting for company.
+    num_workers:
+        Worker threads pulling batches; with one worker batches are strictly
+        sequential, with more they overlap (useful because the model's BLAS
+        kernels release the GIL).
+    on_batch:
+        Optional observer called with each flushed batch's size (metrics).
+    """
+
+    def __init__(self, process_batch: Callable[[list[Any]], list[Any]], *,
+                 max_batch_size: int = 8, max_wait_ms: float = 5.0,
+                 num_workers: int = 1,
+                 on_batch: Callable[[int], None] | None = None) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.process_batch = process_batch
+        self.max_batch_size = max_batch_size
+        self.max_wait = max_wait_ms / 1000.0
+        self.on_batch = on_batch
+        self._queue: deque[_PendingRequest] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"micro-batcher-{i}", daemon=True)
+            for i in range(num_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------- api
+
+    def submit(self, payload: Any) -> Future:
+        """Enqueue ``payload``; the returned future resolves to its result."""
+        request = _PendingRequest(payload)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed MicroBatcher")
+            self._queue.append(request)
+            self._cond.notify_all()
+        return request.future
+
+    def pending(self) -> int:
+        """Requests currently queued (not yet flushed to a worker)."""
+        with self._cond:
+            return len(self._queue)
+
+    def close(self, *, wait: bool = True) -> None:
+        """Stop accepting requests; already-queued requests are still served."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- internals
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if batch is None:
+                return
+            self._run_batch(batch)
+
+    def _collect_batch(self) -> list[_PendingRequest] | None:
+        """Block until a batch is due (full, timed out, or closing); pop it.
+
+        Returns None when the batcher is closed and the queue is drained —
+        the worker's signal to exit.
+        """
+        with self._cond:
+            while True:
+                if self._queue:
+                    if len(self._queue) >= self.max_batch_size or self._closed:
+                        break
+                    remaining = (self._queue[0].enqueued_at + self.max_wait
+                                 - time.monotonic())
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+                else:
+                    if self._closed:
+                        return None
+                    self._cond.wait()
+            size = min(self.max_batch_size, len(self._queue))
+            return [self._queue.popleft() for _ in range(size)]
+
+    def _run_batch(self, batch: list[_PendingRequest]) -> None:
+        if self.on_batch is not None:
+            try:
+                self.on_batch(len(batch))
+            except Exception:  # noqa: BLE001 — observers are best-effort; a
+                pass           # metrics bug must not strand the batch's futures
+        payloads = [request.payload for request in batch]
+        try:
+            results = self.process_batch(payloads)
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"process_batch returned {len(results)} results "
+                    f"for a batch of {len(batch)}")
+        except Exception as exc:  # noqa: BLE001 — failures must reach callers
+            for request in batch:
+                try:
+                    request.future.set_exception(exc)
+                except InvalidStateError:
+                    pass  # caller cancelled; nothing to deliver
+            return
+        for request, result in zip(batch, results):
+            try:
+                request.future.set_result(result)
+            except InvalidStateError:
+                pass  # caller cancelled; nothing to deliver

@@ -1,0 +1,94 @@
+"""Request-level serving metrics: counters, batch-size histogram, latency quantiles.
+
+Every number here answers a capacity question the ROADMAP's
+"heavy traffic" north star raises: *is the micro-batcher actually batching*
+(batch-size histogram), *is the cache earning its memory* (hit counters feed
+:meth:`ServingMetrics.snapshot` alongside the cache's own stats), and *what
+latency are callers seeing* (p50/p95 over a bounded window).
+
+Latencies are kept in a fixed-size ring buffer, so the memory footprint is
+constant no matter how long the server runs; quantiles are therefore over the
+most recent ``window`` requests, which is what an operator dashboards anyway.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from typing import Any
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (``fraction`` in [0, 1])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class ServingMetrics:
+    """Thread-safe accumulator shared by the service facade and its workers."""
+
+    def __init__(self, window: int = 1024) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._lock = threading.Lock()
+        self._latencies_ms: deque[float] = deque(maxlen=window)
+        self._batch_sizes: Counter[int] = Counter()
+        self.requests_total = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.batches_total = 0
+        self.errors_total = 0
+
+    # ------------------------------------------------------------- recording
+
+    def record_request(self, latency_ms: float, *, cached: bool) -> None:
+        """Record one completed request and its end-to-end latency."""
+        with self._lock:
+            self.requests_total += 1
+            if cached:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+            self._latencies_ms.append(latency_ms)
+
+
+    def record_batch(self, size: int) -> None:
+        """Record one model-side batch flush of ``size`` requests."""
+        with self._lock:
+            self.batches_total += 1
+            self._batch_sizes[size] += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors_total += 1
+
+    # ------------------------------------------------------------- reporting
+
+    def snapshot(self) -> dict[str, Any]:
+        """A point-in-time dict of every metric (JSON-serialisable)."""
+        with self._lock:
+            latencies = list(self._latencies_ms)
+            batch_sizes = dict(sorted(self._batch_sizes.items()))
+            requests = self.requests_total
+            hits = self.cache_hits
+            misses = self.cache_misses
+            batches = self.batches_total
+            errors = self.errors_total
+        batched_requests = sum(size * count for size, count in batch_sizes.items())
+        return {
+            "requests_total": requests,
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_rate": hits / requests if requests else 0.0,
+            "errors_total": errors,
+            "batches_total": batches,
+            "batch_size_histogram": batch_sizes,
+            "mean_batch_size": batched_requests / batches if batches else 0.0,
+            "latency_ms_p50": percentile(latencies, 0.50),
+            "latency_ms_p95": percentile(latencies, 0.95),
+            "latency_ms_max": max(latencies) if latencies else 0.0,
+            "latency_window": len(latencies),
+        }

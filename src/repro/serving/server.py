@@ -1,0 +1,245 @@
+"""Stdlib-only JSON HTTP endpoint over :class:`InferenceService`.
+
+Endpoints
+---------
+``POST /advise``
+    Body ``{"code": "<C source>"}``; responds with the generated program,
+    the advice list, parse diagnostics, and serving metadata (``cached``,
+    ``latency_ms``, ``cache_key``).
+``GET /healthz``
+    Liveness probe; 200 with ``{"status": "ok"}`` once the model is loaded.
+``GET /metrics``
+    The :meth:`InferenceService.metrics` snapshot as JSON.
+
+The server is a :class:`http.server.ThreadingHTTPServer`: each connection
+gets a thread, the threads converge on the service's micro-batcher, and the
+batcher turns their concurrency into model batches.  No third-party web
+framework is required — the point is that the serving layer runs anywhere the
+reproduction itself runs.
+
+Run it::
+
+    PYTHONPATH=src python -m repro.serving.server --port 8080
+
+which trains a small demo model first (or loads ``--checkpoint DIR`` saved
+via :meth:`MPIRical.save`).  ``--smoke`` starts the server on an ephemeral
+port, POSTs one request against it, asserts HTTP 200, and exits — the CI
+smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .service import InferenceService, ServedAdvice
+
+#: Largest accepted request body; a source buffer bigger than this is a
+#: client error, not a workload.
+MAX_BODY_BYTES = 1 << 20
+
+
+def advice_payload(served: ServedAdvice) -> dict:
+    """The JSON-serialisable response body for one /advise call."""
+    session = served.session
+    return {
+        "generated_code": session.generated_code,
+        "advice": [
+            {
+                **asdict(item.suggestion),
+                "confidence": item.confidence,
+                "note": item.note,
+                "rendered": item.render(),
+            }
+            for item in session.advice
+        ],
+        "diagnostics": session.parse_diagnostics,
+        "cached": served.cached,
+        "latency_ms": served.latency_ms,
+        "cache_key": served.cache_key,
+    }
+
+
+class AdviseRequestHandler(BaseHTTPRequestHandler):
+    """Routes the three endpoints onto the shared :class:`InferenceService`."""
+
+    #: Set by :func:`make_server`.
+    service: InferenceService
+
+    #: Socket timeout: a client that advertises a Content-Length but never
+    #: sends the body must not strand its handler thread forever.
+    timeout = 60
+
+    # Tests and the smoke path don't want per-request access logging.
+    quiet = False
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.quiet:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------- endpoints
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server naming
+        if self.path == "/healthz":
+            self._send_json(200, {"status": "ok"})
+        elif self.path == "/metrics":
+            self._send_json(200, self.service.metrics())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server naming
+        if self.path != "/advise":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            self._send_json(400, {"error": f"invalid JSON body: {exc}"})
+            return
+        code = payload.get("code") if isinstance(payload, dict) else None
+        if not isinstance(code, str) or not code.strip():
+            self._send_json(400, {"error": 'body must be {"code": "<C source>"}'})
+            return
+        try:
+            served = self.service.advise(code)
+        except Exception as exc:  # noqa: BLE001 — a request must never kill the server
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        self._send_json(200, advice_payload(served))
+
+    # ------------------------------------------------------------- plumbing
+
+    def _read_body(self) -> bytes | None:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._send_json(400, {"error": "missing or oversized Content-Length"})
+            return None
+        return self.rfile.read(length)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+def make_server(service: InferenceService, host: str = "127.0.0.1",
+                port: int = 0, *, quiet: bool = False) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server bound to ``host:port``.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.server_address`` — which is what the tests and the smoke mode
+    use.
+    """
+    handler = type("BoundAdviseRequestHandler", (AdviseRequestHandler,),
+                   {"service": service, "quiet": quiet})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def _demo_service(checkpoint: str | None, *, max_batch_size: int, max_wait_ms: float,
+                  num_workers: int, cache_capacity: int) -> InferenceService:
+    """A service over a checkpoint, or over a freshly trained small model."""
+    from ..mpirical.pipeline import MPIRical
+
+    if checkpoint:
+        mpirical = MPIRical.load(checkpoint)
+    else:
+        from ..corpus import MiningConfig, build_corpus
+        from ..dataset import build_dataset
+        from ..model.config import tiny_config
+
+        print("no --checkpoint given; training a small demo model ...",
+              file=sys.stderr)
+        corpus = build_corpus(MiningConfig(num_repositories=35, seed=101))
+        dataset = build_dataset(corpus)
+        config = tiny_config()
+        config.training.max_steps_per_epoch = 8
+        mpirical = MPIRical.fit(dataset.splits.train[:40],
+                                dataset.splits.validation[:8], config)
+    return InferenceService(mpirical, max_batch_size=max_batch_size,
+                           max_wait_ms=max_wait_ms, num_workers=num_workers,
+                           cache_capacity=cache_capacity)
+
+
+def _run_smoke(service: InferenceService) -> int:
+    """Start the server, POST one /advise request at it, assert HTTP 200."""
+    import urllib.request
+
+    server = make_server(service, port=0, quiet=True)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        request = urllib.request.Request(
+            f"http://{host}:{port}/advise",
+            data=json.dumps({"code": "int main() { return 0; }\n"}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=120) as response:
+            status = response.status
+            body = json.loads(response.read())
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    if status != 200 or "generated_code" not in body:
+        print(f"smoke test FAILED: status={status} body={body}", file=sys.stderr)
+        return 1
+    print(f"smoke test ok: status={status}, "
+          f"{len(body['advice'])} advice item(s), cached={body['cached']}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Serve MPI-RICAL advice over HTTP (stdlib only).")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--checkpoint", default=None,
+                        help="model directory saved via MPIRical.save(); "
+                             "omitted = train a small demo model")
+    parser.add_argument("--max-batch-size", type=int, default=8)
+    parser.add_argument("--max-wait-ms", type=float, default=5.0)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--cache-capacity", type=int, default=256)
+    parser.add_argument("--smoke", action="store_true",
+                        help="start, self-POST one /advise request, exit")
+    args = parser.parse_args(argv)
+
+    service = _demo_service(args.checkpoint, max_batch_size=args.max_batch_size,
+                            max_wait_ms=args.max_wait_ms, num_workers=args.workers,
+                            cache_capacity=args.cache_capacity)
+    if args.smoke:
+        return _run_smoke(service)
+
+    server = make_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(f"serving MPI-RICAL advice on http://{host}:{port} "
+          f"(POST /advise, GET /healthz, GET /metrics)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,240 @@
+"""The InferenceService facade: cache → single-flight → micro-batch → model.
+
+This is the serving layer's front door.  A request travels through three
+short-circuits before it is allowed to cost a model decode:
+
+1. **LRU cache** — the buffer's canonical key (:mod:`repro.serving.cache`)
+   is looked up; a hit reuses the stored model output without touching the
+   queue.  Because the key is layout-invariant while advice anchors are not,
+   the cache stores the :class:`PredictionResult` (generated program), and
+   line-anchored suggestions are re-derived against the requesting buffer on
+   every response (:func:`anchor_result`).
+2. **Single-flight coalescing** — if an *identical* request is already in
+   flight, the new request subscribes to its future instead of decoding the
+   same program twice (a thundering herd of editors re-advising the same
+   buffer costs one decode).  Coalesced requests count as cache hits in the
+   metrics: they skipped the model.
+3. **Micro-batcher** — genuine misses are queued and flushed to
+   :meth:`MPIRical.predict_code_batch` in dynamic batches
+   (:mod:`repro.serving.batching`), so concurrent distinct requests share
+   encoder/decoder passes.
+
+Every completed request records its end-to-end latency and cache outcome in
+:class:`repro.serving.metrics.ServingMetrics`; :meth:`InferenceService.metrics`
+returns the merged operational snapshot the ``/metrics`` endpoint serves.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from threading import Lock
+
+from ..clang.parser import parse_source_with_diagnostics
+from ..model.generation import GenerationConfig
+from ..mpirical.assistant import AdviceSession, MPIAssistant, build_advice_session
+from ..mpirical.pipeline import MPIRical, PredictionResult
+from ..mpirical.suggestions import extract_suggestions
+from ..tokenization.code_tokenizer import tokenize_code
+from ..xsbt.xsbt import xsbt_string
+from .batching import MicroBatcher
+from .cache import LRUCache, canonical_cache_key
+from .metrics import ServingMetrics
+
+
+def anchor_result(source_code: str, result: PredictionResult) -> PredictionResult:
+    """Re-derive the advice anchors of ``result`` against ``source_code``.
+
+    The cache key is layout-invariant (whitespace/comment edits keep the
+    key), but :attr:`MPISuggestion.insert_after_line` is layout-*dependent* —
+    a cached result's anchors refer to whichever buffer was decoded first.
+    Suggestion extraction is a cheap line diff, so every response recomputes
+    it against the requesting buffer; only the model decode is shared.
+    """
+    return PredictionResult(
+        generated_code=result.generated_code,
+        generated_tokens=result.generated_tokens,
+        suggestions=extract_suggestions(source_code, result.generated_code),
+    )
+
+
+@dataclass
+class ServedAdvice:
+    """One request's response plus its serving-side bookkeeping."""
+
+    session: AdviceSession
+    #: True when the session was served from cache (including requests
+    #: coalesced onto an identical in-flight decode).
+    cached: bool
+    latency_ms: float
+    cache_key: str
+
+
+@dataclass
+class _AdviseWork:
+    """A cache miss on its way to the model (lexed once, decoded in batch)."""
+
+    source_code: str
+    xsbt: str
+    #: The request thread's lexer output, reused by the encoder at flush time.
+    tokens: list[str]
+
+
+class InferenceService:
+    """Concurrent advising facade over :class:`MPIRical` / :class:`MPIAssistant`.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`MPIRical` pipeline or an :class:`MPIAssistant`
+        already wrapping one.
+    max_batch_size / max_wait_ms / num_workers:
+        Micro-batcher policy; see :class:`repro.serving.batching.MicroBatcher`.
+    cache_capacity:
+        LRU entries to keep; ``0`` disables caching (every request decodes).
+    generation:
+        Optional decoding override applied to every batched decode.
+    """
+
+    def __init__(self, model: MPIRical | MPIAssistant, *,
+                 max_batch_size: int = 8, max_wait_ms: float = 5.0,
+                 num_workers: int = 1, cache_capacity: int = 256,
+                 generation: GenerationConfig | None = None,
+                 metrics_window: int = 1024) -> None:
+        self.assistant = model if isinstance(model, MPIAssistant) else MPIAssistant(model)
+        self.generation = generation
+        self.metrics_ = ServingMetrics(window=metrics_window)
+        self.cache = LRUCache(cache_capacity) if cache_capacity > 0 else None
+        self._inflight: dict[str, Future] = {}
+        self._inflight_lock = Lock()
+        self.batcher = MicroBatcher(
+            self._process_batch,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            num_workers=num_workers,
+            on_batch=self.metrics_.record_batch,
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------- api
+
+    def advise(self, source_code: str, *, timeout: float | None = None) -> ServedAdvice:
+        """Advise on ``source_code``, blocking until the response is ready."""
+        return self.advise_async(source_code).result(timeout)
+
+    def advise_async(self, source_code: str) -> Future:
+        """Non-blocking :meth:`advise`; resolves to a :class:`ServedAdvice`."""
+        start = time.perf_counter()
+        response: Future = Future()
+
+        unit, diagnostics = parse_source_with_diagnostics(source_code)
+        xsbt = xsbt_string(unit)
+        tokens = tokenize_code(source_code)
+        key = canonical_cache_key(source_code, xsbt, tokens=tokens)
+
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                self._resolve(response, source_code, diagnostics, hit,
+                              cached=True, start=start, key=key)
+                return response
+
+        work = _AdviseWork(source_code=source_code, xsbt=xsbt, tokens=tokens)
+        late_hit = None
+        with self._inflight_lock:
+            inflight = self._inflight.get(key)
+            owner = inflight is None
+            if owner:
+                if self.cache is not None:
+                    # Re-check under the lock: an owner that completed between
+                    # our miss above and here has already populated the cache.
+                    # peek() keeps the hit/miss counters at one count per
+                    # request; resolution happens outside the lock.
+                    late_hit = self.cache.peek(key)
+                if late_hit is None:
+                    inflight = self.batcher.submit(work)
+                    self._inflight[key] = inflight
+        if late_hit is not None:
+            self._resolve(response, source_code, diagnostics, late_hit,
+                          cached=True, start=start, key=key)
+            return response
+
+        def _on_done(decode: Future) -> None:
+            try:
+                result = decode.result()
+            except Exception as exc:  # noqa: BLE001 — surfaced to the caller
+                if owner:
+                    with self._inflight_lock:
+                        self._inflight.pop(key, None)
+                self.metrics_.record_error()
+                response.set_exception(exc)
+                return
+            if owner:
+                # Populate the cache BEFORE dropping the in-flight entry, and
+                # have would-be owners re-check the cache under the in-flight
+                # lock, so a concurrent identical request finds one of the two.
+                if self.cache is not None:
+                    self.cache.put(key, result)
+                with self._inflight_lock:
+                    self._inflight.pop(key, None)
+            self._resolve(response, source_code, diagnostics, result,
+                          cached=not owner, start=start, key=key)
+
+        inflight.add_done_callback(_on_done)
+        return response
+
+    def metrics(self) -> dict:
+        """Operational snapshot: request metrics + cache stats + queue depth."""
+        snapshot = self.metrics_.snapshot()
+        snapshot["cache"] = (self.cache.stats().as_dict() if self.cache is not None
+                             else {"enabled": False})
+        snapshot["queued_requests"] = self.batcher.pending()
+        snapshot["max_batch_size"] = self.batcher.max_batch_size
+        snapshot["max_wait_ms"] = self.batcher.max_wait * 1000.0
+        return snapshot
+
+    def close(self) -> None:
+        """Drain queued requests and stop the worker pool."""
+        if not self._closed:
+            self._closed = True
+            self.batcher.close()
+
+    def __enter__(self) -> "InferenceService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- internals
+
+    def _resolve(self, response: Future, source_code: str, diagnostics: list,
+                 result: PredictionResult, *, cached: bool, start: float,
+                 key: str) -> None:
+        """Build this request's session (own anchors + diagnostics) and finish.
+
+        A non-cached resolve is the owner of the decode, and the batch already
+        extracted suggestions against this very buffer — only cache hits and
+        coalesced followers (possibly layout-shifted buffers) re-anchor.
+        """
+        if cached:
+            result = anchor_result(source_code, result)
+        session = build_advice_session(diagnostics, result)
+        latency_ms = (time.perf_counter() - start) * 1000.0
+        self.metrics_.record_request(latency_ms, cached=cached)
+        response.set_result(ServedAdvice(session=session, cached=cached,
+                                         latency_ms=latency_ms, cache_key=key))
+
+    def _process_batch(self, works: list[_AdviseWork]) -> list[PredictionResult]:
+        """Flush one micro-batch through the batched decode path.
+
+        Returns raw prediction results; per-request session assembly (advice
+        anchoring, diagnostics) happens back on the requesting side so that
+        coalesced and cached followers are anchored to *their* buffers.
+        """
+        return self.assistant.mpirical.predict_code_batch(
+            [work.source_code for work in works],
+            [work.xsbt for work in works],
+            generation=self.generation,
+            source_tokens=[work.tokens for work in works],
+        )

@@ -130,9 +130,16 @@ class ExampleEncoder:
         """Encode a list of examples."""
         return [self.encode_example(ex) for ex in examples]
 
-    def encode_source(self, source_code: str, xsbt: str | None = None) -> list[int]:
-        """Encode raw source text (used at inference time by the assistant)."""
-        tokens = tokenize_code(source_code)[: self.config.max_source_tokens]
+    def encode_source(self, source_code: str, xsbt: str | None = None, *,
+                      tokens: list[str] | None = None) -> list[int]:
+        """Encode raw source text (used at inference time by the assistant).
+
+        ``tokens`` skips re-lexing when the caller already tokenised the
+        buffer (the serving layer lexes once per request for cache keying).
+        """
+        if tokens is None:
+            tokens = tokenize_code(source_code)
+        tokens = tokens[: self.config.max_source_tokens]
         if self.use_xsbt and xsbt is not None:
             tokens = tokens + [SEP] + tokenize_xsbt(xsbt)[: self.config.max_xsbt_tokens]
         return self.vocab.encode(tokens)

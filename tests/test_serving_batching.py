@@ -1,0 +1,136 @@
+"""Micro-batcher scheduling: size-triggered flush, timeout flush, errors, close."""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import wait
+
+import pytest
+
+from repro.serving.batching import MicroBatcher
+
+
+def collecting_batcher(process=None, **kwargs):
+    """A batcher that records every flushed batch size."""
+    sizes: list[int] = []
+    batcher = MicroBatcher(process or (lambda items: [x * 2 for x in items]),
+                           on_batch=sizes.append, **kwargs)
+    return batcher, sizes
+
+
+def test_single_request_flushes_on_timeout():
+    """A lone request must not wait for a full batch."""
+    with MicroBatcher(lambda items: [x + 1 for x in items],
+                      max_batch_size=64, max_wait_ms=50) as batcher:
+        start = time.monotonic()
+        assert batcher.submit(41).result(timeout=5) == 42
+        elapsed = time.monotonic() - start
+    # Flushed by the 50ms deadline, not by some much larger hang.
+    assert elapsed < 5
+
+
+def test_full_batch_flushes_without_waiting_for_the_timeout():
+    release = threading.Event()
+    started = threading.Event()
+
+    def process(items):
+        started.set()
+        release.wait(timeout=10)
+        return list(items)
+
+    # The timeout is far beyond the test budget: only the size trigger can
+    # flush this batch in time.
+    with MicroBatcher(process, max_batch_size=4, max_wait_ms=60_000) as batcher:
+        futures = [batcher.submit(i) for i in range(4)]
+        assert started.wait(timeout=5), "full batch did not flush on size"
+        release.set()
+        assert [f.result(timeout=5) for f in futures] == [0, 1, 2, 3]
+
+
+def test_batch_sizes_never_exceed_max():
+    batcher, sizes = collecting_batcher(max_batch_size=3, max_wait_ms=20,
+                                        num_workers=2)
+    with batcher:
+        futures = [batcher.submit(i) for i in range(20)]
+        results = [f.result(timeout=10) for f in futures]
+    assert results == [i * 2 for i in range(20)]
+    assert sizes and all(1 <= size <= 3 for size in sizes)
+    assert sum(sizes) == 20
+
+
+def test_concurrent_submitters_all_get_their_own_result():
+    batcher, sizes = collecting_batcher(max_batch_size=8, max_wait_ms=5,
+                                        num_workers=2)
+    results: dict[int, int] = {}
+    lock = threading.Lock()
+    barrier = threading.Barrier(6)
+
+    def client(client_id: int) -> None:
+        barrier.wait()
+        for i in range(25):
+            value = client_id * 1000 + i
+            out = batcher.submit(value).result(timeout=10)
+            with lock:
+                results[value] = out
+
+    threads = [threading.Thread(target=client, args=(n,)) for n in range(6)]
+    with batcher:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    assert len(results) == 150
+    assert all(out == value * 2 for value, out in results.items())
+    assert sum(sizes) == 150
+    # Concurrency must actually produce some multi-request batches.
+    assert max(sizes) > 1
+
+
+def test_errors_fail_every_request_in_the_flushed_batch():
+    def explode(items):
+        raise RuntimeError("model fell over")
+
+    with MicroBatcher(explode, max_batch_size=4, max_wait_ms=5) as batcher:
+        futures = [batcher.submit(i) for i in range(3)]
+        done, _ = wait(futures, timeout=5)
+        assert len(done) == 3
+        for future in futures:
+            with pytest.raises(RuntimeError, match="model fell over"):
+                future.result()
+
+
+def test_wrong_result_count_is_an_error():
+    # One spurious extra result regardless of the flushed batch's size.
+    with MicroBatcher(lambda items: list(items) + [None],
+                      max_batch_size=4, max_wait_ms=5) as batcher:
+        futures = [batcher.submit(i) for i in range(3)]
+        wait(futures, timeout=5)
+        with pytest.raises(RuntimeError, match="results"):
+            futures[0].result()
+
+
+def test_close_drains_pending_requests_then_rejects_new_ones():
+    slow_release = threading.Event()
+
+    def slow(items):
+        slow_release.wait(timeout=10)
+        return list(items)
+
+    batcher = MicroBatcher(slow, max_batch_size=2, max_wait_ms=60_000)
+    futures = [batcher.submit(i) for i in range(5)]
+    slow_release.set()
+    batcher.close(wait=True)
+    assert [f.result(timeout=1) for f in futures] == [0, 1, 2, 3, 4]
+    with pytest.raises(RuntimeError, match="closed"):
+        batcher.submit(99)
+
+
+def test_constructor_validation():
+    process = lambda items: items  # noqa: E731
+    with pytest.raises(ValueError):
+        MicroBatcher(process, max_batch_size=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(process, max_wait_ms=-1)
+    with pytest.raises(ValueError):
+        MicroBatcher(process, num_workers=0)

@@ -1,0 +1,142 @@
+"""LRU cache semantics, canonical xSBT-based keying, and thread-safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serving.cache import LRUCache, canonical_cache_key
+
+
+# ------------------------------------------------------------ LRU semantics
+
+
+def test_put_get_roundtrip():
+    cache = LRUCache(capacity=4)
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    assert cache.get("missing") is None
+    assert cache.get("missing", default="x") == "x"
+    assert "a" in cache and len(cache) == 1
+
+
+def test_eviction_is_least_recently_used():
+    cache = LRUCache(capacity=3)
+    for key in "abc":
+        cache.put(key, key.upper())
+    cache.get("a")          # refresh 'a'; 'b' is now least recently used
+    cache.put("d", "D")
+    assert cache.get("b") is None
+    assert cache.get("a") == "A" and cache.get("d") == "D"
+    assert cache.stats().evictions == 1
+
+
+def test_put_refreshes_recency_and_overwrites():
+    cache = LRUCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)      # overwrite refreshes recency; no eviction
+    cache.put("c", 3)       # evicts 'b', the stale entry
+    assert cache.get("a") == 10
+    assert cache.get("b") is None
+    assert cache.get("c") == 3
+
+
+def test_stats_and_clear():
+    cache = LRUCache(capacity=2)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("nope")
+    stats = cache.stats()
+    assert (stats.hits, stats.misses, stats.size, stats.capacity) == (1, 1, 1, 2)
+    assert stats.hit_rate == pytest.approx(0.5)
+    assert stats.as_dict()["hit_rate"] == pytest.approx(0.5)
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        LRUCache(capacity=0)
+
+
+def test_keys_are_in_recency_order():
+    cache = LRUCache(capacity=3)
+    for key in "abc":
+        cache.put(key, key)
+    cache.get("a")
+    assert cache.keys() == ["b", "c", "a"]
+
+
+# ----------------------------------------------------------- canonical keys
+
+
+SOURCE = """#include <stdio.h>
+int main(int argc, char **argv) {
+    int count = 4;
+    printf("%d\\n", count);
+    return 0;
+}
+"""
+
+REFORMATTED = """#include <stdio.h>
+int main(int argc, char **argv)
+{
+    // a comment the tokenizer drops
+    int   count   = 4;
+    printf("%d\\n",   count);
+    return 0;
+}
+"""
+
+RENAMED = SOURCE.replace("count", "total")
+
+
+def test_formatting_and_comments_do_not_change_the_key():
+    assert canonical_cache_key(SOURCE) == canonical_cache_key(REFORMATTED)
+
+
+def test_identifier_changes_do_change_the_key():
+    """xSBT alone is identical here — the token stream must disambiguate."""
+    assert canonical_cache_key(SOURCE) != canonical_cache_key(RENAMED)
+
+
+def test_key_accepts_precomputed_xsbt():
+    from repro.xsbt.xsbt import xsbt_for_source
+
+    assert canonical_cache_key(SOURCE, xsbt_for_source(SOURCE)) == \
+        canonical_cache_key(SOURCE)
+
+
+# ------------------------------------------------------------- concurrency
+
+
+def test_concurrent_hammer_preserves_invariants():
+    cache = LRUCache(capacity=32)
+    errors: list[Exception] = []
+    barrier = threading.Barrier(8)
+
+    def worker(worker_id: int) -> None:
+        try:
+            barrier.wait()
+            for i in range(400):
+                key = f"k{(worker_id * 7 + i) % 64}"
+                cache.put(key, (worker_id, i))
+                value = cache.get(key)
+                assert value is None or isinstance(value, tuple)
+                len(cache)
+        except Exception as exc:  # pragma: no cover - only on regression
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(n,)) for n in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not errors
+    assert len(cache) <= 32
+    stats = cache.stats()
+    assert stats.hits + stats.misses == 8 * 400
+    assert stats.size <= stats.capacity

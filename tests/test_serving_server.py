@@ -1,0 +1,126 @@
+"""End-to-end HTTP serving smoke tests: /advise, /healthz, /metrics, errors."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.model.generation import GenerationConfig
+from repro.serving import InferenceService
+from repro.serving.server import make_server
+
+
+@pytest.fixture(scope="module")
+def endpoint(tiny_model):
+    service = InferenceService(tiny_model, max_batch_size=4, max_wait_ms=5,
+                               num_workers=2, cache_capacity=64,
+                               generation=GenerationConfig(max_length=60))
+    server = make_server(service, port=0, quiet=True)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+def _post(url: str, payload: bytes, content_type: str = "application/json"):
+    request = urllib.request.Request(url, data=payload,
+                                     headers={"Content-Type": content_type})
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return response.status, json.loads(response.read())
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def test_advise_roundtrip_and_cache_hit(endpoint, pi_source):
+    payload = json.dumps({"code": pi_source}).encode()
+    status, body = _post(f"{endpoint}/advise", payload)
+    assert status == 200
+    assert set(body) >= {"generated_code", "advice", "diagnostics", "cached",
+                         "latency_ms", "cache_key"}
+    for item in body["advice"]:
+        assert set(item) >= {"function", "insert_after_line", "statement",
+                             "confidence", "note", "rendered"}
+
+    # The acceptance-criteria flow: the second identical request is a hit.
+    status, again = _post(f"{endpoint}/advise", payload)
+    assert status == 200
+    assert again["cached"] is True
+    assert again["generated_code"] == body["generated_code"]
+    assert again["cache_key"] == body["cache_key"]
+
+
+def test_healthz(endpoint):
+    status, body = _get(f"{endpoint}/healthz")
+    assert status == 200
+    assert body == {"status": "ok"}
+
+
+def test_metrics_reflect_served_traffic(endpoint, pi_source):
+    payload = json.dumps({"code": pi_source}).encode()
+    _post(f"{endpoint}/advise", payload)
+    _post(f"{endpoint}/advise", payload)    # guaranteed cache hit
+    status, body = _get(f"{endpoint}/metrics")
+    assert status == 200
+    assert body["requests_total"] >= 2
+    assert body["cache_hits"] >= 1
+    assert "batch_size_histogram" in body
+    assert body["cache"]["capacity"] == 64
+
+
+@pytest.mark.parametrize("payload, fragment", [
+    (b"this is not json", "invalid JSON"),
+    (json.dumps({"wrong_field": 1}).encode(), "code"),
+    (json.dumps({"code": "   "}).encode(), "code"),
+])
+def test_bad_requests_are_400(endpoint, payload, fragment):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(f"{endpoint}/advise", payload)
+    assert excinfo.value.code == 400
+    assert fragment in json.loads(excinfo.value.read())["error"]
+
+
+def test_unknown_paths_are_404(endpoint):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(f"{endpoint}/nope")
+    assert excinfo.value.code == 404
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(f"{endpoint}/nope", b"{}")
+    assert excinfo.value.code == 404
+
+
+def test_concurrent_http_clients(endpoint, small_dataset):
+    sources = [ex.source_code for ex in small_dataset.splits.test[:4]]
+    results: dict[int, dict] = {}
+    errors: list[Exception] = []
+    lock = threading.Lock()
+
+    def client(index: int) -> None:
+        try:
+            payload = json.dumps({"code": sources[index]}).encode()
+            status, body = _post(f"{endpoint}/advise", payload)
+            assert status == 200
+            with lock:
+                results[index] = body
+        except Exception as exc:  # pragma: no cover - only on regression
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(len(sources))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(results) == len(sources)
+    for body in results.values():
+        assert "generated_code" in body

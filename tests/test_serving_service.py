@@ -1,0 +1,126 @@
+"""InferenceService: correctness vs. the direct assistant, caching, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.generation import GenerationConfig
+from repro.mpirical import MPIAssistant
+from repro.serving import InferenceService
+
+#: Short decodes keep the serving tests fast; correctness is unaffected
+#: because the direct-comparison path uses the same settings.
+FAST = GenerationConfig(max_length=60)
+
+
+@pytest.fixture(scope="module")
+def service(tiny_model):
+    with InferenceService(tiny_model, max_batch_size=4, max_wait_ms=5,
+                          num_workers=2, cache_capacity=64,
+                          generation=FAST) as svc:
+        yield svc
+
+
+@pytest.fixture(scope="module")
+def direct_assistant(tiny_model):
+    return MPIAssistant(tiny_model)
+
+
+def _direct_session(assistant, source):
+    # Mirror the service's decode settings so sessions are comparable.
+    from repro.clang.parser import parse_source_with_diagnostics
+    from repro.mpirical import build_advice_session
+
+    from repro.xsbt.xsbt import xsbt_string
+
+    unit, diagnostics = parse_source_with_diagnostics(source)
+    result = assistant.mpirical.predict_code(source, xsbt_string(unit),
+                                             generation=FAST)
+    return build_advice_session(diagnostics, result)
+
+
+def test_served_session_matches_direct_advise(service, direct_assistant, pi_source):
+    served = service.advise(pi_source, timeout=120)
+    assert served.session == _direct_session(direct_assistant, pi_source)
+    assert served.latency_ms >= 0
+    assert served.cache_key
+
+
+def test_second_identical_request_hits_the_cache(service, pi_source):
+    before = service.metrics()["cache_hits"]
+    first = service.advise(pi_source, timeout=120)
+    again = service.advise(pi_source, timeout=120)
+    assert again.cached
+    assert again.session == first.session
+    assert service.metrics()["cache_hits"] >= before + 1
+
+
+def test_reformatted_buffer_hits_the_cache(service, direct_assistant, pi_source):
+    """Canonical keying: cosmetic edits must not cost another decode."""
+    service.advise(pi_source, timeout=120)
+    reformatted = "// reviewed\n" + pi_source.replace("    ", "\t")
+    served = service.advise(reformatted, timeout=120)
+    assert served.cached
+    # The hit must be anchored to the *requesting* buffer: identical to what
+    # a fresh advise on the reformatted text would produce.
+    assert served.session == _direct_session(direct_assistant, reformatted)
+
+
+def test_cache_hits_reanchor_advice_to_the_requesting_buffer():
+    """A layout-shifting edit moves suggestion anchors, not just cache keys."""
+    from repro.mpirical.pipeline import PredictionResult
+    from repro.serving.service import anchor_result
+
+    generated = ("int main(int argc, char **argv) {\n"
+                 "    MPI_Init(&argc, &argv);\n"
+                 "    return 0;\n"
+                 "}\n")
+    original = "int main(int argc, char **argv) {\n    return 0;\n}\n"
+    shifted = "// reviewed, looks good\n" + original   # same canonical form
+
+    cached = PredictionResult(generated_code=generated, generated_tokens=[])
+    anchor_original = anchor_result(original, cached).suggestions[0].insert_after_line
+    anchor_shifted = anchor_result(shifted, cached).suggestions[0].insert_after_line
+    assert anchor_shifted == anchor_original + 1
+
+
+def test_concurrent_requests_are_batched_and_correct(service, direct_assistant,
+                                                     small_dataset):
+    sources = [ex.source_code for ex in small_dataset.splits.test[:6]]
+    futures = [service.advise_async(src) for src in sources]
+    served = [future.result(timeout=120) for future in futures]
+    for source, response in zip(sources, served):
+        assert response.session == _direct_session(direct_assistant, source)
+
+    snapshot = service.metrics()
+    assert snapshot["batches_total"] >= 1
+    assert snapshot["requests_total"] >= len(sources)
+    assert sum(snapshot["batch_size_histogram"].values()) == snapshot["batches_total"]
+    assert snapshot["latency_ms_p95"] >= snapshot["latency_ms_p50"] >= 0
+    assert snapshot["cache"]["capacity"] == 64
+    assert snapshot["errors_total"] == 0
+
+
+def test_metrics_hit_rate_consistency(service):
+    snapshot = service.metrics()
+    assert snapshot["cache_hits"] + snapshot["cache_misses"] == snapshot["requests_total"]
+    if snapshot["requests_total"]:
+        expected = snapshot["cache_hits"] / snapshot["requests_total"]
+        assert snapshot["cache_hit_rate"] == pytest.approx(expected)
+
+
+def test_cache_disabled_service_always_decodes(tiny_model, pi_source):
+    with InferenceService(tiny_model, max_batch_size=2, max_wait_ms=2,
+                          cache_capacity=0, generation=FAST) as svc:
+        assert svc.cache is None
+        first = svc.advise(pi_source, timeout=120)
+        second = svc.advise(pi_source, timeout=120)
+        assert not first.cached and not second.cached
+        assert first.session == second.session
+        assert svc.metrics()["cache"] == {"enabled": False}
+
+
+def test_close_is_idempotent(tiny_model):
+    svc = InferenceService(tiny_model, cache_capacity=4, generation=FAST)
+    svc.close()
+    svc.close()
