@@ -9,7 +9,11 @@ fires three waves of traffic at it:
    returns in microseconds;
 3. a **reformatted replay** — cosmetically edited buffers (extra whitespace,
    comments) still hit, because the cache keys on the canonical xSBT + token
-   form rather than the raw text.
+   form rather than the raw text;
+4. a **beam wave** — the same programs re-advised with ``beam_size=4``: beam
+   requests miss the greedy cache entries (the key includes the generation
+   config), run through the batched beam decoder in config-homogeneous
+   micro-batches, and show up separately in ``batches_by_config``.
 
 Run with:  PYTHONPATH=src python examples/serving_demo.py
 """
@@ -65,7 +69,19 @@ def main() -> None:
         reformatted = [service.advise(buffer) for buffer in edited]
         print(f"    all cached despite edits: {all(r.cached for r in reformatted)}")
 
-        print("\n--- /metrics snapshot")
+        print("\n--- wave 4: beam burst (beam_size=4) over the same programs")
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=len(programs)) as pool:
+            beamed = list(pool.map(
+                lambda p: service.advise(p, beam_size=4, length_penalty=0.6),
+                programs))
+        print(f"    {len(beamed)} beam responses in "
+              f"{time.perf_counter() - start:.2f}s; greedy cache entries "
+              f"did not answer them: {not any(r.cached for r in beamed)}")
+        replay = service.advise(programs[0], beam_size=4, length_penalty=0.6)
+        print(f"    identical beam request replays from cache: {replay.cached}")
+
+        print("\n--- /metrics snapshot (note batches_by_config)")
         print(json.dumps(service.metrics(), indent=2))
 
 

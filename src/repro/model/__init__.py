@@ -4,7 +4,14 @@ from .autograd import Tensor, concat, embedding_lookup, numerical_gradient, para
 from .attention import KVCache, MultiHeadAttention, causal_mask, combined_decoder_mask, padding_mask
 from .checkpoints import load_checkpoint, save_checkpoint
 from .config import ExperimentConfig, ModelConfig, TrainingConfig, paper_config, small_config, tiny_config
-from .generation import GenerationConfig, beam_search_decode, greedy_decode, greedy_decode_batch
+from .generation import (
+    DecoderLoop,
+    GenerationConfig,
+    beam_search_decode,
+    beam_search_decode_batch,
+    greedy_decode,
+    greedy_decode_batch,
+)
 from .layers import Embedding, FeedForward, LayerNorm, Linear, Module, PositionalEncoding, sinusoidal_positions
 from .loss import LossResult, cross_entropy, perplexity
 from .optimizer import Adam, AdamConfig
@@ -30,8 +37,10 @@ __all__ = [
     "paper_config",
     "small_config",
     "tiny_config",
+    "DecoderLoop",
     "GenerationConfig",
     "beam_search_decode",
+    "beam_search_decode_batch",
     "greedy_decode",
     "greedy_decode_batch",
     "Embedding",

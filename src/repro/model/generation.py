@@ -1,11 +1,32 @@
-"""Sequence generation: greedy and beam decoding with KV caching."""
+"""Sequence generation: greedy and beam decoding with KV caching.
+
+Two families of entry points live here:
+
+* the **sequential reference decoders** (:func:`greedy_decode`,
+  :func:`beam_search_decode`) — simple, per-source implementations that act
+  as the executable specification; and
+* the **batched decoders** (:func:`greedy_decode_batch`,
+  :func:`beam_search_decode_batch`) — the serving layer's hot paths, built
+  on the shared :class:`DecoderLoop`, and exact-match identical to running
+  the corresponding sequential decoder per source
+  (``tests/test_decoding_differential.py`` is the differential harness).
+
+Candidate ordering in beam search is explicit and shared by both paths
+(:func:`_candidate_key`): descending normalised score, then ascending
+last-emitted token id, then ascending parent-beam rank.  Nothing depends on
+Python sort stability or hypothesis insertion order, which is what lets the
+flattened ``(batch × beam)`` implementation match the per-source one
+bit-for-bit even on exactly tied scores.
+"""
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 import numpy as np
 
+from .autograd import Tensor
 from .transformer import Seq2SeqTransformer
 
 
@@ -16,6 +37,11 @@ class GenerationConfig:
     max_length: int = 400
     beam_size: int = 1
     length_penalty: float = 0.0
+
+
+# --------------------------------------------------------------------------
+# Sequential reference decoders
+# --------------------------------------------------------------------------
 
 
 def greedy_decode(model: Seq2SeqTransformer, source_ids: list[int], *, sos_id: int,
@@ -43,61 +69,6 @@ def greedy_decode(model: Seq2SeqTransformer, source_ids: list[int], *, sos_id: i
     return generated
 
 
-def greedy_decode_batch(model: Seq2SeqTransformer, source_ids_batch: list[list[int]],
-                        *, sos_id: int, eos_id: int, pad_id: int,
-                        max_length: int = 400) -> list[list[int]]:
-    """Greedy decoding for a batch of (possibly ragged) source sequences.
-
-    Sources are right-padded with ``pad_id`` to a common length and encoded in
-    one pass; decoding then runs one :meth:`Seq2SeqTransformer.decode_step`
-    per step for the whole batch.  Each sequence stops contributing once it
-    emits EOS; the batch keeps stepping until every sequence has finished (or
-    ``max_length`` is reached).  Finished rows are fed their own EOS as a
-    dummy input — rows of a batched step are computed independently, so the
-    dummy never leaks into live rows.
-
-    The output is exact-match identical to calling :func:`greedy_decode` on
-    each source individually: the encoder's padding mask zeroes attention to
-    pad positions, so a padded row produces the same memory — and therefore
-    the same argmax path — as its unpadded encoding.  Empty sources generate
-    ``[]``, matching the single-sequence contract.
-    """
-    if not source_ids_batch:
-        return []
-
-    outputs: list[list[int]] = [[] for _ in source_ids_batch]
-    live_indices = [i for i, ids in enumerate(source_ids_batch) if ids]
-    if not live_indices:
-        return outputs
-
-    live_sources = [source_ids_batch[i] for i in live_indices]
-    width = max(len(ids) for ids in live_sources)
-    src = np.full((len(live_sources), width), pad_id, dtype=np.int64)
-    for row, ids in enumerate(live_sources):
-        src[row, : len(ids)] = ids
-
-    memory = model.encode(src, pad_id, training=False)
-    state = model.start_decoding()
-
-    finished = np.zeros(len(live_sources), dtype=bool)
-    current = np.full((len(live_sources), 1), sos_id, dtype=np.int64)
-    for _ in range(max_length):
-        logits = model.decode_step(current, memory, src, pad_id, state)
-        next_ids = np.argmax(logits, axis=-1)
-        for row, token in enumerate(next_ids):
-            token = int(token)
-            if finished[row]:
-                continue
-            if token == eos_id:
-                finished[row] = True
-            else:
-                outputs[live_indices[row]].append(token)
-        if finished.all():
-            break
-        current = np.where(finished[:, None], eos_id, next_ids[:, None]).astype(np.int64)
-    return outputs
-
-
 @dataclass
 class _Beam:
     ids: list[int]
@@ -111,10 +82,14 @@ def beam_search_decode(model: Seq2SeqTransformer, source_ids: list[int], *, sos_
                        max_length: int = 400, length_penalty: float = 0.6) -> list[int]:
     """Beam-search decoding for a single source sequence.
 
-    Because each hypothesis needs its own KV cache, beams are decoded without
-    cache sharing; beam search therefore costs roughly ``beam_size`` times the
-    greedy decode.  It exists mainly for the ablation comparing decode
-    strategies — greedy is the default everywhere else.
+    Each hypothesis needs its own KV cache, so this path runs one
+    :meth:`Seq2SeqTransformer.decode_step` per live hypothesis per step; it
+    is the slow reference that :func:`beam_search_decode_batch` is measured
+    (and differentially tested) against.
+
+    Candidate ordering is fully deterministic — see :func:`_candidate_key` —
+    so equal-scoring hypotheses resolve identically run-to-run and across
+    the sequential/batched implementations.
     """
     if beam_size <= 1:
         return greedy_decode(model, source_ids, sos_id=sos_id, eos_id=eos_id,
@@ -126,43 +101,84 @@ def beam_search_decode(model: Seq2SeqTransformer, source_ids: list[int], *, sos_
     memory = model.encode(src, pad_id, training=False)
 
     beams: list[_Beam] = [_Beam(ids=[], score=0.0, state=model.start_decoding())]
-    # Prime each beam's cache with the SOS step lazily in the loop.
-    for step in range(max_length):
-        candidates: list[_Beam] = []
-        for beam in beams:
+    for _ in range(max_length):
+        # (key, ids, score, finished, parent) — parent is the beam whose
+        # post-step cache a kept unfinished candidate must inherit.
+        candidates: list[tuple[tuple, list[int], float, bool, _Beam | None]] = []
+        for rank, beam in enumerate(beams):
             if beam.finished:
-                candidates.append(beam)
+                key = _candidate_key(beam.score, beam.ids, length_penalty,
+                                     beam.ids[-1], rank)
+                candidates.append((key, beam.ids, beam.score, True, None))
                 continue
             prev_id = beam.ids[-1] if beam.ids else sos_id
             current = np.asarray([[prev_id]], dtype=np.int64)
             logits = model.decode_step(current, memory, src, pad_id, beam.state)
             log_probs = _log_softmax(logits[0])
-            top = np.argsort(log_probs)[::-1][:beam_size]
-            for token in top:
-                token = int(token)
-                new_state = _clone_state(model, beam.state)
-                candidate = _Beam(
-                    ids=beam.ids + [token],
-                    score=beam.score + float(log_probs[token]),
-                    state=new_state,
-                    finished=token == eos_id,
-                )
-                candidates.append(candidate)
-        candidates.sort(key=lambda b: _normalised(b, length_penalty), reverse=True)
-        beams = candidates[:beam_size]
+            for token in _ranked_top_tokens(log_probs, beam_size):
+                ids = beam.ids + [token]
+                score = beam.score + float(log_probs[token])
+                key = _candidate_key(score, ids, length_penalty, token, rank)
+                candidates.append((key, ids, score, token == eos_id, beam))
+        candidates.sort(key=lambda c: c[0])
+        beams = _materialise_kept(candidates[:beam_size])
         if all(b.finished for b in beams):
             break
 
-    best = max(beams, key=lambda b: _normalised(b, length_penalty))
-    ids = best.ids
-    if ids and ids[-1] == eos_id:
-        ids = ids[:-1]
-    return ids
+    # Beams are kept in candidate order, so the best hypothesis is beams[0].
+    return _strip_eos(beams[0].ids, eos_id)
 
 
-def _normalised(beam: _Beam, length_penalty: float) -> float:
-    length = max(1, len(beam.ids))
-    return beam.score / (length ** length_penalty) if length_penalty else beam.score
+def _materialise_kept(kept: list[tuple]) -> list[_Beam]:
+    """Turn kept candidates into beams, cloning parent caches only when shared.
+
+    The first kept child of a parent inherits the parent's (post-step) cache
+    in place; further kept children of the same parent deep-copy it.  Kept
+    finished candidates never decode again and carry no state.
+    """
+    beams: list[_Beam] = []
+    claimed: set[int] = set()
+    for _, ids, score, finished, parent in kept:
+        if finished or parent is None:
+            state = None
+        elif id(parent) not in claimed:
+            claimed.add(id(parent))
+            state = parent.state
+        else:
+            state = copy.deepcopy(parent.state)
+        beams.append(_Beam(ids=ids, score=score, state=state, finished=finished))
+    return beams
+
+
+def _strip_eos(ids: list[int], eos_id: int) -> list[int]:
+    return ids[:-1] if ids and ids[-1] == eos_id else ids
+
+
+# --------------------------------------------------------------------------
+# Shared ordering / numerics (both the sequential and batched beam paths)
+# --------------------------------------------------------------------------
+
+
+def _normalised(score: float, length: int, length_penalty: float) -> float:
+    length = max(1, length)
+    return score / (length ** length_penalty) if length_penalty else score
+
+
+def _candidate_key(score: float, ids: list[int], length_penalty: float,
+                   last_token: int, parent_rank: int) -> tuple:
+    """The explicit total order over beam candidates (ascending sort key).
+
+    Higher normalised score first; exact ties break on the lower last-emitted
+    token id, then on the lower parent-beam rank.  Carried-over finished
+    hypotheses participate with their final EOS as the last token.
+    """
+    return (-_normalised(score, len(ids), length_penalty), last_token, parent_rank)
+
+
+def _ranked_top_tokens(log_probs: np.ndarray, beam_size: int) -> list[int]:
+    """Top ``beam_size`` token ids by log-prob, ties broken by ascending id."""
+    order = np.argsort(-log_probs, kind="stable")
+    return [int(t) for t in order[:beam_size]]
 
 
 def _log_softmax(logits: np.ndarray) -> np.ndarray:
@@ -170,8 +186,226 @@ def _log_softmax(logits: np.ndarray) -> np.ndarray:
     return shifted - np.log(np.exp(shifted).sum())
 
 
-def _clone_state(model: Seq2SeqTransformer, state) -> object:
-    """Deep-copy a decoding state (each beam hypothesis owns its caches)."""
-    import copy
+def _log_softmax_rows(logits: np.ndarray) -> np.ndarray:
+    """Row-wise log-softmax, bitwise identical per row to :func:`_log_softmax`."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
 
-    return copy.deepcopy(state)
+
+# --------------------------------------------------------------------------
+# DecoderLoop — the shared batched-decoding machinery
+# --------------------------------------------------------------------------
+
+
+class DecoderLoop:
+    """Owns the batched incremental-decoding state for a set of sources.
+
+    Responsibilities (everything the batched decoders would otherwise each
+    reimplement):
+
+    * **padding** — live (non-empty) sources are right-padded with ``pad_id``
+      to a common width and encoded in one pass; empty sources are excluded
+      up front (they generate nothing) and tracked via :attr:`live_indices`;
+    * **row layout** — with ``rows_per_source > 1`` every source occupies a
+      contiguous block of rows (the flattened ``(source × beam)`` hypothesis
+      matrix used by batched beam search), sharing one encoder pass;
+    * **per-row EOS/finished tracking** — :attr:`finished` is the canonical
+      per-row flag; finished rows keep stepping on a dummy EOS input (rows of
+      a batched step are computed independently, so the dummy never leaks);
+    * **KV-cache state** — one shared :class:`DecodingState` whose per-layer
+      caches hold one row per hypothesis; :meth:`reorder_rows` re-gathers
+      them after beam pruning.
+    """
+
+    def __init__(self, model: Seq2SeqTransformer, source_ids_batch: list[list[int]],
+                 *, pad_id: int, rows_per_source: int = 1) -> None:
+        if rows_per_source < 1:
+            raise ValueError(f"rows_per_source must be >= 1, got {rows_per_source}")
+        self.model = model
+        self.pad_id = pad_id
+        self.rows_per_source = rows_per_source
+        self.live_indices = [i for i, ids in enumerate(source_ids_batch) if ids]
+        self.num_sources = len(self.live_indices)
+        self.num_rows = self.num_sources * rows_per_source
+        self.finished = np.zeros(self.num_rows, dtype=bool)
+        if not self.num_sources:
+            self.src = np.empty((0, 0), dtype=np.int64)
+            self.memory = None
+            self.state = None
+            return
+
+        live_sources = [source_ids_batch[i] for i in self.live_indices]
+        width = max(len(ids) for ids in live_sources)
+        src = np.full((self.num_sources, width), pad_id, dtype=np.int64)
+        for row, ids in enumerate(live_sources):
+            src[row, : len(ids)] = ids
+        memory = model.encode(src, pad_id, training=False)
+        if rows_per_source > 1:
+            # One encoder pass per source; hypothesis rows share its memory.
+            src = np.repeat(src, rows_per_source, axis=0)
+            memory = Tensor(np.repeat(memory.data, rows_per_source, axis=0))
+        self.src = src
+        self.memory = memory
+        self.state = model.start_decoding()
+
+    def step(self, token_ids: np.ndarray) -> np.ndarray:
+        """One incremental decoder step for every row; returns (rows, vocab)."""
+        return self.model.decode_step(token_ids, self.memory, self.src,
+                                      self.pad_id, self.state)
+
+    def reorder_rows(self, parents: np.ndarray) -> None:
+        """Re-gather the self-attention caches so row ``r`` continues ``parents[r]``.
+
+        ``parents`` must stay inside each source's row block — a hypothesis
+        can only descend from a hypothesis of the same source.  Cross-attention
+        caches are *not* gathered: within a block every row is a projection of
+        the same repeated memory row, so the gather would be an identity.
+        """
+        blocks = np.arange(self.num_rows) // self.rows_per_source
+        if (np.asarray(parents) // self.rows_per_source != blocks).any():
+            raise ValueError("beam reorder must stay within each source's rows")
+        for cache in self.state.self_caches:
+            if cache.keys is not None:
+                cache.keys = cache.keys[parents]
+                cache.values = cache.values[parents]
+
+
+# --------------------------------------------------------------------------
+# Batched decoders
+# --------------------------------------------------------------------------
+
+
+def greedy_decode_batch(model: Seq2SeqTransformer, source_ids_batch: list[list[int]],
+                        *, sos_id: int, eos_id: int, pad_id: int,
+                        max_length: int = 400) -> list[list[int]]:
+    """Greedy decoding for a batch of (possibly ragged) source sequences.
+
+    One encoder pass and one :meth:`Seq2SeqTransformer.decode_step` per step
+    for the whole batch, via :class:`DecoderLoop`.  The output is exact-match
+    identical to calling :func:`greedy_decode` on each source individually:
+    the encoder's padding mask zeroes attention to pad positions, so a padded
+    row produces the same memory — and therefore the same argmax path — as
+    its unpadded encoding.  Empty sources generate ``[]``, matching the
+    single-sequence contract.
+    """
+    if not source_ids_batch:
+        return []
+    outputs: list[list[int]] = [[] for _ in source_ids_batch]
+    loop = DecoderLoop(model, source_ids_batch, pad_id=pad_id)
+    if not loop.num_rows:
+        return outputs
+
+    current = np.full((loop.num_rows, 1), sos_id, dtype=np.int64)
+    for _ in range(max_length):
+        logits = loop.step(current)
+        next_ids = np.argmax(logits, axis=-1)
+        for row, token in enumerate(next_ids):
+            token = int(token)
+            if loop.finished[row]:
+                continue
+            if token == eos_id:
+                loop.finished[row] = True
+            else:
+                outputs[loop.live_indices[row]].append(token)
+        if loop.finished.all():
+            break
+        current = np.where(loop.finished[:, None], eos_id,
+                           next_ids[:, None]).astype(np.int64)
+    return outputs
+
+
+def beam_search_decode_batch(model: Seq2SeqTransformer,
+                             source_ids_batch: list[list[int]], *, sos_id: int,
+                             eos_id: int, pad_id: int, beam_size: int = 3,
+                             max_length: int = 400,
+                             length_penalty: float = 0.6) -> list[list[int]]:
+    """Batched beam search: one ``decode_step`` per step for every hypothesis.
+
+    All sources are encoded in one pass and the per-source hypothesis sets
+    are flattened into a ``(num_sources × beam_size)`` row matrix, so each
+    generation step costs a single batched :meth:`decode_step` instead of one
+    per live hypothesis.  Per-source pruning, length-penalty scoring and
+    tie-breaking replicate :func:`beam_search_decode` exactly (same candidate
+    enumeration order, same :func:`_candidate_key` total order, same float
+    arithmetic), so the output is exact-match identical to running the
+    sequential decoder on each source.
+
+    ``beam_size <= 1`` delegates to :func:`greedy_decode_batch`, mirroring
+    the sequential decoder's contract.
+    """
+    if beam_size <= 1:
+        return greedy_decode_batch(model, source_ids_batch, sos_id=sos_id,
+                                   eos_id=eos_id, pad_id=pad_id,
+                                   max_length=max_length)
+    if not source_ids_batch:
+        return []
+    outputs: list[list[int]] = [[] for _ in source_ids_batch]
+    loop = DecoderLoop(model, source_ids_batch, pad_id=pad_id,
+                       rows_per_source=beam_size)
+    if not loop.num_rows:
+        return outputs
+
+    num_rows = loop.num_rows
+    # Per-row hypothesis bookkeeping.  Rows of a source block are kept in
+    # candidate order, so block slot == the sequential implementation's beam
+    # rank and row 0 of each block is that source's best hypothesis.  Scores
+    # accumulate as Python floats exactly like the sequential path.
+    ids: list[list[int]] = [[] for _ in range(num_rows)]
+    scores: list[float] = [0.0] * num_rows
+    finished: list[bool] = [False] * num_rows
+    # Only slot 0 of each block holds a real hypothesis at step 0 (the
+    # sequential path starts from a single empty beam); the other rows are
+    # placeholders until the first pruning pass fills them.
+    valid: list[bool] = [slot == 0 for slot in
+                         (row % beam_size for row in range(num_rows))]
+
+    current = np.full((num_rows, 1), sos_id, dtype=np.int64)
+    for _ in range(max_length):
+        logits = loop.step(current)
+        log_probs = _log_softmax_rows(logits)
+        parents = np.arange(num_rows, dtype=np.int64)
+        next_ids = list(ids)
+        next_scores = list(scores)
+        next_finished = list(finished)
+        next_valid = list(valid)
+        current = np.full((num_rows, 1), eos_id, dtype=np.int64)
+        for source in range(loop.num_sources):
+            base = source * beam_size
+            candidates: list[tuple[tuple, list[int], float, bool, int]] = []
+            for rank in range(beam_size):
+                row = base + rank
+                if not valid[row]:
+                    continue
+                if finished[row]:
+                    key = _candidate_key(scores[row], ids[row], length_penalty,
+                                         ids[row][-1], rank)
+                    candidates.append((key, ids[row], scores[row], True, row))
+                    continue
+                row_log_probs = log_probs[row]
+                for token in _ranked_top_tokens(row_log_probs, beam_size):
+                    cand_ids = ids[row] + [token]
+                    score = scores[row] + float(row_log_probs[token])
+                    key = _candidate_key(score, cand_ids, length_penalty,
+                                         token, rank)
+                    candidates.append((key, cand_ids, score,
+                                       token == eos_id, row))
+            candidates.sort(key=lambda c: c[0])
+            for slot, (_, cand_ids, score, done, parent_row) in \
+                    enumerate(candidates[:beam_size]):
+                row = base + slot
+                next_ids[row] = cand_ids
+                next_scores[row] = score
+                next_finished[row] = done
+                next_valid[row] = True
+                parents[row] = parent_row
+                if not done:
+                    current[row, 0] = cand_ids[-1]
+        loop.reorder_rows(parents)
+        ids, scores, finished, valid = next_ids, next_scores, next_finished, next_valid
+        if all(done for done, live in zip(finished, valid) if live):
+            break
+
+    for source in range(loop.num_sources):
+        best = ids[source * beam_size]
+        outputs[loop.live_indices[source]] = _strip_eos(best, eos_id)
+    return outputs

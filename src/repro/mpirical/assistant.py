@@ -94,18 +94,20 @@ class MPIAssistant:
         result = self.mpirical.predict_code(source_code, xsbt)
         return build_advice_session(diagnostics, result)
 
-    def advise_batch(self, sources: list[str]) -> list[AdviceSession]:
+    def advise_batch(self, sources: list[str], *,
+                     generation=None) -> list[AdviceSession]:
         """Batched :meth:`advise` — one session per input buffer.
 
         All buffers go through :meth:`MPIRical.predict_code_batch`, so the
         model runs one batched decode instead of ``len(sources)`` sequential
-        ones.  Sessions are exact-match identical to per-buffer
-        :meth:`advise`; this is the entry point the serving layer's
-        micro-batcher flushes into.
+        ones — including beam search when ``generation.beam_size > 1``.
+        Sessions are exact-match identical to per-buffer :meth:`advise`; this
+        is the entry point the serving layer's micro-batcher flushes into.
         """
         parsed = [parse_source_with_diagnostics(source) for source in sources]
         xsbts = [xsbt_string(unit) for unit, _ in parsed]
-        results = self.mpirical.predict_code_batch(sources, xsbts)
+        results = self.mpirical.predict_code_batch(sources, xsbts,
+                                                   generation=generation)
         return [build_advice_session(diagnostics, result)
                 for (_, diagnostics), result in zip(parsed, results)]
 

@@ -23,6 +23,7 @@ from ..model.config import ExperimentConfig, small_config
 from ..model.generation import (
     GenerationConfig,
     beam_search_decode,
+    beam_search_decode_batch,
     greedy_decode,
     greedy_decode_batch,
 )
@@ -125,14 +126,15 @@ class MPIRical:
                              ) -> list[list[str]]:
         """Batched :meth:`predict_tokens` for a list of programs.
 
-        All sources are decoded together through
-        :func:`repro.model.generation.greedy_decode_batch` (one encoder pass
-        and one decoder step per generated position for the whole batch),
-        which is the serving layer's hot path.  Output is exact-match
-        identical to per-example :meth:`predict_tokens`.  Beam search has no
-        batched implementation, so ``beam_size > 1`` falls back to the
-        per-example path.  ``source_tokens`` optionally carries pre-lexed
-        token streams (the serving layer lexes each buffer once).
+        All sources are decoded together (one encoder pass and one decoder
+        step per generated position for the whole batch), which is the
+        serving layer's hot path: greedy requests go through
+        :func:`repro.model.generation.greedy_decode_batch` and
+        ``beam_size > 1`` through
+        :func:`repro.model.generation.beam_search_decode_batch`.  Output is
+        exact-match identical to per-example :meth:`predict_tokens` either
+        way.  ``source_tokens`` optionally carries pre-lexed token streams
+        (the serving layer lexes each buffer once).
         """
         generation = generation or self.generation
         xsbts = xsbts if xsbts is not None else [None] * len(sources)
@@ -140,17 +142,22 @@ class MPIRical:
             raise ValueError(f"{len(sources)} sources but {len(xsbts)} xsbts")
         if source_tokens is None:
             source_tokens = [None] * len(sources)
-        if generation.beam_size > 1:
-            return [self.predict_tokens(source, xsbt, generation=generation)
-                    for source, xsbt in zip(sources, xsbts)]
         source_ids = [self._encode_for_inference(source, xsbt, tokens)
                       for source, xsbt, tokens in zip(sources, xsbts, source_tokens)]
         vocab = self.encoder.vocab
-        generated = greedy_decode_batch(
-            self.model, source_ids,
-            sos_id=vocab.sos_id, eos_id=vocab.eos_id, pad_id=vocab.pad_id,
-            max_length=generation.max_length,
-        )
+        if generation.beam_size > 1:
+            generated = beam_search_decode_batch(
+                self.model, source_ids,
+                sos_id=vocab.sos_id, eos_id=vocab.eos_id, pad_id=vocab.pad_id,
+                beam_size=generation.beam_size, max_length=generation.max_length,
+                length_penalty=generation.length_penalty,
+            )
+        else:
+            generated = greedy_decode_batch(
+                self.model, source_ids,
+                sos_id=vocab.sos_id, eos_id=vocab.eos_id, pad_id=vocab.pad_id,
+                max_length=generation.max_length,
+            )
         return [vocab.decode(ids) for ids in generated]
 
     @staticmethod

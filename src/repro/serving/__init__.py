@@ -21,7 +21,7 @@ Quick start
 from .batching import MicroBatcher
 from .cache import CacheStats, LRUCache, canonical_cache_key
 from .metrics import ServingMetrics, percentile
-from .service import InferenceService, ServedAdvice
+from .service import InferenceService, ServedAdvice, generation_label
 
 # NOTE: the HTTP layer (repro.serving.server) is intentionally not imported
 # here so that `python -m repro.serving.server` does not double-import the
@@ -36,4 +36,5 @@ __all__ = [
     "percentile",
     "InferenceService",
     "ServedAdvice",
+    "generation_label",
 ]

@@ -6,11 +6,18 @@ the scheduler's job is to trade a bounded sliver of latency for batch
 occupancy.  The policy is the classic dynamic micro-batching rule used by
 production inference servers:
 
-* a batch is flushed **immediately** once ``max_batch_size`` requests are
-  waiting, and
+* a batch is flushed **immediately** once ``max_batch_size`` compatible
+  requests are waiting, and
 * otherwise when the *oldest* waiting request has been queued for
   ``max_wait_ms`` — a hard per-request queueing-latency bound that does not
   reset as later requests trickle in.
+
+Requests may additionally carry a **group key** (``group_key=``): only
+requests with equal keys are flushed together.  The serving layer uses this
+to keep generation configs homogeneous per batch — a beam-4 request and a
+greedy request cannot share one decode, because the whole batch runs through
+a single decoder loop.  With no ``group_key`` every request is compatible
+and behaviour is the classic single-queue batcher.
 
 Requests are submitted from any thread and resolved through
 :class:`concurrent.futures.Future`, so callers can block (``result()``) or
@@ -26,16 +33,21 @@ import time
 from collections import deque
 from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Hashable
 
 
 @dataclass
 class _PendingRequest:
-    """One queued request: payload, completion future, enqueue timestamp."""
+    """One queued request: payload, group, completion future, enqueue time."""
 
     payload: Any
+    group: Hashable = None
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.monotonic)
+
+
+#: Sentinel distinguishing "no group is full" from a full ``None`` group.
+_NO_GROUP = object()
 
 
 class MicroBatcher:
@@ -44,9 +56,9 @@ class MicroBatcher:
     Parameters
     ----------
     process_batch:
-        Called with a list of payloads (1..``max_batch_size``); must return a
-        list of results of the same length, in the same order.  Exceptions
-        fail every request in the flushed batch.
+        Called with a list of payloads (1..``max_batch_size``, all from one
+        group); must return a list of results of the same length, in the same
+        order.  Exceptions fail every request in the flushed batch.
     max_batch_size:
         Flush threshold and upper bound on a batch.
     max_wait_ms:
@@ -55,14 +67,19 @@ class MicroBatcher:
         Worker threads pulling batches; with one worker batches are strictly
         sequential, with more they overlap (useful because the model's BLAS
         kernels release the GIL).
+    group_key:
+        Optional ``payload -> hashable`` function; only payloads with equal
+        keys share a batch.  ``None`` puts every payload in one group.
     on_batch:
-        Optional observer called with each flushed batch's size (metrics).
+        Optional observer called with ``(batch_size, group)`` for each
+        flushed batch (metrics).
     """
 
     def __init__(self, process_batch: Callable[[list[Any]], list[Any]], *,
                  max_batch_size: int = 8, max_wait_ms: float = 5.0,
                  num_workers: int = 1,
-                 on_batch: Callable[[int], None] | None = None) -> None:
+                 group_key: Callable[[Any], Hashable] | None = None,
+                 on_batch: Callable[[int, Hashable], None] | None = None) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
         if max_wait_ms < 0:
@@ -72,8 +89,12 @@ class MicroBatcher:
         self.process_batch = process_batch
         self.max_batch_size = max_batch_size
         self.max_wait = max_wait_ms / 1000.0
+        self.group_key = group_key
         self.on_batch = on_batch
-        self._queue: deque[_PendingRequest] = deque()
+        #: One FIFO per group keeps every scheduling decision O(#groups)
+        #: (a handful of generation configs), not O(queued requests).
+        self._queues: dict[Hashable, deque[_PendingRequest]] = {}
+        self._pending = 0
         self._cond = threading.Condition()
         self._closed = False
         self._workers = [
@@ -88,18 +109,20 @@ class MicroBatcher:
 
     def submit(self, payload: Any) -> Future:
         """Enqueue ``payload``; the returned future resolves to its result."""
-        request = _PendingRequest(payload)
+        group = self.group_key(payload) if self.group_key is not None else None
+        request = _PendingRequest(payload, group=group)
         with self._cond:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed MicroBatcher")
-            self._queue.append(request)
+            self._queues.setdefault(group, deque()).append(request)
+            self._pending += 1
             self._cond.notify_all()
         return request.future
 
     def pending(self) -> int:
         """Requests currently queued (not yet flushed to a worker)."""
         with self._cond:
-            return len(self._queue)
+            return self._pending
 
     def close(self, *, wait: bool = True) -> None:
         """Stop accepting requests; already-queued requests are still served."""
@@ -125,33 +148,79 @@ class MicroBatcher:
                 return
             self._run_batch(batch)
 
+    def _oldest_group(self) -> tuple[Hashable, float]:
+        """The group whose head (oldest) request was enqueued earliest.
+
+        Caller holds the lock and guarantees at least one queued request.
+        """
+        best_group: Hashable = _NO_GROUP
+        best_time = float("inf")
+        for group, queue in self._queues.items():
+            if queue[0].enqueued_at < best_time:
+                best_group, best_time = group, queue[0].enqueued_at
+        return best_group, best_time
+
+    def _full_group(self) -> Hashable:
+        """The full group (>= ``max_batch_size`` waiting) with the oldest head.
+
+        Returns :data:`_NO_GROUP` when no group is full (``None`` is a valid
+        group key).  Caller holds the lock.
+        """
+        best_group: Hashable = _NO_GROUP
+        best_time = float("inf")
+        for group, queue in self._queues.items():
+            if len(queue) >= self.max_batch_size and queue[0].enqueued_at < best_time:
+                best_group, best_time = group, queue[0].enqueued_at
+        return best_group
+
     def _collect_batch(self) -> list[_PendingRequest] | None:
-        """Block until a batch is due (full, timed out, or closing); pop it.
+        """Block until a batch is due (full group, timed out, or closing); pop it.
 
         Returns None when the batcher is closed and the queue is drained —
         the worker's signal to exit.
         """
         with self._cond:
             while True:
-                if self._queue:
-                    if len(self._queue) >= self.max_batch_size or self._closed:
+                if self._pending:
+                    group, head_time = self._oldest_group()
+                    if self._closed:
                         break
-                    remaining = (self._queue[0].enqueued_at + self.max_wait
-                                 - time.monotonic())
+                    remaining = head_time + self.max_wait - time.monotonic()
+                    # The oldest request's deadline outranks the size trigger:
+                    # under sustained traffic from another (always-full) group,
+                    # checking fullness first would starve minority groups past
+                    # their hard max_wait_ms bound.
                     if remaining <= 0:
+                        break
+                    full = self._full_group()
+                    if full is not _NO_GROUP:
+                        group = full
                         break
                     self._cond.wait(timeout=remaining)
                 else:
                     if self._closed:
                         return None
                     self._cond.wait()
-            size = min(self.max_batch_size, len(self._queue))
-            return [self._queue.popleft() for _ in range(size)]
+            return self._pop_group(group)
+
+    def _pop_group(self, group: Hashable) -> list[_PendingRequest]:
+        """Remove up to ``max_batch_size`` queued requests of ``group``, in order.
+
+        Other groups' queues (and their enqueue timestamps, so their
+        ``max_wait_ms`` bound) are untouched.  Caller holds the lock.
+        """
+        queue = self._queues[group]
+        batch = [queue.popleft()
+                 for _ in range(min(self.max_batch_size, len(queue)))]
+        if not queue:
+            del self._queues[group]
+        self._pending -= len(batch)
+        return batch
 
     def _run_batch(self, batch: list[_PendingRequest]) -> None:
         if self.on_batch is not None:
             try:
-                self.on_batch(len(batch))
+                self.on_batch(len(batch), batch[0].group)
             except Exception:  # noqa: BLE001 — observers are best-effort; a
                 pass           # metrics bug must not strand the batch's futures
         payloads = [request.payload for request in batch]

@@ -36,6 +36,9 @@ class ServingMetrics:
         self._lock = threading.Lock()
         self._latencies_ms: deque[float] = deque(maxlen=window)
         self._batch_sizes: Counter[int] = Counter()
+        #: Per generation-config batch-size histograms, keyed by the config
+        #: label the batcher grouped on (e.g. ``"greedy"``, ``"beam4:lp0.6"``).
+        self._batch_sizes_by_config: dict[str, Counter[int]] = {}
         self.requests_total = 0
         self.cache_hits = 0
         self.cache_misses = 0
@@ -55,11 +58,28 @@ class ServingMetrics:
             self._latencies_ms.append(latency_ms)
 
 
-    def record_batch(self, size: int) -> None:
-        """Record one model-side batch flush of ``size`` requests."""
+    #: Cardinality bound for the per-config histograms: the label embeds the
+    #: client-controlled length penalty, so without a cap a client sweeping
+    #: penalties would grow server memory (and /metrics payloads) forever.
+    MAX_CONFIG_LABELS = 32
+
+    def record_batch(self, size: int, group: object = None) -> None:
+        """Record one model-side batch flush of ``size`` requests.
+
+        ``group`` is the batcher's generation-config label for the flush;
+        ``None`` keeps only the aggregate histogram (pre-beam behaviour).
+        Once :attr:`MAX_CONFIG_LABELS` distinct labels exist, further labels
+        are lumped under ``"other"``.
+        """
         with self._lock:
             self.batches_total += 1
             self._batch_sizes[size] += 1
+            if group is not None:
+                label = str(group)
+                if (label not in self._batch_sizes_by_config
+                        and len(self._batch_sizes_by_config) >= self.MAX_CONFIG_LABELS):
+                    label = "other"
+                self._batch_sizes_by_config.setdefault(label, Counter())[size] += 1
 
     def record_error(self) -> None:
         with self._lock:
@@ -72,12 +92,22 @@ class ServingMetrics:
         with self._lock:
             latencies = list(self._latencies_ms)
             batch_sizes = dict(sorted(self._batch_sizes.items()))
+            by_config = {label: dict(sorted(counts.items()))
+                         for label, counts in sorted(self._batch_sizes_by_config.items())}
             requests = self.requests_total
             hits = self.cache_hits
             misses = self.cache_misses
             batches = self.batches_total
             errors = self.errors_total
         batched_requests = sum(size * count for size, count in batch_sizes.items())
+        batches_by_config = {
+            label: {
+                "batches": sum(counts.values()),
+                "requests": sum(size * count for size, count in counts.items()),
+                "batch_size_histogram": counts,
+            }
+            for label, counts in by_config.items()
+        }
         return {
             "requests_total": requests,
             "cache_hits": hits,
@@ -86,6 +116,7 @@ class ServingMetrics:
             "errors_total": errors,
             "batches_total": batches,
             "batch_size_histogram": batch_sizes,
+            "batches_by_config": batches_by_config,
             "mean_batch_size": batched_requests / batches if batches else 0.0,
             "latency_ms_p50": percentile(latencies, 0.50),
             "latency_ms_p95": percentile(latencies, 0.95),

@@ -3,9 +3,12 @@
 Endpoints
 ---------
 ``POST /advise``
-    Body ``{"code": "<C source>"}``; responds with the generated program,
-    the advice list, parse diagnostics, and serving metadata (``cached``,
-    ``latency_ms``, ``cache_key``).
+    Body ``{"code": "<C source>"}`` with optional ``"beam_size"`` (int >= 1,
+    capped at ``MAX_BEAM_SIZE``) and ``"length_penalty"`` (number >= 0)
+    fields selecting the decode strategy per request; responds with the
+    generated program, the advice list, parse diagnostics, and serving
+    metadata (``cached``, ``latency_ms``, ``cache_key``, ``beam_size``,
+    ``length_penalty``).
 ``GET /healthz``
     Liveness probe; 200 with ``{"status": "ok"}`` once the model is loaded.
 ``GET /metrics``
@@ -31,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 import threading
 from dataclasses import asdict
@@ -42,11 +46,15 @@ from .service import InferenceService, ServedAdvice
 #: client error, not a workload.
 MAX_BODY_BYTES = 1 << 20
 
+#: Largest accepted per-request beam size; beam cost scales linearly with the
+#: hypothesis count, so an unbounded client value is a denial-of-service knob.
+MAX_BEAM_SIZE = 16
+
 
 def advice_payload(served: ServedAdvice) -> dict:
     """The JSON-serialisable response body for one /advise call."""
     session = served.session
-    return {
+    payload = {
         "generated_code": session.generated_code,
         "advice": [
             {
@@ -62,6 +70,36 @@ def advice_payload(served: ServedAdvice) -> dict:
         "latency_ms": served.latency_ms,
         "cache_key": served.cache_key,
     }
+    if served.generation is not None:
+        payload["beam_size"] = served.generation.beam_size
+        payload["length_penalty"] = served.generation.length_penalty
+    return payload
+
+
+def parse_generation_fields(payload: dict) -> tuple[int | None, float | None]:
+    """Validate the optional decode-strategy fields of an /advise body.
+
+    Returns ``(beam_size, length_penalty)`` with ``None`` for absent fields;
+    raises :class:`ValueError` with a client-facing message otherwise.
+    """
+    beam_size = payload.get("beam_size")
+    if beam_size is not None:
+        if isinstance(beam_size, bool) or not isinstance(beam_size, int):
+            raise ValueError('"beam_size" must be an integer')
+        if not 1 <= beam_size <= MAX_BEAM_SIZE:
+            raise ValueError(f'"beam_size" must be in [1, {MAX_BEAM_SIZE}]')
+    length_penalty = payload.get("length_penalty")
+    if length_penalty is not None:
+        if isinstance(length_penalty, bool) or \
+                not isinstance(length_penalty, (int, float)):
+            raise ValueError('"length_penalty" must be a number')
+        # json.loads accepts the non-standard NaN/Infinity tokens; a
+        # non-finite penalty would poison the beam ranking (NaN breaks the
+        # candidate total order) and the cache key.
+        if not math.isfinite(length_penalty) or length_penalty < 0:
+            raise ValueError('"length_penalty" must be a finite number >= 0')
+        length_penalty = float(length_penalty)
+    return beam_size, length_penalty
 
 
 class AdviseRequestHandler(BaseHTTPRequestHandler):
@@ -108,7 +146,13 @@ class AdviseRequestHandler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": 'body must be {"code": "<C source>"}'})
             return
         try:
-            served = self.service.advise(code)
+            beam_size, length_penalty = parse_generation_fields(payload)
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        try:
+            served = self.service.advise(code, beam_size=beam_size,
+                                         length_penalty=length_penalty)
         except Exception as exc:  # noqa: BLE001 — a request must never kill the server
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
             return

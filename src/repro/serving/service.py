@@ -19,6 +19,14 @@ short-circuits before it is allowed to cost a model decode:
    (:mod:`repro.serving.batching`), so concurrent distinct requests share
    encoder/decoder passes.
 
+Requests may override the decoding settings per call (``beam_size``,
+``length_penalty``): beam requests run through the batched beam decoder,
+are cached under a key that includes the generation settings (a beam-4
+result must never answer a greedy request), and are micro-batched only with
+requests of the same configuration — the whole batch runs through one
+decoder loop, so configs cannot be mixed within a flush.  Batch metrics are
+reported per configuration (``batches_by_config``).
+
 Every completed request records its end-to-end latency and cache outcome in
 :class:`repro.serving.metrics.ServingMetrics`; :meth:`InferenceService.metrics`
 returns the merged operational snapshot the ``/metrics`` endpoint serves.
@@ -26,6 +34,7 @@ returns the merged operational snapshot the ``/metrics`` endpoint serves.
 
 from __future__ import annotations
 
+import math
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
@@ -59,6 +68,22 @@ def anchor_result(source_code: str, result: PredictionResult) -> PredictionResul
     )
 
 
+def generation_label(generation: GenerationConfig) -> str:
+    """The batching/metrics label of a generation config.
+
+    Two requests share a micro-batch exactly when their labels are equal, and
+    the whole flush decodes under one config — so the label must distinguish
+    every penalty the cache key distinguishes (``repr``, not a rounded
+    format, or two almost-equal penalties would share a batch yet cache
+    separately).  The label also keys the per-config batch metrics.  Greedy
+    ignores the length penalty (it reranks beam hypotheses only), mirroring
+    the cache key's normalisation.
+    """
+    if generation.beam_size <= 1:
+        return "greedy"
+    return f"beam{generation.beam_size}:lp{generation.length_penalty!r}"
+
+
 @dataclass
 class ServedAdvice:
     """One request's response plus its serving-side bookkeeping."""
@@ -69,6 +94,9 @@ class ServedAdvice:
     cached: bool
     latency_ms: float
     cache_key: str
+    #: The decoding settings this response was generated under (service
+    #: defaults merged with the request's overrides).
+    generation: GenerationConfig | None = None
 
 
 @dataclass
@@ -79,6 +107,8 @@ class _AdviseWork:
     xsbt: str
     #: The request thread's lexer output, reused by the encoder at flush time.
     tokens: list[str]
+    #: Resolved decoding settings; the batcher groups flushes by its label.
+    generation: GenerationConfig
 
 
 class InferenceService:
@@ -113,34 +143,49 @@ class InferenceService:
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
             num_workers=num_workers,
+            group_key=lambda work: generation_label(work.generation),
             on_batch=self.metrics_.record_batch,
         )
         self._closed = False
 
     # ------------------------------------------------------------------- api
 
-    def advise(self, source_code: str, *, timeout: float | None = None) -> ServedAdvice:
-        """Advise on ``source_code``, blocking until the response is ready."""
-        return self.advise_async(source_code).result(timeout)
+    def advise(self, source_code: str, *, beam_size: int | None = None,
+               length_penalty: float | None = None,
+               timeout: float | None = None) -> ServedAdvice:
+        """Advise on ``source_code``, blocking until the response is ready.
 
-    def advise_async(self, source_code: str) -> Future:
+        ``beam_size`` / ``length_penalty`` override the service's default
+        decoding settings for this request only; ``beam_size > 1`` trades
+        latency for the paper's beam-search quality setting.
+        """
+        return self.advise_async(source_code, beam_size=beam_size,
+                                 length_penalty=length_penalty).result(timeout)
+
+    def advise_async(self, source_code: str, *, beam_size: int | None = None,
+                     length_penalty: float | None = None) -> Future:
         """Non-blocking :meth:`advise`; resolves to a :class:`ServedAdvice`."""
         start = time.perf_counter()
         response: Future = Future()
+        generation = self._resolve_generation(beam_size, length_penalty)
 
         unit, diagnostics = parse_source_with_diagnostics(source_code)
         xsbt = xsbt_string(unit)
         tokens = tokenize_code(source_code)
-        key = canonical_cache_key(source_code, xsbt, tokens=tokens)
+        key = canonical_cache_key(source_code, xsbt, tokens=tokens,
+                                  beam_size=generation.beam_size,
+                                  length_penalty=generation.length_penalty)
 
         if self.cache is not None:
             hit = self.cache.get(key)
             if hit is not None:
                 self._resolve(response, source_code, diagnostics, hit,
-                              cached=True, start=start, key=key)
+                              cached=True, start=start, key=key,
+                              generation=generation)
                 return response
 
-        work = _AdviseWork(source_code=source_code, xsbt=xsbt, tokens=tokens)
+        work = _AdviseWork(source_code=source_code, xsbt=xsbt, tokens=tokens,
+                           generation=generation)
         late_hit = None
         with self._inflight_lock:
             inflight = self._inflight.get(key)
@@ -157,7 +202,8 @@ class InferenceService:
                     self._inflight[key] = inflight
         if late_hit is not None:
             self._resolve(response, source_code, diagnostics, late_hit,
-                          cached=True, start=start, key=key)
+                          cached=True, start=start, key=key,
+                          generation=generation)
             return response
 
         def _on_done(decode: Future) -> None:
@@ -179,7 +225,8 @@ class InferenceService:
                 with self._inflight_lock:
                     self._inflight.pop(key, None)
             self._resolve(response, source_code, diagnostics, result,
-                          cached=not owner, start=start, key=key)
+                          cached=not owner, start=start, key=key,
+                          generation=generation)
 
         inflight.add_done_callback(_on_done)
         return response
@@ -208,9 +255,33 @@ class InferenceService:
 
     # ------------------------------------------------------------- internals
 
+    def _resolve_generation(self, beam_size: int | None,
+                            length_penalty: float | None) -> GenerationConfig:
+        """Merge request overrides onto the service's default decoding config."""
+        base = self.generation or self.assistant.mpirical.generation
+        if beam_size is None and length_penalty is None:
+            return base
+        if beam_size is not None and (not isinstance(beam_size, int)
+                                      or isinstance(beam_size, bool)
+                                      or beam_size < 1):
+            raise ValueError(f"beam_size must be a positive int, got {beam_size!r}")
+        if length_penalty is not None and (not isinstance(length_penalty, (int, float))
+                                           or isinstance(length_penalty, bool)
+                                           or not math.isfinite(length_penalty)
+                                           or length_penalty < 0):
+            raise ValueError(
+                f"length_penalty must be a finite non-negative number, "
+                f"got {length_penalty!r}")
+        return GenerationConfig(
+            max_length=base.max_length,
+            beam_size=base.beam_size if beam_size is None else beam_size,
+            length_penalty=(base.length_penalty if length_penalty is None
+                            else float(length_penalty)),
+        )
+
     def _resolve(self, response: Future, source_code: str, diagnostics: list,
                  result: PredictionResult, *, cached: bool, start: float,
-                 key: str) -> None:
+                 key: str, generation: GenerationConfig | None = None) -> None:
         """Build this request's session (own anchors + diagnostics) and finish.
 
         A non-cached resolve is the owner of the decode, and the batch already
@@ -223,18 +294,22 @@ class InferenceService:
         latency_ms = (time.perf_counter() - start) * 1000.0
         self.metrics_.record_request(latency_ms, cached=cached)
         response.set_result(ServedAdvice(session=session, cached=cached,
-                                         latency_ms=latency_ms, cache_key=key))
+                                         latency_ms=latency_ms, cache_key=key,
+                                         generation=generation))
 
     def _process_batch(self, works: list[_AdviseWork]) -> list[PredictionResult]:
         """Flush one micro-batch through the batched decode path.
 
-        Returns raw prediction results; per-request session assembly (advice
-        anchoring, diagnostics) happens back on the requesting side so that
-        coalesced and cached followers are anchored to *their* buffers.
+        The batcher groups flushes by generation label, so every work item in
+        the batch shares one decoding config — greedy batches run the batched
+        greedy decoder, beam batches the batched beam decoder.  Returns raw
+        prediction results; per-request session assembly (advice anchoring,
+        diagnostics) happens back on the requesting side so that coalesced
+        and cached followers are anchored to *their* buffers.
         """
         return self.assistant.mpirical.predict_code_batch(
             [work.source_code for work in works],
             [work.xsbt for work in works],
-            generation=self.generation,
+            generation=works[0].generation,
             source_tokens=[work.tokens for work in works],
         )

@@ -1,0 +1,259 @@
+"""Differential decoding harness: batched beam search ≡ sequential beam search.
+
+The paper's headline numbers are produced with beam search, so the batched
+implementation (:func:`beam_search_decode_batch`) must be *exact-match*
+identical to the sequential reference (:func:`beam_search_decode`) — not
+approximately, not up to tie-breaking.  Three layers of evidence:
+
+* a **history-dependent stub model** whose next-token logits are a
+  deterministic, tie-rich function of the row's own (un-padded) source, the
+  step, and the *full fed-token history accumulated through a real KVCache*.
+  Because the history lives in the cache, the batched path only matches if
+  :meth:`DecoderLoop.reorder_rows` gathers cache rows correctly through every
+  pruning step — and because the logits take small integer values, exact
+  score ties abound, hammering the explicit candidate ordering;
+* **degenerate stubs** steering into the corners: every row emits EOS at
+  step 0, no row ever emits EOS (``max_length`` truncation mid-beam), and
+  fully uniform logits (every candidate tied, so the output is decided by
+  the documented ordering alone);
+* the **real tiny Transformer**, where equality additionally proves that
+  right-padding, the encoder/cross-attention padding masks and the repeated
+  per-beam memory rows do not perturb the selected hypotheses.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.attention import KVCache
+from repro.model.generation import (
+    beam_search_decode,
+    beam_search_decode_batch,
+    greedy_decode,
+    greedy_decode_batch,
+)
+
+PAD, SOS, EOS = 0, 1, 2
+VOCAB = 13
+
+
+class HistoryStubModel:
+    """Deterministic decoder whose state lives in a real KV cache.
+
+    ``decode_step`` appends the fed tokens to ``state.self_caches[0]`` (with
+    the real cache layout: ``(rows, heads, steps, head_dim)``) and computes
+    each row's logits from that row's non-pad source tokens, the step index
+    and the *sum of every token ever fed to the row* — so a mis-gathered
+    cache row after beam pruning changes the logits and breaks the
+    differential immediately.  Logits take values in a small integer set,
+    which makes exact score ties the common case rather than the corner one.
+    """
+
+    def __init__(self, vocab_size: int = VOCAB, *, eos_at_step0: bool = False,
+                 never_eos: bool = False, uniform: bool = False) -> None:
+        self.vocab_size = vocab_size
+        self.eos_at_step0 = eos_at_step0
+        self.never_eos = never_eos
+        self.uniform = uniform
+
+    def encode(self, source_ids: np.ndarray, pad_id: int, *, training: bool = False):
+        return source_ids  # decode_step reads src directly; no memory needed
+
+    def start_decoding(self):
+        return SimpleNamespace(position=0, self_caches=[KVCache()], cross_caches=[])
+
+    def decode_step(self, token_ids: np.ndarray, memory, source_ids: np.ndarray,
+                    pad_id: int, state) -> np.ndarray:
+        fed = token_ids[:, None, :, None].astype(np.float64)
+        keys, _ = state.self_caches[0].append(fed, fed)
+        history = keys[:, 0, :, 0].sum(axis=1)
+        batch = source_ids.shape[0]
+        logits = np.full((batch, self.vocab_size), -100.0)
+        for row in range(batch):
+            logits[row, 3:] = self._row_logits(source_ids[row], pad_id,
+                                               int(history[row]), state.position)
+            if self.eos_at_step0 and state.position == 0:
+                logits[row, EOS] = 100.0
+            elif not self.never_eos:
+                logits[row, EOS] = logits[row, 3:].max() - float(
+                    (int(history[row]) + state.position) % 3)
+        state.position += 1
+        return logits
+
+    def _row_logits(self, source_row: np.ndarray, pad_id: int, history: int,
+                    step: int) -> np.ndarray:
+        if self.uniform:
+            return np.zeros(self.vocab_size - 3)
+        real = [int(t) for t in source_row if int(t) != pad_id]
+        mix = len(real) * 3 + sum(real) + history * 5 + step * 2
+        return np.array([(mix + v) % 4 for v in range(3, self.vocab_size)],
+                        dtype=np.float64)
+
+
+def sequential_beam(model_factory, sources, **kwargs):
+    return [beam_search_decode(model_factory(), source, **kwargs)
+            for source in sources]
+
+
+DECODE = dict(sos_id=SOS, eos_id=EOS, pad_id=PAD)
+
+
+@st.composite
+def ragged_batches(draw):
+    """Ragged source batches with empties and deliberate duplicates."""
+    sources = draw(st.lists(
+        st.lists(st.integers(min_value=3, max_value=VOCAB - 1),
+                 min_size=0, max_size=8),
+        min_size=0, max_size=7))
+    if sources and draw(st.booleans()):
+        sources.append(list(draw(st.sampled_from(sources))))
+    return sources
+
+
+# ------------------------------------------------------- property: beam ≡ beam
+
+
+@settings(max_examples=60, deadline=None)
+@given(sources=ragged_batches(),
+       beam_size=st.integers(min_value=2, max_value=4),
+       max_length=st.integers(min_value=1, max_value=10),
+       length_penalty=st.sampled_from([0.0, 0.6, 1.0]))
+def test_batched_beam_matches_sequential(sources, beam_size, max_length,
+                                         length_penalty):
+    kwargs = dict(DECODE, beam_size=beam_size, max_length=max_length,
+                  length_penalty=length_penalty)
+    expected = sequential_beam(HistoryStubModel, sources, **kwargs)
+    batched = beam_search_decode_batch(HistoryStubModel(), sources, **kwargs)
+    assert batched == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(sources=ragged_batches(), max_length=st.integers(min_value=1, max_value=10),
+       length_penalty=st.sampled_from([0.0, 0.6]))
+def test_beam_size_one_equals_greedy(sources, max_length, length_penalty):
+    """beam_size=1 must delegate to greedy in both the batch and single paths."""
+    via_beam = beam_search_decode_batch(HistoryStubModel(), sources, **DECODE,
+                                        beam_size=1, max_length=max_length,
+                                        length_penalty=length_penalty)
+    via_greedy = greedy_decode_batch(HistoryStubModel(), sources, **DECODE,
+                                     max_length=max_length)
+    per_source = [greedy_decode(HistoryStubModel(), source, **DECODE,
+                                max_length=max_length) for source in sources]
+    assert via_beam == via_greedy == per_source
+
+
+# ------------------------------------------------------- decoder-loop corners
+
+
+def test_empty_source_inside_a_batch():
+    sources = [[3, 4], [], [5, 6, 7], []]
+    batched = beam_search_decode_batch(HistoryStubModel(), sources, **DECODE,
+                                       beam_size=3, max_length=8)
+    assert batched[1] == [] and batched[3] == []
+    assert batched == sequential_beam(HistoryStubModel, sources, **DECODE,
+                                      beam_size=3, max_length=8)
+
+
+def test_batch_of_one_and_empty_batch():
+    assert beam_search_decode_batch(HistoryStubModel(), [], **DECODE,
+                                    beam_size=3) == []
+    single = beam_search_decode_batch(HistoryStubModel(), [[4, 5, 6]], **DECODE,
+                                      beam_size=3, max_length=8)
+    assert single == [beam_search_decode(HistoryStubModel(), [4, 5, 6], **DECODE,
+                                         beam_size=3, max_length=8)]
+
+
+def test_all_rows_eos_at_step_zero():
+    model = HistoryStubModel(eos_at_step0=True)
+    sources = [[3], [4, 5], [6, 7, 8]]
+    batched = beam_search_decode_batch(model, sources, **DECODE, beam_size=3,
+                                       max_length=8)
+    assert batched == [[], [], []]
+    assert batched == sequential_beam(lambda: HistoryStubModel(eos_at_step0=True),
+                                      sources, **DECODE, beam_size=3, max_length=8)
+
+
+def test_max_length_truncates_mid_beam():
+    """No hypothesis ever finishes: every beam is cut at exactly max_length."""
+    kwargs = dict(DECODE, beam_size=3, max_length=5, length_penalty=0.6)
+    sources = [[3, 4, 5], [6], [7, 8, 9, 10]]
+    batched = beam_search_decode_batch(HistoryStubModel(never_eos=True),
+                                       sources, **kwargs)
+    assert all(len(out) == 5 for out in batched)
+    assert EOS not in {token for out in batched for token in out}
+    assert batched == sequential_beam(lambda: HistoryStubModel(never_eos=True),
+                                      sources, **kwargs)
+
+
+def test_tie_breaking_is_deterministic_across_runs():
+    """Tie-rich logits, repeated runs on fresh models: bit-identical outputs."""
+    sources = [[3, 4, 5], [6, 6], [7]]
+    kwargs = dict(DECODE, beam_size=4, max_length=7, length_penalty=0.6)
+    runs = [beam_search_decode_batch(HistoryStubModel(), sources, **kwargs)
+            for _ in range(3)]
+    assert runs[0] == runs[1] == runs[2]
+    sequential_runs = [sequential_beam(HistoryStubModel, sources, **kwargs)
+                       for _ in range(3)]
+    assert sequential_runs[0] == sequential_runs[1] == runs[0]
+
+
+def test_exact_ties_resolve_to_the_lowest_token_id():
+    """Uniform logits make *every* candidate tie; the documented order
+    (score desc, then token id asc, then parent rank asc) must fully decide
+    the result: the best hypothesis repeats the lowest generatable token."""
+    kwargs = dict(DECODE, beam_size=3, max_length=4, length_penalty=0.0)
+    model = HistoryStubModel(uniform=True, never_eos=True)
+    out = beam_search_decode(model, [5, 6], **kwargs)
+    assert out == [3, 3, 3, 3]
+    batched = beam_search_decode_batch(HistoryStubModel(uniform=True,
+                                                        never_eos=True),
+                                       [[5, 6], [7]], **kwargs)
+    assert batched == [[3, 3, 3, 3], [3, 3, 3, 3]]
+
+
+# --------------------------------------------------------------- real model
+
+
+@pytest.fixture(scope="module")
+def beam_sources(small_dataset, pi_source):
+    programs = [ex.source_code for ex in small_dataset.splits.test[:4]]
+    return programs + [pi_source, "", programs[0]]
+
+
+def test_real_model_beam_batch_matches_sequential(tiny_model, beam_sources):
+    vocab = tiny_model.encoder.vocab
+    encoded = [tiny_model.encoder.encode_source(src) for src in beam_sources]
+    kwargs = dict(sos_id=vocab.sos_id, eos_id=vocab.eos_id, pad_id=vocab.pad_id,
+                  beam_size=3, max_length=40, length_penalty=0.6)
+    expected = [beam_search_decode(tiny_model.model, ids, **kwargs)
+                for ids in encoded]
+    batched = beam_search_decode_batch(tiny_model.model, encoded, **kwargs)
+    assert batched == expected
+
+
+def test_real_model_beam_batch_no_length_penalty(tiny_model, beam_sources):
+    vocab = tiny_model.encoder.vocab
+    encoded = [tiny_model.encoder.encode_source(src) for src in beam_sources[:4]]
+    kwargs = dict(sos_id=vocab.sos_id, eos_id=vocab.eos_id, pad_id=vocab.pad_id,
+                  beam_size=2, max_length=32, length_penalty=0.0)
+    expected = [beam_search_decode(tiny_model.model, ids, **kwargs)
+                for ids in encoded]
+    assert beam_search_decode_batch(tiny_model.model, encoded, **kwargs) == expected
+
+
+def test_pipeline_beam_batch_matches_per_example(tiny_model, beam_sources):
+    """predict_code_batch with beam_size > 1 ≡ per-example predict_code."""
+    from repro.model.generation import GenerationConfig
+
+    generation = GenerationConfig(max_length=40, beam_size=3, length_penalty=0.6)
+    batched = tiny_model.predict_code_batch(beam_sources, generation=generation)
+    for source, result in zip(beam_sources, batched):
+        single = tiny_model.predict_code(source, generation=generation)
+        assert result.generated_tokens == single.generated_tokens
+        assert result.generated_code == single.generated_code
+        assert result.suggestions == single.suggestions

@@ -15,7 +15,8 @@ def collecting_batcher(process=None, **kwargs):
     """A batcher that records every flushed batch size."""
     sizes: list[int] = []
     batcher = MicroBatcher(process or (lambda items: [x * 2 for x in items]),
-                           on_batch=sizes.append, **kwargs)
+                           on_batch=lambda size, group: sizes.append(size),
+                           **kwargs)
     return batcher, sizes
 
 
@@ -124,6 +125,106 @@ def test_close_drains_pending_requests_then_rejects_new_ones():
     assert [f.result(timeout=1) for f in futures] == [0, 1, 2, 3, 4]
     with pytest.raises(RuntimeError, match="closed"):
         batcher.submit(99)
+
+
+def test_group_key_never_mixes_groups_in_one_batch():
+    """Generation configs must stay homogeneous per flush."""
+    batches: list[list[tuple[str, int]]] = []
+    lock = threading.Lock()
+
+    def process(items):
+        with lock:
+            batches.append(list(items))
+        return list(items)
+
+    with MicroBatcher(process, max_batch_size=4, max_wait_ms=10,
+                      group_key=lambda payload: payload[0]) as batcher:
+        futures = [batcher.submit((group, i))
+                   for i, group in enumerate(["greedy", "beam4", "greedy",
+                                              "beam4", "greedy", "beam2"])]
+        results = [f.result(timeout=10) for f in futures]
+    assert sorted(results) == sorted((g, i) for i, g in enumerate(
+        ["greedy", "beam4", "greedy", "beam4", "greedy", "beam2"]))
+    for batch in batches:
+        assert len({group for group, _ in batch}) == 1
+    # Within a group, queue order is preserved.
+    greedy_items = [item for batch in batches for item in batch
+                    if item[0] == "greedy"]
+    assert greedy_items == [("greedy", 0), ("greedy", 2), ("greedy", 4)]
+
+
+def test_full_group_flushes_even_behind_an_older_other_group_request():
+    """A group hitting max_batch_size flushes on size, not on the timeout."""
+    started = threading.Event()
+    release = threading.Event()
+    flushed: list[list[str]] = []
+    lock = threading.Lock()
+
+    def process(items):
+        with lock:
+            flushed.append(list(items))
+        started.set()
+        release.wait(timeout=10)
+        return list(items)
+
+    # The timeout is far beyond the test budget: only the size trigger can
+    # flush in time, and the full group sits *behind* a lone older request.
+    with MicroBatcher(process, max_batch_size=3, max_wait_ms=60_000,
+                      group_key=lambda payload: payload[0]) as batcher:
+        lone = batcher.submit(("greedy", 0))
+        beams = [batcher.submit(("beam", i)) for i in range(3)]
+        assert started.wait(timeout=5), "full group did not flush on size"
+        assert flushed[0] == [("beam", 0), ("beam", 1), ("beam", 2)]
+        release.set()
+        assert [f.result(timeout=10) for f in beams] == [("beam", i)
+                                                         for i in range(3)]
+    # The lone request keeps its own max_wait deadline; close() drains it.
+    assert lone.result(timeout=10) == ("greedy", 0)
+
+
+def test_expired_minority_request_is_not_starved_by_a_full_group():
+    """The oldest request's max_wait deadline outranks the size trigger: a
+    lone minority-group request must flush first once expired, even while the
+    majority group has a full batch ready."""
+    release = threading.Event()
+    flushed: list[list[tuple[str, int]]] = []
+    lock = threading.Lock()
+
+    def process(items):
+        with lock:
+            flushed.append(list(items))
+        release.wait(timeout=10)
+        return list(items)
+
+    with MicroBatcher(process, max_batch_size=3, max_wait_ms=30,
+                      group_key=lambda payload: payload[0]) as batcher:
+        # Occupy the single worker so the queue builds up behind it.
+        first = batcher.submit(("warm", 0))
+        time.sleep(0.05)
+        beam = batcher.submit(("beam", 0))
+        greedy = [batcher.submit(("greedy", i)) for i in range(3)]
+        time.sleep(0.1)   # the beam request's 30ms deadline expires
+        release.set()
+        assert beam.result(timeout=10) == ("beam", 0)
+        assert [f.result(timeout=10) for f in greedy] == [("greedy", i)
+                                                          for i in range(3)]
+        assert first.result(timeout=10) == ("warm", 0)
+    # After the warm-up flush, the expired beam request went before the
+    # already-full greedy group.
+    assert flushed[1] == [("beam", 0)]
+    assert flushed[2] == [("greedy", 0), ("greedy", 1), ("greedy", 2)]
+
+
+def test_on_batch_reports_the_group():
+    observed: list[tuple[int, object]] = []
+    with MicroBatcher(lambda items: list(items), max_batch_size=8, max_wait_ms=5,
+                      group_key=lambda payload: payload % 2,
+                      on_batch=lambda size, group: observed.append((size, group))
+                      ) as batcher:
+        futures = [batcher.submit(i) for i in range(4)]
+        [f.result(timeout=10) for f in futures]
+    assert sum(size for size, _ in observed) == 4
+    assert {group for _, group in observed} <= {0, 1}
 
 
 def test_constructor_validation():

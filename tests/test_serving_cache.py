@@ -109,6 +109,23 @@ def test_key_accepts_precomputed_xsbt():
         canonical_cache_key(SOURCE)
 
 
+def test_generation_settings_change_the_key():
+    """A beam-decoded result must never be served to a greedy request."""
+    greedy = canonical_cache_key(SOURCE)
+    beam4 = canonical_cache_key(SOURCE, beam_size=4, length_penalty=0.6)
+    beam2 = canonical_cache_key(SOURCE, beam_size=2, length_penalty=0.6)
+    assert len({greedy, beam4, beam2}) == 3
+    # Penalty reranks beam hypotheses, so it is part of a beam key ...
+    assert beam4 != canonical_cache_key(SOURCE, beam_size=4, length_penalty=0.0)
+    # ... but greedy requests normalise: the penalty cannot change the output.
+    assert greedy == canonical_cache_key(SOURCE, beam_size=1, length_penalty=0.9)
+
+
+def test_beam_keys_stay_layout_invariant():
+    assert canonical_cache_key(SOURCE, beam_size=4, length_penalty=0.6) == \
+        canonical_cache_key(REFORMATTED, beam_size=4, length_penalty=0.6)
+
+
 # ------------------------------------------------------------- concurrency
 
 
@@ -140,3 +157,52 @@ def test_concurrent_hammer_preserves_invariants():
     stats = cache.stats()
     assert stats.hits + stats.misses == 8 * 400
     assert stats.size <= stats.capacity
+
+
+def test_concurrent_mixed_beam_and_greedy_keys():
+    """Thread-pool hammer over the serving key-space: greedy and beam variants
+    of the same programs must neither alias nor lose updates, hit accounting
+    must stay exact, and eviction must hold the capacity bound throughout."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    configs = [(1, 0.0), (2, 0.6), (4, 0.6), (4, 1.0)]
+    programs = [f"prog{n}" for n in range(6)]
+    # Precompute a distinct key per (program, config) — cheap stand-ins with
+    # the same shape the service uses (hash keyed on program + generation).
+    keys = {(prog, cfg): f"{prog}|beam{cfg[0]}|lp{cfg[1]}"
+            for prog in programs for cfg in configs}
+    capacity = 16
+    cache = LRUCache(capacity=capacity)
+    rounds = 300
+    workers = 8
+    errors: list[Exception] = []
+
+    def worker(worker_id: int) -> None:
+        try:
+            for i in range(rounds):
+                combo = (worker_id * 7 + i) % (len(programs) * len(configs))
+                prog = programs[combo % len(programs)]
+                cfg = configs[combo // len(programs)]
+                key = keys[(prog, cfg)]
+                value = cache.get(key)
+                if value is None:
+                    cache.put(key, (prog, cfg))
+                else:
+                    # No lost updates / aliasing: a hit always returns the
+                    # value stored under exactly this (program, config).
+                    assert value == (prog, cfg), f"aliased entry for {key}"
+                assert len(cache) <= capacity
+        except Exception as exc:  # pragma: no cover - only on regression
+            errors.append(exc)
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        list(pool.map(worker, range(workers)))
+
+    assert not errors
+    stats = cache.stats()
+    # Every round did exactly one counted lookup (get); hit accounting exact.
+    assert stats.hits + stats.misses == workers * rounds
+    assert stats.hits > 0 and stats.misses > 0
+    assert stats.size <= stats.capacity == capacity
+    # 24 distinct keys against capacity 16 must have forced evictions.
+    assert stats.evictions > 0

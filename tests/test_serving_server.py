@@ -77,6 +77,45 @@ def test_metrics_reflect_served_traffic(endpoint, pi_source):
     assert body["cache"]["capacity"] == 64
 
 
+def test_beam_request_roundtrip(endpoint, pi_source):
+    """The beam request schema: beam_size/length_penalty are honoured, echoed
+    in the response, and cached separately from the greedy entry."""
+    greedy_payload = json.dumps({"code": pi_source}).encode()
+    _, greedy_body = _post(f"{endpoint}/advise", greedy_payload)
+
+    payload = json.dumps({"code": pi_source, "beam_size": 2,
+                          "length_penalty": 0.6}).encode()
+    status, body = _post(f"{endpoint}/advise", payload)
+    assert status == 200
+    assert body["beam_size"] == 2
+    assert body["length_penalty"] == 0.6
+    assert body["cache_key"] != greedy_body["cache_key"]
+
+    status, again = _post(f"{endpoint}/advise", payload)
+    assert status == 200
+    assert again["cached"] is True
+    assert again["generated_code"] == body["generated_code"]
+
+
+@pytest.mark.parametrize("fields, fragment", [
+    ({"beam_size": 0}, "beam_size"),
+    ({"beam_size": 99}, "beam_size"),
+    ({"beam_size": "four"}, "beam_size"),
+    ({"beam_size": True}, "beam_size"),
+    ({"length_penalty": -1}, "length_penalty"),
+    ({"length_penalty": "low"}, "length_penalty"),
+    # json.loads accepts these non-standard tokens; the server must not.
+    ({"length_penalty": float("nan")}, "length_penalty"),
+    ({"length_penalty": float("inf")}, "length_penalty"),
+])
+def test_bad_generation_fields_are_400(endpoint, pi_source, fields, fragment):
+    payload = json.dumps({"code": pi_source, **fields}).encode()
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(f"{endpoint}/advise", payload)
+    assert excinfo.value.code == 400
+    assert fragment in json.loads(excinfo.value.read())["error"]
+
+
 @pytest.mark.parametrize("payload, fragment", [
     (b"this is not json", "invalid JSON"),
     (json.dumps({"wrong_field": 1}).encode(), "code"),

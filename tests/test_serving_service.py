@@ -26,7 +26,7 @@ def direct_assistant(tiny_model):
     return MPIAssistant(tiny_model)
 
 
-def _direct_session(assistant, source):
+def _direct_session(assistant, source, generation=FAST):
     # Mirror the service's decode settings so sessions are comparable.
     from repro.clang.parser import parse_source_with_diagnostics
     from repro.mpirical import build_advice_session
@@ -35,7 +35,7 @@ def _direct_session(assistant, source):
 
     unit, diagnostics = parse_source_with_diagnostics(source)
     result = assistant.mpirical.predict_code(source, xsbt_string(unit),
-                                             generation=FAST)
+                                             generation=generation)
     return build_advice_session(diagnostics, result)
 
 
@@ -107,6 +107,81 @@ def test_metrics_hit_rate_consistency(service):
     if snapshot["requests_total"]:
         expected = snapshot["cache_hits"] / snapshot["requests_total"]
         assert snapshot["cache_hit_rate"] == pytest.approx(expected)
+
+
+def test_beam_request_matches_direct_beam_predict(service, direct_assistant,
+                                                  pi_source):
+    """A beam_size override decodes through the batched beam path and matches
+    a direct per-example beam predict bit-for-bit."""
+    served = service.advise(pi_source, beam_size=2, length_penalty=0.6,
+                            timeout=120)
+    beam_config = GenerationConfig(max_length=FAST.max_length, beam_size=2,
+                                   length_penalty=0.6)
+    assert served.session == _direct_session(direct_assistant, pi_source,
+                                             beam_config)
+    assert served.generation.beam_size == 2
+    assert served.generation.length_penalty == 0.6
+
+
+def test_beam_and_greedy_requests_use_separate_cache_entries(service, pi_source):
+    greedy = service.advise(pi_source, timeout=120)
+    beam_first = service.advise(pi_source, beam_size=3, timeout=120)
+    assert beam_first.cache_key != greedy.cache_key
+    beam_again = service.advise(pi_source, beam_size=3, timeout=120)
+    assert beam_again.cached
+    assert beam_again.session == beam_first.session
+
+
+def test_metrics_report_batches_per_generation_config(service, pi_source,
+                                                      small_dataset):
+    source = small_dataset.splits.test[6].source_code
+    service.advise(source, timeout=120)                 # greedy miss
+    service.advise(source, beam_size=2, timeout=120)    # beam miss
+    snapshot = service.metrics()
+    by_config = snapshot["batches_by_config"]
+    assert "greedy" in by_config
+    assert any(label.startswith("beam2") for label in by_config)
+    assert sum(entry["batches"] for entry in by_config.values()) == \
+        snapshot["batches_total"]
+
+
+def test_per_config_metric_cardinality_is_bounded():
+    """A client sweeping length penalties must not grow /metrics forever."""
+    from repro.serving import ServingMetrics
+
+    metrics = ServingMetrics()
+    for n in range(ServingMetrics.MAX_CONFIG_LABELS + 20):
+        metrics.record_batch(1, group=f"beam4:lp0.{n:04d}")
+    by_config = metrics.snapshot()["batches_by_config"]
+    assert len(by_config) <= ServingMetrics.MAX_CONFIG_LABELS + 1
+    assert by_config["other"]["batches"] == 20
+    # Already-known labels keep accumulating under their own key.
+    metrics.record_batch(3, group="beam4:lp0.0000")
+    assert metrics.snapshot()["batches_by_config"]["beam4:lp0.0000"]["batches"] == 2
+
+
+def test_invalid_generation_overrides_are_rejected(service, pi_source):
+    with pytest.raises(ValueError, match="beam_size"):
+        service.advise(pi_source, beam_size=0, timeout=120)
+    with pytest.raises(ValueError, match="length_penalty"):
+        service.advise(pi_source, length_penalty=-0.5, timeout=120)
+    # Non-finite penalties would poison the beam ranking and the cache key.
+    with pytest.raises(ValueError, match="length_penalty"):
+        service.advise(pi_source, length_penalty=float("nan"), timeout=120)
+    with pytest.raises(ValueError, match="length_penalty"):
+        service.advise(pi_source, length_penalty=float("inf"), timeout=120)
+
+
+def test_generation_label_distinguishes_every_cached_penalty():
+    """The batch-group label must be as fine-grained as the cache key: two
+    penalties that cache separately must never share a decode batch."""
+    from repro.serving import generation_label
+
+    a = GenerationConfig(beam_size=4, length_penalty=0.6)
+    b = GenerationConfig(beam_size=4, length_penalty=0.6000001)
+    assert generation_label(a) != generation_label(b)
+    assert generation_label(GenerationConfig(beam_size=1, length_penalty=0.9)) \
+        == generation_label(GenerationConfig(beam_size=1)) == "greedy"
 
 
 def test_cache_disabled_service_always_decodes(tiny_model, pi_source):
