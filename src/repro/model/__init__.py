@@ -1,6 +1,17 @@
 """NumPy Transformer: autograd, layers, seq2seq model, trainer and decoding."""
 
-from .autograd import Tensor, concat, embedding_lookup, numerical_gradient, parameter
+from .autograd import (
+    Tensor,
+    concat,
+    default_inference_dtype,
+    embedding_lookup,
+    inference_mode,
+    is_grad_enabled,
+    numerical_gradient,
+    parameter,
+    set_default_inference_dtype,
+    tape_mode,
+)
 from .attention import KVCache, MultiHeadAttention, causal_mask, combined_decoder_mask, padding_mask
 from .checkpoints import load_checkpoint, save_checkpoint
 from .config import ExperimentConfig, ModelConfig, TrainingConfig, paper_config, small_config, tiny_config
@@ -21,9 +32,14 @@ from .transformer import DecoderLayer, DecodingState, EncoderLayer, Seq2SeqTrans
 __all__ = [
     "Tensor",
     "concat",
+    "default_inference_dtype",
     "embedding_lookup",
+    "inference_mode",
+    "is_grad_enabled",
     "numerical_gradient",
     "parameter",
+    "set_default_inference_dtype",
+    "tape_mode",
     "KVCache",
     "MultiHeadAttention",
     "causal_mask",

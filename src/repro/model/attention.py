@@ -3,38 +3,155 @@
 The cache is used only at inference time (greedy/beam decoding): the decoder
 feeds one new token per step and attends over the concatenation of cached and
 new keys/values, which turns the per-step cost from O(L²) to O(L).
+
+:class:`KVCache` keeps its history in **preallocated, capacity-doubling
+buffers**: ``append`` writes the new step into spare capacity and returns
+views of the valid prefix, so per-step cache maintenance is amortized O(1)
+in copies instead of the O(L) full-history reconcatenation it used to be
+(O(L²) per decoded sequence).  Beam pruning re-gathers rows in place via
+:meth:`KVCache.reorder_rows` — the buffers are reused, not reallocated.
+
+:meth:`MultiHeadAttention.forward_data` is the fused no-tape kernel used by
+the inference fast path: a single pass over raw ndarrays (projections from
+dtype-cast cached weights, scaled dot-product scores, in-place masking and a
+numerically-safe in-place softmax) with the exact op order of the tape path,
+so the float64 fast path is bitwise identical to the reference.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
 from .autograd import Tensor
-from .layers import Linear, Module
+from .layers import Linear, Module, cast_param
 
 
-@dataclass
 class KVCache:
-    """Cached key/value activations for one attention layer."""
+    """Cached key/value activations for one attention layer.
 
-    keys: np.ndarray | None = None
-    values: np.ndarray | None = None
+    Layout is ``(batch_rows, heads, steps, head_dim)``.  Internally the
+    arrays are over-allocated along the ``steps`` axis and grown by doubling;
+    :attr:`keys`/:attr:`values` expose views of the valid prefix (and accept
+    assignment of replacement arrays, which are adopted as the new buffers).
+    Views returned before a growth keep referencing the old buffer, so they
+    stay valid — growth copies, it never mutates the retired buffer.
+    """
 
-    def append(self, new_keys: np.ndarray, new_values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Append new keys/values along the sequence axis and return the full arrays."""
-        if self.keys is None:
-            self.keys = new_keys
-            self.values = new_values
+    __slots__ = ("_keys", "_values", "_length")
+
+    #: Steps preallocated by the first single-step append; larger first
+    #: appends preallocate twice their own length instead.
+    MIN_CAPACITY = 8
+
+    def __init__(self, keys: np.ndarray | None = None,
+                 values: np.ndarray | None = None) -> None:
+        self._keys: np.ndarray | None = None
+        self._values: np.ndarray | None = None
+        self._length = 0
+        if (keys is None) != (values is None):
+            raise ValueError("KVCache needs keys and values together (or neither)")
+        if keys is not None:
+            self.keys = keys
+            self.values = values
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def keys(self) -> np.ndarray | None:
+        """View of the cached keys (``None`` while the cache is empty)."""
+        if self._keys is None:
+            return None
+        return self._keys[:, :, :self._length, :]
+
+    @keys.setter
+    def keys(self, array: np.ndarray | None) -> None:
+        """Adopt ``array`` as the key buffer; ``None`` empties the whole cache
+        (keys *and* values), keeping the two sides symmetric.  Assign keys
+        first, then values — length follows the keys."""
+        if array is None:
+            self._keys = None
+            self._values = None
+            self._length = 0
         else:
-            self.keys = np.concatenate([self.keys, new_keys], axis=2)
-            self.values = np.concatenate([self.values, new_values], axis=2)
-        return self.keys, self.values
+            self._keys = np.asarray(array)
+            self._length = self._keys.shape[2]
+
+    @property
+    def values(self) -> np.ndarray | None:
+        """View of the cached values (``None`` while the cache is empty)."""
+        if self._values is None:
+            return None
+        return self._values[:, :, :self._length, :]
+
+    @values.setter
+    def values(self, array: np.ndarray | None) -> None:
+        if array is None:
+            self._keys = None
+            self._values = None
+            self._length = 0
+        else:
+            self._values = np.asarray(array)
 
     @property
     def length(self) -> int:
-        return 0 if self.keys is None else self.keys.shape[2]
+        return 0 if self._keys is None else self._length
+
+    @property
+    def capacity(self) -> int:
+        """Steps the buffers can hold before the next growth."""
+        return 0 if self._keys is None else self._keys.shape[2]
+
+    # ------------------------------------------------------------------- api
+
+    def append(self, new_keys: np.ndarray, new_values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Append new keys/values along the sequence axis; return full views.
+
+        Amortized O(1): the new step is written into spare capacity and the
+        returned arrays are views of the valid prefix, not copies of the
+        history.  When capacity runs out the buffers double (copying the
+        valid prefix once into the new allocation).
+        """
+        if self._keys is not None and self._values is None:
+            raise ValueError("KVCache has keys but no values; assign both "
+                             "before appending")
+        new_keys = np.asarray(new_keys)
+        new_values = np.asarray(new_values)
+        steps = new_keys.shape[2]
+        needed = self._length + steps
+        if self._keys is None or needed > self._keys.shape[2]:
+            capacity = max(self.MIN_CAPACITY, 2 * needed,
+                           0 if self._keys is None else 2 * self._keys.shape[2])
+            batch, heads, _, head_dim = new_keys.shape
+            grown_keys = np.empty((batch, heads, capacity, head_dim),
+                                  dtype=new_keys.dtype)
+            grown_values = np.empty((batch, heads, capacity, head_dim),
+                                    dtype=new_values.dtype)
+            if self._keys is not None and self._length:
+                grown_keys[:, :, :self._length] = self._keys[:, :, :self._length]
+                grown_values[:, :, :self._length] = self._values[:, :, :self._length]
+            self._keys = grown_keys
+            self._values = grown_values
+        self._keys[:, :, self._length:needed] = new_keys
+        self._values[:, :, self._length:needed] = new_values
+        self._length = needed
+        return self.keys, self.values
+
+    def reorder_rows(self, parents: np.ndarray) -> None:
+        """In-place row gather: row ``r`` becomes old row ``parents[r]``.
+
+        Used by beam pruning to make each hypothesis row continue its parent
+        hypothesis' history.  Only the valid prefix is touched and the
+        buffers are reused — no reallocation, capacity is preserved.
+        """
+        if self._keys is None or not self._length:
+            return
+        parents = np.asarray(parents)
+        keys = self._keys[:, :, :self._length]
+        values = self._values[:, :, :self._length]
+        keys[:] = keys[parents]
+        values[:] = values[parents]
 
 
 class MultiHeadAttention(Module):
@@ -111,10 +228,61 @@ class MultiHeadAttention(Module):
         merged = self._merge_heads(context, batch, q_len)
         return self.out_proj(merged)
 
+    def forward_data(
+        self,
+        query: np.ndarray,
+        key: np.ndarray,
+        value: np.ndarray,
+        mask: np.ndarray | None = None,
+        *,
+        dtype: np.dtype,
+        cache: KVCache | None = None,
+        use_cached_kv: bool = False,
+    ) -> np.ndarray:
+        """Fused no-tape attention on raw ndarrays (the inference kernel).
+
+        Mirrors :meth:`__call__` with ``training=False`` operation for
+        operation — same projections, same score scaling, same mask fill
+        value, same softmax shift — so at float64 the result is bitwise
+        identical to the tape path while skipping every Tensor/tape
+        allocation.  The softmax runs in place on the score buffer
+        (max-shifted, so it is numerically safe at float32 too).
+        """
+        batch, q_len, _ = query.shape
+
+        q = self._split_data(self.q_proj.forward_data(query, dtype), batch, q_len)
+
+        if use_cached_kv and cache is not None and cache.keys is not None:
+            k, v = cache.keys, cache.values
+        else:
+            k_len = key.shape[1]
+            k = self._split_data(self.k_proj.forward_data(key, dtype), batch, k_len)
+            v = self._split_data(self.v_proj.forward_data(value, dtype), batch, k_len)
+            if cache is not None:
+                if use_cached_kv:
+                    cache.keys, cache.values = k, v
+                else:
+                    k, v = cache.append(k, v)
+
+        scores = np.matmul(q, np.transpose(k, (0, 1, 3, 2)))
+        scores *= 1.0 / float(np.sqrt(self.head_dim))
+        if mask is not None:
+            np.copyto(scores, -1e9, where=mask)
+        scores -= scores.max(axis=-1, keepdims=True)
+        np.exp(scores, out=scores)
+        scores /= scores.sum(axis=-1, keepdims=True)
+        context = np.matmul(scores, v)
+        merged = np.transpose(context, (0, 2, 1, 3)).reshape(batch, q_len, self.dim)
+        return self.out_proj.forward_data(merged, dtype)
+
     # ------------------------------------------------------------ internals
 
     def _split_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
         """(batch, length, dim) -> (batch, heads, length, head_dim)"""
+        return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _split_data(self, x: np.ndarray, batch: int, length: int) -> np.ndarray:
+        """Raw-ndarray :meth:`_split_heads` (same view-producing steps)."""
         return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
 
     def _merge_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
@@ -127,9 +295,20 @@ def padding_mask(ids: np.ndarray, pad_id: int) -> np.ndarray:
     return (ids == pad_id)[:, None, None, :]
 
 
+@lru_cache(maxsize=64)
+def _causal_mask_cached(length: int) -> np.ndarray:
+    mask = np.triu(np.ones((length, length), dtype=bool), k=1)[None, None, :, :]
+    mask.flags.writeable = False
+    return mask
+
+
 def causal_mask(length: int) -> np.ndarray:
-    """Mask of shape (1, 1, length, length): True above the diagonal."""
-    return np.triu(np.ones((length, length), dtype=bool), k=1)[None, None, :, :]
+    """Mask of shape (1, 1, length, length): True above the diagonal.
+
+    Cached per length (and therefore read-only): every training step and
+    teacher-forced decode of the same width shares one allocation.
+    """
+    return _causal_mask_cached(length)
 
 
 def combined_decoder_mask(target_ids: np.ndarray, pad_id: int) -> np.ndarray:

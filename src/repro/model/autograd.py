@@ -9,16 +9,51 @@ reductions), each with an explicit backward function.
 
 Design notes
 ------------
-* A :class:`Tensor` wraps a ``float64``/``float32`` ndarray, a gradient buffer
-  and a closure list of ``(parent, backward_fn)`` pairs.
+* A :class:`Tensor` wraps a float ndarray, a gradient buffer and a closure
+  list of ``(parent, backward_fn)`` pairs.
 * :meth:`Tensor.backward` runs a topological sort of the tape and accumulates
   gradients; broadcasting is undone with :func:`_unbroadcast`.
 * No graph retention subtleties: each forward pass builds a fresh tape, which
   matches how the trainer uses it (one tape per mini-batch).
+
+Execution modes (the inference fast path)
+-----------------------------------------
+Inference never calls :meth:`Tensor.backward`, so building the tape is pure
+overhead on the decode hot path.  Two thread-local context managers control
+execution:
+
+* :func:`inference_mode` — the **no-tape mode**: every op skips tape
+  construction *and* backward-closure allocation entirely (the ``if grad
+  enabled`` guard sits in front of the closure literals, so not even the
+  closure objects are created), and newly created tensors follow the mode's
+  compute dtype (float32 by default, see below).  Tensors created in this
+  mode carry an empty tape — calling ``backward()`` on them is a no-op.
+* :func:`tape_mode` — forces the tape path (and float64) even inside the
+  generation entry points, which otherwise switch themselves onto the fast
+  path.  This is how the differential tests and benchmarks summon the
+  reference implementation.
+
+Dtype policy
+------------
+Each execution mode carries a compute dtype: training/tape code runs float64
+(the historical behaviour), while :func:`inference_mode` defaults to float32
+(configurable per-context via ``inference_mode(dtype=...)`` or globally via
+:func:`set_default_inference_dtype`).  ``Tensor.__init__`` and the scalar
+lifting in ``_as_tensor`` follow :func:`current_dtype` instead of a
+hard-coded ``np.float64``, so constants created under a float32 policy stay
+float32 rather than silently upcasting every downstream result; gradients
+likewise follow the tensor's own dtype.
+
+Parameters keep float64 master weights at all times — the fast path casts
+them on demand (see ``repro.model.layers.cast_param``), keyed by
+:attr:`Tensor.version`, which in-place mutators (the optimiser, the
+checkpoint loader) bump via :meth:`Tensor.mark_updated`.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from typing import Callable, Iterable
 
 import numpy as np
@@ -26,8 +61,90 @@ import numpy as np
 Array = np.ndarray
 
 
+# ------------------------------------------------------------ execution mode
+
+
+_TAPE_DTYPE = np.dtype(np.float64)
+_DEFAULT_INFERENCE_DTYPE = np.dtype(np.float32)
+
+
+class _ExecState(threading.local):
+    """Per-thread execution mode: tape on/off, compute dtype, explicitness."""
+
+    def __init__(self) -> None:
+        self.grad_enabled = True
+        self.dtype = _TAPE_DTYPE
+        #: True once a mode context manager is active — generation entry
+        #: points only switch to the fast path when no caller pinned a mode.
+        self.explicit = False
+
+
+_STATE = _ExecState()
+
+
+def is_grad_enabled() -> bool:
+    """True when ops record the tape (the default outside inference mode)."""
+    return _STATE.grad_enabled
+
+
+def current_dtype() -> np.dtype:
+    """The compute dtype new tensors and lifted constants follow."""
+    return _STATE.dtype
+
+
+def mode_is_explicit() -> bool:
+    """True when a caller pinned the execution mode with a context manager."""
+    return _STATE.explicit
+
+
+def default_inference_dtype() -> np.dtype:
+    """The dtype :func:`inference_mode` uses when none is passed."""
+    return _DEFAULT_INFERENCE_DTYPE
+
+
+def set_default_inference_dtype(dtype) -> None:
+    """Set the module-wide inference compute dtype (float32 or float64)."""
+    global _DEFAULT_INFERENCE_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"inference dtype must be float32 or float64, got {dtype!r}")
+    _DEFAULT_INFERENCE_DTYPE = resolved
+
+
+@contextmanager
+def _mode(grad_enabled: bool, dtype: np.dtype):
+    previous = (_STATE.grad_enabled, _STATE.dtype, _STATE.explicit)
+    _STATE.grad_enabled, _STATE.dtype, _STATE.explicit = grad_enabled, dtype, True
+    try:
+        yield
+    finally:
+        _STATE.grad_enabled, _STATE.dtype, _STATE.explicit = previous
+
+
+def inference_mode(dtype=None):
+    """No-tape execution: ops skip tape and closure allocation entirely.
+
+    ``dtype`` selects the compute dtype (default: the module inference dtype,
+    float32 unless reconfigured).  ``inference_mode(dtype=np.float64)`` gives
+    the bitwise-reproducible fast path the differential tests compare against
+    :func:`tape_mode`.
+    """
+    resolved = _DEFAULT_INFERENCE_DTYPE if dtype is None else np.dtype(dtype)
+    return _mode(False, resolved)
+
+
+def tape_mode(dtype=None):
+    """Force the tape path (float64 by default) even inside generation."""
+    resolved = _TAPE_DTYPE if dtype is None else np.dtype(dtype)
+    return _mode(True, resolved)
+
+
 def _unbroadcast(grad: Array, shape: tuple[int, ...]) -> Array:
-    """Reduce ``grad`` so its shape matches ``shape`` (reverse of broadcasting)."""
+    """Reduce ``grad`` so its shape matches ``shape`` (reverse of broadcasting).
+
+    The reductions preserve ``grad``'s dtype, so gradients follow the tensor
+    dtype they flow through rather than being forced to float64.
+    """
     if grad.shape == shape:
         return grad
     # Sum out leading extra dimensions.
@@ -43,14 +160,17 @@ def _unbroadcast(grad: Array, shape: tuple[int, ...]) -> Array:
 class Tensor:
     """A differentiable array node."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "name", "version")
 
     def __init__(self, data, *, requires_grad: bool = False, name: str = "") -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=_STATE.dtype)
         self.grad: Array | None = None
         self.requires_grad = requires_grad
         self._parents: list[tuple["Tensor", Callable[[Array], Array]]] = []
         self.name = name
+        #: Bumped by in-place mutators (optimiser steps, checkpoint loads) so
+        #: the inference fast path can cache dtype-cast copies safely.
+        self.version = 0
 
     # ------------------------------------------------------------- plumbing
 
@@ -69,6 +189,10 @@ class Tensor:
     def zero_grad(self) -> None:
         self.grad = None
 
+    def mark_updated(self) -> None:
+        """Record an in-place ``data`` mutation (invalidates cast caches)."""
+        self.version += 1
+
     def _add_parent(self, parent: "Tensor", backward_fn: Callable[[Array], Array]) -> None:
         if parent.requires_grad:
             self._parents.append((parent, backward_fn))
@@ -78,7 +202,7 @@ class Tensor:
         """Backpropagate ``grad`` (defaults to ones) through the tape."""
         if grad is None:
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
 
         # Topological order of the sub-graph reachable from self.
         topo: list[Tensor] = []
@@ -118,8 +242,9 @@ class Tensor:
     def __add__(self, other) -> "Tensor":
         other = _as_tensor(other)
         out = Tensor(self.data + other.data)
-        out._add_parent(self, lambda g: _unbroadcast(g, self.data.shape))
-        out._add_parent(other, lambda g: _unbroadcast(g, other.data.shape))
+        if _STATE.grad_enabled:
+            out._add_parent(self, lambda g: _unbroadcast(g, self.data.shape))
+            out._add_parent(other, lambda g: _unbroadcast(g, other.data.shape))
         return out
 
     __radd__ = __add__
@@ -127,15 +252,17 @@ class Tensor:
     def __sub__(self, other) -> "Tensor":
         other = _as_tensor(other)
         out = Tensor(self.data - other.data)
-        out._add_parent(self, lambda g: _unbroadcast(g, self.data.shape))
-        out._add_parent(other, lambda g: _unbroadcast(-g, other.data.shape))
+        if _STATE.grad_enabled:
+            out._add_parent(self, lambda g: _unbroadcast(g, self.data.shape))
+            out._add_parent(other, lambda g: _unbroadcast(-g, other.data.shape))
         return out
 
     def __mul__(self, other) -> "Tensor":
         other = _as_tensor(other)
         out = Tensor(self.data * other.data)
-        out._add_parent(self, lambda g: _unbroadcast(g * other.data, self.data.shape))
-        out._add_parent(other, lambda g: _unbroadcast(g * self.data, other.data.shape))
+        if _STATE.grad_enabled:
+            out._add_parent(self, lambda g: _unbroadcast(g * other.data, self.data.shape))
+            out._add_parent(other, lambda g: _unbroadcast(g * self.data, other.data.shape))
         return out
 
     __rmul__ = __mul__
@@ -143,23 +270,26 @@ class Tensor:
     def __truediv__(self, other) -> "Tensor":
         other = _as_tensor(other)
         out = Tensor(self.data / other.data)
-        out._add_parent(self, lambda g: _unbroadcast(g / other.data, self.data.shape))
-        out._add_parent(
-            other,
-            lambda g: _unbroadcast(-g * self.data / (other.data ** 2), other.data.shape),
-        )
+        if _STATE.grad_enabled:
+            out._add_parent(self, lambda g: _unbroadcast(g / other.data, self.data.shape))
+            out._add_parent(
+                other,
+                lambda g: _unbroadcast(-g * self.data / (other.data ** 2), other.data.shape),
+            )
         return out
 
     def __neg__(self) -> "Tensor":
         out = Tensor(-self.data)
-        out._add_parent(self, lambda g: -g)
+        if _STATE.grad_enabled:
+            out._add_parent(self, lambda g: -g)
         return out
 
     def __pow__(self, exponent: float) -> "Tensor":
         out = Tensor(self.data ** exponent)
-        out._add_parent(
-            self, lambda g: g * exponent * (self.data ** (exponent - 1))
-        )
+        if _STATE.grad_enabled:
+            out._add_parent(
+                self, lambda g: g * exponent * (self.data ** (exponent - 1))
+            )
         return out
 
     # ------------------------------------------------------------ linear alg
@@ -167,6 +297,8 @@ class Tensor:
     def matmul(self, other: "Tensor") -> "Tensor":
         other = _as_tensor(other)
         out = Tensor(np.matmul(self.data, other.data))
+        if not _STATE.grad_enabled:
+            return out
 
         def grad_self(g: Array) -> Array:
             return _unbroadcast(np.matmul(g, np.swapaxes(other.data, -1, -2)),
@@ -185,14 +317,16 @@ class Tensor:
     def transpose(self, *axes: int) -> "Tensor":
         axes_tuple = axes if axes else tuple(reversed(range(self.ndim)))
         out = Tensor(np.transpose(self.data, axes_tuple))
-        inverse = np.argsort(axes_tuple)
-        out._add_parent(self, lambda g: np.transpose(g, inverse))
+        if _STATE.grad_enabled:
+            inverse = np.argsort(axes_tuple)
+            out._add_parent(self, lambda g: np.transpose(g, inverse))
         return out
 
     def reshape(self, *shape: int) -> "Tensor":
         out = Tensor(self.data.reshape(shape))
-        original = self.data.shape
-        out._add_parent(self, lambda g: g.reshape(original))
+        if _STATE.grad_enabled:
+            original = self.data.shape
+            out._add_parent(self, lambda g: g.reshape(original))
         return out
 
     # -------------------------------------------------------------- reductions
@@ -200,6 +334,8 @@ class Tensor:
     def sum(self, axis: int | tuple[int, ...] | None = None,
             keepdims: bool = False) -> "Tensor":
         out = Tensor(self.data.sum(axis=axis, keepdims=keepdims))
+        if not _STATE.grad_enabled:
+            return out
 
         def grad_fn(g: Array) -> Array:
             if axis is None:
@@ -219,43 +355,56 @@ class Tensor:
     def exp(self) -> "Tensor":
         value = np.exp(self.data)
         out = Tensor(value)
-        out._add_parent(self, lambda g: g * value)
+        if _STATE.grad_enabled:
+            out._add_parent(self, lambda g: g * value)
         return out
 
     def log(self) -> "Tensor":
         out = Tensor(np.log(self.data))
-        out._add_parent(self, lambda g: g / self.data)
+        if _STATE.grad_enabled:
+            out._add_parent(self, lambda g: g / self.data)
         return out
 
     def sqrt(self) -> "Tensor":
         value = np.sqrt(self.data)
         out = Tensor(value)
-        out._add_parent(self, lambda g: g * 0.5 / value)
+        if _STATE.grad_enabled:
+            out._add_parent(self, lambda g: g * 0.5 / value)
         return out
 
     def tanh(self) -> "Tensor":
         value = np.tanh(self.data)
         out = Tensor(value)
-        out._add_parent(self, lambda g: g * (1.0 - value ** 2))
+        if _STATE.grad_enabled:
+            out._add_parent(self, lambda g: g * (1.0 - value ** 2))
         return out
 
     def relu(self) -> "Tensor":
         mask = (self.data > 0).astype(self.data.dtype)
         out = Tensor(self.data * mask)
-        out._add_parent(self, lambda g: g * mask)
+        if _STATE.grad_enabled:
+            out._add_parent(self, lambda g: g * mask)
         return out
 
     def gelu(self) -> "Tensor":
-        """Gaussian error linear unit (tanh approximation)."""
+        """Gaussian error linear unit (tanh approximation).
+
+        The cubic is expanded to explicit multiplies: NumPy's float ``**``
+        lowers to a full ``pow`` for exponent 3, which is an order of
+        magnitude slower than two multiplications on the FFN hot path.
+        """
         x = self.data
         c = np.sqrt(2.0 / np.pi)
-        inner = c * (x + 0.044715 * x ** 3)
+        x_sq = x * x
+        inner = c * (x + 0.044715 * (x_sq * x))
         t = np.tanh(inner)
         value = 0.5 * x * (1.0 + t)
         out = Tensor(value)
+        if not _STATE.grad_enabled:
+            return out
 
         def grad_fn(g: Array) -> Array:
-            dinner = c * (1.0 + 3 * 0.044715 * x ** 2)
+            dinner = c * (1.0 + 3 * 0.044715 * x_sq)
             dt = (1.0 - t ** 2) * dinner
             return g * (0.5 * (1.0 + t) + 0.5 * x * dt)
 
@@ -269,6 +418,8 @@ class Tensor:
         exps = np.exp(shifted)
         value = exps / exps.sum(axis=axis, keepdims=True)
         out = Tensor(value)
+        if not _STATE.grad_enabled:
+            return out
 
         def grad_fn(g: Array) -> Array:
             dot = (g * value).sum(axis=axis, keepdims=True)
@@ -282,6 +433,8 @@ class Tensor:
         log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
         value = shifted - log_z
         out = Tensor(value)
+        if not _STATE.grad_enabled:
+            return out
         softmax_value = np.exp(value)
 
         def grad_fn(g: Array) -> Array:
@@ -296,7 +449,8 @@ class Tensor:
         mask = np.broadcast_to(mask, self.data.shape)
         filled = np.where(mask, value, self.data)
         out = Tensor(filled)
-        out._add_parent(self, lambda g: np.where(mask, 0.0, g))
+        if _STATE.grad_enabled:
+            out._add_parent(self, lambda g: np.where(mask, 0.0, g))
         return out
 
     def dropout(self, rate: float, rng: np.random.Generator | None = None,
@@ -308,7 +462,8 @@ class Tensor:
         keep = (rng.random(self.data.shape) >= rate).astype(self.data.dtype)
         scale = 1.0 / (1.0 - rate)
         out = Tensor(self.data * keep * scale)
-        out._add_parent(self, lambda g: g * keep * scale)
+        if _STATE.grad_enabled:
+            out._add_parent(self, lambda g: g * keep * scale)
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -318,7 +473,7 @@ class Tensor:
 def _as_tensor(value) -> Tensor:
     if isinstance(value, Tensor):
         return value
-    return Tensor(np.asarray(value, dtype=np.float64))
+    return Tensor(np.asarray(value, dtype=_STATE.dtype))
 
 
 # --------------------------------------------------------------------- helpers
@@ -333,6 +488,8 @@ def embedding_lookup(weight: Tensor, ids: Array) -> Tensor:
     """Gather rows ``ids`` from an embedding matrix with scatter-add backward."""
     ids = np.asarray(ids, dtype=np.int64)
     out = Tensor(weight.data[ids])
+    if not _STATE.grad_enabled:
+        return out
 
     def grad_fn(g: Array) -> Array:
         grad_weight = np.zeros_like(weight.data)
@@ -347,6 +504,8 @@ def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis``."""
     datas = [t.data for t in tensors]
     out = Tensor(np.concatenate(datas, axis=axis))
+    if not _STATE.grad_enabled:
+        return out
     sizes = [d.shape[axis] for d in datas]
     offsets = np.cumsum([0] + sizes)
 

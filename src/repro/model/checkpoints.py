@@ -53,4 +53,6 @@ def load_checkpoint(path: str | Path) -> tuple[Seq2SeqTransformer, Vocabulary]:
                     f"vs model {p.data.shape}"
                 )
             p.data[...] = stored
+            # In-place load: invalidate dtype-cast inference caches.
+            p.mark_updated()
     return model, vocab

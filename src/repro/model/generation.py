@@ -17,17 +17,40 @@ last-emitted token id, then ascending parent-beam rank.  Nothing depends on
 Python sort stability or hypothesis insertion order, which is what lets the
 flattened ``(batch × beam)`` implementation match the per-source one
 bit-for-bit even on exactly tied scores.
+
+Every decoder here runs on the **inference fast path** by default: the model
+calls execute under :func:`repro.model.autograd.inference_mode` (no autograd
+tape, fused no-tape kernels, float32 compute, preallocated KV-cache
+buffers).  Callers that pin an execution mode first — ``tape_mode()`` for
+the tape reference, ``inference_mode(dtype=np.float64)`` for the
+bitwise-reproducible fast path — are respected; that is how the
+differential tests in ``tests/test_inference_fastpath.py`` and the
+``benchmarks/test_bench_decode_fastpath.py`` benchmark compare the paths.
 """
 
 from __future__ import annotations
 
 import copy
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
 
-from .autograd import Tensor
+from .autograd import Tensor, inference_mode, mode_is_explicit
 from .transformer import Seq2SeqTransformer
+
+
+def _decode_mode():
+    """The execution mode a generation entry point runs under.
+
+    By default every decoder below switches onto the no-tape inference fast
+    path (:func:`repro.model.autograd.inference_mode`, float32 compute).  A
+    caller that pinned a mode — ``tape_mode()`` for the reference path, or
+    ``inference_mode(dtype=np.float64)`` for the bitwise-reproducible fast
+    path — is respected: the differential tests and benchmarks select the
+    implementation by wrapping these entry points, not by extra arguments.
+    """
+    return nullcontext() if mode_is_explicit() else inference_mode()
 
 
 @dataclass
@@ -53,20 +76,21 @@ def greedy_decode(model: Seq2SeqTransformer, source_ids: list[int], *, sos_id: i
     """
     if not source_ids:
         return []
-    src = np.asarray([source_ids], dtype=np.int64)
-    memory = model.encode(src, pad_id, training=False)
-    state = model.start_decoding()
+    with _decode_mode():
+        src = np.asarray([source_ids], dtype=np.int64)
+        memory = model.encode(src, pad_id, training=False)
+        state = model.start_decoding()
 
-    generated: list[int] = []
-    current = np.asarray([[sos_id]], dtype=np.int64)
-    for _ in range(max_length):
-        logits = model.decode_step(current, memory, src, pad_id, state)
-        next_id = int(np.argmax(logits[0]))
-        if next_id == eos_id:
-            break
-        generated.append(next_id)
-        current = np.asarray([[next_id]], dtype=np.int64)
-    return generated
+        generated: list[int] = []
+        current = np.asarray([[sos_id]], dtype=np.int64)
+        for _ in range(max_length):
+            logits = model.decode_step(current, memory, src, pad_id, state)
+            next_id = int(np.argmax(logits[0]))
+            if next_id == eos_id:
+                break
+            generated.append(next_id)
+            current = np.asarray([[next_id]], dtype=np.int64)
+        return generated
 
 
 @dataclass
@@ -97,36 +121,37 @@ def beam_search_decode(model: Seq2SeqTransformer, source_ids: list[int], *, sos_
     if not source_ids:
         return []
 
-    src = np.asarray([source_ids], dtype=np.int64)
-    memory = model.encode(src, pad_id, training=False)
+    with _decode_mode():
+        src = np.asarray([source_ids], dtype=np.int64)
+        memory = model.encode(src, pad_id, training=False)
 
-    beams: list[_Beam] = [_Beam(ids=[], score=0.0, state=model.start_decoding())]
-    for _ in range(max_length):
-        # (key, ids, score, finished, parent) — parent is the beam whose
-        # post-step cache a kept unfinished candidate must inherit.
-        candidates: list[tuple[tuple, list[int], float, bool, _Beam | None]] = []
-        for rank, beam in enumerate(beams):
-            if beam.finished:
-                key = _candidate_key(beam.score, beam.ids, length_penalty,
-                                     beam.ids[-1], rank)
-                candidates.append((key, beam.ids, beam.score, True, None))
-                continue
-            prev_id = beam.ids[-1] if beam.ids else sos_id
-            current = np.asarray([[prev_id]], dtype=np.int64)
-            logits = model.decode_step(current, memory, src, pad_id, beam.state)
-            log_probs = _log_softmax(logits[0])
-            for token in _ranked_top_tokens(log_probs, beam_size):
-                ids = beam.ids + [token]
-                score = beam.score + float(log_probs[token])
-                key = _candidate_key(score, ids, length_penalty, token, rank)
-                candidates.append((key, ids, score, token == eos_id, beam))
-        candidates.sort(key=lambda c: c[0])
-        beams = _materialise_kept(candidates[:beam_size])
-        if all(b.finished for b in beams):
-            break
+        beams: list[_Beam] = [_Beam(ids=[], score=0.0, state=model.start_decoding())]
+        for _ in range(max_length):
+            # (key, ids, score, finished, parent) — parent is the beam whose
+            # post-step cache a kept unfinished candidate must inherit.
+            candidates: list[tuple[tuple, list[int], float, bool, _Beam | None]] = []
+            for rank, beam in enumerate(beams):
+                if beam.finished:
+                    key = _candidate_key(beam.score, beam.ids, length_penalty,
+                                         beam.ids[-1], rank)
+                    candidates.append((key, beam.ids, beam.score, True, None))
+                    continue
+                prev_id = beam.ids[-1] if beam.ids else sos_id
+                current = np.asarray([[prev_id]], dtype=np.int64)
+                logits = model.decode_step(current, memory, src, pad_id, beam.state)
+                log_probs = _log_softmax(logits[0])
+                for token in _ranked_top_tokens(log_probs, beam_size):
+                    ids = beam.ids + [token]
+                    score = beam.score + float(log_probs[token])
+                    key = _candidate_key(score, ids, length_penalty, token, rank)
+                    candidates.append((key, ids, score, token == eos_id, beam))
+            candidates.sort(key=lambda c: c[0])
+            beams = _materialise_kept(candidates[:beam_size])
+            if all(b.finished for b in beams):
+                break
 
-    # Beams are kept in candidate order, so the best hypothesis is beams[0].
-    return _strip_eos(beams[0].ids, eos_id)
+        # Beams are kept in candidate order, so the best hypothesis is beams[0].
+        return _strip_eos(beams[0].ids, eos_id)
 
 
 def _materialise_kept(kept: list[tuple]) -> list[_Beam]:
@@ -239,19 +264,21 @@ class DecoderLoop:
         src = np.full((self.num_sources, width), pad_id, dtype=np.int64)
         for row, ids in enumerate(live_sources):
             src[row, : len(ids)] = ids
-        memory = model.encode(src, pad_id, training=False)
-        if rows_per_source > 1:
-            # One encoder pass per source; hypothesis rows share its memory.
-            src = np.repeat(src, rows_per_source, axis=0)
-            memory = Tensor(np.repeat(memory.data, rows_per_source, axis=0))
+        with _decode_mode():
+            memory = model.encode(src, pad_id, training=False)
+            if rows_per_source > 1:
+                # One encoder pass per source; hypothesis rows share its memory.
+                src = np.repeat(src, rows_per_source, axis=0)
+                memory = Tensor(np.repeat(memory.data, rows_per_source, axis=0))
         self.src = src
         self.memory = memory
         self.state = model.start_decoding()
 
     def step(self, token_ids: np.ndarray) -> np.ndarray:
         """One incremental decoder step for every row; returns (rows, vocab)."""
-        return self.model.decode_step(token_ids, self.memory, self.src,
-                                      self.pad_id, self.state)
+        with _decode_mode():
+            return self.model.decode_step(token_ids, self.memory, self.src,
+                                          self.pad_id, self.state)
 
     def reorder_rows(self, parents: np.ndarray) -> None:
         """Re-gather the self-attention caches so row ``r`` continues ``parents[r]``.
@@ -260,14 +287,16 @@ class DecoderLoop:
         can only descend from a hypothesis of the same source.  Cross-attention
         caches are *not* gathered: within a block every row is a projection of
         the same repeated memory row, so the gather would be an identity.
+
+        The gather happens in place inside each cache's preallocated buffers
+        (:meth:`repro.model.attention.KVCache.reorder_rows`) — beam pruning
+        does not reallocate or shrink the cache capacity.
         """
         blocks = np.arange(self.num_rows) // self.rows_per_source
         if (np.asarray(parents) // self.rows_per_source != blocks).any():
             raise ValueError("beam reorder must stay within each source's rows")
         for cache in self.state.self_caches:
-            if cache.keys is not None:
-                cache.keys = cache.keys[parents]
-                cache.values = cache.values[parents]
+            cache.reorder_rows(parents)
 
 
 # --------------------------------------------------------------------------

@@ -1,10 +1,52 @@
-"""Neural-network building blocks on top of the autograd engine."""
+"""Neural-network building blocks on top of the autograd engine.
+
+Every block has two forward paths:
+
+* ``__call__`` — the tape path used for training (Tensor in, Tensor out);
+* ``forward_data`` — the no-tape inference kernel on raw ndarrays, running
+  at the execution mode's compute dtype.  Parameters keep float64 masters;
+  :func:`cast_param` memoises the dtype-cast copies the fast path reads,
+  keyed by each parameter's :attr:`~repro.model.autograd.Tensor.version`
+  (bumped by the optimiser / checkpoint loader on in-place updates), so a
+  float32 decode never pays a per-step cast and never reads stale weights.
+
+The ``forward_data`` kernels replicate the tape path's float expressions
+operation for operation, which is what makes the float64 fast path bitwise
+identical to the tape reference (see ``tests/test_inference_fastpath.py``).
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 from .autograd import Tensor, embedding_lookup, parameter
+
+
+def cast_param(cache: dict, param: Tensor, dtype) -> np.ndarray:
+    """``param.data`` cast to ``dtype``, memoised in ``cache``.
+
+    When ``dtype`` matches the master dtype the master array itself is
+    returned (``astype(copy=False)``), so the float64 fast path can never go
+    stale.  Other dtypes cache one cast copy, invalidated when the parameter
+    is rebound (``id`` changes) or mutated in place (``version`` bumped).
+    """
+    key = np.dtype(dtype)
+    token = (id(param.data), param.version)
+    hit = cache.get(key)
+    if hit is not None and hit[0] == token:
+        return hit[1]
+    cast = param.data.astype(key, copy=False)
+    cache[key] = (token, cast)
+    return cast
+
+
+def gelu_data(x: np.ndarray) -> np.ndarray:
+    """Raw-ndarray GELU (tanh approximation), matching :meth:`Tensor.gelu`
+    expression for expression (the cubic is explicit multiplies there too)."""
+    c = float(np.sqrt(2.0 / np.pi))
+    inner = c * (x + 0.044715 * (x * x * x))
+    t = np.tanh(inner)
+    return 0.5 * x * (1.0 + t)
 
 
 class Module:
@@ -54,11 +96,21 @@ class Linear(Module):
         self.weight = parameter(rng.normal(0.0, scale, size=(in_features, out_features)),
                                 name="linear.weight")
         self.bias = parameter(np.zeros(out_features), name="linear.bias") if bias else None
+        self._cast_weight: dict = {}
+        self._cast_bias: dict = {}
 
     def __call__(self, x: Tensor) -> Tensor:
         out = x.matmul(self.weight)
         if self.bias is not None:
             out = out + self.bias
+        return out
+
+    def forward_data(self, x: np.ndarray, dtype) -> np.ndarray:
+        """No-tape affine projection; weights stored pre-oriented ``(in, out)``
+        so the projection is a single matmul with no transpose."""
+        out = np.matmul(x, cast_param(self._cast_weight, self.weight, dtype))
+        if self.bias is not None:
+            out += cast_param(self._cast_bias, self.bias, dtype)
         return out
 
 
@@ -69,6 +121,8 @@ class LayerNorm(Module):
         self.gamma = parameter(np.ones(dim), name="layernorm.gamma")
         self.beta = parameter(np.zeros(dim), name="layernorm.beta")
         self.epsilon = epsilon
+        self._cast_gamma: dict = {}
+        self._cast_beta: dict = {}
 
     def __call__(self, x: Tensor) -> Tensor:
         mean = x.mean(axis=-1, keepdims=True)
@@ -76,6 +130,17 @@ class LayerNorm(Module):
         variance = (centered * centered).mean(axis=-1, keepdims=True)
         normalised = centered / (variance + self.epsilon).sqrt()
         return normalised * self.gamma + self.beta
+
+    def forward_data(self, x: np.ndarray, dtype) -> np.ndarray:
+        # Same expression as the tape path, which computes the mean as
+        # sum * (1/dim) with the reciprocal lifted to the compute dtype.
+        inv_dim = np.asarray(1.0 / x.shape[-1], dtype=dtype)
+        mean = x.sum(axis=-1, keepdims=True) * inv_dim
+        centered = x - mean
+        variance = (centered * centered).sum(axis=-1, keepdims=True) * inv_dim
+        normalised = centered / np.sqrt(variance + np.asarray(self.epsilon, dtype=dtype))
+        return (normalised * cast_param(self._cast_gamma, self.gamma, dtype)
+                + cast_param(self._cast_beta, self.beta, dtype))
 
 
 class Embedding(Module):
@@ -85,9 +150,14 @@ class Embedding(Module):
         self.weight = parameter(rng.normal(0.0, 0.02, size=(vocab_size, dim)),
                                 name="embedding.weight")
         self.dim = dim
+        self._cast_weight: dict = {}
 
     def __call__(self, ids: np.ndarray) -> Tensor:
         return embedding_lookup(self.weight, ids)
+
+    def lookup_data(self, ids: np.ndarray, dtype) -> np.ndarray:
+        """No-tape row gather from the dtype-cast embedding table."""
+        return cast_param(self._cast_weight, self.weight, dtype)[np.asarray(ids, dtype=np.int64)]
 
 
 class FeedForward(Module):
@@ -104,6 +174,9 @@ class FeedForward(Module):
         hidden = self.fc1(x).gelu()
         hidden = hidden.dropout(self.dropout, rng, training)
         return self.fc2(hidden)
+
+    def forward_data(self, x: np.ndarray, dtype) -> np.ndarray:
+        return self.fc2.forward_data(gelu_data(self.fc1.forward_data(x, dtype)), dtype)
 
 
 def sinusoidal_positions(length: int, dim: int) -> np.ndarray:
@@ -125,13 +198,31 @@ class PositionalEncoding(Module):
         self.encoding = sinusoidal_positions(max_length, dim)
         self.max_length = max_length
         self.dim = dim
+        self._cast_encoding: dict = {}
 
     def __call__(self, x: Tensor, offset: int = 0) -> Tensor:
         length = x.shape[-2]
+        self._check_bounds(offset, length)
+        positions = Tensor(self.encoding[offset:offset + length])
+        return x + positions
+
+    def slice_data(self, offset: int, length: int, dtype) -> np.ndarray:
+        """The dtype-cast encoding rows ``[offset, offset + length)``.
+
+        The cast table is cached per dtype (the encoding is static), so a
+        float32 decode reads a slice view rather than re-casting per step.
+        """
+        self._check_bounds(offset, length)
+        key = np.dtype(dtype)
+        table = self._cast_encoding.get(key)
+        if table is None:
+            table = self.encoding.astype(key, copy=False)
+            self._cast_encoding[key] = table
+        return table[offset:offset + length]
+
+    def _check_bounds(self, offset: int, length: int) -> None:
         if offset + length > self.max_length:
             raise ValueError(
                 f"sequence of length {offset + length} exceeds positional table "
                 f"({self.max_length}); increase ModelConfig.max_positions"
             )
-        positions = Tensor(self.encoding[offset:offset + length])
-        return x + positions

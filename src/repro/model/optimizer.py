@@ -76,6 +76,8 @@ class Adam:
             m_hat = self._m[i] / bias1
             v_hat = self._v[i] / bias2
             p.data -= lr * m_hat / (np.sqrt(v_hat) + eps)
+            # In-place update: invalidate any dtype-cast inference caches.
+            p.mark_updated()
 
     def zero_grad(self) -> None:
         for p in self.parameters:

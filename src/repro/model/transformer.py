@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .attention import KVCache, MultiHeadAttention, combined_decoder_mask, padding_mask
-from .autograd import Tensor
+from .autograd import Tensor, current_dtype, is_grad_enabled
 from .config import ModelConfig
 from .layers import Embedding, FeedForward, LayerNorm, Linear, Module, PositionalEncoding
 
@@ -37,6 +37,14 @@ class EncoderLayer(Module):
         x = x + attended.dropout(self.dropout, rng, training)
         normed = self.norm2(x)
         x = x + self.ffn(normed, rng=rng, training=training).dropout(self.dropout, rng, training)
+        return x
+
+    def forward_data(self, x: np.ndarray, mask: np.ndarray | None, *,
+                     dtype: np.dtype) -> np.ndarray:
+        """No-tape encoder block on raw ndarrays (dropout is identity)."""
+        normed = self.norm1.forward_data(x, dtype)
+        x = x + self.self_attn.forward_data(normed, normed, normed, mask, dtype=dtype)
+        x = x + self.ffn.forward_data(self.norm2.forward_data(x, dtype), dtype)
         return x
 
 
@@ -81,6 +89,28 @@ class DecoderLayer(Module):
         x = x + self.ffn(normed, rng=rng, training=training).dropout(self.dropout, rng, training)
         return x
 
+    def forward_data(
+        self,
+        x: np.ndarray,
+        memory: np.ndarray,
+        self_mask: np.ndarray | None,
+        memory_mask: np.ndarray | None,
+        *,
+        dtype: np.dtype,
+        self_cache: KVCache | None = None,
+        cross_cache: KVCache | None = None,
+    ) -> np.ndarray:
+        """No-tape decoder block on raw ndarrays (dropout is identity)."""
+        normed = self.norm1.forward_data(x, dtype)
+        x = x + self.self_attn.forward_data(normed, normed, normed, self_mask,
+                                            dtype=dtype, cache=self_cache)
+        normed = self.norm2.forward_data(x, dtype)
+        x = x + self.cross_attn.forward_data(normed, memory, memory, memory_mask,
+                                             dtype=dtype, cache=cross_cache,
+                                             use_cached_kv=cross_cache is not None)
+        x = x + self.ffn.forward_data(self.norm3.forward_data(x, dtype), dtype)
+        return x
+
 
 @dataclass
 class DecodingState:
@@ -89,6 +119,9 @@ class DecodingState:
     self_caches: list[KVCache] = field(default_factory=list)
     cross_caches: list[KVCache] = field(default_factory=list)
     position: int = 0
+    #: Memoised cross-attention padding mask — the source ids never change
+    #: during a decode, so it is computed once at the first step.
+    memory_mask: np.ndarray | None = None
 
 
 class Seq2SeqTransformer(Module):
@@ -113,7 +146,13 @@ class Seq2SeqTransformer(Module):
 
     def encode(self, source_ids: np.ndarray, pad_id: int, *,
                rng: np.random.Generator | None = None, training: bool = False) -> Tensor:
-        """Run the encoder; returns memory of shape (batch, src_len, d_model)."""
+        """Run the encoder; returns memory of shape (batch, src_len, d_model).
+
+        Under :func:`repro.model.autograd.inference_mode` the whole pass runs
+        on the no-tape raw-ndarray kernels at the mode's compute dtype.
+        """
+        if not is_grad_enabled() and not training:
+            return Tensor(self._encode_data(source_ids, pad_id))
         mask = padding_mask(source_ids, pad_id)
         x = self.token_embedding(source_ids) * self.embed_scale
         x = self.positional(x)
@@ -121,6 +160,16 @@ class Seq2SeqTransformer(Module):
         for layer in self.encoder_layers:
             x = layer(x, mask, rng=rng, training=training)
         return self.encoder_norm(x)
+
+    def _encode_data(self, source_ids: np.ndarray, pad_id: int) -> np.ndarray:
+        """Fused no-tape encoder pass (same op order as the tape path)."""
+        dtype = current_dtype()
+        mask = padding_mask(source_ids, pad_id)
+        x = self.token_embedding.lookup_data(source_ids, dtype) * self.embed_scale
+        x = x + self.positional.slice_data(0, x.shape[-2], dtype)
+        for layer in self.encoder_layers:
+            x = layer.forward_data(x, mask, dtype=dtype)
+        return self.encoder_norm.forward_data(x, dtype)
 
     # --------------------------------------------------------------- decoder
 
@@ -163,8 +212,15 @@ class Seq2SeqTransformer(Module):
         """Decode one step for a batch of single tokens.
 
         ``token_ids`` has shape (batch, 1).  Returns logits (batch, vocab).
+        Under :func:`repro.model.autograd.inference_mode` the step runs on
+        the fused no-tape kernels (the decode hot path).
         """
-        memory_mask = padding_mask(source_ids, pad_id)
+        if not is_grad_enabled():
+            return self._decode_step_data(token_ids, memory, source_ids,
+                                          pad_id, state)
+        if state.memory_mask is None:
+            state.memory_mask = padding_mask(source_ids, pad_id)
+        memory_mask = state.memory_mask
         x = self.token_embedding(token_ids) * self.embed_scale
         x = self.positional(x, offset=state.position)
         for layer, self_cache, cross_cache in zip(self.decoder_layers, state.self_caches,
@@ -175,3 +231,23 @@ class Seq2SeqTransformer(Module):
         logits = self.output_proj(x)
         state.position += 1
         return logits.data[:, 0, :]
+
+    def _decode_step_data(self, token_ids: np.ndarray, memory: Tensor | np.ndarray,
+                          source_ids: np.ndarray, pad_id: int,
+                          state: DecodingState) -> np.ndarray:
+        """Fused no-tape decode step (same op order as the tape path)."""
+        dtype = current_dtype()
+        if state.memory_mask is None:
+            state.memory_mask = padding_mask(source_ids, pad_id)
+        memory_data = memory.data if isinstance(memory, Tensor) else memory
+        x = self.token_embedding.lookup_data(token_ids, dtype) * self.embed_scale
+        x = x + self.positional.slice_data(state.position, x.shape[-2], dtype)
+        for layer, self_cache, cross_cache in zip(self.decoder_layers, state.self_caches,
+                                                  state.cross_caches):
+            x = layer.forward_data(x, memory_data, None, state.memory_mask,
+                                   dtype=dtype, self_cache=self_cache,
+                                   cross_cache=cross_cache)
+        x = self.decoder_norm.forward_data(x, dtype)
+        logits = self.output_proj.forward_data(x, dtype)
+        state.position += 1
+        return logits[:, 0, :]

@@ -35,6 +35,11 @@ class ServingMetrics:
             raise ValueError(f"window must be >= 1, got {window}")
         self._lock = threading.Lock()
         self._latencies_ms: deque[float] = deque(maxlen=window)
+        #: Model-side decode latency per request (the wall time of the batched
+        #: decode the request rode in) — isolates decoder speed from queueing,
+        #: cache lookups and anchoring, so fast-path wins are observable at
+        #: ``/metrics`` even when end-to-end latency is queue-dominated.
+        self._decode_ms: deque[float] = deque(maxlen=window)
         self._batch_sizes: Counter[int] = Counter()
         #: Per generation-config batch-size histograms, keyed by the config
         #: label the batcher grouped on (e.g. ``"greedy"``, ``"beam4:lp0.6"``).
@@ -81,6 +86,17 @@ class ServingMetrics:
                     label = "other"
                 self._batch_sizes_by_config.setdefault(label, Counter())[size] += 1
 
+    def record_decode(self, latency_ms: float, *, requests: int = 1) -> None:
+        """Record the model-side decode latency of one batch flush.
+
+        ``requests`` is the number of requests the flush served; each gets
+        one sample (every rider waited for the whole batched decode), so the
+        quantiles are per-request like the end-to-end ones.
+        """
+        with self._lock:
+            for _ in range(max(1, requests)):
+                self._decode_ms.append(latency_ms)
+
     def record_error(self) -> None:
         with self._lock:
             self.errors_total += 1
@@ -91,6 +107,7 @@ class ServingMetrics:
         """A point-in-time dict of every metric (JSON-serialisable)."""
         with self._lock:
             latencies = list(self._latencies_ms)
+            decode_latencies = list(self._decode_ms)
             batch_sizes = dict(sorted(self._batch_sizes.items()))
             by_config = {label: dict(sorted(counts.items()))
                          for label, counts in sorted(self._batch_sizes_by_config.items())}
@@ -122,4 +139,7 @@ class ServingMetrics:
             "latency_ms_p95": percentile(latencies, 0.95),
             "latency_ms_max": max(latencies) if latencies else 0.0,
             "latency_window": len(latencies),
+            "decode_latency_ms_p50": percentile(decode_latencies, 0.50),
+            "decode_latency_ms_p95": percentile(decode_latencies, 0.95),
+            "decode_latency_window": len(decode_latencies),
         }

@@ -306,10 +306,17 @@ class InferenceService:
         prediction results; per-request session assembly (advice anchoring,
         diagnostics) happens back on the requesting side so that coalesced
         and cached followers are anchored to *their* buffers.
+
+        The decode wall time is recorded per request rider as the model-side
+        decode latency (``decode_latency_ms_p50/p95`` in ``/metrics``).
         """
-        return self.assistant.mpirical.predict_code_batch(
+        start = time.perf_counter()
+        results = self.assistant.mpirical.predict_code_batch(
             [work.source_code for work in works],
             [work.xsbt for work in works],
             generation=works[0].generation,
             source_tokens=[work.tokens for work in works],
         )
+        decode_ms = (time.perf_counter() - start) * 1000.0
+        self.metrics_.record_decode(decode_ms, requests=len(works))
+        return results

@@ -1,0 +1,253 @@
+"""KVCache internals: preallocated buffers, growth, views, in-place reorder.
+
+The decode hot path leans on three properties of the cache the public decode
+tests can't see directly:
+
+* **amortized O(1) append** — capacity doubles instead of re-concatenating
+  the history, and the returned arrays are views of the valid prefix;
+* **view safety across growth** — a view handed out before a growth keeps
+  referencing the (intact) retired buffer, so in-flight consumers never
+  observe a resize;
+* **in-place ``reorder_rows``** — beam pruning gathers rows inside the
+  existing buffers without reallocating or disturbing spare capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.attention import KVCache
+from repro.model.generation import DecoderLoop
+
+PAD, SOS, EOS = 0, 1, 2
+
+
+def step_block(rows: int, step: int, heads: int = 2, head_dim: int = 3) -> np.ndarray:
+    """A distinguishable (rows, heads, 1, head_dim) block for step ``step``."""
+    base = np.arange(rows, dtype=np.float64)[:, None, None, None]
+    return base * 100.0 + step + np.zeros((rows, heads, 1, head_dim))
+
+
+def history(rows: int, steps: int) -> np.ndarray:
+    return np.concatenate([step_block(rows, s) for s in range(steps)], axis=2)
+
+
+# ------------------------------------------------------------------ appending
+
+
+def test_empty_cache_reports_none_and_zero_length():
+    cache = KVCache()
+    assert cache.keys is None
+    assert cache.values is None
+    assert cache.length == 0
+    assert cache.capacity == 0
+
+
+def test_append_accumulates_history_and_length():
+    cache = KVCache()
+    for step in range(5):
+        keys, values = cache.append(step_block(4, step), -step_block(4, step))
+        assert cache.length == step + 1
+        assert keys.shape == (4, 2, step + 1, 3)
+        np.testing.assert_array_equal(keys, history(4, step + 1))
+        np.testing.assert_array_equal(values, -history(4, step + 1))
+
+
+def test_capacity_doubles_and_append_is_in_place_between_growths():
+    cache = KVCache()
+    cache.append(step_block(2, 0), step_block(2, 0))
+    assert cache.capacity == KVCache.MIN_CAPACITY
+    buffer_id = id(cache._keys)
+    for step in range(1, KVCache.MIN_CAPACITY):
+        cache.append(step_block(2, step), step_block(2, step))
+        # No reallocation while the preallocated capacity lasts.
+        assert id(cache._keys) == buffer_id
+    assert cache.length == cache.capacity == KVCache.MIN_CAPACITY
+    cache.append(step_block(2, KVCache.MIN_CAPACITY), step_block(2, KVCache.MIN_CAPACITY))
+    assert id(cache._keys) != buffer_id
+    assert cache.capacity >= 2 * KVCache.MIN_CAPACITY
+    np.testing.assert_array_equal(cache.keys, history(2, KVCache.MIN_CAPACITY + 1))
+
+
+def test_large_first_append_preallocates_headroom():
+    cache = KVCache()
+    block = history(3, 20)
+    keys, _ = cache.append(block, block)
+    assert cache.length == 20
+    assert cache.capacity >= 40  # twice the first append, not MIN_CAPACITY
+    np.testing.assert_array_equal(keys, block)
+
+
+def test_views_stay_valid_after_growth():
+    """A view taken before growth still reads the retired buffer's data."""
+    cache = KVCache()
+    for step in range(3):
+        cache.append(step_block(2, step), step_block(2, step))
+    before_keys = cache.keys
+    snapshot = before_keys.copy()
+    # Force at least one growth.
+    for step in range(3, KVCache.MIN_CAPACITY + 2):
+        cache.append(step_block(2, step), step_block(2, step))
+    np.testing.assert_array_equal(before_keys, snapshot)
+    # The grown buffer carries the same prefix.
+    np.testing.assert_array_equal(cache.keys[:, :, :3], snapshot)
+
+
+def test_returned_arrays_are_views_not_copies():
+    cache = KVCache()
+    keys, values = cache.append(step_block(2, 0), step_block(2, 0))
+    assert keys.base is cache._keys
+    assert values.base is cache._values
+
+
+def test_append_dtype_follows_input():
+    cache = KVCache()
+    keys, _ = cache.append(step_block(2, 0).astype(np.float32),
+                           step_block(2, 0).astype(np.float32))
+    assert keys.dtype == np.float32
+
+
+# ------------------------------------------------------------------ reordering
+
+
+def test_reorder_rows_gathers_in_place():
+    cache = KVCache()
+    for step in range(4):
+        cache.append(step_block(3, step), -step_block(3, step))
+    buffer_id = id(cache._keys)
+    capacity = cache.capacity
+    parents = np.asarray([2, 0, 0])
+    cache.reorder_rows(parents)
+    assert id(cache._keys) == buffer_id  # no reallocation
+    assert cache.capacity == capacity    # spare capacity preserved
+    expected = history(3, 4)[parents]
+    np.testing.assert_array_equal(cache.keys, expected)
+    np.testing.assert_array_equal(cache.values, -expected)
+
+
+def test_reorder_rows_on_empty_cache_is_a_noop():
+    cache = KVCache()
+    cache.reorder_rows(np.asarray([0, 1]))  # must not raise
+    assert cache.keys is None
+
+
+def test_reorder_then_append_continues_the_gathered_history():
+    cache = KVCache()
+    for step in range(2):
+        cache.append(step_block(2, step), step_block(2, step))
+    cache.reorder_rows(np.asarray([1, 1]))
+    cache.append(step_block(2, 2), step_block(2, 2))
+    expected = history(2, 3)
+    expected[:, :, :2] = history(2, 2)[[1, 1]]
+    np.testing.assert_array_equal(cache.keys, expected)
+    assert cache.length == 3
+
+
+# ----------------------------------------------------- assignment compatibility
+
+
+def test_assigning_keys_adopts_the_array_and_length():
+    cache = KVCache()
+    block = history(2, 5)
+    cache.keys = block
+    cache.values = block * 2.0
+    assert cache.length == 5
+    np.testing.assert_array_equal(cache.keys, block)
+    np.testing.assert_array_equal(cache.values, block * 2.0)
+    # Appending after adoption keeps the adopted history.
+    cache.append(step_block(2, 5), step_block(2, 5))
+    assert cache.length == 6
+    np.testing.assert_array_equal(cache.keys[:, :, :5], block)
+
+
+def test_constructor_with_arrays_matches_assignment():
+    block = history(2, 3)
+    cache = KVCache(keys=block, values=block)
+    assert cache.length == 3
+    np.testing.assert_array_equal(cache.keys, block)
+
+
+def test_resetting_either_side_empties_the_whole_cache():
+    """keys/values stay symmetric: a ``= None`` reset empties both sides."""
+    block = history(2, 3)
+    cache = KVCache(keys=block, values=block)
+    cache.keys = None
+    assert cache.keys is None and cache.values is None and cache.length == 0
+    cache = KVCache(keys=block, values=block)
+    cache.values = None
+    assert cache.keys is None and cache.values is None and cache.length == 0
+    # An emptied cache accepts fresh appends from scratch.
+    cache.append(step_block(2, 0), step_block(2, 0))
+    assert cache.length == 1
+
+
+def test_half_initialised_cache_is_rejected():
+    block = history(2, 3)
+    with pytest.raises(ValueError, match="together"):
+        KVCache(keys=block)
+    cache = KVCache()
+    cache.keys = block  # transient state of a paired assignment
+    with pytest.raises(ValueError, match="assign both"):
+        cache.append(step_block(2, 3), step_block(2, 3))
+
+
+# ------------------------------------------------- decoder-loop length accounting
+
+
+class _CountingModel:
+    """Stub whose decode_step appends to a real cache (for loop accounting)."""
+
+    vocab_size = 7
+
+    def encode(self, source_ids, pad_id, *, training=False):
+        return source_ids
+
+    def start_decoding(self):
+        from types import SimpleNamespace
+        return SimpleNamespace(position=0, self_caches=[KVCache()], cross_caches=[])
+
+    def decode_step(self, token_ids, memory, source_ids, pad_id, state):
+        fed = token_ids[:, None, :, None].astype(np.float64)
+        state.self_caches[0].append(fed, fed)
+        state.position += 1
+        logits = np.zeros((source_ids.shape[0], self.vocab_size))
+        logits[:, 3] = 1.0  # never EOS: exercises max_length truncation
+        return logits
+
+
+def test_loop_cache_length_tracks_steps_until_max_length():
+    from repro.model.generation import greedy_decode_batch
+
+    model = _CountingModel()
+    loop = DecoderLoop(model, [[3, 4], [5]], pad_id=PAD)
+    current = np.full((loop.num_rows, 1), SOS, dtype=np.int64)
+    for step in range(6):
+        loop.step(current)
+        assert loop.state.self_caches[0].length == step + 1
+    # End-to-end: max_length bounds both the output and the cache history.
+    out = greedy_decode_batch(_CountingModel(), [[3, 4], [5]], sos_id=SOS,
+                              eos_id=EOS, pad_id=PAD, max_length=4)
+    assert out == [[3, 3, 3, 3], [3, 3, 3, 3]]
+
+
+def test_loop_with_only_empty_sources_allocates_no_cache_rows():
+    loop = DecoderLoop(_CountingModel(), [[], []], pad_id=PAD)
+    assert loop.num_rows == 0
+    assert loop.state is None
+
+
+def test_loop_reorder_preserves_cache_length():
+    model = _CountingModel()
+    loop = DecoderLoop(model, [[3, 4], [5]], pad_id=PAD, rows_per_source=2)
+    current = np.full((loop.num_rows, 1), SOS, dtype=np.int64)
+    loop.step(current)
+    loop.step(current)
+    loop.reorder_rows(np.asarray([1, 1, 2, 2]))
+    assert loop.state.self_caches[0].length == 2
+
+
+def test_loop_reorder_rejects_cross_source_parents():
+    loop = DecoderLoop(_CountingModel(), [[3, 4], [5]], pad_id=PAD, rows_per_source=2)
+    with pytest.raises(ValueError, match="within each source"):
+        loop.reorder_rows(np.asarray([0, 2, 2, 3]))

@@ -109,6 +109,23 @@ def test_metrics_hit_rate_consistency(service):
         assert snapshot["cache_hit_rate"] == pytest.approx(expected)
 
 
+def test_decode_latency_is_recorded_per_decoded_request(service):
+    """Every cache miss rides exactly one batched decode, and that decode's
+    wall time is sampled per request (``decode_latency_ms_*``); cache hits
+    never add decode samples."""
+    fresh = "int main() { int decode_latency_probe = 7; return decode_latency_probe; }"
+    assert not service.advise(fresh, timeout=120).cached  # guaranteed miss
+    snapshot = service.metrics()
+    assert snapshot["decode_latency_window"] == snapshot["cache_misses"] >= 1
+    assert (snapshot["decode_latency_ms_p95"]
+            >= snapshot["decode_latency_ms_p50"] > 0)
+    # Decode time is part of (so bounded by) the end-to-end window max.
+    assert snapshot["decode_latency_ms_p50"] <= snapshot["latency_ms_max"]
+    before = snapshot["decode_latency_window"]
+    assert service.advise(fresh, timeout=120).cached  # warm replay
+    assert service.metrics()["decode_latency_window"] == before
+
+
 def test_beam_request_matches_direct_beam_predict(service, direct_assistant,
                                                   pi_source):
     """A beam_size override decodes through the batched beam path and matches
