@@ -1,0 +1,143 @@
+"""Sampling throughput — batched vs. sequential seeded sampling.
+
+ISSUE 4 opens sampling as a brand-new serving workload
+(:class:`repro.model.decoding.SampleStrategy`): temperature / top-k / top-p
+with an explicit seed.  Like greedy and beam before it, the batched
+implementation must earn its keep — one ``decode_step`` per generated
+position for the whole batch instead of one per source — while staying
+**exact-match identical** to the per-source sampler (the seed pins every
+token, so equality is bitwise, not statistical).  The acceptance bar is
+>= 2x tokens/s at batch 8.
+
+``REPRO_BENCH_SMOKE=1`` (the CI smoke step) swaps the session-scoped bench
+model for a tiny self-trained one and asserts only the exact-match
+equivalence and plumbing — the tiny model's decodes are too short for a
+stable timing ratio, so the >= 2x gate runs in the regular benchmark
+profiles only.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.model.decoding import sample_decode, sample_decode_batch
+from repro.utils.textio import format_table
+
+from .conftest import save_result, save_text
+
+BATCH_SIZE = 8
+TEMPERATURE = 0.8
+TOP_K = 16
+TOP_P = 0.95
+SEED = 1234
+
+
+def smoke_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def max_length() -> int:
+    return 24 if smoke_mode() else 96
+
+
+@pytest.fixture(scope="module")
+def sampling_setup(request):
+    """(model, sources): the shared bench model, or a tiny one under smoke."""
+    if smoke_mode():
+        from repro.corpus import MiningConfig, build_corpus
+        from repro.dataset import build_dataset
+        from repro.model.config import tiny_config
+        from repro.mpirical import MPIRical
+
+        corpus = build_corpus(MiningConfig(num_repositories=35, seed=101))
+        dataset = build_dataset(corpus)
+        config = tiny_config()
+        config.training.max_steps_per_epoch = 8
+        model = MPIRical.fit(dataset.splits.train[:40],
+                             dataset.splits.validation[:8], config)
+        sources = [ex.source_code for ex in dataset.splits.test[:BATCH_SIZE]]
+    else:
+        model = request.getfixturevalue("bench_model")
+        dataset = request.getfixturevalue("bench_dataset")
+        sources = [ex.source_code for ex in dataset.splits.test[:BATCH_SIZE]]
+    return model, sources
+
+
+def test_batched_sampling_throughput(benchmark, sampling_setup):
+    model, sources = sampling_setup
+    assert len(sources) >= BATCH_SIZE
+    encoded = [model._encode_for_inference(src, None) for src in sources]
+    vocab = model.encoder.vocab
+    decode_args = dict(sos_id=vocab.sos_id, eos_id=vocab.eos_id,
+                       pad_id=vocab.pad_id, max_length=max_length(),
+                       temperature=TEMPERATURE, top_k=TOP_K, top_p=TOP_P,
+                       seed=SEED)
+
+    def sequential():
+        return [sample_decode(model.model, ids, **decode_args)
+                for ids in encoded]
+
+    def batched():
+        return sample_decode_batch(model.model, encoded, **decode_args)
+
+    # Warm-up (NumPy/BLAS first-call effects), then the acceptance-critical
+    # exact-match check: the same seed must select the very same tokens
+    # batched and sequentially.
+    assert batched() == sequential()
+
+    # Best-of-2 timings: the assertion below gates CI, so one noisy-neighbor
+    # blip on a shared runner must not fail the build.
+    def timed(fn):
+        start = time.perf_counter()
+        out = fn()
+        return out, time.perf_counter() - start
+
+    sequential_out, sequential_s = timed(sequential)
+    _, sequential_retry = timed(sequential)
+    sequential_s = min(sequential_s, sequential_retry)
+
+    start = time.perf_counter()
+    batched_out = benchmark.pedantic(batched, rounds=1, iterations=1)
+    batched_s = time.perf_counter() - start
+    _, batched_retry = timed(batched)
+    batched_s = min(batched_s, batched_retry)
+
+    tokens = sum(len(ids) for ids in sequential_out)
+    sequential_tps = tokens / sequential_s
+    batched_tps = tokens / batched_s
+    speedup = batched_tps / sequential_tps
+
+    rows = [
+        ["sequential sample_decode", f"{sequential_s:.2f}",
+         f"{sequential_tps:.1f}", "1.00x"],
+        [f"sample_decode_batch (B={len(encoded)})",
+         f"{batched_s:.2f}", f"{batched_tps:.1f}", f"{speedup:.2f}x"],
+    ]
+    table = format_table(["Decoder", "Wall s", "Tokens/s", "Speedup"], rows)
+    print(f"\nSampling throughput — batched vs sequential seeded sampling "
+          f"({tokens} tokens, T={TEMPERATURE}, k={TOP_K}, p={TOP_P}, "
+          f"seed={SEED})\n" + table)
+    save_result("sampling_throughput", {
+        "batch_size": len(encoded),
+        "temperature": TEMPERATURE,
+        "top_k": TOP_K,
+        "top_p": TOP_P,
+        "seed": SEED,
+        "max_length": max_length(),
+        "smoke": smoke_mode(),
+        "generated_tokens": tokens,
+        "sequential_seconds": sequential_s,
+        "batched_seconds": batched_s,
+        "sequential_tokens_per_s": sequential_tps,
+        "batched_tokens_per_s": batched_tps,
+        "speedup": speedup,
+    })
+    save_text("sampling_throughput", table)
+
+    assert batched_out == sequential_out
+    if not smoke_mode():
+        assert speedup >= 2.0, (
+            f"batched sampling must be >= 2x sequential, got {speedup:.2f}x")

@@ -11,9 +11,15 @@ fires three waves of traffic at it:
    comments) still hit, because the cache keys on the canonical xSBT + token
    form rather than the raw text;
 4. a **beam wave** — the same programs re-advised with ``beam_size=4``: beam
-   requests miss the greedy cache entries (the key includes the generation
-   config), run through the batched beam decoder in config-homogeneous
-   micro-batches, and show up separately in ``batches_by_config``.
+   requests miss the greedy cache entries (the key includes the decoding
+   strategy), run through the batched beam decoder in config-homogeneous
+   micro-batches, and show up separately in ``batches_by_config``;
+5. a **sampling wave** — the v1 contract in action: ``AdviseRequest`` with a
+   ``SampleStrategy`` (temperature/top-k with an explicit seed).  The same
+   seed replays from cache; a different seed is a different cache identity;
+6. a **streaming client** — ``InferenceService.advise_stream`` yields token
+   chunks as the model decodes, then the final ``AdviseResponse`` (exactly
+   what ``POST /v1/advise/stream`` sends as NDJSON lines).
 
 Run with:  PYTHONPATH=src python examples/serving_demo.py
 """
@@ -24,9 +30,11 @@ import json
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.api import AdviseRequest
 from repro.corpus import MiningConfig, build_corpus
 from repro.dataset import build_dataset
 from repro.model.config import tiny_config
+from repro.model.decoding import SampleStrategy
 from repro.model.generation import GenerationConfig
 from repro.mpirical import MPIRical
 from repro.serving import InferenceService
@@ -81,7 +89,38 @@ def main() -> None:
         replay = service.advise(programs[0], beam_size=4, length_penalty=0.6)
         print(f"    identical beam request replays from cache: {replay.cached}")
 
-        print("\n--- /metrics snapshot (note batches_by_config)")
+        print("\n--- wave 5: sampling wave (SampleStrategy, explicit seeds)")
+        strategy = SampleStrategy(temperature=0.8, top_k=16, seed=7)
+        requests = [AdviseRequest(code=program, strategy=strategy)
+                    for program in programs]
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=len(requests)) as pool:
+            sampled = list(pool.map(service.advise_request, requests))
+        print(f"    {len(sampled)} sampled responses in "
+              f"{time.perf_counter() - start:.2f}s "
+              f"(strategy {strategy.canonical()!r})")
+        replay = service.advise_request(requests[0])
+        reseeded = service.advise_request(AdviseRequest(
+            code=programs[0], strategy=strategy.with_seed(8)))
+        print(f"    same seed replays from cache: {replay.cached}; "
+              f"different seed is a fresh decode: {not reseeded.cached}")
+
+        print("\n--- wave 6: streaming client (token chunks, then the result)")
+        stream_request = AdviseRequest(
+            code="int main(int argc, char **argv) {\n"
+                 "    int streamed = 1;\n    return streamed;\n}\n")
+        chunks = []
+        for chunk in service.advise_stream(stream_request):
+            if chunk["type"] == "token":
+                chunks.append(chunk["token"])
+            else:
+                final = chunk["response"]
+        print(f"    {len(chunks)} token chunks streamed before the final "
+              f"result; first tokens: {chunks[:8]}")
+        print(f"    final strategy={final['strategy']['name']} "
+              f"cached={final['cached']}")
+
+        print("\n--- /metrics snapshot (note batches_by_config, streams_total)")
         print(json.dumps(service.metrics(), indent=2))
 
 

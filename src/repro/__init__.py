@@ -9,7 +9,8 @@ Top-level layout
 ``repro.corpus``        MPICodeCorpus synthesis (simulated GitHub mining) + statistics
 ``repro.dataset``       dataset pipeline (filters, MPI-call removal, splits)
 ``repro.tokenization``  vocabulary and example encoding
-``repro.model``         NumPy Transformer (autograd, trainer, decoding)
+``repro.model``         NumPy Transformer (autograd, trainer, decoding strategies)
+``repro.api``           versioned advising contract (AdviseRequest/Response, ApiError)
 ``repro.mpirical``      the MPI-RICAL pipeline, assistant API and rule baseline
 ``repro.serving``       batched inference service (micro-batching, LRU cache, HTTP)
 ``repro.evaluation``    Table II / Table III metrics (F1, BLEU, METEOR, ROUGE-L, ACC)
@@ -37,6 +38,7 @@ __all__ = [
     "dataset",
     "tokenization",
     "model",
+    "api",
     "mpirical",
     "serving",
     "evaluation",

@@ -1,0 +1,299 @@
+"""repro.api v1 — the typed request/response contract for advising.
+
+One versioned contract replaces the per-layer keyword surfaces that grew
+around advising (``beam_size=`` on the service, raw JSON fields on
+``/advise``, ``generation=`` on the pipeline):
+
+* :class:`AdviseRequest` — what a caller asks for: a source buffer plus a
+  :class:`repro.model.decoding.DecodingStrategy`.  ``from_dict`` is strict
+  (unknown fields are rejected by name) and :meth:`AdviseRequest.validate`
+  is the **single** place parameter validation happens, so the HTTP server
+  and the in-process service cannot drift.
+* :class:`AdviseResponse` — what comes back: the generated program, the
+  anchored advice list, parse diagnostics, the canonical strategy the decode
+  ran under, and the serving metadata (``cached``/``latency_ms``/
+  ``cache_key``).
+* :class:`ApiError` — the one error type every entry point raises for an
+  invalid request, carrying the structured envelope
+  (``{"error": {"code", "message", "field"}}``) and the HTTP status:
+  **400** for malformed requests (wrong types, unknown fields, missing
+  ``code``), **422** for well-formed requests whose parameter values are out
+  of range (NaN/inf/negative knobs, oversized beams).
+
+All three round-trip losslessly through ``to_dict``/``from_dict`` —
+``tests/test_api_contract.py`` holds every registered strategy to
+``AdviseRequest.from_dict(r.to_dict()) == r``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..model.decoding import (
+    DecodingStrategy,
+    GreedyStrategy,
+    StrategyParamError,
+    registered_strategies,
+    strategy_from_dict,
+)
+
+API_VERSION = "v1"
+
+
+class ApiError(Exception):
+    """A structured, client-facing request error.
+
+    ``code`` is a stable machine-readable slug, ``message`` the human
+    explanation, ``field`` the offending request field (or None when the
+    problem is the request as a whole), ``status`` the HTTP status the
+    transport layer should answer with.
+    """
+
+    def __init__(self, code: str, message: str, *, field: str | None = None,
+                 status: int = 400) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.field = field
+        self.status = status
+
+    # ----------------------------------------------------------- builders
+
+    @classmethod
+    def invalid_request(cls, message: str, *, field: str | None = None) -> "ApiError":
+        """A structurally malformed request (wrong shape or types): HTTP 400."""
+        return cls("invalid_request", message, field=field, status=400)
+
+    @classmethod
+    def invalid_parameter(cls, message: str, *, field: str | None = None) -> "ApiError":
+        """A well-formed request with an out-of-range value: HTTP 422."""
+        return cls("invalid_parameter", message, field=field, status=422)
+
+    @classmethod
+    def not_found(cls, message: str) -> "ApiError":
+        return cls("not_found", message, status=404)
+
+    @classmethod
+    def internal(cls, message: str) -> "ApiError":
+        return cls("internal", message, status=500)
+
+    @classmethod
+    def from_strategy_error(cls, exc: StrategyParamError) -> "ApiError":
+        """Map a decoding-layer parameter error onto the envelope.
+
+        The split keys on the error's machine-readable ``kind``: type and
+        unknown-name failures are malformed requests (400); out-of-range
+        values on a well-formed request are 422.
+        """
+        if exc.kind == "value":
+            return cls.invalid_parameter(str(exc), field=exc.field)
+        return cls.invalid_request(str(exc), field=exc.field)
+
+    # ------------------------------------------------------ serialisation
+
+    def to_dict(self) -> dict:
+        """The wire envelope: ``{"error": {"code", "message", "field"}}``."""
+        return {"error": {"code": self.code, "message": self.message,
+                          "field": self.field}}
+
+
+@dataclass(frozen=True)
+class AdviseRequest:
+    """One advising request: a source buffer plus its decoding strategy."""
+
+    code: str
+    strategy: DecodingStrategy = field(default_factory=GreedyStrategy)
+
+    # ----------------------------------------------------------- validation
+
+    def validate(self) -> "AdviseRequest":
+        """Raise :class:`ApiError` unless every field is usable; return self.
+
+        This is the single validation point for *every* entry path (service,
+        legacy HTTP route, v1 HTTP routes), including the NaN/inf/negative
+        parameter rejection — transports only translate the raised
+        :class:`ApiError` into their envelope.
+        """
+        if not isinstance(self.code, str):
+            raise ApiError.invalid_request('"code" must be a string',
+                                           field="code")
+        if not self.code.strip():
+            raise ApiError.invalid_request('"code" must be non-empty C source',
+                                           field="code")
+        if not isinstance(self.strategy, DecodingStrategy):
+            raise ApiError.invalid_request(
+                '"strategy" must be a DecodingStrategy', field="strategy")
+        try:
+            self.strategy.validate()
+        except StrategyParamError as exc:
+            raise ApiError.from_strategy_error(exc) from exc
+        return self
+
+    # -------------------------------------------------------- serialisation
+
+    def to_dict(self) -> dict:
+        return {"code": self.code, "strategy": self.strategy.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdviseRequest":
+        """Strict v1 parsing: unknown top-level fields are rejected by name.
+
+        ``strategy`` may be an object (``{"name": "beam", "beam_size": 4}``)
+        or a bare strategy name string; absent means greedy.  The returned
+        request has already passed :meth:`validate`.
+        """
+        if not isinstance(data, Mapping):
+            raise ApiError.invalid_request("request body must be a JSON object")
+        known = {"code", "strategy"}
+        for key in data:
+            if key not in known:
+                raise ApiError.invalid_request(
+                    f'unknown field "{key}" (accepted: code, strategy)',
+                    field=str(key))
+        if "code" not in data:
+            raise ApiError.invalid_request('"code" is required', field="code")
+        raw_strategy = data.get("strategy", "greedy")
+        try:
+            strategy = strategy_from_dict(raw_strategy)
+        except StrategyParamError as exc:
+            raise ApiError.from_strategy_error(exc) from exc
+        except TypeError as exc:
+            raise ApiError.invalid_request(
+                f'invalid "strategy": {exc}', field="strategy") from exc
+        return cls(code=data["code"], strategy=strategy).validate()
+
+
+
+def parse_legacy_advise(data: Mapping[str, Any],
+                        ) -> tuple[str, int | None, float | None]:
+    """Parse and validate the pre-v1 ``/advise`` body (``code``/``beam_size``/
+    ``length_penalty``).
+
+    Returns the raw ``(code, beam_size, length_penalty)`` triple with absent
+    overrides as None — the legacy surface merges partial overrides onto the
+    *service's* default generation config
+    (:meth:`repro.serving.InferenceService.legacy_strategy`), so resolution
+    cannot happen here.  Type errors are 400, out-of-range values 422,
+    matching v1.
+    """
+    from ..model.decoding import MAX_BEAM_SIZE, _require_int, _require_number
+
+    if not isinstance(data, Mapping):
+        raise ApiError.invalid_request("request body must be a JSON object")
+    code = data.get("code")
+    if not isinstance(code, str) or not code.strip():
+        raise ApiError.invalid_request('body must be {"code": "<C source>"}',
+                                       field="code")
+    beam_size = data.get("beam_size")
+    length_penalty = data.get("length_penalty")
+    try:
+        if beam_size is not None:
+            _require_int("beam_size", beam_size, minimum=1,
+                         maximum=MAX_BEAM_SIZE)
+        if length_penalty is not None:
+            length_penalty = _require_number("length_penalty", length_penalty,
+                                             minimum=0.0)
+    except StrategyParamError as exc:
+        raise ApiError.from_strategy_error(exc) from exc
+    return code, beam_size, length_penalty
+
+
+
+
+@dataclass(frozen=True)
+class AdviseResponse:
+    """One advising response, transport-agnostic and losslessly serialisable.
+
+    ``advice`` items are plain dicts (the rendered suggestion payloads the
+    legacy endpoint always served); ``strategy`` is the wire form of the
+    strategy the decode actually ran under (the service default when the
+    request didn't pin one).
+    """
+
+    generated_code: str
+    advice: tuple[dict, ...]
+    diagnostics: tuple[str, ...]
+    strategy: DecodingStrategy
+    cached: bool = False
+    latency_ms: float = 0.0
+    cache_key: str = ""
+    api_version: str = API_VERSION
+
+    def to_dict(self) -> dict:
+        return {
+            "api_version": self.api_version,
+            "generated_code": self.generated_code,
+            "advice": [dict(item) for item in self.advice],
+            "diagnostics": list(self.diagnostics),
+            "strategy": self.strategy.to_dict(),
+            "cached": self.cached,
+            "latency_ms": self.latency_ms,
+            "cache_key": self.cache_key,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdviseResponse":
+        try:
+            strategy = strategy_from_dict(data["strategy"])
+        except StrategyParamError as exc:
+            raise ApiError.from_strategy_error(exc) from exc
+        return cls(
+            generated_code=data["generated_code"],
+            advice=tuple(dict(item) for item in data["advice"]),
+            diagnostics=tuple(data["diagnostics"]),
+            strategy=strategy,
+            cached=bool(data.get("cached", False)),
+            latency_ms=float(data.get("latency_ms", 0.0)),
+            cache_key=str(data.get("cache_key", "")),
+            api_version=str(data.get("api_version", API_VERSION)),
+        )
+
+    def to_legacy_dict(self) -> dict:
+        """The pre-v1 ``/advise`` body, byte-identical in shape and values.
+
+        The legacy surface spelled the strategy as ``beam_size`` /
+        ``length_penalty``; non-beam strategies report the greedy pair
+        ``(1, 0.0)`` exactly as the old server did for greedy requests.
+        """
+        from ..model.decoding import BeamStrategy
+
+        payload = {
+            "generated_code": self.generated_code,
+            "advice": [dict(item) for item in self.advice],
+            "diagnostics": list(self.diagnostics),
+            "cached": self.cached,
+            "latency_ms": self.latency_ms,
+            "cache_key": self.cache_key,
+        }
+        if isinstance(self.strategy, BeamStrategy):
+            payload["beam_size"] = self.strategy.beam_size
+            payload["length_penalty"] = self.strategy.length_penalty
+        else:
+            payload["beam_size"] = 1
+            payload["length_penalty"] = 0.0
+        return payload
+
+
+def advice_items(session) -> tuple[dict, ...]:
+    """Serialise an :class:`repro.mpirical.AdviceSession`'s advice list.
+
+    This is the one place the advice wire shape is defined; both the legacy
+    and v1 endpoints (and :class:`AdviseResponse`) share it.
+    """
+    from dataclasses import asdict
+
+    return tuple(
+        {
+            **asdict(item.suggestion),
+            "confidence": item.confidence,
+            "note": item.note,
+            "rendered": item.render(),
+        }
+        for item in session.advice
+    )
+
+
+def strategy_matrix() -> dict[str, dict]:
+    """Registered strategies and their default parameters (docs/clients)."""
+    return {name: cls().to_dict() for name, cls in registered_strategies().items()}

@@ -1,0 +1,570 @@
+"""Pluggable decoding strategies: the registry behind ``repro.api``.
+
+Before this module existed, every layer of the stack dispatched decodes
+through its own ``if generation.beam_size > 1`` ladder and threaded each new
+decoding knob (``beam_size``, ``length_penalty``, ...) by hand through five
+call sites.  A :class:`DecodingStrategy` packages one decoding *algorithm
+plus its parameters* as a frozen, serialisable value object that every layer
+passes through unchanged:
+
+* :meth:`DecodingStrategy.decode` / :meth:`DecodingStrategy.decode_batch`
+  run the sequential / batched implementation (both built on the existing
+  decoders and :class:`repro.model.generation.DecoderLoop`, so the KV-cache
+  fast path is inherited);
+* :meth:`DecodingStrategy.canonical` is the **canonical serialized form** —
+  the single string that serving derives cache keys, micro-batch group keys
+  and per-config metrics labels from, so two requests share a batch exactly
+  when they share a cache entry, with no hand-maintained label functions;
+* :meth:`DecodingStrategy.to_dict` / :func:`strategy_from_dict` are the wire
+  format used by the v1 HTTP API (``{"name": "beam", "beam_size": 4, ...}``).
+
+Strategies register themselves under a short name (:func:`register_strategy`)
+so new algorithms become one new class instead of a cross-layer kwarg sweep:
+
+>>> strategy_from_dict({"name": "sample", "temperature": 0.8, "seed": 7})
+SampleStrategy(temperature=0.8, top_k=0, top_p=1.0, seed=7)
+
+Streaming: every strategy accepts an ``on_token`` callback.  Greedy and
+sampling invoke it the moment each token is emitted; beam search only knows
+its best hypothesis once search finishes, so it replays the winning tokens
+through the callback at the end (the streaming protocol still holds — the
+chunks just arrive late).
+
+:class:`SampleStrategy` is the new workload: temperature / top-k / top-p
+sampling with an **explicit seed**.  Sampling is bitwise reproducible — the
+per-row RNG stream depends only on ``seed`` (never on batch composition), and
+token selection runs in float64 off the model's logits, so the same seed
+yields the same tokens sequentially and batched, and across the tape and
+float64 inference paths (``tests/test_sampling_determinism.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Callable, ClassVar, Iterator
+import math
+
+import numpy as np
+
+from .generation import (
+    DecoderLoop,
+    GenerationConfig,
+    _decode_mode,
+    beam_search_decode,
+    beam_search_decode_batch,
+    greedy_decode,
+    greedy_decode_batch,
+)
+from .transformer import Seq2SeqTransformer
+
+#: Sequential streaming callback: called with each emitted token id.
+OnToken = Callable[[int], None]
+#: Batched streaming callback: called with ``(source_index, token_id)``.
+OnTokenBatch = Callable[[int, int], None]
+
+#: Largest accepted beam size; beam cost scales linearly with the hypothesis
+#: count, so an unbounded client value is a denial-of-service knob.  Lives
+#: here (not in the HTTP layer) so every entry point enforces the same bound.
+MAX_BEAM_SIZE = 16
+
+#: Largest accepted top-k; like the beam bound, a sanity cap shared by every
+#: entry point (0 means "no top-k filtering").
+MAX_TOP_K = 1024
+
+
+class StrategyParamError(ValueError):
+    """An invalid strategy parameter, carrying the offending field name.
+
+    ``kind`` is the machine-readable failure class — ``"type"`` (wrong JSON
+    type), ``"value"`` (right type, out of range), or ``"unknown"`` (no such
+    parameter/strategy) — so the API layer (:mod:`repro.api`) maps this onto
+    its structured error envelope and the 400/422 status split without
+    string matching, which is what keeps server and service validation
+    identical.
+    """
+
+    def __init__(self, field: str, message: str, *, kind: str = "value") -> None:
+        super().__init__(message)
+        self.field = field
+        self.kind = kind
+
+
+def _require_int(name: str, value, *, minimum: int, maximum: int | None = None) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise StrategyParamError(name, f'"{name}" must be an integer',
+                                 kind="type")
+    if value < minimum or (maximum is not None and value > maximum):
+        bound = f">= {minimum}" if maximum is None else f"in [{minimum}, {maximum}]"
+        raise StrategyParamError(name, f'"{name}" must be {bound}')
+    return value
+
+
+def _require_number(name: str, value, *, minimum: float | None = None,
+                    minimum_exclusive: float | None = None,
+                    maximum: float | None = None) -> float:
+    """A finite float within bounds; NaN/inf are rejected for every field.
+
+    A non-finite parameter would poison beam ranking (NaN breaks the
+    candidate total order), sampling renormalisation and the cache key, so
+    the rejection lives here — the single validation point — rather than in
+    each transport layer.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise StrategyParamError(name, f'"{name}" must be a number',
+                                 kind="type")
+    value = float(value)
+    if not math.isfinite(value):
+        raise StrategyParamError(name, f'"{name}" must be finite')
+    if minimum is not None and value < minimum:
+        raise StrategyParamError(name, f'"{name}" must be >= {minimum}')
+    if minimum_exclusive is not None and value <= minimum_exclusive:
+        raise StrategyParamError(name, f'"{name}" must be > {minimum_exclusive}')
+    if maximum is not None and value > maximum:
+        raise StrategyParamError(name, f'"{name}" must be <= {maximum}')
+    return value
+
+
+def _coerce_float_fields(strategy: DecodingStrategy, *names: str) -> None:
+    """Normalise real-number fields of a frozen strategy to ``float``.
+
+    JSON clients spell ``1.0`` as ``1`` freely; without coercion the int and
+    float spellings of the same value would ``repr`` differently and get
+    distinct canonical forms — distinct cache entries and micro-batch groups
+    for identical decodes.  Non-numeric junk is left untouched for
+    :meth:`validate` to reject with a proper type error.
+    """
+    for name in names:
+        value = getattr(strategy, name)
+        if isinstance(value, int) and not isinstance(value, bool):
+            object.__setattr__(strategy, name, float(value))
+
+
+@dataclass(frozen=True)
+class DecodingStrategy:
+    """Base class: one decoding algorithm plus its (frozen) parameters.
+
+    Subclasses are frozen dataclasses whose fields are exactly the wire
+    parameters; the base class derives serialisation, the canonical string
+    and strict construction from the dataclass machinery, so a new strategy
+    only implements :meth:`validate`, :meth:`decode` and :meth:`decode_batch`.
+    """
+
+    #: Registry key and wire name; set by each subclass.
+    name: ClassVar[str] = ""
+
+    # ------------------------------------------------------- serialisation
+
+    def params(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def to_dict(self) -> dict:
+        """The v1 wire form: ``{"name": ..., <param>: ..., ...}``."""
+        return {"name": self.name, **self.params()}
+
+    def canonical(self) -> str:
+        """The canonical serialized form (cache keys, batch groups, metrics).
+
+        Two strategies share micro-batches, cache entries and metric buckets
+        exactly when their canonical strings are equal, so every
+        output-changing parameter must appear here at full precision
+        (``repr``, not a rounded format).
+        """
+        params = ",".join(f"{k}={v!r}" for k, v in sorted(self.params().items()))
+        return f"{self.name}:{params}" if params else self.name
+
+    @classmethod
+    def from_params(cls, params: dict) -> "DecodingStrategy":
+        """Strict construction: unknown parameters are rejected by name."""
+        known = {f.name for f in fields(cls)}
+        for key in params:
+            if key not in known:
+                raise StrategyParamError(
+                    key, f'unknown parameter "{key}" for strategy "{cls.name}"',
+                    kind="unknown")
+        strategy = cls(**params)
+        strategy.validate()
+        return strategy
+
+    # ---------------------------------------------------------- behaviour
+
+    def validate(self) -> None:
+        """Raise :class:`StrategyParamError` on any out-of-range parameter."""
+
+    def normalised(self) -> "DecodingStrategy":
+        """The strategy whose canonical form keys caches and batches.
+
+        Parameter combinations that cannot change the output collapse to one
+        representative (e.g. ``beam_size=1`` is greedy regardless of length
+        penalty), so equivalent requests share cache entries and batches.
+        """
+        return self
+
+    def decode(self, model: Seq2SeqTransformer, source_ids: list[int], *,
+               sos_id: int, eos_id: int, pad_id: int, max_length: int = 400,
+               on_token: OnToken | None = None) -> list[int]:
+        raise NotImplementedError
+
+    def decode_batch(self, model: Seq2SeqTransformer,
+                     source_ids_batch: list[list[int]], *, sos_id: int,
+                     eos_id: int, pad_id: int, max_length: int = 400,
+                     on_token: OnTokenBatch | None = None) -> list[list[int]]:
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------
+# Registry
+# --------------------------------------------------------------------------
+
+_REGISTRY: dict[str, type[DecodingStrategy]] = {}
+
+
+def register_strategy(cls: type[DecodingStrategy]) -> type[DecodingStrategy]:
+    """Class decorator: register ``cls`` under its :attr:`name`."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty name")
+    if _REGISTRY.get(cls.name, cls) is not cls:
+        raise ValueError(f"strategy name {cls.name!r} is already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def registered_strategies() -> dict[str, type[DecodingStrategy]]:
+    """Snapshot of the registry (wire name -> strategy class)."""
+    return dict(_REGISTRY)
+
+
+def strategy_from_dict(data: dict | str) -> DecodingStrategy:
+    """Build a strategy from its wire form (a dict, or a bare name string)."""
+    if isinstance(data, str):
+        data = {"name": data}
+    if not isinstance(data, dict):
+        raise StrategyParamError(
+            "strategy", '"strategy" must be a name or an object with a "name"',
+            kind="type")
+    params = dict(data)
+    name = params.pop("name", None)
+    if not isinstance(name, str) or not name:
+        raise StrategyParamError("strategy.name", 'strategy "name" is required',
+                                 kind="type")
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise StrategyParamError(
+            "strategy.name", f'unknown strategy "{name}" (known: {known})',
+            kind="unknown")
+    return cls.from_params(params)
+
+
+def strategy_from_generation(generation: GenerationConfig | None) -> DecodingStrategy:
+    """The strategy equivalent of a legacy :class:`GenerationConfig`.
+
+    ``beam_size <= 1`` normalises to greedy (the length penalty only reranks
+    beam hypotheses), mirroring the pre-registry cache-key normalisation.
+    """
+    if generation is None or generation.beam_size <= 1:
+        return GreedyStrategy()
+    return BeamStrategy(beam_size=generation.beam_size,
+                        length_penalty=generation.length_penalty)
+
+
+def merge_legacy_overrides(base: GenerationConfig, beam_size: int | None,
+                           length_penalty: float | None) -> GenerationConfig:
+    """Validate the deprecated ``(beam_size, length_penalty)`` override pair
+    and merge it onto ``base`` — the pre-v1 resolution semantics.
+
+    A partial override keeps the other knob from ``base`` (``beam_size=4``
+    alone keeps the configured penalty, a lone ``length_penalty=`` keeps the
+    configured beam size).  This is the **single** implementation of the
+    legacy mapping; the serving shim and the deprecated ``predict_*`` kwargs
+    both call it, and :func:`strategy_from_generation` turns the result into
+    the canonical strategy.  Raises :class:`StrategyParamError` on bad
+    values.
+    """
+    if beam_size is not None:
+        _require_int("beam_size", beam_size, minimum=1, maximum=MAX_BEAM_SIZE)
+    if length_penalty is not None:
+        length_penalty = _require_number("length_penalty", length_penalty,
+                                         minimum=0.0)
+    return GenerationConfig(
+        max_length=base.max_length,
+        beam_size=base.beam_size if beam_size is None else beam_size,
+        length_penalty=(base.length_penalty if length_penalty is None
+                        else length_penalty),
+    )
+
+
+# --------------------------------------------------------------------------
+# Greedy / beam: thin strategy wrappers over the existing decoders
+# --------------------------------------------------------------------------
+
+
+@register_strategy
+@dataclass(frozen=True)
+class GreedyStrategy(DecodingStrategy):
+    """Deterministic argmax decoding (the serving default)."""
+
+    name: ClassVar[str] = "greedy"
+
+    def canonical(self) -> str:
+        return "greedy"
+
+    def decode(self, model, source_ids, *, sos_id, eos_id, pad_id,
+               max_length=400, on_token=None):
+        return greedy_decode(model, source_ids, sos_id=sos_id, eos_id=eos_id,
+                             pad_id=pad_id, max_length=max_length,
+                             on_token=on_token)
+
+    def decode_batch(self, model, source_ids_batch, *, sos_id, eos_id, pad_id,
+                     max_length=400, on_token=None):
+        return greedy_decode_batch(model, source_ids_batch, sos_id=sos_id,
+                                   eos_id=eos_id, pad_id=pad_id,
+                                   max_length=max_length, on_token=on_token)
+
+
+@register_strategy
+@dataclass(frozen=True)
+class BeamStrategy(DecodingStrategy):
+    """Beam search (the paper's headline quality setting)."""
+
+    name: ClassVar[str] = "beam"
+
+    beam_size: int = 3
+    length_penalty: float = 0.6
+
+    def __post_init__(self) -> None:
+        _coerce_float_fields(self, "length_penalty")
+
+    def canonical(self) -> str:
+        # Keeps the pre-registry label format ("beam4:lp0.6"), so dashboards
+        # and the per-config metrics history stay comparable across versions.
+        return f"beam{self.beam_size}:lp{self.length_penalty!r}"
+
+    def validate(self) -> None:
+        _require_int("beam_size", self.beam_size, minimum=1,
+                     maximum=MAX_BEAM_SIZE)
+        _require_number("length_penalty", self.length_penalty, minimum=0.0)
+
+    def normalised(self) -> DecodingStrategy:
+        # beam_size=1 *is* greedy (beam_search_decode delegates), and greedy
+        # ignores the length penalty — collapse so such requests share the
+        # greedy cache entries and batches, as they always have.
+        return GreedyStrategy() if self.beam_size <= 1 else self
+
+    def decode(self, model, source_ids, *, sos_id, eos_id, pad_id,
+               max_length=400, on_token=None):
+        ids = beam_search_decode(model, source_ids, sos_id=sos_id, eos_id=eos_id,
+                                 pad_id=pad_id, beam_size=self.beam_size,
+                                 max_length=max_length,
+                                 length_penalty=self.length_penalty)
+        if on_token is not None:
+            # The winning hypothesis is only known once search finishes.
+            for token in ids:
+                on_token(token)
+        return ids
+
+    def decode_batch(self, model, source_ids_batch, *, sos_id, eos_id, pad_id,
+                     max_length=400, on_token=None):
+        outputs = beam_search_decode_batch(
+            model, source_ids_batch, sos_id=sos_id, eos_id=eos_id,
+            pad_id=pad_id, beam_size=self.beam_size, max_length=max_length,
+            length_penalty=self.length_penalty)
+        if on_token is not None:
+            for index, ids in enumerate(outputs):
+                for token in ids:
+                    on_token(index, token)
+        return outputs
+
+
+# --------------------------------------------------------------------------
+# Sampling: the new workload
+# --------------------------------------------------------------------------
+
+
+def _scaled_logits(logits: np.ndarray, temperature: float) -> np.ndarray:
+    """Temperature-scaled float64 logits (1-D row or 2-D batch of rows).
+
+    Elementwise, so scaling a whole batch is bitwise identical per row to
+    scaling each row alone — the property the batched sampler leans on.
+    """
+    z = np.asarray(logits, dtype=np.float64)
+    return z / temperature if temperature != 1.0 else z
+
+
+def _sample_from_order(z: np.ndarray, order: np.ndarray, *, top_k: int,
+                       top_p: float, rng: np.random.Generator) -> int:
+    """Draw one token given scaled logits ``z`` and their descending order.
+
+    The draw consumes exactly one ``rng.random()``, and all arithmetic is
+    float64 off ``z`` — equal logit bit patterns plus an equal RNG state
+    always produce the same token.
+    """
+    if 0 < top_k < order.size:
+        order = order[:top_k]
+    shifted = z[order] - z[order[0]]
+    probs = np.exp(shifted)
+    probs /= probs.sum()
+    if top_p < 1.0:
+        cumulative = np.cumsum(probs)
+        keep = int(np.searchsorted(cumulative, top_p, side="left")) + 1
+        order = order[:keep]
+        probs = probs[:keep] / probs[:keep].sum()
+    draw = rng.random()
+    index = int(np.searchsorted(np.cumsum(probs), draw, side="right"))
+    return int(order[min(index, order.size - 1)])
+
+
+def _sample_token(logits: np.ndarray, *, temperature: float, top_k: int,
+                  top_p: float, rng: np.random.Generator, eos_id: int) -> int:
+    """Draw one token id from ``logits`` — deterministically given the bits.
+
+    Selection runs entirely in float64 (exact for float32 or float64 model
+    logits), ties rank by ascending token id (a stable sort on the negated
+    logits), and the draw consumes exactly one ``rng.random()`` — so equal
+    logit bit patterns plus an equal RNG state always produce the same token,
+    which is what makes sequential and batched sampling exact-match equal.
+
+    ``eos_id`` is unused by the math but kept in the signature so callers
+    can't accidentally drop it from the per-step contract.
+    """
+    z = _scaled_logits(logits, temperature)
+    order = np.argsort(-z, kind="stable")
+    return _sample_from_order(z, order, top_k=top_k, top_p=top_p, rng=rng)
+
+
+def sample_decode(model: Seq2SeqTransformer, source_ids: list[int], *,
+                  sos_id: int, eos_id: int, pad_id: int, max_length: int = 400,
+                  temperature: float = 1.0, top_k: int = 0, top_p: float = 1.0,
+                  seed: int = 0, on_token: OnToken | None = None) -> list[int]:
+    """Seeded ancestral sampling for a single source sequence.
+
+    The RNG stream is ``np.random.default_rng(seed)`` with exactly one draw
+    per emitted position, so a given ``seed`` fully determines the output for
+    given model logits.  Mirrors :func:`repro.model.generation.greedy_decode`
+    otherwise (empty source generates nothing; EOS stops).
+    """
+    if not source_ids:
+        return []
+    rng = np.random.default_rng(seed)
+    with _decode_mode():
+        src = np.asarray([source_ids], dtype=np.int64)
+        memory = model.encode(src, pad_id, training=False)
+        state = model.start_decoding()
+
+        generated: list[int] = []
+        current = np.asarray([[sos_id]], dtype=np.int64)
+        for _ in range(max_length):
+            logits = model.decode_step(current, memory, src, pad_id, state)
+            next_id = _sample_token(logits[0], temperature=temperature,
+                                    top_k=top_k, top_p=top_p, rng=rng,
+                                    eos_id=eos_id)
+            if next_id == eos_id:
+                break
+            generated.append(next_id)
+            if on_token is not None:
+                on_token(next_id)
+            current = np.asarray([[next_id]], dtype=np.int64)
+        return generated
+
+
+def sample_decode_batch(model: Seq2SeqTransformer,
+                        source_ids_batch: list[list[int]], *, sos_id: int,
+                        eos_id: int, pad_id: int, max_length: int = 400,
+                        temperature: float = 1.0, top_k: int = 0,
+                        top_p: float = 1.0, seed: int = 0,
+                        on_token: OnTokenBatch | None = None) -> list[list[int]]:
+    """Batched seeded sampling — exact-match equal to per-source sampling.
+
+    Every row owns an independent ``default_rng(seed)`` stream (exactly what
+    the sequential decoder would use for that source) and draws only while
+    unfinished, so batch composition can never perturb a row's tokens; the
+    logits themselves match the sequential run because the encoder's padding
+    mask makes padded rows decode identically (the property the greedy/beam
+    differential harnesses already pin down).
+    """
+    if not source_ids_batch:
+        return []
+    outputs: list[list[int]] = [[] for _ in source_ids_batch]
+    loop = DecoderLoop(model, source_ids_batch, pad_id=pad_id)
+    if not loop.num_rows:
+        return outputs
+    rngs = [np.random.default_rng(seed) for _ in range(loop.num_rows)]
+
+    current = np.full((loop.num_rows, 1), sos_id, dtype=np.int64)
+    for _ in range(max_length):
+        logits = loop.step(current)
+        # One vectorised scale + row-wise stable argsort for the whole batch;
+        # elementwise scaling and per-row sorting are bitwise identical to
+        # the sequential decoder's per-row versions, so tokens can't drift.
+        z = _scaled_logits(logits, temperature)
+        orders = np.argsort(-z, axis=-1, kind="stable")
+        current = np.full((loop.num_rows, 1), eos_id, dtype=np.int64)
+        for row in range(loop.num_rows):
+            if loop.finished[row]:
+                continue
+            token = _sample_from_order(z[row], orders[row], top_k=top_k,
+                                       top_p=top_p, rng=rngs[row])
+            if token == eos_id:
+                loop.finished[row] = True
+            else:
+                source = loop.live_indices[row]
+                outputs[source].append(token)
+                if on_token is not None:
+                    on_token(source, token)
+                current[row, 0] = token
+        if loop.finished.all():
+            break
+    return outputs
+
+
+@register_strategy
+@dataclass(frozen=True)
+class SampleStrategy(DecodingStrategy):
+    """Temperature / top-k / top-p sampling with an explicit seed.
+
+    ``temperature`` scales the logits (must be > 0); ``top_k=0`` disables
+    top-k filtering; ``top_p=1.0`` disables nucleus filtering; ``seed`` pins
+    the RNG stream for bitwise-reproducible generations.
+    """
+
+    name: ClassVar[str] = "sample"
+
+    temperature: float = 1.0
+    top_k: int = 0
+    top_p: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _coerce_float_fields(self, "temperature", "top_p")
+
+    def validate(self) -> None:
+        _require_number("temperature", self.temperature, minimum_exclusive=0.0)
+        _require_int("top_k", self.top_k, minimum=0, maximum=MAX_TOP_K)
+        _require_number("top_p", self.top_p, minimum_exclusive=0.0, maximum=1.0)
+        _require_int("seed", self.seed, minimum=0, maximum=2**63 - 1)
+
+    def _kwargs(self) -> dict:
+        return dict(temperature=self.temperature, top_k=self.top_k,
+                    top_p=self.top_p, seed=self.seed)
+
+    def with_seed(self, seed: int) -> "SampleStrategy":
+        """This strategy under a different seed (a fresh cache identity)."""
+        return replace(self, seed=seed)
+
+    def decode(self, model, source_ids, *, sos_id, eos_id, pad_id,
+               max_length=400, on_token=None):
+        return sample_decode(model, source_ids, sos_id=sos_id, eos_id=eos_id,
+                             pad_id=pad_id, max_length=max_length,
+                             on_token=on_token, **self._kwargs())
+
+    def decode_batch(self, model, source_ids_batch, *, sos_id, eos_id, pad_id,
+                     max_length=400, on_token=None):
+        return sample_decode_batch(model, source_ids_batch, sos_id=sos_id,
+                                   eos_id=eos_id, pad_id=pad_id,
+                                   max_length=max_length, on_token=on_token,
+                                   **self._kwargs())
+
+
+def iter_strategy_examples() -> Iterator[DecodingStrategy]:
+    """One default-constructed instance per registered strategy (for tests)."""
+    for cls in _REGISTRY.values():
+        yield cls()

@@ -68,11 +68,14 @@ class GenerationConfig:
 
 
 def greedy_decode(model: Seq2SeqTransformer, source_ids: list[int], *, sos_id: int,
-                  eos_id: int, pad_id: int, max_length: int = 400) -> list[int]:
+                  eos_id: int, pad_id: int, max_length: int = 400,
+                  on_token=None) -> list[int]:
     """Greedy auto-regressive decoding for a single source sequence.
 
     Returns the generated ids without the leading SOS or trailing EOS.
     An empty source generates nothing (there is no memory to attend over).
+    ``on_token`` (if given) is called with each token id the moment it is
+    emitted — the streaming hook ``repro.model.decoding`` strategies expose.
     """
     if not source_ids:
         return []
@@ -89,6 +92,8 @@ def greedy_decode(model: Seq2SeqTransformer, source_ids: list[int], *, sos_id: i
             if next_id == eos_id:
                 break
             generated.append(next_id)
+            if on_token is not None:
+                on_token(next_id)
             current = np.asarray([[next_id]], dtype=np.int64)
         return generated
 
@@ -306,7 +311,7 @@ class DecoderLoop:
 
 def greedy_decode_batch(model: Seq2SeqTransformer, source_ids_batch: list[list[int]],
                         *, sos_id: int, eos_id: int, pad_id: int,
-                        max_length: int = 400) -> list[list[int]]:
+                        max_length: int = 400, on_token=None) -> list[list[int]]:
     """Greedy decoding for a batch of (possibly ragged) source sequences.
 
     One encoder pass and one :meth:`Seq2SeqTransformer.decode_step` per step
@@ -315,7 +320,8 @@ def greedy_decode_batch(model: Seq2SeqTransformer, source_ids_batch: list[list[i
     the encoder's padding mask zeroes attention to pad positions, so a padded
     row produces the same memory — and therefore the same argmax path — as
     its unpadded encoding.  Empty sources generate ``[]``, matching the
-    single-sequence contract.
+    single-sequence contract.  ``on_token`` (if given) is called with
+    ``(source_index, token_id)`` as each row emits a token.
     """
     if not source_ids_batch:
         return []
@@ -336,6 +342,8 @@ def greedy_decode_batch(model: Seq2SeqTransformer, source_ids_batch: list[list[i
                 loop.finished[row] = True
             else:
                 outputs[loop.live_indices[row]].append(token)
+                if on_token is not None:
+                    on_token(loop.live_indices[row], token)
         if loop.finished.all():
             break
         current = np.where(loop.finished[:, None], eos_id,

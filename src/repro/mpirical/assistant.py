@@ -82,34 +82,66 @@ class MPIAssistant:
 
     # ------------------------------------------------------------------ api
 
-    def advise(self, source_code: str) -> AdviceSession:
+    def advise(self, source_code: str, *, strategy=None) -> AdviceSession:
         """Suggest MPI insertions for ``source_code``.
 
         The buffer is parsed tolerantly; parse diagnostics are surfaced to the
         caller (an IDE would show them as soft warnings) but never block the
         suggestion flow — incomplete code is the expected case while typing.
+        ``strategy`` (a :class:`repro.model.decoding.DecodingStrategy`)
+        selects the decoding algorithm; None uses the pipeline default.
         """
         unit, diagnostics = parse_source_with_diagnostics(source_code)
         xsbt = xsbt_string(unit)
-        result = self.mpirical.predict_code(source_code, xsbt)
+        result = self.mpirical.predict_code(source_code, xsbt, strategy=strategy)
         return build_advice_session(diagnostics, result)
 
-    def advise_batch(self, sources: list[str], *,
-                     generation=None) -> list[AdviceSession]:
+    def advise_batch(self, sources: list[str], *, generation=None,
+                     strategy=None) -> list[AdviceSession]:
         """Batched :meth:`advise` — one session per input buffer.
 
         All buffers go through :meth:`MPIRical.predict_code_batch`, so the
         model runs one batched decode instead of ``len(sources)`` sequential
-        ones — including beam search when ``generation.beam_size > 1``.
+        ones — for every registered strategy (greedy, beam, seeded sampling).
         Sessions are exact-match identical to per-buffer :meth:`advise`; this
         is the entry point the serving layer's micro-batcher flushes into.
         """
         parsed = [parse_source_with_diagnostics(source) for source in sources]
         xsbts = [xsbt_string(unit) for unit, _ in parsed]
         results = self.mpirical.predict_code_batch(sources, xsbts,
-                                                   generation=generation)
+                                                   generation=generation,
+                                                   strategy=strategy)
         return [build_advice_session(diagnostics, result)
                 for (_, diagnostics), result in zip(parsed, results)]
+
+    def advise_request(self, request) -> "object":
+        """Serve one :class:`repro.api.AdviseRequest` without a serving stack.
+
+        The direct, cache-free implementation of the v1 contract: validates
+        the request, decodes under its strategy and returns an
+        :class:`repro.api.AdviseResponse` (``cached=False``, no cache key).
+        :class:`repro.serving.InferenceService` layers batching and caching
+        over the very same contract.
+        """
+        import time
+
+        from ..api import AdviseResponse, advice_items
+
+        request.validate()
+        # Normalise exactly like the serving stack (beam_size=1 is greedy),
+        # so both implementations of the contract echo the same strategy
+        # identity for equivalent requests.
+        strategy = request.strategy.normalised()
+        start = time.perf_counter()
+        session = self.advise(request.code, strategy=strategy)
+        return AdviseResponse(
+            generated_code=session.generated_code,
+            advice=advice_items(session),
+            diagnostics=tuple(session.parse_diagnostics),
+            strategy=strategy,
+            cached=False,
+            latency_ms=(time.perf_counter() - start) * 1000.0,
+        )
 
     def rewrite(self, source_code: str, advice: list[Advice] | None = None) -> str:
         """Apply advice to the buffer and return the new text.

@@ -13,6 +13,7 @@ the evaluation metrics into the workflow of Figure 1a:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -20,13 +21,12 @@ from ..dataset.records import TranslationExample
 from ..evaluation.report import CorpusEvaluation, ExamplePrediction, evaluate_corpus
 from ..model.checkpoints import load_checkpoint, save_checkpoint
 from ..model.config import ExperimentConfig, small_config
-from ..model.generation import (
-    GenerationConfig,
-    beam_search_decode,
-    beam_search_decode_batch,
-    greedy_decode,
-    greedy_decode_batch,
+from ..model.decoding import (
+    DecodingStrategy,
+    merge_legacy_overrides,
+    strategy_from_generation,
 )
+from ..model.generation import GenerationConfig
 from ..model.trainer import Trainer, TrainingHistory
 from ..model.transformer import Seq2SeqTransformer
 from ..tokenization.code_tokenizer import ExampleEncoder, SequenceConfig, tokenize_code
@@ -94,49 +94,84 @@ class MPIRical:
             xsbt = xsbt_for_source(source_code)
         return self.encoder.encode_source(source_code, xsbt, tokens=tokens)
 
+    def _resolve_decode(self, generation: GenerationConfig | None,
+                        strategy: DecodingStrategy | None,
+                        beam_size: int | None = None,
+                        length_penalty: float | None = None,
+                        ) -> tuple[DecodingStrategy, int]:
+        """Resolve one ``(strategy, max_length)`` pair for a predict call.
+
+        Precedence: an explicit ``strategy`` wins; the deprecated
+        ``beam_size``/``length_penalty`` kwargs come next (and warn,
+        validating and merging onto the base config exactly like the serving
+        shim — :func:`repro.model.decoding.merge_legacy_overrides`); the
+        legacy ``generation`` config maps greedy/beam as it always did; the
+        pipeline default closes the chain.  ``max_length`` always comes from
+        the (given or default) generation config — it bounds the decode loop
+        and is not part of a strategy's identity.
+        """
+        if beam_size is not None or length_penalty is not None:
+            if strategy is not None:
+                raise ValueError(
+                    "pass either strategy= or the deprecated beam_size=/"
+                    "length_penalty= kwargs, not both")
+            warnings.warn(
+                "predict_*(beam_size=, length_penalty=) is deprecated; pass "
+                "strategy=BeamStrategy(...) (repro.model.decoding) instead",
+                DeprecationWarning, stacklevel=3)
+            merged = merge_legacy_overrides(generation or self.generation,
+                                            beam_size, length_penalty)
+            return strategy_from_generation(merged), merged.max_length
+        generation = generation or self.generation
+        if strategy is None:
+            strategy = strategy_from_generation(generation)
+        return strategy, generation.max_length
+
     def predict_tokens(self, source_code: str, xsbt: str | None = None, *,
-                       generation: GenerationConfig | None = None) -> list[str]:
+                       generation: GenerationConfig | None = None,
+                       strategy: DecodingStrategy | None = None,
+                       beam_size: int | None = None,
+                       length_penalty: float | None = None,
+                       source_tokens: list[str] | None = None,
+                       on_token=None) -> list[str]:
         """Generate the output token sequence for ``source_code``.
 
-        ``generation`` overrides the pipeline-level :attr:`generation`
-        defaults (beam size, max length, length penalty) for this call.
+        ``strategy`` (any :class:`repro.model.decoding.DecodingStrategy`)
+        selects the decoding algorithm; ``generation`` overrides the
+        pipeline-level :attr:`generation` defaults and, when no strategy is
+        given, maps onto greedy/beam exactly as before.  ``on_token`` streams
+        each generated token id as it is emitted; ``source_tokens`` carries a
+        pre-lexed token stream (the serving layer lexes each buffer once).
+        ``beam_size`` / ``length_penalty`` are the deprecated pre-strategy
+        spelling.
         """
-        generation = generation or self.generation
-        source_ids = self._encode_for_inference(source_code, xsbt)
+        strategy, max_length = self._resolve_decode(generation, strategy,
+                                                    beam_size, length_penalty)
+        source_ids = self._encode_for_inference(source_code, xsbt, source_tokens)
         vocab = self.encoder.vocab
-        if generation.beam_size > 1:
-            generated_ids = beam_search_decode(
-                self.model, source_ids,
-                sos_id=vocab.sos_id, eos_id=vocab.eos_id, pad_id=vocab.pad_id,
-                beam_size=generation.beam_size, max_length=generation.max_length,
-                length_penalty=generation.length_penalty,
-            )
-        else:
-            generated_ids = greedy_decode(
-                self.model, source_ids,
-                sos_id=vocab.sos_id, eos_id=vocab.eos_id, pad_id=vocab.pad_id,
-                max_length=generation.max_length,
-            )
+        generated_ids = strategy.decode(
+            self.model, source_ids, sos_id=vocab.sos_id, eos_id=vocab.eos_id,
+            pad_id=vocab.pad_id, max_length=max_length, on_token=on_token)
         return vocab.decode(generated_ids)
 
     def predict_tokens_batch(self, sources: list[str],
                              xsbts: list[str | None] | None = None, *,
                              generation: GenerationConfig | None = None,
+                             strategy: DecodingStrategy | None = None,
                              source_tokens: list[list[str] | None] | None = None,
                              ) -> list[list[str]]:
         """Batched :meth:`predict_tokens` for a list of programs.
 
         All sources are decoded together (one encoder pass and one decoder
-        step per generated position for the whole batch), which is the
-        serving layer's hot path: greedy requests go through
-        :func:`repro.model.generation.greedy_decode_batch` and
-        ``beam_size > 1`` through
-        :func:`repro.model.generation.beam_search_decode_batch`.  Output is
-        exact-match identical to per-example :meth:`predict_tokens` either
-        way.  ``source_tokens`` optionally carries pre-lexed token streams
-        (the serving layer lexes each buffer once).
+        step per generated position for the whole batch) through the
+        strategy's :meth:`DecodingStrategy.decode_batch` — the serving
+        layer's hot path.  Output is exact-match identical to per-example
+        :meth:`predict_tokens` for every registered strategy (sampling
+        included: per-row seeded RNG streams are batch-invariant).
+        ``source_tokens`` optionally carries pre-lexed token streams (the
+        serving layer lexes each buffer once).
         """
-        generation = generation or self.generation
+        strategy, max_length = self._resolve_decode(generation, strategy)
         xsbts = xsbts if xsbts is not None else [None] * len(sources)
         if len(xsbts) != len(sources):
             raise ValueError(f"{len(sources)} sources but {len(xsbts)} xsbts")
@@ -145,19 +180,9 @@ class MPIRical:
         source_ids = [self._encode_for_inference(source, xsbt, tokens)
                       for source, xsbt, tokens in zip(sources, xsbts, source_tokens)]
         vocab = self.encoder.vocab
-        if generation.beam_size > 1:
-            generated = beam_search_decode_batch(
-                self.model, source_ids,
-                sos_id=vocab.sos_id, eos_id=vocab.eos_id, pad_id=vocab.pad_id,
-                beam_size=generation.beam_size, max_length=generation.max_length,
-                length_penalty=generation.length_penalty,
-            )
-        else:
-            generated = greedy_decode_batch(
-                self.model, source_ids,
-                sos_id=vocab.sos_id, eos_id=vocab.eos_id, pad_id=vocab.pad_id,
-                max_length=generation.max_length,
-            )
+        generated = strategy.decode_batch(
+            self.model, source_ids, sos_id=vocab.sos_id, eos_id=vocab.eos_id,
+            pad_id=vocab.pad_id, max_length=max_length)
         return [vocab.decode(ids) for ids in generated]
 
     @staticmethod
@@ -175,25 +200,39 @@ class MPIRical:
                                 suggestions=suggestions)
 
     def predict_code(self, source_code: str, xsbt: str | None = None, *,
-                     generation: GenerationConfig | None = None) -> PredictionResult:
+                     generation: GenerationConfig | None = None,
+                     strategy: DecodingStrategy | None = None,
+                     beam_size: int | None = None,
+                     length_penalty: float | None = None,
+                     source_tokens: list[str] | None = None,
+                     on_token=None) -> PredictionResult:
         """Generate a full program and extract insertion suggestions.
 
         When the generated token stream parses cleanly it is re-standardised
         through the code generator, so well-formed predictions come back in
         exactly the corpus' canonical style (same line discipline as the
         reference labels); malformed generations fall back to the raw
-        detokenised text.
+        detokenised text.  ``strategy`` selects the decoding algorithm;
+        ``on_token`` streams token ids as they are emitted (the serving
+        layer's streaming path); ``beam_size``/``length_penalty`` are the
+        deprecated spelling.
         """
-        tokens = self.predict_tokens(source_code, xsbt, generation=generation)
+        tokens = self.predict_tokens(source_code, xsbt, generation=generation,
+                                     strategy=strategy, beam_size=beam_size,
+                                     length_penalty=length_penalty,
+                                     source_tokens=source_tokens,
+                                     on_token=on_token)
         return self._package_prediction(source_code, tokens)
 
     def predict_code_batch(self, sources: list[str],
                            xsbts: list[str | None] | None = None, *,
                            generation: GenerationConfig | None = None,
+                           strategy: DecodingStrategy | None = None,
                            source_tokens: list[list[str] | None] | None = None,
                            ) -> list[PredictionResult]:
         """Batched :meth:`predict_code`; one result per input program."""
         token_batches = self.predict_tokens_batch(sources, xsbts, generation=generation,
+                                                  strategy=strategy,
                                                   source_tokens=source_tokens)
         return [self._package_prediction(source, tokens)
                 for source, tokens in zip(sources, token_batches)]

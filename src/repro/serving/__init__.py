@@ -6,15 +6,19 @@ turns it into a concurrent service:
 ``repro.serving.batching``  dynamic micro-batching scheduler + worker pool
 ``repro.serving.cache``     thread-safe LRU keyed on the canonical xSBT form
 ``repro.serving.metrics``   hit rate, batch-size histogram, p50/p95 latency
-``repro.serving.service``   the :class:`InferenceService` facade
-``repro.serving.server``    stdlib HTTP endpoint (/advise, /healthz, /metrics)
-                            (import explicitly: ``repro.serving.server``)
+``repro.serving.service``   the :class:`InferenceService` facade (v1 contract:
+                            ``advise_request``, ``advise_stream``)
+``repro.serving.server``    stdlib HTTP endpoint (/v1/advise,
+                            /v1/advise/stream, legacy /advise, /healthz,
+                            /metrics) (import explicitly: ``repro.serving.server``)
 
 Quick start
 -----------
+>>> from repro.api import AdviseRequest
 >>> from repro.serving import InferenceService
 >>> service = InferenceService(mpirical, max_batch_size=8, max_wait_ms=5)
 >>> served = service.advise(source_code)      # blocking; batched under load
+>>> response = service.advise_request(AdviseRequest(code=source_code))
 >>> service.metrics()["cache_hit_rate"]
 """
 

@@ -36,7 +36,8 @@ from ..xsbt.xsbt import xsbt_string
 
 
 def canonical_cache_key(source_code: str, xsbt: str | None = None, *,
-                        tokens: list[str] | None = None, beam_size: int = 1,
+                        tokens: list[str] | None = None,
+                        strategy=None, beam_size: int = 1,
                         length_penalty: float = 0.0) -> str:
     """Hash ``source_code`` into its canonical serving-cache key.
 
@@ -44,25 +45,32 @@ def canonical_cache_key(source_code: str, xsbt: str | None = None, *,
     when the caller already parsed it (the service computes both once per
     request, so the key costs no extra lexer pass on the hot path).
 
-    The generation settings that change the *model output* are part of the
-    key: a beam request must never be served a cached greedy result (or a
-    result decoded under a different length penalty).  Greedy requests
-    normalise to ``(1, 0.0)`` — the length penalty only reranks beam
-    hypotheses, so greedy requests that differ only in penalty share one
-    entry.
+    The decoding settings that change the *model output* are part of the
+    key via the strategy's **canonical serialized form**
+    (:meth:`repro.model.decoding.DecodingStrategy.canonical`, after
+    :meth:`normalised`): a beam request must never be served a cached greedy
+    result, and two sampling requests share an entry only when temperature,
+    top-k, top-p *and seed* all match.  ``beam_size``/``length_penalty`` are
+    the legacy spelling and map onto greedy/beam exactly as the old key did
+    (``beam_size <= 1`` normalises to greedy regardless of penalty).
     """
+    from ..model.decoding import BeamStrategy, GreedyStrategy
+
     if xsbt is None:
         unit, _ = parse_source_with_diagnostics(source_code)
         xsbt = xsbt_string(unit)
     if tokens is None:
         tokens = tokenize_code(source_code)
-    if beam_size <= 1:
-        beam_size, length_penalty = 1, 0.0
+    if strategy is None:
+        strategy = (BeamStrategy(beam_size=beam_size,
+                                 length_penalty=float(length_penalty))
+                    if beam_size > 1 else GreedyStrategy())
     digest = hashlib.sha256()
     digest.update(xsbt.encode())
     digest.update(b"\x00")
     digest.update("\x00".join(tokens).encode())
-    digest.update(f"\x00beam={int(beam_size)};lp={float(length_penalty)!r}".encode())
+    digest.update(b"\x00")
+    digest.update(strategy.normalised().canonical().encode())
     return digest.hexdigest()
 
 

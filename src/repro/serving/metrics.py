@@ -49,6 +49,7 @@ class ServingMetrics:
         self.cache_misses = 0
         self.batches_total = 0
         self.errors_total = 0
+        self.streams_total = 0
 
     # ------------------------------------------------------------- recording
 
@@ -97,6 +98,12 @@ class ServingMetrics:
             for _ in range(max(1, requests)):
                 self._decode_ms.append(latency_ms)
 
+    def record_stream(self) -> None:
+        """Record one completed streaming request (also counted as a request
+        via :meth:`record_request` — this tracks the streaming share)."""
+        with self._lock:
+            self.streams_total += 1
+
     def record_error(self) -> None:
         with self._lock:
             self.errors_total += 1
@@ -116,6 +123,7 @@ class ServingMetrics:
             misses = self.cache_misses
             batches = self.batches_total
             errors = self.errors_total
+            streams = self.streams_total
         batched_requests = sum(size * count for size, count in batch_sizes.items())
         batches_by_config = {
             label: {
@@ -131,6 +139,7 @@ class ServingMetrics:
             "cache_misses": misses,
             "cache_hit_rate": hits / requests if requests else 0.0,
             "errors_total": errors,
+            "streams_total": streams,
             "batches_total": batches,
             "batch_size_histogram": batch_sizes,
             "batches_by_config": batches_by_config,

@@ -2,17 +2,32 @@
 
 Endpoints
 ---------
-``POST /advise``
-    Body ``{"code": "<C source>"}`` with optional ``"beam_size"`` (int >= 1,
-    capped at ``MAX_BEAM_SIZE``) and ``"length_penalty"`` (number >= 0)
-    fields selecting the decode strategy per request; responds with the
-    generated program, the advice list, parse diagnostics, and serving
-    metadata (``cached``, ``latency_ms``, ``cache_key``, ``beam_size``,
-    ``length_penalty``).
+``POST /v1/advise``
+    Body is a v1 :class:`repro.api.AdviseRequest`:
+    ``{"code": "<C source>", "strategy": {"name": "beam", "beam_size": 4}}``
+    (``strategy`` optional — greedy by default; may also be a bare name
+    string).  Responds with the full :class:`repro.api.AdviseResponse` JSON.
+``POST /v1/advise/stream``
+    Same body; responds with **NDJSON**: one
+    ``{"type": "token", "index": n, "token": "<code token>"}`` line per
+    generated token as the model emits it, then a single
+    ``{"type": "final", "response": {...}}`` line with the full response.
+``POST /advise`` (legacy, deprecated)
+    The pre-v1 body (``{"code": ..., "beam_size"?: ..., "length_penalty"?:
+    ...}``); delegates to the v1 path through a compatibility shim and
+    answers in the legacy shape, bit-identical to previous releases.
 ``GET /healthz``
     Liveness probe; 200 with ``{"status": "ok"}`` once the model is loaded.
 ``GET /metrics``
     The :meth:`InferenceService.metrics` snapshot as JSON.
+
+Invalid requests get the structured envelope
+``{"error": {"code", "message", "field"}}`` from every route: **400** for
+malformed bodies (bad JSON, wrong types, unknown fields), **422** for
+well-formed requests with out-of-range parameter values (NaN/inf/negative
+knobs, oversized beams).  Validation itself lives in
+:meth:`repro.api.AdviseRequest.validate` — the server only translates the
+raised :class:`repro.api.ApiError`.
 
 The server is a :class:`http.server.ThreadingHTTPServer`: each connection
 gets a thread, the threads converge on the service's micro-batcher, and the
@@ -26,84 +41,58 @@ Run it::
 
 which trains a small demo model first (or loads ``--checkpoint DIR`` saved
 via :meth:`MPIRical.save`).  ``--smoke`` starts the server on an ephemeral
-port, POSTs one request against it, asserts HTTP 200, and exits — the CI
-smoke test.
+port, exercises ``/advise``, ``/v1/advise`` and ``/v1/advise/stream``
+against it, asserts the responses, and exits — the CI smoke test.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import math
 import sys
 import threading
-from dataclasses import asdict
+import warnings
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..api import AdviseRequest, ApiError, parse_legacy_advise
+from ..model.decoding import MAX_BEAM_SIZE  # re-export for back-compat
 from .service import InferenceService, ServedAdvice
 
 #: Largest accepted request body; a source buffer bigger than this is a
 #: client error, not a workload.
 MAX_BODY_BYTES = 1 << 20
 
-#: Largest accepted per-request beam size; beam cost scales linearly with the
-#: hypothesis count, so an unbounded client value is a denial-of-service knob.
-MAX_BEAM_SIZE = 16
+__all__ = ["AdviseRequestHandler", "make_server", "advice_payload",
+           "MAX_BODY_BYTES", "MAX_BEAM_SIZE", "main"]
 
 
 def advice_payload(served: ServedAdvice) -> dict:
-    """The JSON-serialisable response body for one /advise call."""
-    session = served.session
-    payload = {
-        "generated_code": session.generated_code,
-        "advice": [
-            {
-                **asdict(item.suggestion),
-                "confidence": item.confidence,
-                "note": item.note,
-                "rendered": item.render(),
-            }
-            for item in session.advice
-        ],
-        "diagnostics": session.parse_diagnostics,
-        "cached": served.cached,
-        "latency_ms": served.latency_ms,
-        "cache_key": served.cache_key,
-    }
+    """The legacy JSON response body for one /advise call (pre-v1 shape).
+
+    The ``beam_size``/``length_penalty`` echo comes from the request's
+    *merged* legacy config (:attr:`ServedAdvice.generation`) when present —
+    the pre-v1 server echoed the resolved config, penalty and all, even for
+    greedy requests — falling back to the strategy-derived pair.
+    """
+    from ..api import AdviseResponse, advice_items
+
+    payload = AdviseResponse(
+        generated_code=served.session.generated_code,
+        advice=advice_items(served.session),
+        diagnostics=tuple(served.session.parse_diagnostics),
+        strategy=served.strategy,
+        cached=served.cached,
+        latency_ms=served.latency_ms,
+        cache_key=served.cache_key,
+    ).to_legacy_dict()
     if served.generation is not None:
         payload["beam_size"] = served.generation.beam_size
         payload["length_penalty"] = served.generation.length_penalty
     return payload
 
 
-def parse_generation_fields(payload: dict) -> tuple[int | None, float | None]:
-    """Validate the optional decode-strategy fields of an /advise body.
-
-    Returns ``(beam_size, length_penalty)`` with ``None`` for absent fields;
-    raises :class:`ValueError` with a client-facing message otherwise.
-    """
-    beam_size = payload.get("beam_size")
-    if beam_size is not None:
-        if isinstance(beam_size, bool) or not isinstance(beam_size, int):
-            raise ValueError('"beam_size" must be an integer')
-        if not 1 <= beam_size <= MAX_BEAM_SIZE:
-            raise ValueError(f'"beam_size" must be in [1, {MAX_BEAM_SIZE}]')
-    length_penalty = payload.get("length_penalty")
-    if length_penalty is not None:
-        if isinstance(length_penalty, bool) or \
-                not isinstance(length_penalty, (int, float)):
-            raise ValueError('"length_penalty" must be a number')
-        # json.loads accepts the non-standard NaN/Infinity tokens; a
-        # non-finite penalty would poison the beam ranking (NaN breaks the
-        # candidate total order) and the cache key.
-        if not math.isfinite(length_penalty) or length_penalty < 0:
-            raise ValueError('"length_penalty" must be a finite number >= 0')
-        length_penalty = float(length_penalty)
-    return beam_size, length_penalty
-
-
 class AdviseRequestHandler(BaseHTTPRequestHandler):
-    """Routes the three endpoints onto the shared :class:`InferenceService`."""
+    """Routes the endpoints onto the shared :class:`InferenceService`."""
 
     #: Set by :func:`make_server`.
     service: InferenceService
@@ -127,48 +116,103 @@ class AdviseRequestHandler(BaseHTTPRequestHandler):
         elif self.path == "/metrics":
             self._send_json(200, self.service.metrics())
         else:
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            self._send_error(ApiError.not_found(f"unknown path {self.path!r}"))
 
     def do_POST(self) -> None:  # noqa: N802 — http.server naming
-        if self.path != "/advise":
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        routes = {
+            "/advise": self._post_advise_legacy,
+            "/v1/advise": self._post_advise_v1,
+            "/v1/advise/stream": self._post_advise_stream,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._send_error(ApiError.not_found(f"unknown path {self.path!r}"))
             return
-        body = self._read_body()
-        if body is None:
-            return
-        try:
-            payload = json.loads(body)
-        except json.JSONDecodeError as exc:
-            self._send_json(400, {"error": f"invalid JSON body: {exc}"})
-            return
-        code = payload.get("code") if isinstance(payload, dict) else None
-        if not isinstance(code, str) or not code.strip():
-            self._send_json(400, {"error": 'body must be {"code": "<C source>"}'})
+        payload = self._read_json_body()
+        if payload is None:
             return
         try:
-            beam_size, length_penalty = parse_generation_fields(payload)
-        except ValueError as exc:
-            self._send_json(400, {"error": str(exc)})
-            return
-        try:
-            served = self.service.advise(code, beam_size=beam_size,
-                                         length_penalty=length_penalty)
+            handler(payload)
+        except ApiError as exc:
+            self._send_error(exc)
         except Exception as exc:  # noqa: BLE001 — a request must never kill the server
-            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
-            return
+            self._send_error(ApiError.internal(f"{type(exc).__name__}: {exc}"))
+
+    def _post_advise_legacy(self, payload: dict) -> None:
+        """The pre-v1 route: legacy body in, legacy body out, v1 underneath."""
+        warnings.warn(
+            "POST /advise is deprecated; use POST /v1/advise",
+            DeprecationWarning, stacklevel=2)
+        code, beam_size, length_penalty = parse_legacy_advise(payload)
+        # Partial overrides merge onto the service's default config and the
+        # merged pair is echoed back — the pre-v1 semantics.  Values were
+        # validated by the parser, so this cannot raise for a client-caused
+        # reason; the route-level DeprecationWarning above is the single one.
+        served = self.service.advise_legacy_async(
+            code, beam_size, length_penalty).result()
         self._send_json(200, advice_payload(served))
+
+    def _post_advise_v1(self, payload: dict) -> None:
+        request = AdviseRequest.from_dict(payload)
+        response = self.service.advise_request(request)
+        self._send_json(200, response.to_dict())
+
+    def _post_advise_stream(self, payload: dict) -> None:
+        """NDJSON streaming: one chunk per line, flushed as decoded.
+
+        Validation failures raise before any byte is written (a clean
+        400/422 envelope).  After the 200 status line is out, nothing may
+        send headers again: a client disconnect mid-stream just ends the
+        handler, and a decode failure becomes a structured
+        ``{"type": "error", ...}`` line — best-effort, since the peer may
+        already be gone.
+        """
+        request = AdviseRequest.from_dict(payload)  # may raise ApiError: 4xx
+        stream = self.service.advise_stream(request)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        try:
+            for chunk in stream:
+                try:
+                    self.wfile.write(json.dumps(chunk).encode() + b"\n")
+                    self.wfile.flush()
+                except OSError:
+                    return  # client went away; stop consuming the stream
+        except Exception as exc:  # noqa: BLE001 — decode failure mid-stream
+            envelope = ApiError.internal(f"{type(exc).__name__}: {exc}").to_dict()
+            try:
+                self.wfile.write(json.dumps({"type": "error", **envelope})
+                                 .encode() + b"\n")
+            except OSError:
+                pass  # peer already gone; nothing left to deliver
 
     # ------------------------------------------------------------- plumbing
 
-    def _read_body(self) -> bytes | None:
+    def _read_json_body(self) -> dict | None:
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
             length = -1
         if length < 0 or length > MAX_BODY_BYTES:
-            self._send_json(400, {"error": "missing or oversized Content-Length"})
+            self._send_error(ApiError.invalid_request(
+                "missing or oversized Content-Length"))
             return None
-        return self.rfile.read(length)
+        body = self.rfile.read(length)
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            self._send_error(ApiError.invalid_request(f"invalid JSON body: {exc}"))
+            return None
+        if not isinstance(payload, dict):
+            self._send_error(ApiError.invalid_request(
+                "request body must be a JSON object"))
+            return None
+        return payload
+
+    def _send_error(self, error: ApiError) -> None:
+        self._send_json(error.status, error.to_dict())
 
     def _send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode()
@@ -220,31 +264,49 @@ def _demo_service(checkpoint: str | None, *, max_batch_size: int, max_wait_ms: f
 
 
 def _run_smoke(service: InferenceService) -> int:
-    """Start the server, POST one /advise request at it, assert HTTP 200."""
+    """Start the server and exercise the legacy, v1 and streaming routes."""
     import urllib.request
 
     server = make_server(service, port=0, quiet=True)
     host, port = server.server_address[:2]
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
-    try:
+
+    def post(path: str, payload: dict):
         request = urllib.request.Request(
-            f"http://{host}:{port}/advise",
-            data=json.dumps({"code": "int main() { return 0; }\n"}).encode(),
+            f"http://{host}:{port}{path}",
+            data=json.dumps(payload).encode(),
             headers={"Content-Type": "application/json"},
         )
         with urllib.request.urlopen(request, timeout=120) as response:
-            status = response.status
-            body = json.loads(response.read())
+            return response.status, response.read()
+
+    code = "int main() { return 0; }\n"
+    failures: list[str] = []
+    try:
+        status, raw = post("/advise", {"code": code})
+        body = json.loads(raw)
+        if status != 200 or "generated_code" not in body:
+            failures.append(f"/advise: status={status} body={body}")
+        status, raw = post("/v1/advise",
+                           {"code": code, "strategy": {"name": "greedy"}})
+        v1 = json.loads(raw)
+        if status != 200 or v1.get("api_version") != "v1":
+            failures.append(f"/v1/advise: status={status} body={v1}")
+        status, raw = post("/v1/advise/stream", {"code": code})
+        lines = [json.loads(line) for line in raw.splitlines() if line]
+        if status != 200 or not lines or lines[-1].get("type") != "final":
+            failures.append(f"/v1/advise/stream: status={status} lines={lines}")
     finally:
         server.shutdown()
         server.server_close()
         service.close()
-    if status != 200 or "generated_code" not in body:
-        print(f"smoke test FAILED: status={status} body={body}", file=sys.stderr)
+    if failures:
+        for failure in failures:
+            print(f"smoke test FAILED: {failure}", file=sys.stderr)
         return 1
-    print(f"smoke test ok: status={status}, "
-          f"{len(body['advice'])} advice item(s), cached={body['cached']}")
+    print(f"smoke test ok: /advise, /v1/advise and /v1/advise/stream all 200 "
+          f"({len(lines)} stream chunk(s))")
     return 0
 
 
@@ -261,7 +323,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--cache-capacity", type=int, default=256)
     parser.add_argument("--smoke", action="store_true",
-                        help="start, self-POST one /advise request, exit")
+                        help="start, exercise every advise route once, exit")
     args = parser.parse_args(argv)
 
     service = _demo_service(args.checkpoint, max_batch_size=args.max_batch_size,
@@ -273,7 +335,8 @@ def main(argv: list[str] | None = None) -> int:
     server = make_server(service, args.host, args.port)
     host, port = server.server_address[:2]
     print(f"serving MPI-RICAL advice on http://{host}:{port} "
-          f"(POST /advise, GET /healthz, GET /metrics)")
+          f"(POST /v1/advise, POST /v1/advise/stream, POST /advise [legacy], "
+          f"GET /healthz, GET /metrics)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -1,46 +1,64 @@
 """The InferenceService facade: cache → single-flight → micro-batch → model.
 
-This is the serving layer's front door.  A request travels through three
+This is the serving layer's front door, and it speaks the **repro.api v1
+contract**: requests are :class:`repro.api.AdviseRequest` values carrying a
+pluggable :class:`repro.model.decoding.DecodingStrategy`, responses are
+:class:`repro.api.AdviseResponse`.  A request travels through three
 short-circuits before it is allowed to cost a model decode:
 
-1. **LRU cache** — the buffer's canonical key (:mod:`repro.serving.cache`)
-   is looked up; a hit reuses the stored model output without touching the
-   queue.  Because the key is layout-invariant while advice anchors are not,
-   the cache stores the :class:`PredictionResult` (generated program), and
-   line-anchored suggestions are re-derived against the requesting buffer on
-   every response (:func:`anchor_result`).
+1. **LRU cache** — the buffer's canonical key (:mod:`repro.serving.cache`,
+   which folds in the strategy's canonical serialized form) is looked up; a
+   hit reuses the stored model output without touching the queue.  Because
+   the key is layout-invariant while advice anchors are not, the cache stores
+   the :class:`PredictionResult` (generated program), and line-anchored
+   suggestions are re-derived against the requesting buffer on every response
+   (:func:`anchor_result`).
 2. **Single-flight coalescing** — if an *identical* request is already in
    flight, the new request subscribes to its future instead of decoding the
-   same program twice (a thundering herd of editors re-advising the same
-   buffer costs one decode).  Coalesced requests count as cache hits in the
+   same program twice.  Coalesced requests count as cache hits in the
    metrics: they skipped the model.
 3. **Micro-batcher** — genuine misses are queued and flushed to
    :meth:`MPIRical.predict_code_batch` in dynamic batches
    (:mod:`repro.serving.batching`), so concurrent distinct requests share
    encoder/decoder passes.
 
-Requests may override the decoding settings per call (``beam_size``,
-``length_penalty``): beam requests run through the batched beam decoder,
-are cached under a key that includes the generation settings (a beam-4
-result must never answer a greedy request), and are micro-batched only with
-requests of the same configuration — the whole batch runs through one
-decoder loop, so configs cannot be mixed within a flush.  Batch metrics are
-reported per configuration (``batches_by_config``).
+Cache keys, micro-batch groups and the per-config batch metrics are all
+derived from the **same canonical strategy string**
+(:meth:`DecodingStrategy.canonical` after :meth:`normalised`), so two
+requests share a batch exactly when they could share a cache entry — no
+hand-maintained label function can drift out of sync with the key.
 
-Every completed request records its end-to-end latency and cache outcome in
-:class:`repro.serving.metrics.ServingMetrics`; :meth:`InferenceService.metrics`
-returns the merged operational snapshot the ``/metrics`` endpoint serves.
+**Streaming** (:meth:`InferenceService.advise_stream`) runs a request's
+decode on a dedicated thread and yields each generated token as it is
+emitted, followed by the final :class:`AdviseResponse`.  Streams bypass the
+micro-batcher (a stream is one decode by construction) but still read and
+populate the shared cache: a cache hit replays its tokens instantly.
+
+The legacy surface (``advise(code, beam_size=..., length_penalty=...)``)
+remains as a compatibility shim that emits a :class:`DeprecationWarning` and
+delegates to the v1 path; greedy and beam results are bit-identical to the
+pre-contract behaviour.
 """
 
 from __future__ import annotations
 
-import math
 import time
+import warnings
 from concurrent.futures import Future
 from dataclasses import dataclass
-from threading import Lock
+from queue import SimpleQueue
+from threading import Lock, Thread
+from typing import Iterator
 
+from ..api import AdviseRequest, AdviseResponse, advice_items
 from ..clang.parser import parse_source_with_diagnostics
+from ..model.decoding import (
+    BeamStrategy,
+    DecodingStrategy,
+    GreedyStrategy,
+    merge_legacy_overrides,
+    strategy_from_generation,
+)
 from ..model.generation import GenerationConfig
 from ..mpirical.assistant import AdviceSession, MPIAssistant, build_advice_session
 from ..mpirical.pipeline import MPIRical, PredictionResult
@@ -69,19 +87,13 @@ def anchor_result(source_code: str, result: PredictionResult) -> PredictionResul
 
 
 def generation_label(generation: GenerationConfig) -> str:
-    """The batching/metrics label of a generation config.
+    """The batching/metrics label of a legacy generation config.
 
-    Two requests share a micro-batch exactly when their labels are equal, and
-    the whole flush decodes under one config — so the label must distinguish
-    every penalty the cache key distinguishes (``repr``, not a rounded
-    format, or two almost-equal penalties would share a batch yet cache
-    separately).  The label also keys the per-config batch metrics.  Greedy
-    ignores the length penalty (it reranks beam hypotheses only), mirroring
-    the cache key's normalisation.
+    Kept for backward compatibility; the label *is* the canonical serialized
+    form of the equivalent strategy, so it can never drift from the cache
+    key (``"greedy"``, ``"beam4:lp0.6"``, ...).
     """
-    if generation.beam_size <= 1:
-        return "greedy"
-    return f"beam{generation.beam_size}:lp{generation.length_penalty!r}"
+    return strategy_from_generation(generation).canonical()
 
 
 @dataclass
@@ -94,9 +106,11 @@ class ServedAdvice:
     cached: bool
     latency_ms: float
     cache_key: str
-    #: The decoding settings this response was generated under (service
-    #: defaults merged with the request's overrides).
+    #: The decoding settings this response was generated under, as a legacy
+    #: :class:`GenerationConfig` view (kept for pre-v1 callers).
     generation: GenerationConfig | None = None
+    #: The strategy the decode actually ran under (the v1 identity).
+    strategy: DecodingStrategy | None = None
 
 
 @dataclass
@@ -107,8 +121,9 @@ class _AdviseWork:
     xsbt: str
     #: The request thread's lexer output, reused by the encoder at flush time.
     tokens: list[str]
-    #: Resolved decoding settings; the batcher groups flushes by its label.
-    generation: GenerationConfig
+    #: Resolved decoding strategy; the batcher groups flushes by its
+    #: canonical serialized form.
+    strategy: DecodingStrategy
 
 
 class InferenceService:
@@ -124,7 +139,8 @@ class InferenceService:
     cache_capacity:
         LRU entries to keep; ``0`` disables caching (every request decodes).
     generation:
-        Optional decoding override applied to every batched decode.
+        Optional legacy decoding override applied to every request that does
+        not pin a strategy; also supplies ``max_length`` for every decode.
     """
 
     def __init__(self, model: MPIRical | MPIAssistant, *,
@@ -143,93 +159,181 @@ class InferenceService:
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
             num_workers=num_workers,
-            group_key=lambda work: generation_label(work.generation),
+            group_key=lambda work: work.strategy.canonical(),
             on_batch=self.metrics_.record_batch,
         )
         self._closed = False
 
-    # ------------------------------------------------------------------- api
+    # ------------------------------------------------------------ v1 contract
+
+    def advise_request(self, request: AdviseRequest, *,
+                       timeout: float | None = None) -> AdviseResponse:
+        """Serve one v1 :class:`AdviseRequest`, blocking until done."""
+        return self.advise_request_async(request).result(timeout)
+
+    def advise_request_async(self, request: AdviseRequest) -> Future:
+        """Non-blocking :meth:`advise_request`; resolves to an
+        :class:`AdviseResponse`.  Raises :class:`repro.api.ApiError`
+        synchronously on an invalid request."""
+        request.validate()
+        strategy = request.strategy.normalised()
+        inner = self._advise_async(request.code, strategy)
+        response: Future = Future()
+
+        def _on_done(done: Future) -> None:
+            try:
+                served = done.result()
+            except Exception as exc:  # noqa: BLE001 — surfaced to the caller
+                response.set_exception(exc)
+                return
+            response.set_result(self._to_response(served))
+
+        inner.add_done_callback(_on_done)
+        return response
+
+    def advise_stream(self, request: AdviseRequest) -> Iterator[dict]:
+        """Serve ``request`` as a stream of chunk dicts.
+
+        Yields ``{"type": "token", "index": i, "token": "<code token>"}`` for
+        each generated token, then exactly one
+        ``{"type": "final", "response": <AdviseResponse dict>}``.  Greedy and
+        sampling emit token chunks incrementally while the model decodes;
+        beam search only knows its winning hypothesis at the end, so its
+        chunks arrive just before the final result.
+
+        Streams read and populate the shared LRU cache (a hit replays its
+        cached tokens immediately) but bypass the micro-batcher and
+        single-flight: a stream is one dedicated decode.
+
+        Validation is eager — an invalid request raises here, at call time,
+        not at the first ``next()`` (the HTTP layer relies on this to answer
+        4xx before committing to a 200 stream).
+        """
+        request.validate()
+        strategy = self._resolve_strategy(request.strategy)
+        return self._stream(request, strategy)
+
+    def _stream(self, request: AdviseRequest,
+                strategy: DecodingStrategy) -> Iterator[dict]:
+        start = time.perf_counter()
+        mpirical = self.assistant.mpirical
+        vocab = mpirical.encoder.vocab
+
+        unit, diagnostics = parse_source_with_diagnostics(request.code)
+        xsbt = xsbt_string(unit)
+        tokens = tokenize_code(request.code)
+        key = canonical_cache_key(request.code, xsbt, tokens=tokens,
+                                  strategy=strategy)
+
+        cached = self.cache.get(key) if self.cache is not None else None
+        if cached is not None:
+            result = anchor_result(request.code, cached)
+            for index, token in enumerate(result.generated_tokens):
+                yield {"type": "token", "index": index, "token": token}
+            yield self._final_chunk(request.code, diagnostics, result,
+                                    strategy=strategy, cached=True,
+                                    start=start, key=key)
+            return
+
+        chunks: SimpleQueue = SimpleQueue()
+
+        def on_token(token_id: int) -> None:
+            for token in vocab.decode([token_id]):
+                chunks.put(("token", token))
+
+        def decode_worker() -> None:
+            try:
+                decode_start = time.perf_counter()
+                result = mpirical.predict_code(
+                    request.code, xsbt, strategy=strategy,
+                    generation=self._default_generation(),
+                    source_tokens=tokens, on_token=on_token)
+                decode_ms = (time.perf_counter() - decode_start) * 1000.0
+                self.metrics_.record_decode(decode_ms)
+                # Cache here, on the worker: a completed decode must not be
+                # discarded just because the streaming client disconnected
+                # and abandoned the consuming generator — its retry should
+                # replay from cache.
+                if self.cache is not None:
+                    self.cache.put(key, result)
+                chunks.put(("done", result))
+            except Exception as exc:  # noqa: BLE001 — delivered to the reader
+                chunks.put(("error", exc))
+
+        Thread(target=decode_worker, name="advise-stream", daemon=True).start()
+        index = 0
+        while True:
+            kind, payload = chunks.get()
+            if kind == "token":
+                yield {"type": "token", "index": index, "token": payload}
+                index += 1
+            elif kind == "done":
+                yield self._final_chunk(request.code, diagnostics, payload,
+                                        strategy=strategy, cached=False,
+                                        start=start, key=key)
+                return
+            else:
+                self.metrics_.record_error()
+                raise payload
+
+    # ------------------------------------------------------------- legacy api
 
     def advise(self, source_code: str, *, beam_size: int | None = None,
                length_penalty: float | None = None,
+               strategy: DecodingStrategy | None = None,
                timeout: float | None = None) -> ServedAdvice:
         """Advise on ``source_code``, blocking until the response is ready.
 
-        ``beam_size`` / ``length_penalty`` override the service's default
-        decoding settings for this request only; ``beam_size > 1`` trades
-        latency for the paper's beam-search quality setting.
+        ``strategy`` pins the decoding strategy for this request only;
+        ``beam_size`` / ``length_penalty`` are the deprecated pre-v1 spelling
+        of the same override (they emit a :class:`DeprecationWarning` and
+        behave bit-identically to before).
         """
         return self.advise_async(source_code, beam_size=beam_size,
-                                 length_penalty=length_penalty).result(timeout)
+                                 length_penalty=length_penalty,
+                                 strategy=strategy).result(timeout)
 
     def advise_async(self, source_code: str, *, beam_size: int | None = None,
-                     length_penalty: float | None = None) -> Future:
+                     length_penalty: float | None = None,
+                     strategy: DecodingStrategy | None = None) -> Future:
         """Non-blocking :meth:`advise`; resolves to a :class:`ServedAdvice`."""
-        start = time.perf_counter()
-        response: Future = Future()
-        generation = self._resolve_generation(beam_size, length_penalty)
+        if beam_size is not None or length_penalty is not None:
+            if strategy is not None:
+                raise ValueError(
+                    "pass either strategy= or the deprecated beam_size=/"
+                    "length_penalty= kwargs, not both")
+            warnings.warn(
+                "advise(beam_size=, length_penalty=) is deprecated; pass "
+                "strategy=BeamStrategy(...) or an AdviseRequest instead",
+                DeprecationWarning, stacklevel=2)
+            return self.advise_legacy_async(source_code, beam_size,
+                                            length_penalty)
+        return self._advise_async(source_code, self._resolve_strategy(strategy))
 
-        unit, diagnostics = parse_source_with_diagnostics(source_code)
-        xsbt = xsbt_string(unit)
-        tokens = tokenize_code(source_code)
-        key = canonical_cache_key(source_code, xsbt, tokens=tokens,
-                                  beam_size=generation.beam_size,
-                                  length_penalty=generation.length_penalty)
+    def advise_legacy_async(self, source_code: str, beam_size: int | None,
+                            length_penalty: float | None) -> Future:
+        """The warning-free legacy resolution the HTTP shim delegates to.
 
-        if self.cache is not None:
-            hit = self.cache.get(key)
-            if hit is not None:
-                self._resolve(response, source_code, diagnostics, hit,
-                              cached=True, start=start, key=key,
-                              generation=generation)
-                return response
+        Partial overrides merge onto the service's default generation config
+        exactly as the pre-v1 service resolved them
+        (:func:`repro.model.decoding.merge_legacy_overrides`), and the merged
+        config — not the normalised strategy — is what the response echoes
+        back (``ServedAdvice.generation``), keeping the legacy
+        ``beam_size``/``length_penalty`` echo byte-identical (a greedy
+        request with an explicit penalty echoes that penalty, as it always
+        did).  Raises :class:`repro.model.decoding.StrategyParamError`
+        (a ``ValueError``) on bad values — the same validators as v1.
+        """
+        merged = merge_legacy_overrides(self._default_generation(),
+                                        beam_size, length_penalty)
+        return self._advise_async(source_code, strategy_from_generation(merged),
+                                  generation_view=merged)
 
-        work = _AdviseWork(source_code=source_code, xsbt=xsbt, tokens=tokens,
-                           generation=generation)
-        late_hit = None
-        with self._inflight_lock:
-            inflight = self._inflight.get(key)
-            owner = inflight is None
-            if owner:
-                if self.cache is not None:
-                    # Re-check under the lock: an owner that completed between
-                    # our miss above and here has already populated the cache.
-                    # peek() keeps the hit/miss counters at one count per
-                    # request; resolution happens outside the lock.
-                    late_hit = self.cache.peek(key)
-                if late_hit is None:
-                    inflight = self.batcher.submit(work)
-                    self._inflight[key] = inflight
-        if late_hit is not None:
-            self._resolve(response, source_code, diagnostics, late_hit,
-                          cached=True, start=start, key=key,
-                          generation=generation)
-            return response
-
-        def _on_done(decode: Future) -> None:
-            try:
-                result = decode.result()
-            except Exception as exc:  # noqa: BLE001 — surfaced to the caller
-                if owner:
-                    with self._inflight_lock:
-                        self._inflight.pop(key, None)
-                self.metrics_.record_error()
-                response.set_exception(exc)
-                return
-            if owner:
-                # Populate the cache BEFORE dropping the in-flight entry, and
-                # have would-be owners re-check the cache under the in-flight
-                # lock, so a concurrent identical request finds one of the two.
-                if self.cache is not None:
-                    self.cache.put(key, result)
-                with self._inflight_lock:
-                    self._inflight.pop(key, None)
-            self._resolve(response, source_code, diagnostics, result,
-                          cached=not owner, start=start, key=key,
-                          generation=generation)
-
-        inflight.add_done_callback(_on_done)
-        return response
+    def legacy_strategy(self, beam_size: int | None,
+                        length_penalty: float | None) -> DecodingStrategy:
+        """The strategy a legacy override pair resolves to (merge + normalise)."""
+        return strategy_from_generation(merge_legacy_overrides(
+            self._default_generation(), beam_size, length_penalty))
 
     def metrics(self) -> dict:
         """Operational snapshot: request metrics + cache stats + queue depth."""
@@ -255,33 +359,141 @@ class InferenceService:
 
     # ------------------------------------------------------------- internals
 
-    def _resolve_generation(self, beam_size: int | None,
-                            length_penalty: float | None) -> GenerationConfig:
-        """Merge request overrides onto the service's default decoding config."""
-        base = self.generation or self.assistant.mpirical.generation
-        if beam_size is None and length_penalty is None:
+    def _default_generation(self) -> GenerationConfig:
+        return self.generation or self.assistant.mpirical.generation
+
+    def _max_length(self) -> int:
+        return self._default_generation().max_length
+
+    def _resolve_strategy(self, strategy: DecodingStrategy | None) -> DecodingStrategy:
+        """The effective strategy: an explicit one (validated, normalised) or
+        the service default derived from the legacy generation config."""
+        if strategy is None:
+            return strategy_from_generation(self._default_generation())
+        strategy.validate()
+        return strategy.normalised()
+
+    def _generation_view(self, strategy: DecodingStrategy) -> GenerationConfig:
+        """The legacy :class:`GenerationConfig` equivalent of ``strategy``
+        (what pre-v1 callers read off :attr:`ServedAdvice.generation`)."""
+        base = self._default_generation()
+        if isinstance(strategy, BeamStrategy):
+            return GenerationConfig(max_length=base.max_length,
+                                    beam_size=strategy.beam_size,
+                                    length_penalty=strategy.length_penalty)
+        if isinstance(strategy, GreedyStrategy) and base.beam_size <= 1:
+            # The pre-v1 default view: the service's own config, penalty
+            # and all (the old service echoed it unchanged).
             return base
-        if beam_size is not None and (not isinstance(beam_size, int)
-                                      or isinstance(beam_size, bool)
-                                      or beam_size < 1):
-            raise ValueError(f"beam_size must be a positive int, got {beam_size!r}")
-        if length_penalty is not None and (not isinstance(length_penalty, (int, float))
-                                           or isinstance(length_penalty, bool)
-                                           or not math.isfinite(length_penalty)
-                                           or length_penalty < 0):
-            raise ValueError(
-                f"length_penalty must be a finite non-negative number, "
-                f"got {length_penalty!r}")
-        return GenerationConfig(
-            max_length=base.max_length,
-            beam_size=base.beam_size if beam_size is None else beam_size,
-            length_penalty=(base.length_penalty if length_penalty is None
-                            else float(length_penalty)),
+        return GenerationConfig(max_length=base.max_length)
+
+    def _to_response(self, served: ServedAdvice) -> AdviseResponse:
+        session = served.session
+        return AdviseResponse(
+            generated_code=session.generated_code,
+            advice=advice_items(session),
+            diagnostics=tuple(session.parse_diagnostics),
+            strategy=served.strategy,
+            cached=served.cached,
+            latency_ms=served.latency_ms,
+            cache_key=served.cache_key,
         )
+
+    def _final_chunk(self, source_code: str, diagnostics: list,
+                     result: PredictionResult, *, strategy: DecodingStrategy,
+                     cached: bool, start: float, key: str) -> dict:
+        """Record metrics for a finished stream and build its final chunk."""
+        session = build_advice_session(diagnostics, result)
+        latency_ms = (time.perf_counter() - start) * 1000.0
+        self.metrics_.record_request(latency_ms, cached=cached)
+        self.metrics_.record_stream()
+        response = AdviseResponse(
+            generated_code=session.generated_code,
+            advice=advice_items(session),
+            diagnostics=tuple(session.parse_diagnostics),
+            strategy=strategy,
+            cached=cached,
+            latency_ms=latency_ms,
+            cache_key=key,
+        )
+        return {"type": "final", "response": response.to_dict()}
+
+    def _advise_async(self, source_code: str, strategy: DecodingStrategy,
+                      generation_view: GenerationConfig | None = None) -> Future:
+        """The shared (cache → single-flight → batch) path for one request.
+
+        ``generation_view`` overrides the legacy config echoed on
+        :attr:`ServedAdvice.generation` (the legacy shim passes the merged
+        pre-normalisation config so partial-override echoes stay faithful).
+        """
+        start = time.perf_counter()
+        response: Future = Future()
+
+        unit, diagnostics = parse_source_with_diagnostics(source_code)
+        xsbt = xsbt_string(unit)
+        tokens = tokenize_code(source_code)
+        key = canonical_cache_key(source_code, xsbt, tokens=tokens,
+                                  strategy=strategy)
+
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                self._resolve(response, source_code, diagnostics, hit,
+                              cached=True, start=start, key=key,
+                              strategy=strategy, generation_view=generation_view)
+                return response
+
+        work = _AdviseWork(source_code=source_code, xsbt=xsbt, tokens=tokens,
+                           strategy=strategy)
+        late_hit = None
+        with self._inflight_lock:
+            inflight = self._inflight.get(key)
+            owner = inflight is None
+            if owner:
+                if self.cache is not None:
+                    # Re-check under the lock: an owner that completed between
+                    # our miss above and here has already populated the cache.
+                    # peek() keeps the hit/miss counters at one count per
+                    # request; resolution happens outside the lock.
+                    late_hit = self.cache.peek(key)
+                if late_hit is None:
+                    inflight = self.batcher.submit(work)
+                    self._inflight[key] = inflight
+        if late_hit is not None:
+            self._resolve(response, source_code, diagnostics, late_hit,
+                          cached=True, start=start, key=key,
+                          strategy=strategy, generation_view=generation_view)
+            return response
+
+        def _on_done(decode: Future) -> None:
+            try:
+                result = decode.result()
+            except Exception as exc:  # noqa: BLE001 — surfaced to the caller
+                if owner:
+                    with self._inflight_lock:
+                        self._inflight.pop(key, None)
+                self.metrics_.record_error()
+                response.set_exception(exc)
+                return
+            if owner:
+                # Populate the cache BEFORE dropping the in-flight entry, and
+                # have would-be owners re-check the cache under the in-flight
+                # lock, so a concurrent identical request finds one of the two.
+                if self.cache is not None:
+                    self.cache.put(key, result)
+                with self._inflight_lock:
+                    self._inflight.pop(key, None)
+            self._resolve(response, source_code, diagnostics, result,
+                          cached=not owner, start=start, key=key,
+                          strategy=strategy, generation_view=generation_view)
+
+        inflight.add_done_callback(_on_done)
+        return response
 
     def _resolve(self, response: Future, source_code: str, diagnostics: list,
                  result: PredictionResult, *, cached: bool, start: float,
-                 key: str, generation: GenerationConfig | None = None) -> None:
+                 key: str, strategy: DecodingStrategy,
+                 generation_view: GenerationConfig | None = None) -> None:
         """Build this request's session (own anchors + diagnostics) and finish.
 
         A non-cached resolve is the owner of the decode, and the batch already
@@ -293,19 +505,20 @@ class InferenceService:
         session = build_advice_session(diagnostics, result)
         latency_ms = (time.perf_counter() - start) * 1000.0
         self.metrics_.record_request(latency_ms, cached=cached)
+        view = generation_view or self._generation_view(strategy)
         response.set_result(ServedAdvice(session=session, cached=cached,
                                          latency_ms=latency_ms, cache_key=key,
-                                         generation=generation))
+                                         generation=view, strategy=strategy))
 
     def _process_batch(self, works: list[_AdviseWork]) -> list[PredictionResult]:
         """Flush one micro-batch through the batched decode path.
 
-        The batcher groups flushes by generation label, so every work item in
-        the batch shares one decoding config — greedy batches run the batched
-        greedy decoder, beam batches the batched beam decoder.  Returns raw
-        prediction results; per-request session assembly (advice anchoring,
-        diagnostics) happens back on the requesting side so that coalesced
-        and cached followers are anchored to *their* buffers.
+        The batcher groups flushes by the canonical strategy string, so every
+        work item in the batch shares one decoding strategy — the whole flush
+        runs through that strategy's batched decoder.  Returns raw prediction
+        results; per-request session assembly (advice anchoring, diagnostics)
+        happens back on the requesting side so that coalesced and cached
+        followers are anchored to *their* buffers.
 
         The decode wall time is recorded per request rider as the model-side
         decode latency (``decode_latency_ms_p50/p95`` in ``/metrics``).
@@ -314,7 +527,8 @@ class InferenceService:
         results = self.assistant.mpirical.predict_code_batch(
             [work.source_code for work in works],
             [work.xsbt for work in works],
-            generation=works[0].generation,
+            strategy=works[0].strategy,
+            generation=self._default_generation(),
             source_tokens=[work.tokens for work in works],
         )
         decode_ms = (time.perf_counter() - start) * 1000.0

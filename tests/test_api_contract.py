@@ -1,0 +1,287 @@
+"""repro.api v1 contract: round-trips, strict validation, error envelope.
+
+The property tests hold **every registered strategy** to the wire contract:
+``AdviseRequest.from_dict(r.to_dict()) == r`` over randomly drawn valid
+parameters, so a new strategy cannot register without a lossless
+serialisation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.api import (
+    AdviseRequest,
+    AdviseResponse,
+    ApiError,
+    parse_legacy_advise,
+    strategy_matrix,
+)
+from repro.model.decoding import (
+    MAX_BEAM_SIZE,
+    BeamStrategy,
+    GreedyStrategy,
+    SampleStrategy,
+    StrategyParamError,
+    merge_legacy_overrides,
+    registered_strategies,
+    strategy_from_dict,
+    strategy_from_generation,
+)
+from repro.model.generation import GenerationConfig
+
+CODE = "int main(int argc, char **argv) { return 0; }\n"
+
+# Finite, non-degenerate floats for strategy knobs (the contract rejects
+# NaN/inf separately).
+finite = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+def valid_strategies():
+    """A hypothesis strategy drawing valid instances of every registered
+    DecodingStrategy — the registry is the source of truth, so adding a
+    strategy automatically adds it to the round-trip property."""
+    assert set(registered_strategies()) == {"greedy", "beam", "sample"}
+    return st.one_of(
+        st.just(GreedyStrategy()),
+        st.builds(BeamStrategy,
+                  beam_size=st.integers(min_value=1, max_value=MAX_BEAM_SIZE),
+                  length_penalty=finite.filter(lambda x: x >= 0)),
+        st.builds(SampleStrategy,
+                  temperature=finite.filter(lambda x: x > 0),
+                  top_k=st.integers(min_value=0, max_value=64),
+                  top_p=finite.filter(lambda x: 0 < x <= 1),
+                  seed=st.integers(min_value=0, max_value=2**31)),
+    )
+
+
+# ------------------------------------------------------------- round-trips
+
+
+@given(strategy=valid_strategies())
+def test_every_registered_strategy_roundtrips_through_request_dict(strategy):
+    request = AdviseRequest(code=CODE, strategy=strategy)
+    assert AdviseRequest.from_dict(request.to_dict()) == request
+
+
+@given(strategy=valid_strategies())
+def test_strategy_wire_form_roundtrips(strategy):
+    assert strategy_from_dict(strategy.to_dict()) == strategy
+
+
+@given(strategy=valid_strategies())
+def test_canonical_form_is_injective_over_drawn_params(strategy):
+    """The canonical string embeds every parameter at full repr precision,
+    so it reconstructs equality: equal canonicals <=> equal strategies."""
+    twin = strategy_from_dict(strategy.to_dict())
+    assert twin.canonical() == strategy.canonical()
+
+
+@given(strategy=valid_strategies())
+def test_response_roundtrips_through_dict(strategy):
+    response = AdviseResponse(
+        generated_code="int main() {}\n",
+        advice=({"function": "MPI_Init", "insert_after_line": 1,
+                 "statement": "MPI_Init(&argc, &argv);", "confidence": "high",
+                 "note": "", "rendered": "[high] ..."},),
+        diagnostics=("warning: something",),
+        strategy=strategy,
+        cached=True,
+        latency_ms=1.25,
+        cache_key="abc123",
+    )
+    assert AdviseResponse.from_dict(response.to_dict()) == response
+
+
+def test_strategy_matrix_lists_every_registered_strategy():
+    matrix = strategy_matrix()
+    assert set(matrix) == set(registered_strategies())
+    for name, defaults in matrix.items():
+        assert defaults["name"] == name
+
+
+# -------------------------------------------------------- strict validation
+
+
+def test_unknown_top_level_field_is_rejected_by_name():
+    with pytest.raises(ApiError) as excinfo:
+        AdviseRequest.from_dict({"code": CODE, "beam_size": 4})
+    assert excinfo.value.status == 400
+    assert excinfo.value.field == "beam_size"
+
+
+def test_unknown_strategy_parameter_is_rejected_by_name():
+    with pytest.raises(ApiError) as excinfo:
+        AdviseRequest.from_dict(
+            {"code": CODE, "strategy": {"name": "greedy", "temperature": 1.0}})
+    assert excinfo.value.status == 400
+    assert excinfo.value.field == "temperature"
+
+
+def test_missing_code_is_a_400():
+    with pytest.raises(ApiError) as excinfo:
+        AdviseRequest.from_dict({"strategy": "greedy"})
+    assert excinfo.value.status == 400
+    assert excinfo.value.field == "code"
+
+
+def test_bare_strategy_name_string_is_accepted():
+    request = AdviseRequest.from_dict({"code": CODE, "strategy": "sample"})
+    assert request.strategy == SampleStrategy()
+
+
+@pytest.mark.parametrize("params, status, field", [
+    ({"name": "beam", "beam_size": 0}, 422, "beam_size"),
+    ({"name": "beam", "beam_size": MAX_BEAM_SIZE + 1}, 422, "beam_size"),
+    ({"name": "beam", "beam_size": 2.5}, 400, "beam_size"),
+    ({"name": "beam", "length_penalty": float("nan")}, 422, "length_penalty"),
+    ({"name": "beam", "length_penalty": -0.1}, 422, "length_penalty"),
+    ({"name": "sample", "temperature": 0}, 422, "temperature"),
+    ({"name": "sample", "temperature": float("inf")}, 422, "temperature"),
+    ({"name": "sample", "top_k": -1}, 422, "top_k"),
+    ({"name": "sample", "top_k": True}, 400, "top_k"),
+    ({"name": "sample", "top_p": 0.0}, 422, "top_p"),
+    ({"name": "sample", "top_p": 1.5}, 422, "top_p"),
+    ({"name": "sample", "seed": -3}, 422, "seed"),
+    ({"name": "sample", "seed": "lucky"}, 400, "seed"),
+    ({"name": "nope"}, 400, "strategy.name"),
+])
+def test_invalid_strategy_params_carry_status_and_field(params, status, field):
+    """NaN/inf/negative rejection lives in the one validate path: 422 for
+    out-of-range values, 400 for type errors, always naming the field."""
+    with pytest.raises(ApiError) as excinfo:
+        AdviseRequest.from_dict({"code": CODE, "strategy": params})
+    assert excinfo.value.status == status
+    assert excinfo.value.field == field
+    payload = excinfo.value.to_dict()
+    assert set(payload["error"]) == {"code", "message", "field"}
+    assert payload["error"]["field"] == field
+
+
+def test_error_envelope_shape():
+    error = ApiError.invalid_parameter('"x" out of range', field="x")
+    assert error.to_dict() == {"error": {"code": "invalid_parameter",
+                                         "message": '"x" out of range',
+                                         "field": "x"}}
+
+
+# ----------------------------------------------------------- legacy mapping
+
+
+def test_legacy_overrides_merge_exactly_like_the_old_resolver():
+    """merge_legacy_overrides is the one implementation of the pre-v1
+    resolution: partial overrides keep the other knob from the base."""
+    base = GenerationConfig(max_length=50, beam_size=3, length_penalty=0.7)
+    assert merge_legacy_overrides(base, None, None) == base
+    merged = merge_legacy_overrides(base, 4, None)
+    assert (merged.beam_size, merged.length_penalty, merged.max_length) == \
+        (4, 0.7, 50)
+    merged = merge_legacy_overrides(base, None, 0.9)
+    assert (merged.beam_size, merged.length_penalty) == (3, 0.9)
+    # beam_size=1 merges, then normalises to greedy at the strategy level.
+    assert strategy_from_generation(merge_legacy_overrides(base, 1, 0.9)) == \
+        GreedyStrategy()
+    with pytest.raises(StrategyParamError):
+        merge_legacy_overrides(base, 0, None)
+    with pytest.raises(StrategyParamError):
+        merge_legacy_overrides(base, None, float("nan"))
+
+
+def test_parse_legacy_advise_returns_raw_validated_overrides():
+    """The parser keeps absent fields as None — partial overrides merge onto
+    the *service's* default config (InferenceService.legacy_strategy), so
+    resolution cannot happen at parse time."""
+    assert parse_legacy_advise({"code": CODE}) == (CODE, None, None)
+    assert parse_legacy_advise({"code": CODE, "beam_size": 4}) == (CODE, 4, None)
+    assert parse_legacy_advise({"code": CODE, "length_penalty": 1}) == \
+        (CODE, None, 1.0)
+    with pytest.raises(ApiError) as excinfo:
+        parse_legacy_advise({"code": CODE, "beam_size": 99})
+    assert excinfo.value.status == 422
+    with pytest.raises(ApiError) as excinfo:
+        parse_legacy_advise({"code": CODE, "length_penalty": float("nan")})
+    assert excinfo.value.status == 422
+
+
+def test_legacy_response_shape_matches_pre_v1_bytes():
+    """to_legacy_dict reproduces the old /advise body: same keys, same
+    order, strategy spelled as beam_size/length_penalty."""
+    response = AdviseResponse(
+        generated_code="int main() {}\n", advice=(), diagnostics=(),
+        strategy=BeamStrategy(beam_size=4, length_penalty=0.6),
+        cached=False, latency_ms=2.0, cache_key="k")
+    legacy = response.to_legacy_dict()
+    assert list(legacy) == ["generated_code", "advice", "diagnostics",
+                            "cached", "latency_ms", "cache_key",
+                            "beam_size", "length_penalty"]
+    assert legacy["beam_size"] == 4 and legacy["length_penalty"] == 0.6
+    greedy = AdviseResponse(
+        generated_code="", advice=(), diagnostics=(),
+        strategy=SampleStrategy(seed=5)).to_legacy_dict()
+    assert greedy["beam_size"] == 1 and greedy["length_penalty"] == 0.0
+
+
+# ------------------------------------------------- normalisation invariants
+
+
+def test_beam_size_one_normalises_to_greedy():
+    assert BeamStrategy(beam_size=1, length_penalty=0.9).normalised() == \
+        GreedyStrategy()
+    assert BeamStrategy(beam_size=2).normalised() == BeamStrategy(beam_size=2)
+
+
+def test_strategy_from_generation_mirrors_legacy_cache_normalisation():
+    assert strategy_from_generation(None) == GreedyStrategy()
+    assert strategy_from_generation(GenerationConfig(beam_size=1,
+                                                     length_penalty=0.9)) == \
+        GreedyStrategy()
+    beam = strategy_from_generation(GenerationConfig(beam_size=4,
+                                                     length_penalty=0.6))
+    assert beam == BeamStrategy(beam_size=4, length_penalty=0.6)
+    assert beam.canonical() == "beam4:lp0.6"
+
+
+def test_canonical_distinguishes_every_output_changing_parameter():
+    a = SampleStrategy(temperature=0.7, seed=1)
+    b = SampleStrategy(temperature=0.7, seed=2)
+    c = SampleStrategy(temperature=0.7000001, seed=1)
+    assert len({a.canonical(), b.canonical(), c.canonical()}) == 3
+
+
+def test_int_and_float_spellings_share_one_canonical_identity():
+    """JSON clients spell 1.0 as 1 freely; both spellings must hit the same
+    cache entries and micro-batch groups (numeric fields coerce to float)."""
+    assert BeamStrategy(beam_size=4, length_penalty=1) == \
+        BeamStrategy(beam_size=4, length_penalty=1.0)
+    assert strategy_from_dict({"name": "beam", "beam_size": 4,
+                               "length_penalty": 1}).canonical() == \
+        BeamStrategy(beam_size=4, length_penalty=1.0).canonical()
+    assert strategy_from_dict({"name": "sample", "temperature": 2,
+                               "top_p": 1}).canonical() == \
+        SampleStrategy(temperature=2.0, top_p=1.0).canonical()
+    # Coercion must not mask type errors: bools and strings still fail.
+    with pytest.raises(ApiError):
+        AdviseRequest.from_dict({"code": CODE,
+                                 "strategy": {"name": "beam",
+                                              "length_penalty": True}})
+
+
+def test_status_split_keys_on_error_kind_not_message_text():
+    """The 400/422 split reads StrategyParamError.kind, not message words —
+    rewording a message cannot flip a status class."""
+    with pytest.raises(StrategyParamError) as excinfo:
+        strategy_from_dict({"name": "beam", "beam_size": "four"})
+    assert excinfo.value.kind == "type"
+    assert ApiError.from_strategy_error(excinfo.value).status == 400
+    with pytest.raises(StrategyParamError) as excinfo:
+        strategy_from_dict({"name": "beam", "beam_size": 99})
+    assert excinfo.value.kind == "value"
+    assert ApiError.from_strategy_error(excinfo.value).status == 422
+    with pytest.raises(StrategyParamError) as excinfo:
+        strategy_from_dict({"name": "beam", "nope": 1})
+    assert excinfo.value.kind == "unknown"
+    assert ApiError.from_strategy_error(excinfo.value).status == 400

@@ -1,0 +1,102 @@
+"""Golden-file contract smoke: boot the server, POST v1 requests, diff JSON.
+
+Each file under ``tests/golden/api_v1/`` is one case:
+``{"request": {"path", "body"}, "expect": {...}}``.  The harness boots the
+real HTTP server on an ephemeral port, POSTs every golden request and diffs
+the response against the checked-in expectation.  Model-dependent fields are
+checked-in as the sentinel ``"<volatile>"`` and masked in the actual
+response before the diff — everything else (status, envelope, echoed
+strategy, key set and order) must match **exactly**, so any contract drift
+shows up as a golden diff rather than a client breakage.
+
+This is the CI "contract smoke" step (it also runs in tier-1).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.model.generation import GenerationConfig
+from repro.serving import InferenceService
+from repro.serving.server import make_server
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "api_v1"
+VOLATILE = "<volatile>"
+
+CASES = sorted(GOLDEN_DIR.glob("*.json"))
+
+
+@pytest.fixture(scope="module")
+def endpoint(tiny_model):
+    service = InferenceService(tiny_model, max_batch_size=4, max_wait_ms=5,
+                               cache_capacity=64,
+                               generation=GenerationConfig(max_length=60))
+    server = make_server(service, port=0, quiet=True)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+def _post(url: str, body: dict) -> tuple[int, bytes]:
+    request = urllib.request.Request(
+        url, data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def _masked(actual, expected):
+    """``actual`` with every position golden marks ``"<volatile>"`` replaced
+    by the sentinel, recursively — so the diff covers exactly the stable
+    surface."""
+    if expected == VOLATILE:
+        return VOLATILE
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        return {key: _masked(value, expected[key]) if key in expected else value
+                for key, value in actual.items()}
+    return actual
+
+
+@pytest.mark.parametrize("case_path", CASES, ids=lambda p: p.stem)
+def test_golden_api_v1(endpoint, case_path):
+    case = json.loads(case_path.read_text())
+    request, expect = case["request"], case["expect"]
+    status, raw = _post(f"{endpoint}{request['path']}", request["body"])
+    assert status == expect["status"], raw
+
+    if "final_response" in expect:  # a streaming case: NDJSON lines
+        lines = [json.loads(line) for line in raw.splitlines() if line]
+        final = lines[-1]
+        assert final["type"] == "final"
+        tokens = lines[:-1]
+        assert all(chunk["type"] == "token" for chunk in tokens)
+        assert len(tokens) >= expect["min_token_chunks"]
+        actual = _masked(final["response"], expect["final_response"])
+        assert actual == expect["final_response"]
+        # Key order is part of the contract too.
+        assert list(actual) == list(expect["final_response"])
+    else:
+        body = json.loads(raw)
+        actual = _masked(body, expect["response"])
+        assert actual == expect["response"]
+        assert list(actual) == list(expect["response"])
+
+
+def test_golden_directory_covers_the_required_cases():
+    """ISSUE 4 satellite: greedy/beam/sample/stream plus two malformed."""
+    stems = {path.stem for path in CASES}
+    assert {"greedy", "beam", "sample", "stream"} <= stems
+    assert len([s for s in stems if s.startswith("malformed")]) >= 2

@@ -97,23 +97,36 @@ def test_beam_request_roundtrip(endpoint, pi_source):
     assert again["generated_code"] == body["generated_code"]
 
 
-@pytest.mark.parametrize("fields, fragment", [
-    ({"beam_size": 0}, "beam_size"),
-    ({"beam_size": 99}, "beam_size"),
-    ({"beam_size": "four"}, "beam_size"),
-    ({"beam_size": True}, "beam_size"),
-    ({"length_penalty": -1}, "length_penalty"),
-    ({"length_penalty": "low"}, "length_penalty"),
+def _error_body(excinfo) -> dict:
+    """The structured envelope: {"error": {"code", "message", "field"}}."""
+    body = json.loads(excinfo.value.read())
+    envelope = body["error"]
+    assert set(envelope) == {"code", "message", "field"}
+    return envelope
+
+
+@pytest.mark.parametrize("fields, status, fragment", [
+    # Out-of-range values are 422 (semantically invalid)...
+    ({"beam_size": 0}, 422, "beam_size"),
+    ({"beam_size": 99}, 422, "beam_size"),
+    ({"length_penalty": -1}, 422, "length_penalty"),
     # json.loads accepts these non-standard tokens; the server must not.
-    ({"length_penalty": float("nan")}, "length_penalty"),
-    ({"length_penalty": float("inf")}, "length_penalty"),
+    ({"length_penalty": float("nan")}, 422, "length_penalty"),
+    ({"length_penalty": float("inf")}, 422, "length_penalty"),
+    # ... while type errors are 400 (malformed request).
+    ({"beam_size": "four"}, 400, "beam_size"),
+    ({"beam_size": True}, 400, "beam_size"),
+    ({"length_penalty": "low"}, 400, "length_penalty"),
 ])
-def test_bad_generation_fields_are_400(endpoint, pi_source, fields, fragment):
+def test_bad_generation_fields_are_rejected(endpoint, pi_source, fields,
+                                            status, fragment):
     payload = json.dumps({"code": pi_source, **fields}).encode()
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         _post(f"{endpoint}/advise", payload)
-    assert excinfo.value.code == 400
-    assert fragment in json.loads(excinfo.value.read())["error"]
+    assert excinfo.value.code == status
+    envelope = _error_body(excinfo)
+    assert fragment in envelope["message"]
+    assert envelope["field"] == fragment
 
 
 @pytest.mark.parametrize("payload, fragment", [
@@ -125,7 +138,123 @@ def test_bad_requests_are_400(endpoint, payload, fragment):
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         _post(f"{endpoint}/advise", payload)
     assert excinfo.value.code == 400
-    assert fragment in json.loads(excinfo.value.read())["error"]
+    envelope = _error_body(excinfo)
+    assert envelope["code"] == "invalid_request"
+    assert fragment in envelope["message"]
+
+
+@pytest.mark.parametrize("path", ["/advise", "/v1/advise"])
+@pytest.mark.parametrize("payload, status, field", [
+    (b"not json at all", 400, None),
+    (json.dumps({"code": ""}).encode(), 400, "code"),
+    (json.dumps({"code": "int main() {}", "beam_size": 0}).encode(),
+     422, "beam_size"),
+])
+def test_error_envelope_is_uniform_across_routes(endpoint, path, payload,
+                                                 status, field):
+    """Both the legacy and v1 routes answer with the same structured
+    envelope and the same 400/422 split (the v1 spelling of beam_size=0 is
+    a strategy object)."""
+    if path == "/v1/advise" and b"beam_size" in payload:
+        payload = json.dumps({"code": "int main() {}",
+                              "strategy": {"name": "beam",
+                                           "beam_size": 0}}).encode()
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(f"{endpoint}{path}", payload)
+    assert excinfo.value.code == status
+    envelope = _error_body(excinfo)
+    assert envelope["field"] == field
+
+
+# ------------------------------------------------------------------- v1 API
+
+
+def test_v1_advise_roundtrip(endpoint, pi_source):
+    """POST /v1/advise speaks the AdviseRequest/AdviseResponse contract."""
+    payload = json.dumps({"code": pi_source,
+                          "strategy": {"name": "beam", "beam_size": 2,
+                                       "length_penalty": 0.6}}).encode()
+    status, body = _post(f"{endpoint}/v1/advise", payload)
+    assert status == 200
+    assert body["api_version"] == "v1"
+    assert set(body) >= {"generated_code", "advice", "diagnostics", "strategy",
+                         "cached", "latency_ms", "cache_key"}
+    assert body["strategy"] == {"name": "beam", "beam_size": 2,
+                                "length_penalty": 0.6}
+
+    # The legacy route and the v1 route hit the same cache entry: the shim
+    # really delegates to the one v1 path.
+    legacy = json.dumps({"code": pi_source, "beam_size": 2,
+                         "length_penalty": 0.6}).encode()
+    status, legacy_body = _post(f"{endpoint}/advise", legacy)
+    assert status == 200
+    assert legacy_body["cache_key"] == body["cache_key"]
+    assert legacy_body["cached"] is True
+    assert legacy_body["generated_code"] == body["generated_code"]
+
+
+def test_v1_advise_rejects_unknown_fields(endpoint, pi_source):
+    payload = json.dumps({"code": pi_source, "beam_size": 2}).encode()
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(f"{endpoint}/v1/advise", payload)
+    assert excinfo.value.code == 400
+    assert _error_body(excinfo)["field"] == "beam_size"
+
+
+def test_v1_sample_strategy_is_served_and_cached_by_seed(endpoint, pi_source):
+    def request(seed):
+        payload = json.dumps({"code": pi_source,
+                              "strategy": {"name": "sample", "temperature": 0.7,
+                                           "seed": seed}}).encode()
+        return _post(f"{endpoint}/v1/advise", payload)[1]
+
+    first = request(11)
+    again = request(11)
+    other = request(12)
+    assert again["cached"] is True
+    assert again["generated_code"] == first["generated_code"]
+    # A different seed is a different cache identity (it may or may not
+    # generate different tokens on a tiny model, but it must not be served
+    # the other seed's cache entry).
+    assert other["cache_key"] != first["cache_key"]
+
+
+def test_v1_stream_emits_incremental_chunks_then_final(endpoint, pi_source):
+    """The acceptance bar: >= 2 incremental NDJSON token chunks arrive
+    before the final result for a multi-token generation."""
+    payload = json.dumps({"code": pi_source}).encode()
+    request = urllib.request.Request(
+        f"{endpoint}/v1/advise/stream", data=payload,
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=120) as response:
+        assert response.status == 200
+        assert response.headers["Content-Type"] == "application/x-ndjson"
+        lines = [json.loads(line) for line in response.read().splitlines()]
+    assert len(lines) >= 3
+    tokens, final = lines[:-1], lines[-1]
+    assert final["type"] == "final"
+    assert all(chunk["type"] == "token" for chunk in tokens)
+    assert len(tokens) >= 2
+    assert [chunk["index"] for chunk in tokens] == list(range(len(tokens)))
+    # The streamed tokens are exactly the final generated token stream.
+    body = final["response"]
+    assert body["api_version"] == "v1"
+    assert body["generated_code"]
+    # A non-stream request for the same buffer shares the cache entry.
+    status, direct = _post(f"{endpoint}/v1/advise", payload)
+    assert status == 200
+    assert direct["cache_key"] == body["cache_key"]
+    assert direct["cached"] is True
+
+
+def test_v1_stream_rejects_invalid_requests_with_envelope(endpoint):
+    payload = json.dumps({"code": "int main() {}",
+                          "strategy": {"name": "sample",
+                                       "temperature": -1}}).encode()
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(f"{endpoint}/v1/advise/stream", payload)
+    assert excinfo.value.code == 422
+    assert _error_body(excinfo)["field"] == "temperature"
 
 
 def test_unknown_paths_are_404(endpoint):

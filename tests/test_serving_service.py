@@ -201,6 +201,30 @@ def test_generation_label_distinguishes_every_cached_penalty():
         == generation_label(GenerationConfig(beam_size=1)) == "greedy"
 
 
+def test_abandoned_stream_still_populates_the_cache(service):
+    """A streaming client that disconnects mid-stream must not waste the
+    decode: the worker caches the completed result, so a retry replays."""
+    import time as time_module
+
+    from repro.api import AdviseRequest
+
+    from repro.serving.cache import canonical_cache_key
+
+    source = "int main() { int abandoned_stream_probe = 9; return 0; }"
+    stream = service.advise_stream(AdviseRequest(code=source))
+    first = next(stream)          # start the decode, take one chunk ...
+    assert first["type"] in ("token", "final")
+    del stream                    # ... then abandon the generator (disconnect)
+
+    key = canonical_cache_key(source)     # the stream's greedy cache identity
+    deadline = time_module.time() + 60
+    while time_module.time() < deadline and key not in service.cache:
+        time_module.sleep(0.05)
+    assert key in service.cache, \
+        "decode result of an abandoned stream was discarded"
+    assert service.advise(source, timeout=120).cached
+
+
 def test_cache_disabled_service_always_decodes(tiny_model, pi_source):
     with InferenceService(tiny_model, max_batch_size=2, max_wait_ms=2,
                           cache_capacity=0, generation=FAST) as svc:
