@@ -19,7 +19,15 @@ fires three waves of traffic at it:
    seed replays from cache; a different seed is a different cache identity;
 6. a **streaming client** — ``InferenceService.advise_stream`` yields token
    chunks as the model decodes, then the final ``AdviseResponse`` (exactly
-   what ``POST /v1/advise/stream`` sends as NDJSON lines).
+   what ``POST /v1/advise/stream`` sends as NDJSON lines);
+7. a **model lifecycle wave** — a second checkpoint is saved (a "retrained"
+   revision), registered in the :class:`repro.registry.ModelRegistry`, and
+   the ``default`` alias is hot-swapped onto it while requests are in
+   flight: every request drains on the revision it resolved to, nothing is
+   dropped, and the old revision's cache entries can never answer post-swap
+   traffic (the cache key embeds ``name@revision``).  An async batch job is
+   then submitted and polled to completion — exactly what
+   ``POST /v1/advise/batch`` + ``GET /v1/jobs/{id}`` do over HTTP.
 
 Run with:  PYTHONPATH=src python examples/serving_demo.py
 """
@@ -27,8 +35,10 @@ Run with:  PYTHONPATH=src python examples/serving_demo.py
 from __future__ import annotations
 
 import json
+import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 
 from repro.api import AdviseRequest
 from repro.corpus import MiningConfig, build_corpus
@@ -37,6 +47,7 @@ from repro.model.config import tiny_config
 from repro.model.decoding import SampleStrategy
 from repro.model.generation import GenerationConfig
 from repro.mpirical import MPIRical
+from repro.registry import ModelRegistry
 from repro.serving import InferenceService
 
 
@@ -55,8 +66,9 @@ def train_demo_model() -> tuple[MPIRical, list[str]]:
 def main() -> None:
     model, programs = train_demo_model()
     generation = GenerationConfig(max_length=80)
+    registry = ModelRegistry(model, name="advisor-v1")
 
-    with InferenceService(model, max_batch_size=8, max_wait_ms=10,
+    with InferenceService(registry, max_batch_size=8, max_wait_ms=10,
                           num_workers=2, cache_capacity=128,
                           generation=generation) as service:
         print(f"\n--- wave 1: cold burst of {len(programs)} concurrent programs")
@@ -120,7 +132,48 @@ def main() -> None:
         print(f"    final strategy={final['strategy']['name']} "
               f"cached={final['cached']}")
 
-        print("\n--- /metrics snapshot (note batches_by_config, streams_total)")
+        print("\n--- wave 7: model lifecycle — save, register, hot-swap, batch job")
+        workdir = Path(tempfile.mkdtemp(prefix="serving-demo-"))
+        # "Retrain": clone the model through a checkpoint, nudge its weights,
+        # and save the new revision — a stand-in for a real training run.
+        retrained = MPIRical.load(model.save(workdir / "base"))
+        first = retrained.model.parameters()[0]
+        first.data[...] = first.data + 0.05
+        first.mark_updated()
+        checkpoint = retrained.save(workdir / "advisor-v2")
+        entry = registry.register("advisor-v2", checkpoint)
+        print(f"    saved + registered advisor-v2 "
+              f"(revision {entry.revision}, lazy-loaded from {checkpoint})")
+
+        with ThreadPoolExecutor(max_workers=len(programs)) as pool:
+            inflight = [pool.submit(service.advise_request,
+                                    AdviseRequest(code=p, model="default"))
+                        for p in programs]
+            previous, current = registry.swap("advisor-v2")
+            drained = [f.result() for f in inflight]
+        identities = sorted({r.model for r in drained})
+        print(f"    hot-swapped {previous} -> {current} under traffic; "
+              f"{len(drained)}/{len(programs)} in-flight requests drained "
+              f"on {identities}")
+        fresh = service.advise_request(
+            AdviseRequest(code=programs[0], model="default"))
+        print(f"    post-swap request served by {fresh.model}; "
+              f"stale pre-swap cache hit: "
+              f"{fresh.cache_key in {r.cache_key for r in served}}")
+
+        job = service.jobs.submit(
+            [AdviseRequest(code=p) for p in programs[:4]])
+        print(f"    batch job {job.job_id} submitted "
+              f"({job.to_dict()['total']} items); polling ...")
+        while not job.wait(timeout=0.2):
+            body = job.to_dict()
+            print(f"      {body['status']}: {body['completed']}/{body['total']}")
+        body = job.to_dict()
+        ok = sum(1 for item in body["results"] if item["status"] == "ok")
+        print(f"    job {body['job_id']} done: {ok}/{body['total']} items ok")
+
+        print("\n--- /metrics snapshot (note batches_by_config, "
+              "requests_by_model, registry)")
         print(json.dumps(service.metrics(), indent=2))
 
 

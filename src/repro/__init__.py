@@ -12,7 +12,9 @@ Top-level layout
 ``repro.model``         NumPy Transformer (autograd, trainer, decoding strategies)
 ``repro.api``           versioned advising contract (AdviseRequest/Response, ApiError)
 ``repro.mpirical``      the MPI-RICAL pipeline, assistant API and rule baseline
-``repro.serving``       batched inference service (micro-batching, LRU cache, HTTP)
+``repro.registry``      model lifecycle (versioned registry, aliases, hot-swap)
+``repro.serving``       batched inference service (micro-batching, LRU cache,
+                        batch jobs, HTTP)
 ``repro.evaluation``    Table II / Table III metrics (F1, BLEU, METEOR, ROUGE-L, ACC)
 ``repro.mpisim``        simulated MPI runtime + C interpreter (program validation)
 ``repro.benchprograms`` the 11 numerical benchmark programs
@@ -40,6 +42,7 @@ __all__ = [
     "model",
     "api",
     "mpirical",
+    "registry",
     "serving",
     "evaluation",
     "mpisim",

@@ -20,20 +20,24 @@ Quick start
 
 from .contract import (
     API_VERSION,
+    MAX_BATCH_ITEMS,
     AdviseRequest,
     AdviseResponse,
     ApiError,
     advice_items,
+    parse_batch_advise,
     parse_legacy_advise,
     strategy_matrix,
 )
 
 __all__ = [
     "API_VERSION",
+    "MAX_BATCH_ITEMS",
     "AdviseRequest",
     "AdviseResponse",
     "ApiError",
     "advice_items",
+    "parse_batch_advise",
     "parse_legacy_advise",
     "strategy_matrix",
 ]

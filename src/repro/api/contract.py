@@ -5,10 +5,14 @@ around advising (``beam_size=`` on the service, raw JSON fields on
 ``/advise``, ``generation=`` on the pipeline):
 
 * :class:`AdviseRequest` — what a caller asks for: a source buffer plus a
-  :class:`repro.model.decoding.DecodingStrategy`.  ``from_dict`` is strict
-  (unknown fields are rejected by name) and :meth:`AdviseRequest.validate`
-  is the **single** place parameter validation happens, so the HTTP server
-  and the in-process service cannot drift.
+  :class:`repro.model.decoding.DecodingStrategy` and (v1.1) an optional
+  ``model`` reference — an alias, a registered name, or a fully pinned
+  ``name@revision`` (see :mod:`repro.registry`).  A request that omits
+  ``model`` is byte-identical to the v1.0 wire form and resolves through the
+  registry's ``default`` alias.  ``from_dict`` is strict (unknown fields are
+  rejected by name) and :meth:`AdviseRequest.validate` is the **single**
+  place parameter validation happens, so the HTTP server and the in-process
+  service cannot drift.
 * :class:`AdviseResponse` — what comes back: the generated program, the
   anchored advice list, parse diagnostics, the canonical strategy the decode
   ran under, and the serving metadata (``cached``/``latency_ms``/
@@ -71,6 +75,12 @@ class ApiError(Exception):
         return cls("invalid_parameter", message, field=field, status=422)
 
     @classmethod
+    def unknown_model(cls, message: str) -> "ApiError":
+        """A well-formed request naming a model the registry cannot resolve
+        (unknown name/alias, or a pinned revision that was replaced): 422."""
+        return cls("unknown_model", message, field="model", status=422)
+
+    @classmethod
     def not_found(cls, message: str) -> "ApiError":
         return cls("not_found", message, status=404)
 
@@ -100,10 +110,14 @@ class ApiError(Exception):
 
 @dataclass(frozen=True)
 class AdviseRequest:
-    """One advising request: a source buffer plus its decoding strategy."""
+    """One advising request: a source buffer, a decoding strategy and an
+    optional model reference (None = the registry's ``default`` alias)."""
 
     code: str
     strategy: DecodingStrategy = field(default_factory=GreedyStrategy)
+    #: Alias, registered name, or pinned ``name@revision``.  Omitted (None)
+    #: keeps the wire form — and the response shape — identical to v1.0.
+    model: str | None = None
 
     # ----------------------------------------------------------- validation
 
@@ -121,6 +135,15 @@ class AdviseRequest:
         if not self.code.strip():
             raise ApiError.invalid_request('"code" must be non-empty C source',
                                            field="code")
+        if self.model is not None:
+            if not isinstance(self.model, str):
+                raise ApiError.invalid_request(
+                    '"model" must be a string (alias, name, or name@revision)',
+                    field="model")
+            if not self.model.strip():
+                raise ApiError.invalid_request(
+                    '"model" must be a non-empty model reference',
+                    field="model")
         if not isinstance(self.strategy, DecodingStrategy):
             raise ApiError.invalid_request(
                 '"strategy" must be a DecodingStrategy', field="strategy")
@@ -133,23 +156,27 @@ class AdviseRequest:
     # -------------------------------------------------------- serialisation
 
     def to_dict(self) -> dict:
-        return {"code": self.code, "strategy": self.strategy.to_dict()}
+        payload = {"code": self.code, "strategy": self.strategy.to_dict()}
+        if self.model is not None:
+            payload["model"] = self.model
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "AdviseRequest":
         """Strict v1 parsing: unknown top-level fields are rejected by name.
 
         ``strategy`` may be an object (``{"name": "beam", "beam_size": 4}``)
-        or a bare strategy name string; absent means greedy.  The returned
-        request has already passed :meth:`validate`.
+        or a bare strategy name string; absent means greedy.  ``model`` is an
+        optional reference string; absent means the registry default.  The
+        returned request has already passed :meth:`validate`.
         """
         if not isinstance(data, Mapping):
             raise ApiError.invalid_request("request body must be a JSON object")
-        known = {"code", "strategy"}
+        known = {"code", "strategy", "model"}
         for key in data:
             if key not in known:
                 raise ApiError.invalid_request(
-                    f'unknown field "{key}" (accepted: code, strategy)',
+                    f'unknown field "{key}" (accepted: code, strategy, model)',
                     field=str(key))
         if "code" not in data:
             raise ApiError.invalid_request('"code" is required', field="code")
@@ -161,7 +188,8 @@ class AdviseRequest:
         except TypeError as exc:
             raise ApiError.invalid_request(
                 f'invalid "strategy": {exc}', field="strategy") from exc
-        return cls(code=data["code"], strategy=strategy).validate()
+        return cls(code=data["code"], strategy=strategy,
+                   model=data.get("model")).validate()
 
 
 
@@ -218,10 +246,14 @@ class AdviseResponse:
     cached: bool = False
     latency_ms: float = 0.0
     cache_key: str = ""
+    #: The resolved ``name@revision`` that served the request — present on
+    #: the wire only when the request named a model, so requests that omit
+    #: ``model`` keep the exact v1.0 response shape.
+    model: str | None = None
     api_version: str = API_VERSION
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "api_version": self.api_version,
             "generated_code": self.generated_code,
             "advice": [dict(item) for item in self.advice],
@@ -231,6 +263,9 @@ class AdviseResponse:
             "latency_ms": self.latency_ms,
             "cache_key": self.cache_key,
         }
+        if self.model is not None:
+            payload["model"] = self.model
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "AdviseResponse":
@@ -246,6 +281,7 @@ class AdviseResponse:
             cached=bool(data.get("cached", False)),
             latency_ms=float(data.get("latency_ms", 0.0)),
             cache_key=str(data.get("cache_key", "")),
+            model=data.get("model"),
             api_version=str(data.get("api_version", API_VERSION)),
         )
 
@@ -292,6 +328,58 @@ def advice_items(session) -> tuple[dict, ...]:
         }
         for item in session.advice
     )
+
+
+#: Largest accepted ``POST /v1/advise/batch`` submission.  Bulk workloads
+#: bigger than this should be split client-side; an unbounded list would let
+#: one submission monopolise the job worker for minutes.
+MAX_BATCH_ITEMS = 64
+
+
+def parse_batch_advise(data: Mapping[str, Any]) -> list[AdviseRequest]:
+    """Parse and validate a ``POST /v1/advise/batch`` submission.
+
+    The body is ``{"items": [<AdviseRequest dict>, ...]}`` plus optional
+    top-level ``model`` and ``strategy`` defaults merged into every item that
+    does not set its own.  Parsing is atomic: any malformed item rejects the
+    whole submission (400/422 with the offending index in ``field``), so a
+    job never holds half a workload.  Serve-time failures (e.g. a model
+    unloaded between submit and run) are *not* detected here — they become
+    per-item error envelopes in the job results.
+    """
+    if not isinstance(data, Mapping):
+        raise ApiError.invalid_request("request body must be a JSON object")
+    known = {"items", "model", "strategy"}
+    for key in data:
+        if key not in known:
+            raise ApiError.invalid_request(
+                f'unknown field "{key}" (accepted: items, model, strategy)',
+                field=str(key))
+    items = data.get("items")
+    if not isinstance(items, list) or not items:
+        raise ApiError.invalid_request(
+            '"items" must be a non-empty list of advise requests',
+            field="items")
+    if len(items) > MAX_BATCH_ITEMS:
+        raise ApiError.invalid_parameter(
+            f'"items" holds {len(items)} requests; the batch limit is '
+            f'{MAX_BATCH_ITEMS}', field="items")
+    defaults = {key: data[key] for key in ("model", "strategy") if key in data}
+    requests = []
+    for index, item in enumerate(items):
+        if not isinstance(item, Mapping):
+            raise ApiError.invalid_request(
+                f"items[{index}] must be a JSON object",
+                field=f"items[{index}]")
+        merged = {**defaults, **item}
+        try:
+            requests.append(AdviseRequest.from_dict(merged))
+        except ApiError as exc:
+            raise ApiError(exc.code, f"items[{index}]: {exc.message}",
+                           field=f"items[{index}]"
+                                 + (f".{exc.field}" if exc.field else ""),
+                           status=exc.status) from exc
+    return requests
 
 
 def strategy_matrix() -> dict[str, dict]:

@@ -1,9 +1,31 @@
-"""Saving and restoring model weights + vocabulary + configuration."""
+"""Saving and restoring model weights + vocabulary + configuration.
+
+A checkpoint is a directory of four files::
+
+    weights.npz     every parameter array, in parameter order
+    config.json     the ModelConfig the arrays belong to
+    vocab.json      the Vocabulary the model was trained against
+    manifest.json   integrity metadata written at save time
+
+The manifest turns what used to be a late, cryptic shape-mismatch failure
+into an immediate, actionable :class:`CheckpointError` at load time: it
+records the parameter count, a digest over every parameter shape, a hash of
+the vocabulary, and the checkpoint's content-hash **revision** — the identity
+the model registry (:mod:`repro.registry`) uses to version entries and the
+serving cache uses to isolate results across hot-swaps.  The revision is
+computed over the *raw parameter bytes* plus config and vocabulary (not the
+npz container), so an in-memory model and its saved checkpoint agree on one
+fingerprint (:func:`model_fingerprint`).
+
+Checkpoints saved before the manifest existed still load: verification is
+skipped and the revision is recomputed from content.
+"""
 
 from __future__ import annotations
 
+import hashlib
 import json
-from dataclasses import asdict
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 import numpy as np
@@ -12,10 +34,112 @@ from ..tokenization.vocab import Vocabulary
 from .config import ModelConfig
 from .transformer import Seq2SeqTransformer
 
+#: Hex digits of the content hash kept as the human-facing revision string.
+REVISION_DIGITS = 12
+
+MANIFEST_FORMAT = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint directory is unusable and the message says exactly why.
+
+    Raised at load time — before any parameter array is copied — for missing
+    files, parameter-count or shape mismatches against the saved config, and
+    vocabulary or weight corruption detected through the manifest.
+    """
+
+
+@dataclass(frozen=True)
+class CheckpointManifest:
+    """Integrity metadata for one checkpoint directory."""
+
+    #: Number of parameter arrays in ``weights.npz``.
+    param_count: int
+    #: Total scalar parameters across every array.
+    total_parameters: int
+    #: sha256 over the ordered parameter shapes (cheap structural identity).
+    shapes_digest: str
+    #: sha256 over the serialised vocabulary.
+    vocab_hash: str
+    #: Content-hash identity of (weights, config, vocab): the model version.
+    revision: str
+    format: int = MANIFEST_FORMAT
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CheckpointManifest":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 — names only
+        return cls(**{key: value for key, value in data.items() if key in known})
+
+
+def _shapes_digest(shapes: list[tuple[int, ...]]) -> str:
+    text = ";".join(f"{i}:{'x'.join(map(str, shape))}"
+                    for i, shape in enumerate(shapes))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _vocab_hash(vocab: Vocabulary) -> str:
+    payload = json.dumps(vocab.to_dict(), sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def model_fingerprint(model: Seq2SeqTransformer, vocab: Vocabulary) -> str:
+    """The content-hash revision of an in-memory model.
+
+    Hashes the raw parameter bytes (in parameter order, shapes included),
+    the model config and the vocabulary — the same inputs the manifest
+    records at save time, so ``model_fingerprint(model, vocab)`` equals the
+    saved checkpoint's ``revision`` and a registry entry created from a live
+    model gets the same identity it would have after a save/load round-trip.
+    """
+    digest = hashlib.sha256()
+    for param in model.parameters():
+        array = np.ascontiguousarray(param.data)
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    digest.update(json.dumps(asdict(model.config), sort_keys=True).encode())
+    digest.update(_vocab_hash(vocab).encode())
+    return digest.hexdigest()[:REVISION_DIGITS]
+
+
+def build_manifest(model: Seq2SeqTransformer,
+                   vocab: Vocabulary) -> CheckpointManifest:
+    """The manifest :func:`save_checkpoint` writes for ``model`` + ``vocab``."""
+    params = model.parameters()
+    shapes = [tuple(p.data.shape) for p in params]
+    return CheckpointManifest(
+        param_count=len(params),
+        total_parameters=int(sum(p.data.size for p in params)),
+        shapes_digest=_shapes_digest(shapes),
+        vocab_hash=_vocab_hash(vocab),
+        revision=model_fingerprint(model, vocab),
+    )
+
+
+def read_manifest(path: str | Path) -> CheckpointManifest | None:
+    """The checkpoint's manifest, or None for pre-manifest checkpoints."""
+    manifest_path = Path(path) / "manifest.json"
+    if not manifest_path.exists():
+        return None
+    try:
+        return CheckpointManifest.from_dict(json.loads(manifest_path.read_text()))
+    except (json.JSONDecodeError, TypeError) as exc:
+        raise CheckpointError(
+            f"unreadable manifest {manifest_path}: {exc}") from exc
+
+
+def checkpoint_revision(path: str | Path) -> str | None:
+    """The saved revision of the checkpoint under ``path`` (manifest only —
+    pre-manifest checkpoints return None until loaded)."""
+    manifest = read_manifest(path)
+    return manifest.revision if manifest is not None else None
+
 
 def save_checkpoint(path: str | Path, model: Seq2SeqTransformer,
                     vocab: Vocabulary) -> Path:
-    """Write model weights (npz), config and vocabulary (json) under ``path``.
+    """Write model weights (npz), config, vocabulary and manifest under ``path``.
 
     ``path`` is a directory; it is created if missing.
     """
@@ -28,31 +152,87 @@ def save_checkpoint(path: str | Path, model: Seq2SeqTransformer,
 
     (path / "config.json").write_text(json.dumps(asdict(model.config), indent=2))
     (path / "vocab.json").write_text(json.dumps(vocab.to_dict(), indent=2))
+    (path / "manifest.json").write_text(
+        json.dumps(build_manifest(model, vocab).to_dict(), indent=2))
     return path
+
+
+def _require_file(path: Path) -> Path:
+    if not path.exists():
+        raise CheckpointError(
+            f"checkpoint is missing {path.name!r} (looked in {path.parent})")
+    return path
+
+
+def load_checkpoint_with_manifest(
+        path: str | Path) -> tuple[Seq2SeqTransformer, Vocabulary,
+                                   CheckpointManifest]:
+    """Rebuild a saved model + vocabulary and return its (verified) manifest.
+
+    Verification happens *before* any array is copied into the model:
+    parameter count and per-parameter shapes are checked against the saved
+    config's expectations, and the vocabulary hash against the loaded
+    vocabulary — so a truncated or mixed-up checkpoint fails with one
+    :class:`CheckpointError` naming the problem, not a mid-copy numpy error.
+    After loading, the content fingerprint is recomputed and compared to the
+    manifest revision, catching silent weight corruption.
+
+    Pre-manifest checkpoints skip verification; their manifest (and
+    revision) is rebuilt from the loaded content.
+    """
+    path = Path(path)
+    if not path.is_dir():
+        raise CheckpointError(f"checkpoint directory {path} does not exist")
+    config = ModelConfig(**json.loads(_require_file(path / "config.json")
+                                      .read_text()))
+    vocab = Vocabulary.from_dict(json.loads(_require_file(path / "vocab.json")
+                                            .read_text()))
+    manifest = read_manifest(path)
+    model = Seq2SeqTransformer(config)
+    params = model.parameters()
+
+    if manifest is not None:
+        if manifest.param_count != len(params):
+            raise CheckpointError(
+                f"checkpoint manifest records {manifest.param_count} parameter "
+                f"arrays, the model built from its config has {len(params)} — "
+                f"config.json and weights.npz do not belong together")
+        expected = _shapes_digest([tuple(p.data.shape) for p in params])
+        if manifest.shapes_digest != expected:
+            raise CheckpointError(
+                "checkpoint manifest shapes digest does not match the model "
+                "built from its config — the weights were saved for a "
+                "different architecture")
+        if manifest.vocab_hash != _vocab_hash(vocab):
+            raise CheckpointError(
+                "checkpoint vocab.json does not match the manifest's vocab "
+                "hash — the vocabulary file was replaced or corrupted")
+
+    with np.load(_require_file(path / "weights.npz")) as data:
+        if len(data.files) != len(params):
+            raise CheckpointError(
+                f"checkpoint has {len(data.files)} parameter arrays, "
+                f"model expects {len(params)}")
+        for i, p in enumerate(params):
+            stored = data[f"param_{i}"]
+            if stored.shape != p.data.shape:
+                raise CheckpointError(
+                    f"parameter {i} shape mismatch: checkpoint {stored.shape} "
+                    f"vs model {p.data.shape}")
+            p.data[...] = stored
+            # In-place load: invalidate dtype-cast inference caches.
+            p.mark_updated()
+
+    if manifest is None:
+        manifest = build_manifest(model, vocab)
+    elif manifest.revision != model_fingerprint(model, vocab):
+        raise CheckpointError(
+            f"checkpoint content does not hash to its manifest revision "
+            f"{manifest.revision!r} — weights.npz was modified after save")
+    return model, vocab, manifest
 
 
 def load_checkpoint(path: str | Path) -> tuple[Seq2SeqTransformer, Vocabulary]:
     """Rebuild a model + vocabulary saved with :func:`save_checkpoint`."""
-    path = Path(path)
-    config = ModelConfig(**json.loads((path / "config.json").read_text()))
-    vocab = Vocabulary.from_dict(json.loads((path / "vocab.json").read_text()))
-    model = Seq2SeqTransformer(config)
-
-    with np.load(path / "weights.npz") as data:
-        params = model.parameters()
-        if len(data.files) != len(params):
-            raise ValueError(
-                f"checkpoint has {len(data.files)} parameter arrays, "
-                f"model expects {len(params)}"
-            )
-        for i, p in enumerate(params):
-            stored = data[f"param_{i}"]
-            if stored.shape != p.data.shape:
-                raise ValueError(
-                    f"parameter {i} shape mismatch: checkpoint {stored.shape} "
-                    f"vs model {p.data.shape}"
-                )
-            p.data[...] = stored
-            # In-place load: invalidate dtype-cast inference caches.
-            p.mark_updated()
+    model, vocab, _ = load_checkpoint_with_manifest(path)
     return model, vocab

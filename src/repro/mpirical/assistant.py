@@ -75,10 +75,16 @@ def build_advice_session(diagnostics, result) -> AdviceSession:
 
 
 class MPIAssistant:
-    """Interactive advisor facade over :class:`MPIRical`."""
+    """Interactive advisor facade over :class:`MPIRical`.
 
-    def __init__(self, mpirical: MPIRical) -> None:
+    ``identity`` is the optional ``name@revision`` string of the model this
+    assistant fronts (set by :class:`repro.registry.ModelEntry`); a
+    standalone assistant serves anonymously.
+    """
+
+    def __init__(self, mpirical: MPIRical, identity: str | None = None) -> None:
         self.mpirical = mpirical
+        self.identity = identity
 
     # ------------------------------------------------------------------ api
 
@@ -120,14 +126,27 @@ class MPIAssistant:
         The direct, cache-free implementation of the v1 contract: validates
         the request, decodes under its strategy and returns an
         :class:`repro.api.AdviseResponse` (``cached=False``, no cache key).
-        :class:`repro.serving.InferenceService` layers batching and caching
-        over the very same contract.
+        :class:`repro.serving.InferenceService` layers batching, caching and
+        multi-model routing over the very same contract.
+
+        A standalone assistant fronts exactly one model: a request pinning
+        ``model`` is accepted only when it matches this assistant's own
+        :attr:`identity` (name, or the full ``name@revision``); anything else
+        is the same unknown-model 422 the registry-backed service answers.
         """
         import time
 
-        from ..api import AdviseResponse, advice_items
+        from ..api import AdviseResponse, ApiError, advice_items
 
         request.validate()
+        echo_model = None
+        if request.model is not None:
+            name = self.identity.split("@", 1)[0] if self.identity else None
+            if self.identity is None or request.model not in (name, self.identity):
+                raise ApiError.unknown_model(
+                    f"unknown model {request.model!r} (this assistant serves "
+                    f"{self.identity or 'one anonymous model'})")
+            echo_model = self.identity
         # Normalise exactly like the serving stack (beam_size=1 is greedy),
         # so both implementations of the contract echo the same strategy
         # identity for equivalent requests.
@@ -141,6 +160,7 @@ class MPIAssistant:
             strategy=strategy,
             cached=False,
             latency_ms=(time.perf_counter() - start) * 1000.0,
+            model=echo_model,
         )
 
     def rewrite(self, source_code: str, advice: list[Advice] | None = None) -> str:

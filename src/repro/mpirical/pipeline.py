@@ -19,7 +19,7 @@ from pathlib import Path
 
 from ..dataset.records import TranslationExample
 from ..evaluation.report import CorpusEvaluation, ExamplePrediction, evaluate_corpus
-from ..model.checkpoints import load_checkpoint, save_checkpoint
+from ..model.checkpoints import load_checkpoint, model_fingerprint, save_checkpoint
 from ..model.config import ExperimentConfig, small_config
 from ..model.decoding import (
     DecodingStrategy,
@@ -41,6 +41,24 @@ class PredictionResult:
     generated_code: str
     generated_tokens: list[str]
     suggestions: list[MPISuggestion] = field(default_factory=list)
+
+
+def _load_experiment_config(path: str | Path) -> ExperimentConfig | None:
+    """The checkpoint's saved :class:`ExperimentConfig`, or None if absent."""
+    import json
+
+    from ..model.config import ModelConfig, TrainingConfig
+
+    experiment_path = Path(path) / "experiment.json"
+    if not experiment_path.exists():
+        return None
+    data = json.loads(experiment_path.read_text())
+    return ExperimentConfig(
+        model=ModelConfig(**data.get("model", {})),
+        training=TrainingConfig(**data.get("training", {})),
+        **{key: value for key, value in data.items()
+           if key not in ("model", "training")},
+    )
 
 
 class MPIRical:
@@ -265,13 +283,42 @@ class MPIRical:
     # ------------------------------------------------------------ persistence
 
     def save(self, path: str | Path) -> Path:
-        """Save weights + vocabulary + config under ``path`` (a directory)."""
-        return save_checkpoint(path, self.model, self.encoder.vocab)
+        """Save weights + vocabulary + config under ``path`` (a directory).
+
+        The checkpoint carries a ``manifest.json`` (shapes digest, vocab
+        hash, content-hash revision) that is verified on load and gives the
+        model registry its version identity, plus an ``experiment.json``
+        with the full experiment config (sequence limits, training preset)
+        so :meth:`load` rebuilds the pipeline exactly — without it a loaded
+        model would silently fall back to default truncation limits and
+        behave differently from the pipeline that saved it.
+        """
+        import json
+        from dataclasses import asdict
+
+        path = save_checkpoint(path, self.model, self.encoder.vocab)
+        (path / "experiment.json").write_text(
+            json.dumps(asdict(self.config), indent=2))
+        return path
+
+    def fingerprint(self) -> str:
+        """The content-hash revision of this pipeline's weights + config +
+        vocabulary — equal to the ``revision`` recorded by :meth:`save`, so a
+        registry entry built from the live pipeline and one built from its
+        checkpoint share one ``name@revision`` identity."""
+        return model_fingerprint(self.model, self.encoder.vocab)
 
     @classmethod
     def load(cls, path: str | Path, config: ExperimentConfig | None = None) -> "MPIRical":
-        """Load a model saved with :meth:`save`."""
-        config = config or small_config()
+        """Load a model saved with :meth:`save`.
+
+        An explicit ``config`` wins; otherwise the checkpoint's own
+        ``experiment.json`` (written by :meth:`save`) restores the exact
+        sequence limits the model was trained with, and only pre-experiment
+        checkpoints fall back to :func:`small_config`.
+        """
+        if config is None:
+            config = _load_experiment_config(path) or small_config()
         model, vocab = load_checkpoint(path)
         sequence_config = SequenceConfig(
             max_source_tokens=config.max_source_tokens,

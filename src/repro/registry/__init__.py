@@ -1,0 +1,35 @@
+"""repro.registry — model lifecycle: versioned entries, aliases, hot-swap.
+
+``repro.registry.registry``  :class:`ModelRegistry` / :class:`ModelEntry` /
+                             :class:`RegistryError` — named models backed by
+                             :mod:`repro.model.checkpoints` artifacts with
+                             content-hash revisions, lazy loading, warm-up,
+                             lease-based draining and atomic alias flips.
+
+Quick start
+-----------
+>>> from repro.registry import ModelRegistry
+>>> registry = ModelRegistry()
+>>> registry.register("advisor", "checkpoints/v1", make_default=True)
+>>> service = InferenceService(registry)          # repro.serving
+>>> registry.register("advisor-v2", "checkpoints/v2")
+>>> registry.swap("advisor-v2")                   # hot-swap, drains in-flight
+"""
+
+from .registry import (
+    DEFAULT_ALIAS,
+    DEFAULT_MODEL_NAME,
+    ModelEntry,
+    ModelRegistry,
+    RegistryError,
+    split_model_spec,
+)
+
+__all__ = [
+    "DEFAULT_ALIAS",
+    "DEFAULT_MODEL_NAME",
+    "ModelEntry",
+    "ModelRegistry",
+    "RegistryError",
+    "split_model_spec",
+]

@@ -5,12 +5,19 @@ turns it into a concurrent service:
 
 ``repro.serving.batching``  dynamic micro-batching scheduler + worker pool
 ``repro.serving.cache``     thread-safe LRU keyed on the canonical xSBT form
-``repro.serving.metrics``   hit rate, batch-size histogram, p50/p95 latency
+                            + decoding strategy + ``model@revision``
+``repro.serving.metrics``   hit rate, batch-size histogram, p50/p95 latency,
+                            per-model request counters
 ``repro.serving.service``   the :class:`InferenceService` facade (v1 contract:
-                            ``advise_request``, ``advise_stream``)
+                            ``advise_request``, ``advise_stream``; fronts a
+                            :class:`repro.registry.ModelRegistry`)
+``repro.serving.jobs``      async batch jobs (:class:`JobStore`) behind
+                            ``POST /v1/advise/batch`` / ``GET /v1/jobs/{id}``
 ``repro.serving.server``    stdlib HTTP endpoint (/v1/advise,
-                            /v1/advise/stream, legacy /advise, /healthz,
-                            /metrics) (import explicitly: ``repro.serving.server``)
+                            /v1/advise/stream, /v1/advise/batch, /v1/jobs,
+                            /v1/models [list/load/swap], legacy /advise,
+                            /healthz, /metrics)
+                            (import explicitly: ``repro.serving.server``)
 
 Quick start
 -----------
@@ -24,6 +31,7 @@ Quick start
 
 from .batching import MicroBatcher
 from .cache import CacheStats, LRUCache, canonical_cache_key
+from .jobs import Job, JobStore
 from .metrics import ServingMetrics, percentile
 from .service import InferenceService, ServedAdvice, generation_label
 
@@ -39,6 +47,8 @@ __all__ = [
     "ServingMetrics",
     "percentile",
     "InferenceService",
+    "Job",
+    "JobStore",
     "ServedAdvice",
     "generation_label",
 ]

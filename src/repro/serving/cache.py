@@ -12,7 +12,10 @@ program's canonical form instead:
 * the **canonical code token stream** — because the xSBT deliberately drops
   identifiers and literals, two structurally-identical programs with
   different variable names would otherwise alias to one entry and be served
-  each other's predictions.
+  each other's predictions; and
+* the **model identity** (``name@revision``) — two models, or two revisions
+  of one model across a hot-swap, must never be served each other's cached
+  results even for byte-identical buffers.
 
 Both components are exactly what :class:`repro.mpirical.MPIRical` feeds the
 model, so two requests with equal keys are guaranteed to produce the same
@@ -38,7 +41,8 @@ from ..xsbt.xsbt import xsbt_string
 def canonical_cache_key(source_code: str, xsbt: str | None = None, *,
                         tokens: list[str] | None = None,
                         strategy=None, beam_size: int = 1,
-                        length_penalty: float = 0.0) -> str:
+                        length_penalty: float = 0.0,
+                        model: str | None = None) -> str:
     """Hash ``source_code`` into its canonical serving-cache key.
 
     ``xsbt`` and ``tokens`` skip re-deriving the xSBT / re-lexing the buffer
@@ -53,6 +57,14 @@ def canonical_cache_key(source_code: str, xsbt: str | None = None, *,
     top-k, top-p *and seed* all match.  ``beam_size``/``length_penalty`` are
     the legacy spelling and map onto greedy/beam exactly as the old key did
     (``beam_size <= 1`` normalises to greedy regardless of penalty).
+
+    ``model`` is the resolved ``name@revision`` identity of the model that
+    will serve the request (:class:`repro.registry.ModelEntry.identity`).
+    The *revision* part is what makes hot-swaps cache-safe: after an alias
+    flip to a retrained checkpoint, every key differs from the old
+    revision's keys, so a post-swap request can never be answered from the
+    pre-swap cache.  The registry-backed service always passes it; ``None``
+    (direct/legacy callers) keys on content + strategy alone.
     """
     from ..model.decoding import BeamStrategy, GreedyStrategy
 
@@ -71,6 +83,9 @@ def canonical_cache_key(source_code: str, xsbt: str | None = None, *,
     digest.update("\x00".join(tokens).encode())
     digest.update(b"\x00")
     digest.update(strategy.normalised().canonical().encode())
+    if model is not None:
+        digest.update(b"\x00")
+        digest.update(model.encode())
     return digest.hexdigest()
 
 

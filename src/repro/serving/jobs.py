@@ -1,0 +1,230 @@
+"""Async batch jobs: submit a list of advise requests, poll for results.
+
+``POST /v1/advise/batch`` is the offline/bulk counterpart of the interactive
+``/v1/advise`` route: a client submits up to
+:data:`repro.api.MAX_BATCH_ITEMS` requests at once, gets a job id back
+immediately, and polls ``GET /v1/jobs/{id}`` until the job reports
+``"done"``.  The :class:`JobStore` behind it is deliberately small:
+
+* **one bounded worker thread** runs jobs in submission order.  Each job's
+  items are fanned out through
+  :meth:`repro.serving.InferenceService.advise_request_async`, so bulk items
+  ride the *same* micro-batcher, cache and model registry as interactive
+  traffic — a bulk job against ``model="canary"`` exercises exactly the code
+  path a canary client would, and its items coalesce into model batches
+  instead of decoding one by one;
+* **per-item envelopes**: every item independently resolves to
+  ``{"status": "ok", "response": ...}`` or ``{"status": "error", "error":
+  ...}`` reusing the :class:`repro.api.ApiError` wire envelope — one item
+  naming an unloaded model does not poison its siblings;
+* **bounded retention**: finished jobs are kept for polling but the store
+  holds at most ``max_jobs``; the oldest *finished* jobs are evicted first,
+  and queued/running jobs are never evicted.
+
+Job ids are sequential (``job-1``, ``job-2``, ...) — deterministic for the
+golden contract tests and trivially greppable in logs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any
+
+from ..api import AdviseRequest, ApiError
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from .service import InferenceService
+
+#: Job lifecycle states, in order.
+QUEUED, RUNNING, DONE = "queued", "running", "done"
+
+
+class Job:
+    """One submitted batch: its requests, per-item envelopes and status."""
+
+    def __init__(self, job_id: str, requests: list[AdviseRequest]) -> None:
+        self.job_id = job_id
+        self.requests = requests
+        self._lock = threading.Lock()
+        self._status = QUEUED
+        self._results: list[dict[str, Any] | None] = [None] * len(requests)
+        self._completed = 0
+        self.submitted_at = time.time()
+        self.finished_at: float | None = None
+        self._done = threading.Event()
+
+    # ------------------------------------------------------------- lifecycle
+
+    def _mark_running(self) -> None:
+        with self._lock:
+            self._status = RUNNING
+
+    def _set_result(self, index: int, envelope: dict[str, Any]) -> None:
+        with self._lock:
+            if self._results[index] is None:
+                self._completed += 1
+            self._results[index] = envelope
+            if self._completed == len(self._results):
+                self._status = DONE
+                self.finished_at = time.time()
+                self._done.set()
+
+    # ------------------------------------------------------------- reporting
+
+    @property
+    def status(self) -> str:
+        with self._lock:
+            return self._status
+
+    @property
+    def finished(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job is done (True) or ``timeout`` expires."""
+        return self._done.wait(timeout)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The ``GET /v1/jobs/{id}`` body.
+
+        ``results`` holds one envelope per *completed* item, each tagged with
+        its submission ``index`` — a poll mid-run sees the finished prefix of
+        the workload, a poll after ``"done"`` sees everything, and the key
+        set is identical in both cases.
+        """
+        with self._lock:
+            results = [dict(envelope, index=index)
+                       for index, envelope in enumerate(self._results)
+                       if envelope is not None]
+            return {
+                "api_version": "v1",
+                "job_id": self.job_id,
+                "status": self._status,
+                "total": len(self._results),
+                "completed": self._completed,
+                "results": results,
+            }
+
+
+class JobStore:
+    """Bounded job queue + single worker over an :class:`InferenceService`.
+
+    ``max_jobs`` bounds retained jobs (finished ones are evicted oldest
+    first); the worker exits when :meth:`close` is called, finishing the job
+    it is on.
+    """
+
+    def __init__(self, service: "InferenceService", *,
+                 max_jobs: int = 64) -> None:
+        if max_jobs < 1:
+            raise ValueError(f"max_jobs must be >= 1, got {max_jobs}")
+        self.service = service
+        self.max_jobs = max_jobs
+        self._lock = threading.Lock()
+        self._jobs: OrderedDict[str, Job] = OrderedDict()
+        self._queue: list[Job] = []
+        self._next_id = 1
+        self._cond = threading.Condition(self._lock)
+        self._closed = False
+        self._worker = threading.Thread(target=self._worker_loop,
+                                        name="batch-jobs", daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------- api
+
+    def submit(self, requests: list[AdviseRequest]) -> Job:
+        """Queue one batch of already-validated requests; returns its job."""
+        if not requests:
+            raise ApiError.invalid_request(
+                '"items" must be a non-empty list of advise requests',
+                field="items")
+        with self._cond:
+            if self._closed:
+                raise ApiError.internal("the job store is shutting down")
+            job = Job(f"job-{self._next_id}", list(requests))
+            self._next_id += 1
+            self._jobs[job.job_id] = job
+            self._evict_finished_locked()
+            self._queue.append(job)
+            self._cond.notify_all()
+        return job
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ApiError.not_found(f"unknown job {job_id!r}")
+        return job
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def close(self, *, wait: bool = True) -> None:
+        """Stop accepting jobs; the worker drains the queue, then exits."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if wait:
+            self._worker.join()
+
+    # ------------------------------------------------------------- internals
+
+    def _evict_finished_locked(self) -> None:
+        """Drop the oldest finished jobs once over capacity (never live ones)."""
+        while len(self._jobs) > self.max_jobs:
+            victim = next((job_id for job_id, job in self._jobs.items()
+                           if job.finished), None)
+            if victim is None:
+                return  # everything retained is queued/running; keep it all
+            del self._jobs[victim]
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue:
+                    return  # closed and drained
+                job = self._queue.pop(0)
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        """Fan the job's items into the service and wait for all of them.
+
+        Items are submitted asynchronously up front so the micro-batcher can
+        coalesce them into model batches; each finishes into its own
+        envelope.  A request that fails validation or model resolution *at
+        run time* (e.g. its pinned revision was swapped away after submit)
+        becomes an error envelope, not a job failure.
+        """
+        job._mark_running()
+        pending = []
+        for index, request in enumerate(job.requests):
+            try:
+                future = self.service.advise_request_async(request)
+            except ApiError as exc:
+                job._set_result(index, {"status": "error",
+                                        **exc.to_dict()})
+                continue
+            except Exception as exc:  # noqa: BLE001 — one item, one envelope
+                job._set_result(index, {
+                    "status": "error",
+                    **ApiError.internal(f"{type(exc).__name__}: {exc}").to_dict(),
+                })
+                continue
+            pending.append((index, future))
+        for index, future in pending:
+            try:
+                response = future.result()
+                job._set_result(index, {"status": "ok",
+                                        "response": response.to_dict()})
+            except ApiError as exc:
+                job._set_result(index, {"status": "error", **exc.to_dict()})
+            except Exception as exc:  # noqa: BLE001 — one item, one envelope
+                job._set_result(index, {
+                    "status": "error",
+                    **ApiError.internal(f"{type(exc).__name__}: {exc}").to_dict(),
+                })

@@ -44,6 +44,10 @@ class ServingMetrics:
         #: Per generation-config batch-size histograms, keyed by the config
         #: label the batcher grouped on (e.g. ``"greedy"``, ``"beam4:lp0.6"``).
         self._batch_sizes_by_config: dict[str, Counter[int]] = {}
+        #: Per-model request counters keyed on ``name@revision`` — the
+        #: registry-era view of where traffic lands, bounded by the same
+        #: label-cardinality cap as the per-config histograms.
+        self._requests_by_model: Counter[str] = Counter()
         self.requests_total = 0
         self.cache_hits = 0
         self.cache_misses = 0
@@ -53,8 +57,15 @@ class ServingMetrics:
 
     # ------------------------------------------------------------- recording
 
-    def record_request(self, latency_ms: float, *, cached: bool) -> None:
-        """Record one completed request and its end-to-end latency."""
+    def record_request(self, latency_ms: float, *, cached: bool,
+                       model: str | None = None) -> None:
+        """Record one completed request and its end-to-end latency.
+
+        ``model`` is the resolved ``name@revision`` identity that served the
+        request; label cardinality is capped like the per-config histograms
+        (model *names* are operator-controlled, but a spec could in theory
+        churn revisions — the cap keeps /metrics bounded regardless).
+        """
         with self._lock:
             self.requests_total += 1
             if cached:
@@ -62,6 +73,12 @@ class ServingMetrics:
             else:
                 self.cache_misses += 1
             self._latencies_ms.append(latency_ms)
+            if model is not None:
+                label = model
+                if (label not in self._requests_by_model
+                        and len(self._requests_by_model) >= self.MAX_CONFIG_LABELS):
+                    label = "other"
+                self._requests_by_model[label] += 1
 
 
     #: Cardinality bound for the per-config histograms: the label embeds the
@@ -118,6 +135,7 @@ class ServingMetrics:
             batch_sizes = dict(sorted(self._batch_sizes.items()))
             by_config = {label: dict(sorted(counts.items()))
                          for label, counts in sorted(self._batch_sizes_by_config.items())}
+            by_model = dict(sorted(self._requests_by_model.items()))
             requests = self.requests_total
             hits = self.cache_hits
             misses = self.cache_misses
@@ -143,6 +161,7 @@ class ServingMetrics:
             "batches_total": batches,
             "batch_size_histogram": batch_sizes,
             "batches_by_config": batches_by_config,
+            "requests_by_model": by_model,
             "mean_batch_size": batched_requests / batches if batches else 0.0,
             "latency_ms_p50": percentile(latencies, 0.50),
             "latency_ms_p95": percentile(latencies, 0.95),

@@ -12,14 +12,37 @@ Endpoints
     ``{"type": "token", "index": n, "token": "<code token>"}`` line per
     generated token as the model emits it, then a single
     ``{"type": "final", "response": {...}}`` line with the full response.
+``POST /v1/advise/batch``
+    Async bulk advising: ``{"items": [<advise request>, ...]}`` (optional
+    top-level ``model``/``strategy`` defaults) answers **202** with
+    ``{"job_id": ..., "status": "queued", ...}`` immediately; the items run
+    through the same micro-batcher as interactive traffic.
+``GET /v1/jobs/{id}``
+    Poll a batch job: status, progress counters and one per-item envelope
+    (``{"status": "ok", "response": ...}`` / ``{"status": "error", "error":
+    ...}``) per completed item.
+``GET /v1/models``
+    The model registry: default alias, aliases, and every registered
+    model's ``name``/``revision``/``loaded``/lease/request counters.
+``POST /v1/models/{name}/load``
+    Load (and warm up) a registered model, or register-and-load a new one
+    from ``{"checkpoint": "<directory>"}``.
+``POST /v1/models/{name}/swap``
+    Atomically flip an alias (``{"alias": "default"}`` if omitted) to
+    ``{name}``.  The target is loaded before the flip; requests in flight on
+    the previous model drain on it — none are dropped — and the cache can
+    never serve the old revision's entries afterwards because every cache
+    key embeds ``model@revision``.
 ``POST /advise`` (legacy, deprecated)
     The pre-v1 body (``{"code": ..., "beam_size"?: ..., "length_penalty"?:
     ...}``); delegates to the v1 path through a compatibility shim and
     answers in the legacy shape, bit-identical to previous releases.
 ``GET /healthz``
-    Liveness probe; 200 with ``{"status": "ok"}`` once the model is loaded.
+    Liveness probe; 200 with ``{"status": "ok", ...}`` plus the registry
+    state (default alias identity, per-model loaded/revision flags).
 ``GET /metrics``
-    The :meth:`InferenceService.metrics` snapshot as JSON.
+    The :meth:`InferenceService.metrics` snapshot as JSON (includes
+    ``requests_by_model`` and the registry snapshot).
 
 Invalid requests get the structured envelope
 ``{"error": {"code", "message", "field"}}`` from every route: **400** for
@@ -54,8 +77,11 @@ import threading
 import warnings
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from ..api import AdviseRequest, ApiError, parse_legacy_advise
+from ..api import AdviseRequest, ApiError, parse_batch_advise, parse_legacy_advise
+from ..model.checkpoints import CheckpointError
 from ..model.decoding import MAX_BEAM_SIZE  # re-export for back-compat
+from ..registry import RegistryError
+from .jobs import JobStore
 from .service import InferenceService, ServedAdvice
 
 #: Largest accepted request body; a source buffer bigger than this is a
@@ -91,6 +117,25 @@ def advice_payload(served: ServedAdvice) -> dict:
     return payload
 
 
+def _to_api_error(exc: Exception) -> ApiError:
+    """Map any handler exception onto the structured error envelope.
+
+    Registry resolution failures are client errors (422 unknown model /
+    409 lifecycle conflict); checkpoint-integrity failures surface the
+    :class:`CheckpointError` message (422 — the named artefact is unusable);
+    everything else is a 500.
+    """
+    if isinstance(exc, ApiError):
+        return exc
+    if isinstance(exc, RegistryError):
+        if exc.kind == "conflict":
+            return ApiError("conflict", str(exc), status=409)
+        return ApiError.unknown_model(str(exc))
+    if isinstance(exc, CheckpointError):
+        return ApiError.invalid_parameter(str(exc), field="checkpoint")
+    return ApiError.internal(f"{type(exc).__name__}: {exc}")
+
+
 class AdviseRequestHandler(BaseHTTPRequestHandler):
     """Routes the endpoints onto the shared :class:`InferenceService`."""
 
@@ -111,32 +156,68 @@ class AdviseRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------- endpoints
 
     def do_GET(self) -> None:  # noqa: N802 — http.server naming
-        if self.path == "/healthz":
-            self._send_json(200, {"status": "ok"})
-        elif self.path == "/metrics":
-            self._send_json(200, self.service.metrics())
-        else:
-            self._send_error(ApiError.not_found(f"unknown path {self.path!r}"))
+        try:
+            if self.path == "/healthz":
+                self._get_healthz()
+            elif self.path == "/metrics":
+                self._send_json(200, self.service.metrics())
+            elif self.path == "/v1/models":
+                self._send_json(200, {"api_version": "v1",
+                                      **self.service.registry.snapshot()})
+            elif self.path.startswith("/v1/jobs/"):
+                job_id = self.path[len("/v1/jobs/"):]
+                self._send_json(200, self.service.jobs.get(job_id).to_dict())
+            else:
+                self._send_error(
+                    ApiError.not_found(f"unknown path {self.path!r}"))
+        except Exception as exc:  # noqa: BLE001 — a request must never kill the server
+            self._send_error(_to_api_error(exc))
 
     def do_POST(self) -> None:  # noqa: N802 — http.server naming
         routes = {
             "/advise": self._post_advise_legacy,
             "/v1/advise": self._post_advise_v1,
             "/v1/advise/stream": self._post_advise_stream,
+            "/v1/advise/batch": self._post_advise_batch,
         }
         handler = routes.get(self.path)
+        allow_empty = False
+        if handler is None:
+            handler = self._model_route(self.path)
+            allow_empty = True  # lifecycle bodies are optional
         if handler is None:
             self._send_error(ApiError.not_found(f"unknown path {self.path!r}"))
             return
-        payload = self._read_json_body()
+        payload = self._read_json_body(allow_empty=allow_empty)
         if payload is None:
             return
         try:
             handler(payload)
-        except ApiError as exc:
-            self._send_error(exc)
         except Exception as exc:  # noqa: BLE001 — a request must never kill the server
-            self._send_error(ApiError.internal(f"{type(exc).__name__}: {exc}"))
+            self._send_error(_to_api_error(exc))
+
+    def _model_route(self, path: str):
+        """Resolve ``/v1/models/{name}/load`` and ``.../swap`` to handlers."""
+        parts = path.split("/")
+        if len(parts) != 5 or parts[:3] != ["", "v1", "models"] or not parts[3]:
+            return None
+        name, action = parts[3], parts[4]
+        if action == "load":
+            return lambda payload: self._post_model_load(name, payload)
+        if action == "swap":
+            return lambda payload: self._post_model_swap(name, payload)
+        return None
+
+    def _get_healthz(self) -> None:
+        registry = self.service.registry.snapshot()
+        self._send_json(200, {
+            "status": "ok",
+            "default": registry["default"],
+            "models": {model["name"]: {"revision": model["revision"],
+                                       "loaded": model["loaded"],
+                                       "requests_served": model["requests_served"]}
+                       for model in registry["models"]},
+        })
 
     def _post_advise_legacy(self, payload: dict) -> None:
         """The pre-v1 route: legacy body in, legacy body out, v1 underneath."""
@@ -156,6 +237,48 @@ class AdviseRequestHandler(BaseHTTPRequestHandler):
         request = AdviseRequest.from_dict(payload)
         response = self.service.advise_request(request)
         self._send_json(200, response.to_dict())
+
+    def _post_advise_batch(self, payload: dict) -> None:
+        """Async bulk advising: validate atomically, queue, answer 202."""
+        requests = parse_batch_advise(payload)
+        job = self.service.jobs.submit(requests)
+        self._send_json(202, job.to_dict())
+
+    def _post_model_load(self, name: str, payload: dict) -> None:
+        """Load a registered model, or register-and-load from a checkpoint.
+
+        ``{"checkpoint": "<dir>"}`` (re-)registers ``name`` from that
+        directory first — the hot-deploy path for a freshly trained
+        revision; an empty body loads (and warms up) what is already
+        registered.  The response reports the loaded entry, revision
+        included.
+        """
+        registry = self.service.registry
+        checkpoint = payload.get("checkpoint")
+        if checkpoint is not None:
+            if not isinstance(checkpoint, str) or not checkpoint.strip():
+                raise ApiError.invalid_request(
+                    '"checkpoint" must be a checkpoint directory path',
+                    field="checkpoint")
+            try:
+                registry.register(name, checkpoint)
+            except ValueError as exc:  # invalid model name
+                raise ApiError.invalid_request(str(exc), field="name") from exc
+            except RegistryError as exc:  # missing checkpoint directory
+                raise ApiError.invalid_parameter(
+                    str(exc), field="checkpoint") from exc
+        entry = registry.load(name, warm_up=True)
+        self._send_json(200, {"api_version": "v1", "model": entry.info()})
+
+    def _post_model_swap(self, name: str, payload: dict) -> None:
+        """Atomic alias flip onto ``name`` (drains in-flight, drops none)."""
+        alias = payload.get("alias", "default")
+        if not isinstance(alias, str) or not alias.strip():
+            raise ApiError.invalid_request(
+                '"alias" must be a non-empty alias name', field="alias")
+        previous, current = self.service.registry.swap(name, alias=alias)
+        self._send_json(200, {"api_version": "v1", "alias": alias,
+                              "previous": previous, "current": current})
 
     def _post_advise_stream(self, payload: dict) -> None:
         """NDJSON streaming: one chunk per line, flushed as decoded.
@@ -190,7 +313,7 @@ class AdviseRequestHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------- plumbing
 
-    def _read_json_body(self) -> dict | None:
+    def _read_json_body(self, *, allow_empty: bool = False) -> dict | None:
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
@@ -200,6 +323,8 @@ class AdviseRequestHandler(BaseHTTPRequestHandler):
                 "missing or oversized Content-Length"))
             return None
         body = self.rfile.read(length)
+        if not body and allow_empty:
+            return {}
         try:
             payload = json.loads(body)
         except json.JSONDecodeError as exc:
@@ -264,7 +389,9 @@ def _demo_service(checkpoint: str | None, *, max_batch_size: int, max_wait_ms: f
 
 
 def _run_smoke(service: InferenceService) -> int:
-    """Start the server and exercise the legacy, v1 and streaming routes."""
+    """Start the server and exercise every advise route, the model registry
+    listing and one async batch-job round-trip."""
+    import time
     import urllib.request
 
     server = make_server(service, port=0, quiet=True)
@@ -279,6 +406,11 @@ def _run_smoke(service: InferenceService) -> int:
             headers={"Content-Type": "application/json"},
         )
         with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, response.read()
+
+    def get(path: str):
+        with urllib.request.urlopen(f"http://{host}:{port}{path}",
+                                    timeout=120) as response:
             return response.status, response.read()
 
     code = "int main() { return 0; }\n"
@@ -297,6 +429,28 @@ def _run_smoke(service: InferenceService) -> int:
         lines = [json.loads(line) for line in raw.splitlines() if line]
         if status != 200 or not lines or lines[-1].get("type") != "final":
             failures.append(f"/v1/advise/stream: status={status} lines={lines}")
+
+        status, raw = get("/v1/models")
+        models = json.loads(raw)
+        if status != 200 or not models.get("models") or not models.get("default"):
+            failures.append(f"/v1/models: status={status} body={models}")
+
+        status, raw = post("/v1/advise/batch",
+                           {"items": [{"code": code},
+                                      {"code": code, "model": "default"}]})
+        job = json.loads(raw)
+        if status != 202 or not job.get("job_id"):
+            failures.append(f"/v1/advise/batch: status={status} body={job}")
+        else:
+            deadline = time.monotonic() + 120
+            while job["status"] != "done" and time.monotonic() < deadline:
+                time.sleep(0.2)
+                status, raw = get(f"/v1/jobs/{job['job_id']}")
+                job = json.loads(raw)
+            ok = [item for item in job.get("results", [])
+                  if item.get("status") == "ok"]
+            if job["status"] != "done" or len(ok) != job["total"]:
+                failures.append(f"batch job round-trip: {job}")
     finally:
         server.shutdown()
         server.server_close()
@@ -305,8 +459,9 @@ def _run_smoke(service: InferenceService) -> int:
         for failure in failures:
             print(f"smoke test FAILED: {failure}", file=sys.stderr)
         return 1
-    print(f"smoke test ok: /advise, /v1/advise and /v1/advise/stream all 200 "
-          f"({len(lines)} stream chunk(s))")
+    print(f"smoke test ok: /advise, /v1/advise, /v1/advise/stream, /v1/models "
+          f"and a /v1/advise/batch job round-trip all answered "
+          f"({len(lines)} stream chunk(s), job {job['job_id']} done)")
     return 0
 
 
@@ -323,7 +478,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--cache-capacity", type=int, default=256)
     parser.add_argument("--smoke", action="store_true",
-                        help="start, exercise every advise route once, exit")
+                        help="start, exercise every advise route, the model "
+                             "listing and one batch job round-trip, exit")
     args = parser.parse_args(argv)
 
     service = _demo_service(args.checkpoint, max_batch_size=args.max_batch_size,
@@ -335,8 +491,9 @@ def main(argv: list[str] | None = None) -> int:
     server = make_server(service, args.host, args.port)
     host, port = server.server_address[:2]
     print(f"serving MPI-RICAL advice on http://{host}:{port} "
-          f"(POST /v1/advise, POST /v1/advise/stream, POST /advise [legacy], "
-          f"GET /healthz, GET /metrics)")
+          f"(POST /v1/advise, /v1/advise/stream, /v1/advise/batch, "
+          f"/v1/models/<name>/load|swap, /advise [legacy]; "
+          f"GET /v1/models, /v1/jobs/<id>, /healthz, /metrics)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -34,6 +34,20 @@ emitted, followed by the final :class:`AdviseResponse`.  Streams bypass the
 micro-batcher (a stream is one decode by construction) but still read and
 populate the shared cache: a cache hit replays its tokens instantly.
 
+**Multi-model routing** (v1.1): the service fronts a
+:class:`repro.registry.ModelRegistry` instead of one hard-wired model.  A
+request's optional ``model`` reference (alias, name, or pinned
+``name@revision``) resolves to a registry entry *before* anything else
+happens; the resolved identity becomes part of the cache key, the
+single-flight key and the micro-batch group key, so two models — or two
+revisions of one model across a hot-swap — can never share a cache entry, a
+coalesced decode or a batch.  Each decode holds a **lease** on its entry for
+its whole life, which is what makes :meth:`repro.registry.ModelRegistry.swap`
+safe under traffic: the alias flip is atomic, requests that already resolved
+drain on the old revision, and the old entry unloads only after its last
+lease returns.  Constructing the service from a bare pipeline still works —
+it is registered as the registry's ``default`` model.
+
 The legacy surface (``advise(code, beam_size=..., length_penalty=...)``)
 remains as a compatibility shim that emits a :class:`DeprecationWarning` and
 delegates to the v1 path; greedy and beam results are bit-identical to the
@@ -50,7 +64,7 @@ from queue import SimpleQueue
 from threading import Lock, Thread
 from typing import Iterator
 
-from ..api import AdviseRequest, AdviseResponse, advice_items
+from ..api import AdviseRequest, AdviseResponse, ApiError, advice_items
 from ..clang.parser import parse_source_with_diagnostics
 from ..model.decoding import (
     BeamStrategy,
@@ -63,6 +77,7 @@ from ..model.generation import GenerationConfig
 from ..mpirical.assistant import AdviceSession, MPIAssistant, build_advice_session
 from ..mpirical.pipeline import MPIRical, PredictionResult
 from ..mpirical.suggestions import extract_suggestions
+from ..registry import ModelEntry, ModelRegistry, RegistryError
 from ..tokenization.code_tokenizer import tokenize_code
 from ..xsbt.xsbt import xsbt_string
 from .batching import MicroBatcher
@@ -111,6 +126,8 @@ class ServedAdvice:
     generation: GenerationConfig | None = None
     #: The strategy the decode actually ran under (the v1 identity).
     strategy: DecodingStrategy | None = None
+    #: The resolved ``name@revision`` of the model that served the request.
+    model: str | None = None
 
 
 @dataclass
@@ -122,8 +139,11 @@ class _AdviseWork:
     #: The request thread's lexer output, reused by the encoder at flush time.
     tokens: list[str]
     #: Resolved decoding strategy; the batcher groups flushes by its
-    #: canonical serialized form.
+    #: canonical serialized form together with the model identity.
     strategy: DecodingStrategy
+    #: The registry entry (already loaded + leased) the decode must run on —
+    #: pinned at submit time, so a hot-swap mid-queue cannot reroute it.
+    entry: ModelEntry | None = None
 
 
 class InferenceService:
@@ -132,23 +152,29 @@ class InferenceService:
     Parameters
     ----------
     model:
-        A trained :class:`MPIRical` pipeline or an :class:`MPIAssistant`
-        already wrapping one.
+        A :class:`repro.registry.ModelRegistry`, or — the single-model
+        shorthand — a trained :class:`MPIRical` pipeline / an
+        :class:`MPIAssistant` wrapping one, which is registered as the
+        registry's ``default`` model.
     max_batch_size / max_wait_ms / num_workers:
         Micro-batcher policy; see :class:`repro.serving.batching.MicroBatcher`.
     cache_capacity:
         LRU entries to keep; ``0`` disables caching (every request decodes).
+        The cache is shared across models; keys embed ``name@revision``.
     generation:
         Optional legacy decoding override applied to every request that does
         not pin a strategy; also supplies ``max_length`` for every decode.
     """
 
-    def __init__(self, model: MPIRical | MPIAssistant, *,
+    def __init__(self, model: MPIRical | MPIAssistant | ModelRegistry, *,
                  max_batch_size: int = 8, max_wait_ms: float = 5.0,
                  num_workers: int = 1, cache_capacity: int = 256,
                  generation: GenerationConfig | None = None,
                  metrics_window: int = 1024) -> None:
-        self.assistant = model if isinstance(model, MPIAssistant) else MPIAssistant(model)
+        if isinstance(model, ModelRegistry):
+            self.registry = model
+        else:
+            self.registry = ModelRegistry(model)
         self.generation = generation
         self.metrics_ = ServingMetrics(window=metrics_window)
         self.cache = LRUCache(cache_capacity) if cache_capacity > 0 else None
@@ -158,11 +184,41 @@ class InferenceService:
             self._process_batch,
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
+            # A batch is homogeneous in *both* dimensions that change model
+            # output: the decoding strategy and the model revision.
+            group_key=lambda work: (work.entry.identity,
+                                    work.strategy.canonical()),
+            # Metrics keep the pre-registry strategy-only labels; per-model
+            # traffic is tracked by requests_by_model instead.
+            on_batch=lambda size, group: self.metrics_.record_batch(
+                size, group=group[1]),
             num_workers=num_workers,
-            group_key=lambda work: work.strategy.canonical(),
-            on_batch=self.metrics_.record_batch,
         )
+        self._jobs = None
+        self._jobs_lock = Lock()
         self._closed = False
+
+    @property
+    def jobs(self):
+        """The async batch-job store (:class:`repro.serving.jobs.JobStore`),
+        created on first use and closed with the service."""
+        with self._jobs_lock:
+            if self._jobs is None:
+                if self._closed:
+                    raise RuntimeError(
+                        "cannot use jobs on a closed InferenceService")
+                from .jobs import JobStore
+
+                self._jobs = JobStore(self)
+            return self._jobs
+
+    @property
+    def assistant(self) -> MPIAssistant:
+        """The ``default`` model's advising facade (pre-registry callers)."""
+        entry = self.registry.default_entry()
+        if entry is None:
+            raise RuntimeError("the registry has no default model")
+        return entry.assistant()
 
     # ------------------------------------------------------------ v1 contract
 
@@ -174,10 +230,17 @@ class InferenceService:
     def advise_request_async(self, request: AdviseRequest) -> Future:
         """Non-blocking :meth:`advise_request`; resolves to an
         :class:`AdviseResponse`.  Raises :class:`repro.api.ApiError`
-        synchronously on an invalid request."""
+        synchronously on an invalid request or an unresolvable ``model``
+        reference (the registry is consulted *here*, so the alias an
+        in-flight request resolved through can be re-pointed concurrently
+        without affecting it)."""
         request.validate()
         strategy = request.strategy.normalised()
-        inner = self._advise_async(request.code, strategy)
+        entry = self._resolve_entry(request.model)
+        # Echo the resolved name@revision only when the request named a
+        # model: requests omitting it keep the v1.0 response shape exactly.
+        echo_model = request.model is not None
+        inner = self._advise_async(request.code, strategy, entry=entry)
         response: Future = Future()
 
         def _on_done(done: Future) -> None:
@@ -186,7 +249,7 @@ class InferenceService:
             except Exception as exc:  # noqa: BLE001 — surfaced to the caller
                 response.set_exception(exc)
                 return
-            response.set_result(self._to_response(served))
+            response.set_result(self._to_response(served, echo_model=echo_model))
 
         inner.add_done_callback(_on_done)
         return response
@@ -211,19 +274,21 @@ class InferenceService:
         """
         request.validate()
         strategy = self._resolve_strategy(request.strategy)
-        return self._stream(request, strategy)
+        entry = self._resolve_entry(request.model)
+        return self._stream(request, strategy, entry,
+                            echo_model=request.model is not None)
 
-    def _stream(self, request: AdviseRequest,
-                strategy: DecodingStrategy) -> Iterator[dict]:
+    def _stream(self, request: AdviseRequest, strategy: DecodingStrategy,
+                entry: ModelEntry, *, echo_model: bool) -> Iterator[dict]:
         start = time.perf_counter()
-        mpirical = self.assistant.mpirical
+        mpirical = entry.ensure_loaded()
         vocab = mpirical.encoder.vocab
 
         unit, diagnostics = parse_source_with_diagnostics(request.code)
         xsbt = xsbt_string(unit)
         tokens = tokenize_code(request.code)
         key = canonical_cache_key(request.code, xsbt, tokens=tokens,
-                                  strategy=strategy)
+                                  strategy=strategy, model=entry.identity)
 
         cached = self.cache.get(key) if self.cache is not None else None
         if cached is not None:
@@ -232,7 +297,8 @@ class InferenceService:
                 yield {"type": "token", "index": index, "token": token}
             yield self._final_chunk(request.code, diagnostics, result,
                                     strategy=strategy, cached=True,
-                                    start=start, key=key)
+                                    start=start, key=key, entry=entry,
+                                    echo_model=echo_model)
             return
 
         chunks: SimpleQueue = SimpleQueue()
@@ -242,11 +308,21 @@ class InferenceService:
                 chunks.put(("token", token))
 
         def decode_worker() -> None:
+            # The lease pins the entry's weights for the whole decode: a
+            # concurrent swap/unload drains behind this stream, never under
+            # it.  A failed acquire (entry unloaded in the race window after
+            # resolution) must reach the consuming generator as an error
+            # chunk — dying silently would strand it on chunks.get() forever.
+            try:
+                entry.acquire()
+            except Exception as exc:  # noqa: BLE001 — delivered to the reader
+                chunks.put(("error", exc))
+                return
             try:
                 decode_start = time.perf_counter()
                 result = mpirical.predict_code(
                     request.code, xsbt, strategy=strategy,
-                    generation=self._default_generation(),
+                    generation=self._default_generation(entry),
                     source_tokens=tokens, on_token=on_token)
                 decode_ms = (time.perf_counter() - decode_start) * 1000.0
                 self.metrics_.record_decode(decode_ms)
@@ -259,6 +335,8 @@ class InferenceService:
                 chunks.put(("done", result))
             except Exception as exc:  # noqa: BLE001 — delivered to the reader
                 chunks.put(("error", exc))
+            finally:
+                entry.release()
 
         Thread(target=decode_worker, name="advise-stream", daemon=True).start()
         index = 0
@@ -270,7 +348,8 @@ class InferenceService:
             elif kind == "done":
                 yield self._final_chunk(request.code, diagnostics, payload,
                                         strategy=strategy, cached=False,
-                                        start=start, key=key)
+                                        start=start, key=key, entry=entry,
+                                        echo_model=echo_model)
                 return
             else:
                 self.metrics_.record_error()
@@ -336,19 +415,28 @@ class InferenceService:
             self._default_generation(), beam_size, length_penalty))
 
     def metrics(self) -> dict:
-        """Operational snapshot: request metrics + cache stats + queue depth."""
+        """Operational snapshot: request metrics + cache stats + queue depth
+        + registry state (loaded models, default alias, per-model counters)."""
         snapshot = self.metrics_.snapshot()
         snapshot["cache"] = (self.cache.stats().as_dict() if self.cache is not None
                              else {"enabled": False})
         snapshot["queued_requests"] = self.batcher.pending()
         snapshot["max_batch_size"] = self.batcher.max_batch_size
         snapshot["max_wait_ms"] = self.batcher.max_wait * 1000.0
+        snapshot["registry"] = self.registry.snapshot()
         return snapshot
 
     def close(self) -> None:
-        """Drain queued requests and stop the worker pool."""
+        """Drain queued requests and stop the worker pool (and job store)."""
         if not self._closed:
-            self._closed = True
+            # The closed flag flips under the jobs lock so a racing first
+            # access of .jobs either sees it and refuses, or wins the race
+            # and hands its store to this close.
+            with self._jobs_lock:
+                self._closed = True
+                jobs = self._jobs
+            if jobs is not None:
+                jobs.close(wait=False)
             self.batcher.close()
 
     def __enter__(self) -> "InferenceService":
@@ -359,11 +447,33 @@ class InferenceService:
 
     # ------------------------------------------------------------- internals
 
-    def _default_generation(self) -> GenerationConfig:
-        return self.generation or self.assistant.mpirical.generation
+    def _default_generation(self, entry: ModelEntry | None = None) -> GenerationConfig:
+        """The decode-bounds config: the service override, or the (given or
+        default) entry's own pipeline default."""
+        if self.generation is not None:
+            return self.generation
+        entry = entry or self.registry.default_entry()
+        if entry is None:
+            return GenerationConfig()
+        return entry.ensure_loaded().generation
 
     def _max_length(self) -> int:
         return self._default_generation().max_length
+
+    def _resolve_entry(self, model_spec: str | None) -> ModelEntry:
+        """Resolve a request's ``model`` reference to a loaded registry entry.
+
+        Translates :class:`repro.registry.RegistryError` into the contract's
+        422 ``unknown_model`` envelope, and checkpoint-integrity failures
+        during a lazy load into a 500 — a client cannot fix a corrupt
+        checkpoint by changing its request.
+        """
+        try:
+            return self.registry.resolve(model_spec)
+        except RegistryError as exc:
+            if exc.kind == "unknown":
+                raise ApiError.unknown_model(str(exc)) from exc
+            raise ApiError.internal(str(exc)) from exc
 
     def _resolve_strategy(self, strategy: DecodingStrategy | None) -> DecodingStrategy:
         """The effective strategy: an explicit one (validated, normalised) or
@@ -387,7 +497,8 @@ class InferenceService:
             return base
         return GenerationConfig(max_length=base.max_length)
 
-    def _to_response(self, served: ServedAdvice) -> AdviseResponse:
+    def _to_response(self, served: ServedAdvice, *,
+                     echo_model: bool = False) -> AdviseResponse:
         session = served.session
         return AdviseResponse(
             generated_code=session.generated_code,
@@ -397,15 +508,19 @@ class InferenceService:
             cached=served.cached,
             latency_ms=served.latency_ms,
             cache_key=served.cache_key,
+            model=served.model if echo_model else None,
         )
 
     def _final_chunk(self, source_code: str, diagnostics: list,
                      result: PredictionResult, *, strategy: DecodingStrategy,
-                     cached: bool, start: float, key: str) -> dict:
+                     cached: bool, start: float, key: str, entry: ModelEntry,
+                     echo_model: bool) -> dict:
         """Record metrics for a finished stream and build its final chunk."""
         session = build_advice_session(diagnostics, result)
         latency_ms = (time.perf_counter() - start) * 1000.0
-        self.metrics_.record_request(latency_ms, cached=cached)
+        self.metrics_.record_request(latency_ms, cached=cached,
+                                     model=entry.identity)
+        entry.record_request()
         self.metrics_.record_stream()
         response = AdviseResponse(
             generated_code=session.generated_code,
@@ -415,36 +530,45 @@ class InferenceService:
             cached=cached,
             latency_ms=latency_ms,
             cache_key=key,
+            model=entry.identity if echo_model else None,
         )
         return {"type": "final", "response": response.to_dict()}
 
     def _advise_async(self, source_code: str, strategy: DecodingStrategy,
-                      generation_view: GenerationConfig | None = None) -> Future:
+                      generation_view: GenerationConfig | None = None,
+                      entry: ModelEntry | None = None) -> Future:
         """The shared (cache → single-flight → batch) path for one request.
 
         ``generation_view`` overrides the legacy config echoed on
         :attr:`ServedAdvice.generation` (the legacy shim passes the merged
         pre-normalisation config so partial-override echoes stay faithful).
+        ``entry`` is the resolved registry entry; None resolves the default
+        alias (legacy callers).  The owner of a decode holds a lease on the
+        entry from submit until the decode resolves, so a concurrent
+        hot-swap drains behind queued work instead of dropping it.
         """
         start = time.perf_counter()
         response: Future = Future()
+        if entry is None:
+            entry = self._resolve_entry(None)
 
         unit, diagnostics = parse_source_with_diagnostics(source_code)
         xsbt = xsbt_string(unit)
         tokens = tokenize_code(source_code)
         key = canonical_cache_key(source_code, xsbt, tokens=tokens,
-                                  strategy=strategy)
+                                  strategy=strategy, model=entry.identity)
 
         if self.cache is not None:
             hit = self.cache.get(key)
             if hit is not None:
                 self._resolve(response, source_code, diagnostics, hit,
                               cached=True, start=start, key=key,
-                              strategy=strategy, generation_view=generation_view)
+                              strategy=strategy, generation_view=generation_view,
+                              entry=entry)
                 return response
 
         work = _AdviseWork(source_code=source_code, xsbt=xsbt, tokens=tokens,
-                           strategy=strategy)
+                           strategy=strategy, entry=entry)
         late_hit = None
         with self._inflight_lock:
             inflight = self._inflight.get(key)
@@ -457,12 +581,18 @@ class InferenceService:
                     # request; resolution happens outside the lock.
                     late_hit = self.cache.peek(key)
                 if late_hit is None:
-                    inflight = self.batcher.submit(work)
+                    entry.acquire()
+                    try:
+                        inflight = self.batcher.submit(work)
+                    except BaseException:
+                        entry.release()
+                        raise
                     self._inflight[key] = inflight
         if late_hit is not None:
             self._resolve(response, source_code, diagnostics, late_hit,
                           cached=True, start=start, key=key,
-                          strategy=strategy, generation_view=generation_view)
+                          strategy=strategy, generation_view=generation_view,
+                          entry=entry)
             return response
 
         def _on_done(decode: Future) -> None:
@@ -472,6 +602,7 @@ class InferenceService:
                 if owner:
                     with self._inflight_lock:
                         self._inflight.pop(key, None)
+                    entry.release()
                 self.metrics_.record_error()
                 response.set_exception(exc)
                 return
@@ -483,9 +614,11 @@ class InferenceService:
                     self.cache.put(key, result)
                 with self._inflight_lock:
                     self._inflight.pop(key, None)
+                entry.release()
             self._resolve(response, source_code, diagnostics, result,
                           cached=not owner, start=start, key=key,
-                          strategy=strategy, generation_view=generation_view)
+                          strategy=strategy, generation_view=generation_view,
+                          entry=entry)
 
         inflight.add_done_callback(_on_done)
         return response
@@ -493,7 +626,8 @@ class InferenceService:
     def _resolve(self, response: Future, source_code: str, diagnostics: list,
                  result: PredictionResult, *, cached: bool, start: float,
                  key: str, strategy: DecodingStrategy,
-                 generation_view: GenerationConfig | None = None) -> None:
+                 generation_view: GenerationConfig | None = None,
+                 entry: ModelEntry | None = None) -> None:
         """Build this request's session (own anchors + diagnostics) and finish.
 
         A non-cached resolve is the owner of the decode, and the batch already
@@ -504,31 +638,39 @@ class InferenceService:
             result = anchor_result(source_code, result)
         session = build_advice_session(diagnostics, result)
         latency_ms = (time.perf_counter() - start) * 1000.0
-        self.metrics_.record_request(latency_ms, cached=cached)
+        identity = entry.identity if entry is not None else None
+        self.metrics_.record_request(latency_ms, cached=cached, model=identity)
+        if entry is not None:
+            entry.record_request()
         view = generation_view or self._generation_view(strategy)
         response.set_result(ServedAdvice(session=session, cached=cached,
                                          latency_ms=latency_ms, cache_key=key,
-                                         generation=view, strategy=strategy))
+                                         generation=view, strategy=strategy,
+                                         model=identity))
 
     def _process_batch(self, works: list[_AdviseWork]) -> list[PredictionResult]:
         """Flush one micro-batch through the batched decode path.
 
-        The batcher groups flushes by the canonical strategy string, so every
-        work item in the batch shares one decoding strategy — the whole flush
-        runs through that strategy's batched decoder.  Returns raw prediction
-        results; per-request session assembly (advice anchoring, diagnostics)
-        happens back on the requesting side so that coalesced and cached
-        followers are anchored to *their* buffers.
+        The batcher groups flushes by ``(model identity, canonical strategy
+        string)``, so every work item in the batch shares one decoding
+        strategy *and* one model revision — the whole flush runs through that
+        entry's batched decoder.  Each work item's owner already holds a
+        lease on the entry, so the weights cannot be unloaded under the
+        flush.  Returns raw prediction results; per-request session assembly
+        (advice anchoring, diagnostics) happens back on the requesting side
+        so that coalesced and cached followers are anchored to *their*
+        buffers.
 
         The decode wall time is recorded per request rider as the model-side
         decode latency (``decode_latency_ms_p50/p95`` in ``/metrics``).
         """
+        entry = works[0].entry
         start = time.perf_counter()
-        results = self.assistant.mpirical.predict_code_batch(
+        results = entry.ensure_loaded().predict_code_batch(
             [work.source_code for work in works],
             [work.xsbt for work in works],
             strategy=works[0].strategy,
-            generation=self._default_generation(),
+            generation=self._default_generation(entry),
             source_tokens=[work.tokens for work in works],
         )
         decode_ms = (time.perf_counter() - start) * 1000.0

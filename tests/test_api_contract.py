@@ -74,6 +74,56 @@ def test_strategy_wire_form_roundtrips(strategy):
 
 
 @given(strategy=valid_strategies())
+def test_model_reference_roundtrips_and_stays_off_the_wire_when_absent(strategy):
+    """v1.1: an explicit model reference round-trips; omitting it keeps the
+    request dict byte-identical to v1.0 (no "model" key at all)."""
+    plain = AdviseRequest(code=CODE, strategy=strategy)
+    assert "model" not in plain.to_dict()
+    assert AdviseRequest.from_dict(plain.to_dict()).model is None
+
+    pinned = AdviseRequest(code=CODE, strategy=strategy,
+                           model="advisor@abcdef012345")
+    assert pinned.to_dict()["model"] == "advisor@abcdef012345"
+    assert AdviseRequest.from_dict(pinned.to_dict()) == pinned
+
+
+@pytest.mark.parametrize("model, status", [
+    (7, 400),          # wrong type: malformed request
+    ("   ", 400),      # empty reference: malformed request
+])
+def test_invalid_model_references_are_rejected(model, status):
+    with pytest.raises(ApiError) as excinfo:
+        AdviseRequest.from_dict({"code": CODE, "model": model})
+    assert excinfo.value.status == status
+    assert excinfo.value.field == "model"
+
+
+def test_batch_parse_merges_defaults_and_is_atomic():
+    from repro.api import MAX_BATCH_ITEMS, parse_batch_advise
+
+    requests = parse_batch_advise({
+        "model": "canary",
+        "strategy": {"name": "beam", "beam_size": 2},
+        "items": [{"code": CODE},
+                  {"code": CODE, "strategy": "greedy", "model": "default"}],
+    })
+    assert requests[0].model == "canary"
+    assert requests[0].strategy.to_dict()["name"] == "beam"
+    assert requests[1].model == "default"
+    assert requests[1].strategy.to_dict()["name"] == "greedy"
+
+    with pytest.raises(ApiError) as excinfo:
+        parse_batch_advise({"items": [{"code": CODE}, {"oops": 1}]})
+    assert excinfo.value.status == 400
+    assert excinfo.value.field.startswith("items[1]")
+
+    too_many = {"items": [{"code": CODE}] * (MAX_BATCH_ITEMS + 1)}
+    with pytest.raises(ApiError) as excinfo:
+        parse_batch_advise(too_many)
+    assert excinfo.value.status == 422
+
+
+@given(strategy=valid_strategies())
 def test_canonical_form_is_injective_over_drawn_params(strategy):
     """The canonical string embeds every parameter at full repr precision,
     so it reconstructs equality: equal canonicals <=> equal strategies."""

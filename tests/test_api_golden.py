@@ -1,13 +1,20 @@
-"""Golden-file contract smoke: boot the server, POST v1 requests, diff JSON.
+"""Golden-file contract smoke: boot the server, replay requests, diff JSON.
 
 Each file under ``tests/golden/api_v1/`` is one case:
-``{"request": {"path", "body"}, "expect": {...}}``.  The harness boots the
-real HTTP server on an ephemeral port, POSTs every golden request and diffs
-the response against the checked-in expectation.  Model-dependent fields are
+``{"request": {"path", "body", "method"?}, "expect": {...}}`` (``method``
+defaults to POST; GET cases omit the body).  The harness boots the real HTTP
+server on an ephemeral port, replays every golden request and diffs the
+response against the checked-in expectation.  Model-dependent fields are
 checked-in as the sentinel ``"<volatile>"`` and masked in the actual
 response before the diff — everything else (status, envelope, echoed
 strategy, key set and order) must match **exactly**, so any contract drift
 shows up as a golden diff rather than a client breakage.
+
+Cases run in sorted filename order against one shared server, which the
+lifecycle cases lean on: ``batch_submit`` (alphabetically first) creates the
+deterministic ``job-1`` that ``job_poll`` later polls —
+``expect.poll_until_status`` re-issues the request until the response's
+``status`` field reaches the given value, making the job body deterministic.
 
 This is the CI "contract smoke" step (it also runs in tier-1).
 """
@@ -16,6 +23,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 from pathlib import Path
@@ -47,10 +55,15 @@ def endpoint(tiny_model):
     service.close()
 
 
-def _post(url: str, body: dict) -> tuple[int, bytes]:
-    request = urllib.request.Request(
-        url, data=json.dumps(body).encode(),
-        headers={"Content-Type": "application/json"})
+def _replay(endpoint: str, spec: dict) -> tuple[int, bytes]:
+    """Issue one golden request (POST with a JSON body, or a bare GET)."""
+    url = f"{endpoint}{spec['path']}"
+    if spec.get("method", "POST") == "GET":
+        request = urllib.request.Request(url)
+    else:
+        request = urllib.request.Request(
+            url, data=json.dumps(spec.get("body", {})).encode(),
+            headers={"Content-Type": "application/json"})
     try:
         with urllib.request.urlopen(request, timeout=120) as response:
             return response.status, response.read()
@@ -74,7 +87,14 @@ def _masked(actual, expected):
 def test_golden_api_v1(endpoint, case_path):
     case = json.loads(case_path.read_text())
     request, expect = case["request"], case["expect"]
-    status, raw = _post(f"{endpoint}{request['path']}", request["body"])
+    status, raw = _replay(endpoint, request)
+    poll_status = expect.get("poll_until_status")
+    if poll_status is not None:
+        deadline = time.monotonic() + 120
+        while (json.loads(raw).get("status") != poll_status
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+            status, raw = _replay(endpoint, request)
     assert status == expect["status"], raw
 
     if "final_response" in expect:  # a streaming case: NDJSON lines
@@ -96,7 +116,10 @@ def test_golden_api_v1(endpoint, case_path):
 
 
 def test_golden_directory_covers_the_required_cases():
-    """ISSUE 4 satellite: greedy/beam/sample/stream plus two malformed."""
+    """ISSUE 4 + 5 satellites: the advise strategies, two malformed bodies,
+    and the model-lifecycle surface (models/swap/batch/jobs/unknown-model)."""
     stems = {path.stem for path in CASES}
     assert {"greedy", "beam", "sample", "stream"} <= stems
+    assert {"models_list", "swap", "batch_submit", "job_poll",
+            "unknown_model"} <= stems
     assert len([s for s in stems if s.startswith("malformed")]) >= 2

@@ -1,0 +1,217 @@
+"""Model registry + checkpoint manifest: revisions, aliases, leases, errors."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.model.checkpoints import (
+    CheckpointError,
+    checkpoint_revision,
+    load_checkpoint,
+    read_manifest,
+)
+from repro.mpirical import MPIRical
+from repro.registry import (
+    DEFAULT_ALIAS,
+    ModelRegistry,
+    RegistryError,
+    split_model_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tiny_model, tmp_path_factory):
+    """The tiny model saved once for the whole module."""
+    return tiny_model.save(tmp_path_factory.mktemp("registry") / "ckpt")
+
+
+def _variant_of(checkpoint_path, *, delta: float = 0.25):
+    """A genuinely different revision: same architecture, perturbed weights."""
+    variant = MPIRical.load(checkpoint_path)
+    first = variant.model.parameters()[0]
+    first.data[...] = first.data + delta
+    first.mark_updated()
+    return variant
+
+
+# --------------------------------------------------------- checkpoint manifest
+
+
+class TestCheckpointManifest:
+    def test_save_writes_manifest_and_experiment_config(self, tiny_model,
+                                                        checkpoint):
+        manifest = read_manifest(checkpoint)
+        assert manifest is not None
+        params = tiny_model.model.parameters()
+        assert manifest.param_count == len(params)
+        assert manifest.total_parameters == sum(p.data.size for p in params)
+        assert manifest.revision == tiny_model.fingerprint()
+        assert checkpoint_revision(checkpoint) == manifest.revision
+        # The full experiment config rides along, so load() restores the
+        # exact sequence limits without an explicit config argument.
+        experiment = json.loads((checkpoint / "experiment.json").read_text())
+        assert experiment["max_source_tokens"] == \
+            tiny_model.config.max_source_tokens
+
+    def test_load_without_config_restores_sequence_limits(self, tiny_model,
+                                                          checkpoint):
+        restored = MPIRical.load(checkpoint)
+        assert restored.config.max_source_tokens == \
+            tiny_model.config.max_source_tokens
+        assert restored.config.max_target_tokens == \
+            tiny_model.config.max_target_tokens
+        assert restored.fingerprint() == tiny_model.fingerprint()
+
+    def test_fingerprint_tracks_weight_changes(self, checkpoint, tmp_path):
+        variant = _variant_of(checkpoint)
+        original = MPIRical.load(checkpoint)
+        assert variant.fingerprint() != original.fingerprint()
+        saved = variant.save(tmp_path / "variant")
+        assert checkpoint_revision(saved) == variant.fingerprint()
+
+    def test_missing_directory_is_immediate_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            load_checkpoint(tmp_path / "nope")
+
+    def test_mismatched_config_fails_before_loading_weights(self, tiny_model,
+                                                            tmp_path):
+        path = tiny_model.save(tmp_path / "tampered-config")
+        config = json.loads((path / "config.json").read_text())
+        config["d_model"] = config["d_model"] * 2
+        (path / "config.json").write_text(json.dumps(config))
+        with pytest.raises(CheckpointError, match="manifest"):
+            load_checkpoint(path)
+
+    def test_replaced_vocab_is_detected(self, tiny_model, tmp_path):
+        path = tiny_model.save(tmp_path / "tampered-vocab")
+        vocab = json.loads((path / "vocab.json").read_text())
+        vocab["tokens"] = list(vocab["tokens"]) + ["smuggled_token"]
+        (path / "vocab.json").write_text(json.dumps(vocab))
+        with pytest.raises(CheckpointError, match="vocab"):
+            load_checkpoint(path)
+
+    def test_corrupted_weights_fail_the_revision_check(self, tiny_model,
+                                                       tmp_path):
+        path = tiny_model.save(tmp_path / "tampered-weights")
+        with np.load(path / "weights.npz") as data:
+            arrays = {name: data[name].copy() for name in data.files}
+        first = sorted(arrays)[0]
+        arrays[first] = arrays[first] + 1.0  # same shape, different content
+        np.savez_compressed(path / "weights.npz", **arrays)
+        with pytest.raises(CheckpointError, match="revision"):
+            load_checkpoint(path)
+
+    def test_pre_manifest_checkpoints_still_load(self, tiny_model, tmp_path):
+        path = tiny_model.save(tmp_path / "legacy")
+        (path / "manifest.json").unlink()
+        model, vocab = load_checkpoint(path)
+        assert len(model.parameters()) == len(tiny_model.model.parameters())
+
+
+# ------------------------------------------------------------------- registry
+
+
+class TestModelRegistry:
+    def test_in_memory_and_checkpoint_entries_share_a_revision(
+            self, tiny_model, checkpoint):
+        registry = ModelRegistry(tiny_model, name="live")
+        registry.register("from-disk", checkpoint)
+        live = registry.resolve("live")
+        disk = registry.resolve("from-disk")
+        assert live.revision == disk.revision
+        assert live.identity == f"live@{tiny_model.fingerprint()}"
+
+    def test_checkpoint_entries_know_their_revision_before_loading(
+            self, tiny_model, checkpoint):
+        registry = ModelRegistry()
+        entry = registry.register("lazy", checkpoint, make_default=True)
+        assert not entry.loaded
+        assert entry.revision == tiny_model.fingerprint()
+        # resolve() loads lazily; the identity is unchanged by the load.
+        assert registry.resolve(None) is entry
+        assert entry.loaded
+
+    def test_resolution_accepts_alias_name_and_pinned_revision(
+            self, tiny_model):
+        registry = ModelRegistry(tiny_model, name="advisor")
+        identity = registry.resolve(None).identity
+        assert registry.resolve("default").name == "advisor"   # alias
+        assert registry.resolve("advisor").identity == identity  # name
+        assert registry.resolve(identity).identity == identity   # name@rev
+        assert split_model_spec(identity) == ("advisor",
+                                              identity.split("@")[1])
+
+    def test_unknown_and_stale_references_raise(self, tiny_model):
+        registry = ModelRegistry(tiny_model, name="advisor")
+        with pytest.raises(RegistryError, match="unknown model"):
+            registry.resolve("missing")
+        with pytest.raises(RegistryError, match="revision"):
+            registry.resolve("advisor@000000000000")
+        with pytest.raises(RegistryError):
+            registry.register("elsewhere", "/no/such/checkpoint")
+
+    def test_invalid_names_are_rejected(self, tiny_model):
+        registry = ModelRegistry()
+        for bad in ("", "a@b", "a/b"):
+            with pytest.raises(ValueError, match="invalid model name"):
+                registry.register(bad, tiny_model)
+
+    def test_swap_flips_the_alias_atomically(self, tiny_model, checkpoint,
+                                             tmp_path):
+        registry = ModelRegistry(tiny_model, name="v1")
+        variant = _variant_of(checkpoint)
+        registry.register("v2", variant)
+        previous, current = registry.swap("v2")
+        assert previous.startswith("v1@")
+        assert current == f"v2@{variant.fingerprint()}"
+        assert registry.resolve(None).name == "v2"
+        # The old entry is untouched: still registered, still loaded.
+        assert registry.get("v1").loaded
+
+    def test_reregistering_a_name_changes_its_revision(self, tiny_model,
+                                                       checkpoint, tmp_path):
+        registry = ModelRegistry(tiny_model, name="advisor")
+        old = registry.resolve("advisor")
+        variant = _variant_of(checkpoint)
+        registry.register("advisor", variant)
+        new = registry.resolve("advisor")
+        assert new is not old
+        assert new.revision != old.revision
+
+    def test_unload_is_lease_counted(self, checkpoint):
+        registry = ModelRegistry()
+        registry.register("advisor", checkpoint, make_default=True)
+        entry = registry.resolve("advisor")
+        entry.acquire()
+        assert registry.unload("advisor") is False   # draining, not dropped
+        assert entry.loaded                          # still serving its lease
+        entry.release()
+        assert not entry.loaded                      # last lease => unloaded
+        # A later resolve transparently reloads from the checkpoint.
+        assert registry.resolve("advisor").loaded
+
+    def test_in_memory_entries_refuse_to_unload(self, tiny_model):
+        registry = ModelRegistry(tiny_model)
+        with pytest.raises(RegistryError, match="in-memory"):
+            registry.unload("default")
+
+    def test_snapshot_reports_default_aliases_and_models(self, tiny_model,
+                                                         checkpoint):
+        registry = ModelRegistry(tiny_model, name="live")
+        registry.register("cold", checkpoint)
+        snapshot = registry.snapshot()
+        assert snapshot["default"] == f"live@{tiny_model.fingerprint()}"
+        assert snapshot["aliases"] == {DEFAULT_ALIAS: "live"}
+        by_name = {model["name"]: model for model in snapshot["models"]}
+        assert by_name["live"]["loaded"] is True
+        assert by_name["live"]["source"] == "in-memory"
+        assert by_name["cold"]["loaded"] is False
+        assert by_name["cold"]["source"].endswith("ckpt")
+
+    def test_warm_up_primes_without_changing_identity(self, tiny_model):
+        registry = ModelRegistry(tiny_model, warm_up=True)
+        entry = registry.resolve(None)
+        assert entry.identity == f"default@{tiny_model.fingerprint()}"

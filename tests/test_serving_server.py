@@ -59,10 +59,16 @@ def test_advise_roundtrip_and_cache_hit(endpoint, pi_source):
     assert again["cache_key"] == body["cache_key"]
 
 
-def test_healthz(endpoint):
+def test_healthz_reports_registry_state(endpoint):
     status, body = _get(f"{endpoint}/healthz")
     assert status == 200
-    assert body == {"status": "ok"}
+    assert body["status"] == "ok"
+    # The registry state: a default alias identity and per-model entries.
+    assert body["default"] == f"default@{body['models']['default']['revision']}"
+    model = body["models"]["default"]
+    assert model["loaded"] is True
+    assert isinstance(model["revision"], str) and len(model["revision"]) == 12
+    assert model["requests_served"] >= 0
 
 
 def test_metrics_reflect_served_traffic(endpoint, pi_source):
@@ -263,6 +269,174 @@ def test_unknown_paths_are_404(endpoint):
     assert excinfo.value.code == 404
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         _post(f"{endpoint}/nope", b"{}")
+    assert excinfo.value.code == 404
+
+
+# ------------------------------------------------------- model lifecycle API
+
+
+def test_metrics_report_registry_and_per_model_traffic(endpoint, pi_source):
+    _post(f"{endpoint}/advise", json.dumps({"code": pi_source}).encode())
+    status, body = _get(f"{endpoint}/metrics")
+    assert status == 200
+    registry = body["registry"]
+    assert registry["aliases"]["default"] == "default"
+    assert [m["name"] for m in registry["models"]] == ["default"]
+    assert registry["models"][0]["loaded"] is True
+    # Every served request lands under its resolved name@revision label.
+    assert body["requests_by_model"]
+    assert all(label.startswith("default@")
+               for label in body["requests_by_model"])
+    assert sum(body["requests_by_model"].values()) >= 1
+
+
+def test_v1_models_lists_the_registry(endpoint):
+    status, body = _get(f"{endpoint}/v1/models")
+    assert status == 200
+    assert body["api_version"] == "v1"
+    assert body["aliases"] == {"default": "default"}
+    (model,) = body["models"]
+    assert model["name"] == "default"
+    assert body["default"] == f"default@{model['revision']}"
+    assert model["source"] == "in-memory"
+
+
+def test_v1_advise_with_model_reference_echoes_resolved_identity(endpoint,
+                                                                 pi_source):
+    """Pinning model= (even as the alias) adds the resolved name@revision to
+    the response; omitting it keeps the v1.0 response shape exactly."""
+    plain = json.dumps({"code": pi_source}).encode()
+    status, body = _post(f"{endpoint}/v1/advise", plain)
+    assert status == 200
+    assert "model" not in body
+
+    pinned = json.dumps({"code": pi_source, "model": "default"}).encode()
+    status, with_model = _post(f"{endpoint}/v1/advise", pinned)
+    assert status == 200
+    assert with_model["model"].startswith("default@")
+    # Same model, same strategy, same buffer: one cache identity regardless
+    # of whether the request spelled the model out.
+    assert with_model["cache_key"] == body["cache_key"]
+    assert with_model["cached"] is True
+
+    # The fully-pinned name@revision spelling resolves too.
+    exact = json.dumps({"code": pi_source,
+                        "model": with_model["model"]}).encode()
+    status, exact_body = _post(f"{endpoint}/v1/advise", exact)
+    assert status == 200
+    assert exact_body["model"] == with_model["model"]
+
+
+def test_v1_advise_unknown_model_is_422(endpoint, pi_source):
+    payload = json.dumps({"code": pi_source, "model": "nope"}).encode()
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(f"{endpoint}/v1/advise", payload)
+    assert excinfo.value.code == 422
+    envelope = _error_body(excinfo)
+    assert envelope["code"] == "unknown_model"
+    assert envelope["field"] == "model"
+
+
+def test_v1_advise_stale_revision_pin_is_422(endpoint, pi_source):
+    payload = json.dumps({"code": pi_source,
+                          "model": "default@000000000000"}).encode()
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(f"{endpoint}/v1/advise", payload)
+    assert excinfo.value.code == 422
+    assert _error_body(excinfo)["code"] == "unknown_model"
+
+
+def test_model_load_and_swap_roundtrip(endpoint, tiny_model, tmp_path):
+    """Register-and-load a checkpoint over HTTP, then atomically flip the
+    default alias to it and back."""
+    checkpoint = tiny_model.save(tmp_path / "lifecycle-ckpt")
+    status, body = _post(
+        f"{endpoint}/v1/models/lifecycle/load",
+        json.dumps({"checkpoint": str(checkpoint)}).encode())
+    assert status == 200
+    assert body["model"]["name"] == "lifecycle"
+    assert body["model"]["loaded"] is True
+    # Same weights/config/vocab => same content-hash revision as the
+    # in-memory registration of the very same pipeline.
+    status, models = _get(f"{endpoint}/v1/models")
+    by_name = {m["name"]: m for m in models["models"]}
+    assert by_name["lifecycle"]["revision"] == by_name["default"]["revision"]
+
+    status, swap = _post(f"{endpoint}/v1/models/lifecycle/swap", b"")
+    assert status == 200
+    assert swap["previous"].startswith("default@")
+    assert swap["current"].startswith("lifecycle@")
+    status, health = _get(f"{endpoint}/healthz")
+    assert health["default"].startswith("lifecycle@")
+
+    # Flip back so the module-scoped endpoint keeps its original default.
+    status, swap = _post(f"{endpoint}/v1/models/default/swap",
+                         json.dumps({"alias": "default"}).encode())
+    assert status == 200
+    assert swap["current"].startswith("default@")
+
+
+def test_model_load_missing_checkpoint_is_422(endpoint):
+    payload = json.dumps({"checkpoint": "/nonexistent/ckpt"}).encode()
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(f"{endpoint}/v1/models/ghost/load", payload)
+    assert excinfo.value.code == 422
+    assert _error_body(excinfo)["field"] == "checkpoint"
+
+
+def test_swap_to_unknown_model_is_422(endpoint):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(f"{endpoint}/v1/models/missing/swap", b"")
+    assert excinfo.value.code == 422
+    assert _error_body(excinfo)["code"] == "unknown_model"
+
+
+def test_batch_job_submit_and_poll(endpoint, pi_source):
+    """POST /v1/advise/batch answers 202 + job id; polling reaches "done"
+    with one ok envelope per item (and items share the interactive cache)."""
+    import time
+
+    items = [{"code": pi_source},
+             {"code": pi_source, "strategy": {"name": "beam", "beam_size": 2}},
+             {"code": pi_source, "model": "no-such-model"}]
+    status, job = _post(f"{endpoint}/v1/advise/batch",
+                        json.dumps({"items": items}).encode())
+    assert status == 202
+    assert job["status"] in ("queued", "running", "done")
+    assert job["total"] == 3
+
+    deadline = time.monotonic() + 120
+    while job["status"] != "done" and time.monotonic() < deadline:
+        time.sleep(0.05)
+        _, job = _get(f"{endpoint}/v1/jobs/{job['job_id']}")
+    assert job["status"] == "done"
+    assert job["completed"] == 3
+    by_index = {item["index"]: item for item in job["results"]}
+    assert by_index[0]["status"] == "ok"
+    assert by_index[0]["response"]["api_version"] == "v1"
+    assert by_index[1]["status"] == "ok"
+    assert by_index[1]["response"]["strategy"]["name"] == "beam"
+    # The bad item failed alone, with the standard error envelope.
+    assert by_index[2]["status"] == "error"
+    assert by_index[2]["error"]["code"] == "unknown_model"
+
+
+def test_batch_rejects_malformed_submissions_atomically(endpoint, pi_source):
+    bad = {"items": [{"code": pi_source}, {"code": pi_source, "oops": 1}]}
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(f"{endpoint}/v1/advise/batch", json.dumps(bad).encode())
+    assert excinfo.value.code == 400
+    assert _error_body(excinfo)["field"] == "items[1].oops"
+
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(f"{endpoint}/v1/advise/batch",
+              json.dumps({"items": []}).encode())
+    assert excinfo.value.code == 400
+
+
+def test_unknown_job_is_404(endpoint):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(f"{endpoint}/v1/jobs/job-999999")
     assert excinfo.value.code == 404
 
 

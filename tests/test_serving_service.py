@@ -216,7 +216,10 @@ def test_abandoned_stream_still_populates_the_cache(service):
     assert first["type"] in ("token", "final")
     del stream                    # ... then abandon the generator (disconnect)
 
-    key = canonical_cache_key(source)     # the stream's greedy cache identity
+    # The stream's greedy cache identity — keys embed the model@revision
+    # that served the request, so derive it from the service's registry.
+    key = canonical_cache_key(source,
+                              model=service.registry.default_identity())
     deadline = time_module.time() + 60
     while time_module.time() < deadline and key not in service.cache:
         time_module.sleep(0.05)
