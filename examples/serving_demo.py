@@ -27,7 +27,14 @@ fires three waves of traffic at it:
    dropped, and the old revision's cache entries can never answer post-swap
    traffic (the cache key embeds ``name@revision``).  An async batch job is
    then submitted and polled to completion — exactly what
-   ``POST /v1/advise/batch`` + ``GET /v1/jobs/{id}`` do over HTTP.
+   ``POST /v1/advise/batch`` + ``GET /v1/jobs/{id}`` do over HTTP;
+8. a **durable-jobs wave** — a second service opens its job store over a
+   registry root, so submissions land in an append-only WAL
+   (``<root>/jobs/jobs.wal``).  The store is torn down mid-run (the stand-in
+   for a SIGKILL) and reopened over the same WAL: the acknowledged job
+   resumes idempotently — already-recorded items are restored, the rest are
+   re-enqueued and answered from the advice cache — and reaches ``done``
+   with every item resolved exactly once and no recycled job ids.
 
 Run with:  PYTHONPATH=src python examples/serving_demo.py
 """
@@ -175,6 +182,41 @@ def main() -> None:
         print("\n--- /metrics snapshot (note batches_by_config, "
               "requests_by_model, registry)")
         print(json.dumps(service.metrics(), indent=2))
+
+    print("\n--- wave 8: durable jobs — WAL, simulated crash, idempotent resume")
+    registry_root = workdir / "durable"
+    crashed = InferenceService(model, max_batch_size=8, max_wait_ms=10,
+                               num_workers=2, cache_capacity=128,
+                               generation=generation,
+                               registry_root=registry_root)
+    job = crashed.jobs.submit([AdviseRequest(code=p) for p in programs])
+    print(f"    job {job.job_id} ({job.to_dict()['total']} items) fsynced to "
+          f"{registry_root / 'jobs' / 'jobs.wal'}")
+    # Tear the store down mid-run — the stand-in for a SIGKILL.  The bounded
+    # close abandons whatever the worker has not recorded; the WAL is all
+    # that survives into the next service.
+    crashed.jobs.close(wait=True, timeout=0.05)
+    interrupted = job.to_dict()
+    print(f"    'crashed' mid-run at {interrupted['completed']}/"
+          f"{interrupted['total']} items recorded")
+    crashed.close()
+
+    with InferenceService(model, max_batch_size=8, max_wait_ms=10,
+                          num_workers=2, cache_capacity=128,
+                          generation=generation,
+                          registry_root=registry_root) as restarted:
+        snapshot = restarted.jobs.snapshot()
+        resumed = restarted.jobs.get(job.job_id)
+        print(f"    reopened the WAL: {snapshot['restored_items']} item(s) "
+              f"restored, {snapshot['resumed_jobs']} job(s) re-enqueued")
+        assert resumed.wait(timeout=120)
+        body = resumed.to_dict()
+        ok = sum(1 for item in body["results"] if item["status"] == "ok")
+        print(f"    job {body['job_id']} resumed to '{body['status']}': "
+              f"{ok}/{body['total']} items ok, each resolved exactly once")
+        next_job = restarted.jobs.submit([AdviseRequest(code=programs[0])])
+        print(f"    ids never recycle: the next submission is {next_job.job_id}")
+        assert next_job.wait(timeout=120)
 
 
 if __name__ == "__main__":

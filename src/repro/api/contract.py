@@ -89,6 +89,40 @@ class ApiError(Exception):
         return cls("internal", message, status=500)
 
     @classmethod
+    def unavailable(cls, message: str) -> "ApiError":
+        """The server is shutting down (or a subsystem is closed): HTTP 503.
+
+        Distinct from :meth:`internal` — a draining process is not a server
+        bug, and a client seeing 503 should retry against a healthy replica
+        rather than report an error.
+        """
+        return cls("unavailable", message, status=503)
+
+    @classmethod
+    def queue_full(cls, message: str) -> "ApiError":
+        """The bounded job queue is at capacity (backpressure): HTTP 429."""
+        return cls("queue_full", message, status=429)
+
+    @classmethod
+    def quota_exceeded(cls, message: str, *, field: str | None = None) -> "ApiError":
+        """One client holds too many in-flight jobs: HTTP 429."""
+        return cls("quota_exceeded", message, field=field, status=429)
+
+    @classmethod
+    def expired(cls, message: str) -> "ApiError":
+        """A resource that existed but was evicted (TTL/capacity): HTTP 410.
+
+        Tells clients "your job ran, but its results are gone" apart from
+        :meth:`not_found`'s "no such job was ever issued".
+        """
+        return cls("expired", message, status=410)
+
+    @classmethod
+    def timeout(cls, message: str) -> "ApiError":
+        """A decode exceeded its serving deadline: HTTP 504 semantics."""
+        return cls("timeout", message, status=504)
+
+    @classmethod
     def from_strategy_error(cls, exc: StrategyParamError) -> "ApiError":
         """Map a decoding-layer parameter error onto the envelope.
 

@@ -251,11 +251,17 @@ class ModelRegistry:
     """
 
     def __init__(self, model: "MPIRical | MPIAssistant | None" = None, *,
-                 name: str = DEFAULT_MODEL_NAME, warm_up: bool = False) -> None:
+                 name: str = DEFAULT_MODEL_NAME, warm_up: bool = False,
+                 root: "str | Path | None" = None) -> None:
         self._lock = threading.Lock()
         self._entries: dict[str, ModelEntry] = {}
         self._aliases: dict[str, str] = {}
         self.warm_up = warm_up
+        #: Durable state directory: checkpoints live under it by convention
+        #: and the serving job WAL (:mod:`repro.serving.joblog`) is written to
+        #: ``<root>/jobs/``.  ``None`` keeps the registry fully in-memory —
+        #: everything not backed by a checkpoint dies with the process.
+        self.root = Path(root) if root is not None else None
         if model is not None:
             self.register(name, model, make_default=True)
 

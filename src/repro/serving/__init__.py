@@ -11,8 +11,14 @@ turns it into a concurrent service:
 ``repro.serving.service``   the :class:`InferenceService` facade (v1 contract:
                             ``advise_request``, ``advise_stream``; fronts a
                             :class:`repro.registry.ModelRegistry`)
-``repro.serving.jobs``      async batch jobs (:class:`JobStore`) behind
-                            ``POST /v1/advise/batch`` / ``GET /v1/jobs/{id}``
+``repro.serving.jobs``      durable async batch jobs (:class:`JobStore` +
+                            :class:`JobPolicy`) behind ``POST
+                            /v1/advise/batch`` / ``GET /v1/jobs/{id}``:
+                            WAL-backed crash recovery, idempotent resume,
+                            bounded queue + per-client quotas (429), TTL
+                            eviction (410), dead-letter items
+``repro.serving.joblog``    the append-only JSONL WAL (:class:`JobLog`)
+                            under ``<registry root>/jobs/``
 ``repro.serving.server``    stdlib HTTP endpoint (/v1/advise,
                             /v1/advise/stream, /v1/advise/batch, /v1/jobs,
                             /v1/models [list/load/swap], legacy /advise,
@@ -31,7 +37,8 @@ Quick start
 
 from .batching import MicroBatcher
 from .cache import CacheStats, LRUCache, canonical_cache_key
-from .jobs import Job, JobStore
+from .joblog import JobLog
+from .jobs import Job, JobPolicy, JobStore
 from .metrics import ServingMetrics, percentile
 from .service import InferenceService, ServedAdvice, generation_label
 
@@ -48,6 +55,8 @@ __all__ = [
     "percentile",
     "InferenceService",
     "Job",
+    "JobLog",
+    "JobPolicy",
     "JobStore",
     "ServedAdvice",
     "generation_label",

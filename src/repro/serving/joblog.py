@@ -1,0 +1,177 @@
+"""Append-only JSONL write-ahead log for the durable batch-job tier.
+
+The PR 5 :class:`repro.serving.jobs.JobStore` kept everything in memory: a
+process restart silently dropped every queued and running job.  ``JobLog``
+gives the store a crash-safe spine with three properties:
+
+* **append-only state transitions** — every externally visible change is one
+  JSON record appended to ``jobs.wal`` (``submit`` / ``attempt`` / ``item`` /
+  ``status`` / ``evict`` plus a ``meta`` watermark).  Nothing is ever
+  updated in place, so a crash at any byte offset loses at most the torn
+  tail of the file, never the history before it;
+* **fsync batching** — appends land in the OS page cache immediately
+  (``flush``), and ``fsync`` runs at transition *boundaries* (a submit
+  acknowledgement, a job completing, an explicit :meth:`sync`) or every
+  ``sync_every`` records, whichever comes first.  One fsync covers a whole
+  fan-out of item records instead of paying the disk once per item;
+* **torn-tail-tolerant replay** — :meth:`replay` yields every decodable
+  record and counts (rather than raises on) trailing garbage, which is
+  exactly what a record written mid-crash looks like.
+
+On every reopen the store replays the log, reconstructs its state, and asks
+for :meth:`rewrite` — a compaction that writes the *current* state as a
+fresh record sequence to a temp file and atomically renames it over the old
+log.  The WAL therefore stays proportional to retained jobs, not to the
+server's lifetime, and the rename is the only non-append mutation (atomic
+on POSIX).
+
+A closed log silently drops appends instead of raising: the one writer that
+can outlive :meth:`close` is a worker thread wedged on a hung decode, and
+its late, bounded-join-abandoned writes must not corrupt a WAL that a
+successor store may already have compacted and reopened.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Iterable
+
+#: WAL filename under the job-log directory (``<registry root>/jobs/``).
+WAL_FILENAME = "jobs.wal"
+
+#: Record-format version stamped on the compaction ``meta`` record.
+WAL_VERSION = 1
+
+
+class JobLog:
+    """One append-only JSONL file of job-state transitions.
+
+    Thread-safe: request threads append ``submit`` records while the worker
+    appends ``attempt``/``item``/``status`` records; a single internal lock
+    serialises them (and never nests inside the store's lock, so the two can
+    be taken in either order without deadlock).
+    """
+
+    def __init__(self, directory: str | Path, *, sync_every: int = 16) -> None:
+        if sync_every < 1:
+            raise ValueError(f"sync_every must be >= 1, got {sync_every}")
+        self.directory = Path(directory)
+        self.path = self.directory / WAL_FILENAME
+        self.sync_every = sync_every
+        self._lock = threading.Lock()
+        self._file = None
+        self._unsynced = 0
+        self._closed = False
+        #: Appends dropped because the log was already closed (a wedged
+        #: worker finishing after a bounded-join close) — surfaced in the
+        #: store's snapshot so an operator can see it happened.
+        self.dropped_appends = 0
+        #: Undecodable lines skipped by the last :meth:`replay` (torn tail).
+        self.torn_records = 0
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ----------------------------------------------------------------- write
+
+    def _open_locked(self) -> None:
+        if self._file is None:
+            self._file = open(self.path, "a", encoding="utf-8")
+
+    def append(self, record: dict[str, Any], *, sync: bool = False) -> None:
+        """Append one record; ``sync=True`` forces the batched fsync now."""
+        line = json.dumps(record, separators=(",", ":"))
+        with self._lock:
+            if self._closed:
+                self.dropped_appends += 1
+                return
+            self._open_locked()
+            self._file.write(line + "\n")
+            self._file.flush()
+            self._unsynced += 1
+            if sync or self._unsynced >= self.sync_every:
+                os.fsync(self._file.fileno())
+                self._unsynced = 0
+
+    def sync(self) -> None:
+        """Flush the batched fsync window (a transition boundary)."""
+        with self._lock:
+            if self._closed or self._file is None or self._unsynced == 0:
+                return
+            os.fsync(self._file.fileno())
+            self._unsynced = 0
+
+    # ------------------------------------------------------------------ read
+
+    def replay(self) -> list[dict[str, Any]]:
+        """Every decodable record currently on disk, in append order.
+
+        Lines that fail to decode — a torn tail from a crash mid-write, or
+        any later garbage — are skipped and counted in
+        :attr:`torn_records`; replay never raises for file *content*.
+        """
+        records: list[dict[str, Any]] = []
+        self.torn_records = 0
+        if not self.path.exists():
+            return records
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    self.torn_records += 1
+                    continue
+                if isinstance(record, dict):
+                    records.append(record)
+                else:
+                    self.torn_records += 1
+        return records
+
+    # ------------------------------------------------------------ compaction
+
+    def rewrite(self, records: Iterable[dict[str, Any]]) -> None:
+        """Atomically replace the WAL with ``records`` (compaction).
+
+        Writes to ``jobs.wal.tmp``, fsyncs, then renames over the live file
+        — a crash mid-compaction leaves the old WAL untouched.  Reopens the
+        append handle on the new file.
+        """
+        tmp = self.path.with_suffix(".wal.tmp")
+        with self._lock:
+            if self._closed:
+                return
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for record in records:
+                    handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+            self._unsynced = 0
+            self._open_locked()
+
+    # ----------------------------------------------------------------- close
+
+    def close(self) -> None:
+        """Fsync outstanding records and drop all future appends."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._file is not None:
+                if self._unsynced:
+                    os.fsync(self._file.fileno())
+                    self._unsynced = 0
+                self._file.close()
+                self._file = None
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed

@@ -48,12 +48,18 @@ class ServingMetrics:
         #: registry-era view of where traffic lands, bounded by the same
         #: label-cardinality cap as the per-config histograms.
         self._requests_by_model: Counter[str] = Counter()
+        #: Per-reason batch-job rejections (``queue_full`` /
+        #: ``quota_exceeded``) — the backpressure signal an operator alarms
+        #: on before clients start seeing sustained 429s.
+        self._jobs_rejected: Counter[str] = Counter()
         self.requests_total = 0
         self.cache_hits = 0
         self.cache_misses = 0
         self.batches_total = 0
         self.errors_total = 0
         self.streams_total = 0
+        self.jobs_submitted_total = 0
+        self.jobs_dead_letter_total = 0
 
     # ------------------------------------------------------------- recording
 
@@ -125,6 +131,21 @@ class ServingMetrics:
         with self._lock:
             self.errors_total += 1
 
+    def record_job_submitted(self) -> None:
+        """Record one accepted batch-job submission."""
+        with self._lock:
+            self.jobs_submitted_total += 1
+
+    def record_job_rejected(self, reason: str) -> None:
+        """Record one backpressure rejection (``queue_full`` etc.)."""
+        with self._lock:
+            self._jobs_rejected[reason] += 1
+
+    def record_job_dead_letter(self) -> None:
+        """Record one item parked in the ``dead_letter`` terminal state."""
+        with self._lock:
+            self.jobs_dead_letter_total += 1
+
     # ------------------------------------------------------------- reporting
 
     def snapshot(self) -> dict[str, Any]:
@@ -142,6 +163,9 @@ class ServingMetrics:
             batches = self.batches_total
             errors = self.errors_total
             streams = self.streams_total
+            jobs_submitted = self.jobs_submitted_total
+            jobs_dead_letter = self.jobs_dead_letter_total
+            jobs_rejected = dict(sorted(self._jobs_rejected.items()))
         batched_requests = sum(size * count for size, count in batch_sizes.items())
         batches_by_config = {
             label: {
@@ -158,6 +182,10 @@ class ServingMetrics:
             "cache_hit_rate": hits / requests if requests else 0.0,
             "errors_total": errors,
             "streams_total": streams,
+            "jobs_submitted_total": jobs_submitted,
+            "jobs_rejected_total": sum(jobs_rejected.values()),
+            "jobs_rejected_by_reason": jobs_rejected,
+            "jobs_dead_letter_total": jobs_dead_letter,
             "batches_total": batches,
             "batch_size_histogram": batch_sizes,
             "batches_by_config": batches_by_config,

@@ -16,11 +16,19 @@ Endpoints
     Async bulk advising: ``{"items": [<advise request>, ...]}`` (optional
     top-level ``model``/``strategy`` defaults) answers **202** with
     ``{"job_id": ..., "status": "queued", ...}`` immediately; the items run
-    through the same micro-batcher as interactive traffic.
+    through the same micro-batcher as interactive traffic.  The job tier is
+    **durable** when the server has a ``--registry-root``: every submit is
+    WAL-fsynced before the 202, and a restarted server resumes unfinished
+    jobs.  Backpressure is typed: **429** ``queue_full`` when the unfinished
+    backlog is at capacity, **429** ``quota_exceeded`` when the caller's
+    ``X-Client-Id`` already holds its in-flight quota, **503**
+    ``unavailable`` while shutting down.
 ``GET /v1/jobs/{id}``
     Poll a batch job: status, progress counters and one per-item envelope
     (``{"status": "ok", "response": ...}`` / ``{"status": "error", "error":
-    ...}``) per completed item.
+    ...}`` / ``{"status": "dead_letter", "error": ...}``) per completed
+    item.  A finished job that was TTL/capacity-evicted answers **410**
+    ``expired``; an id that was never issued answers **404**.
 ``GET /v1/models``
     The model registry: default alias, aliases, and every registered
     model's ``name``/``revision``/``loaded``/lease/request counters.
@@ -63,9 +71,15 @@ Run it::
     PYTHONPATH=src python -m repro.serving.server --port 8080
 
 which trains a small demo model first (or loads ``--checkpoint DIR`` saved
-via :meth:`MPIRical.save`).  ``--smoke`` starts the server on an ephemeral
+via :meth:`MPIRical.save`).  ``--registry-root DIR`` makes the job tier
+durable (the WAL lives at ``DIR/jobs/jobs.wal``; startup replays it and
+resumes unfinished jobs).  ``--smoke`` starts the server on an ephemeral
 port, exercises ``/advise``, ``/v1/advise`` and ``/v1/advise/stream``
 against it, asserts the responses, and exits — the CI smoke test.
+``--smoke-resume`` is the durability smoke: it starts a *subprocess* server
+over a registry root, submits a batch, SIGKILLs the process mid-run,
+restarts it over the same root, and asserts the job reaches ``"done"`` with
+every item resolved and that job ids do not recycle.
 """
 
 from __future__ import annotations
@@ -210,6 +224,7 @@ class AdviseRequestHandler(BaseHTTPRequestHandler):
 
     def _get_healthz(self) -> None:
         registry = self.service.registry.snapshot()
+        jobs = self.service.job_store()
         self._send_json(200, {
             "status": "ok",
             "default": registry["default"],
@@ -217,6 +232,9 @@ class AdviseRequestHandler(BaseHTTPRequestHandler):
                                        "loaded": model["loaded"],
                                        "requests_served": model["requests_served"]}
                        for model in registry["models"]},
+            # The probe must not *create* the store (opening the WAL is a
+            # side effect); an untouched job tier reports enabled: False.
+            "jobs": jobs.snapshot() if jobs is not None else {"enabled": False},
         })
 
     def _post_advise_legacy(self, payload: dict) -> None:
@@ -239,9 +257,17 @@ class AdviseRequestHandler(BaseHTTPRequestHandler):
         self._send_json(200, response.to_dict())
 
     def _post_advise_batch(self, payload: dict) -> None:
-        """Async bulk advising: validate atomically, queue, answer 202."""
+        """Async bulk advising: validate atomically, queue, answer 202.
+
+        The ``X-Client-Id`` header is the quota key — callers that send one
+        get their own in-flight budget; callers that don't share the
+        anonymous bucket.  The 202 is only sent after the submit record is
+        fsynced to the WAL (when durability is on), so an acknowledged job
+        survives a crash.
+        """
         requests = parse_batch_advise(payload)
-        job = self.service.jobs.submit(requests)
+        job = self.service.jobs.submit(
+            requests, client=self.headers.get("X-Client-Id"))
         self._send_json(202, job.to_dict())
 
     def _post_model_load(self, name: str, payload: dict) -> None:
@@ -363,29 +389,35 @@ def make_server(service: InferenceService, host: str = "127.0.0.1",
     return server
 
 
-def _demo_service(checkpoint: str | None, *, max_batch_size: int, max_wait_ms: float,
-                  num_workers: int, cache_capacity: int) -> InferenceService:
-    """A service over a checkpoint, or over a freshly trained small model."""
+def _demo_model(checkpoint: str | None):
+    """A trained :class:`MPIRical`: the checkpoint, or a fresh small model."""
     from ..mpirical.pipeline import MPIRical
 
     if checkpoint:
-        mpirical = MPIRical.load(checkpoint)
-    else:
-        from ..corpus import MiningConfig, build_corpus
-        from ..dataset import build_dataset
-        from ..model.config import tiny_config
+        return MPIRical.load(checkpoint)
+    from ..corpus import MiningConfig, build_corpus
+    from ..dataset import build_dataset
+    from ..model.config import tiny_config
 
-        print("no --checkpoint given; training a small demo model ...",
-              file=sys.stderr)
-        corpus = build_corpus(MiningConfig(num_repositories=35, seed=101))
-        dataset = build_dataset(corpus)
-        config = tiny_config()
-        config.training.max_steps_per_epoch = 8
-        mpirical = MPIRical.fit(dataset.splits.train[:40],
-                                dataset.splits.validation[:8], config)
-    return InferenceService(mpirical, max_batch_size=max_batch_size,
-                           max_wait_ms=max_wait_ms, num_workers=num_workers,
-                           cache_capacity=cache_capacity)
+    print("no --checkpoint given; training a small demo model ...",
+          file=sys.stderr)
+    corpus = build_corpus(MiningConfig(num_repositories=35, seed=101))
+    dataset = build_dataset(corpus)
+    config = tiny_config()
+    config.training.max_steps_per_epoch = 8
+    return MPIRical.fit(dataset.splits.train[:40],
+                        dataset.splits.validation[:8], config)
+
+
+def _demo_service(checkpoint: str | None, *, max_batch_size: int, max_wait_ms: float,
+                  num_workers: int, cache_capacity: int,
+                  registry_root: str | None = None) -> InferenceService:
+    """A service over a checkpoint, or over a freshly trained small model."""
+    return InferenceService(_demo_model(checkpoint),
+                            max_batch_size=max_batch_size,
+                            max_wait_ms=max_wait_ms, num_workers=num_workers,
+                            cache_capacity=cache_capacity,
+                            registry_root=registry_root)
 
 
 def _run_smoke(service: InferenceService) -> int:
@@ -465,6 +497,132 @@ def _run_smoke(service: InferenceService) -> int:
     return 0
 
 
+def _run_smoke_resume(args) -> int:
+    """The kill-and-resume smoke: durability must survive a SIGKILL.
+
+    Runs the server as a *subprocess* over a registry root, submits a batch,
+    SIGKILLs the process (no shutdown hooks — the WAL is all that's left),
+    restarts it over the same root, and asserts the acknowledged job reaches
+    ``"done"`` with every item resolved exactly once and that a fresh submit
+    gets the *next* job id (ids never recycle across restarts).
+    """
+    import json as _json
+    import os
+    import shutil
+    import signal
+    import socket
+    import subprocess
+    import tempfile
+    import time
+    import urllib.error
+    import urllib.request
+
+    workdir = tempfile.mkdtemp(prefix="mpirical-smoke-resume-")
+    checkpoint = args.checkpoint
+    failures: list[str] = []
+    proc = None
+    try:
+        if not checkpoint:
+            checkpoint = os.path.join(workdir, "checkpoint")
+            _demo_model(None).save(checkpoint)
+        registry_root = os.path.join(workdir, "registry")
+
+        # A fixed port the subprocess can rebind after the kill.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        base = f"http://127.0.0.1:{port}"
+
+        src_dir = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        cmd = [sys.executable, "-m", "repro.serving.server",
+               "--checkpoint", checkpoint, "--registry-root", registry_root,
+               "--host", "127.0.0.1", "--port", str(port)]
+
+        def start():
+            return subprocess.Popen(cmd, env=env,
+                                    stdout=subprocess.DEVNULL,
+                                    stderr=subprocess.DEVNULL)
+
+        def wait_healthy(deadline: float) -> bool:
+            while time.monotonic() < deadline:
+                try:
+                    with urllib.request.urlopen(f"{base}/healthz",
+                                                timeout=5) as response:
+                        if response.status == 200:
+                            return True
+                except (urllib.error.URLError, OSError):
+                    time.sleep(0.3)
+            return False
+
+        def fetch(path: str, payload: dict | None = None,
+                  headers: dict | None = None):
+            request = urllib.request.Request(
+                f"{base}{path}",
+                data=_json.dumps(payload).encode() if payload is not None else None,
+                headers={"Content-Type": "application/json", **(headers or {})})
+            with urllib.request.urlopen(request, timeout=60) as response:
+                return response.status, _json.loads(response.read())
+
+        proc = start()
+        if not wait_healthy(time.monotonic() + 120):
+            failures.append("first server never became healthy")
+            return _smoke_resume_report(failures)
+
+        code = "int main(int argc, char** argv) { return %d; }\n"
+        status, job = fetch("/v1/advise/batch",
+                            {"items": [{"code": code % n} for n in range(3)]})
+        if status != 202 or job.get("job_id") != "job-1":
+            failures.append(f"submit: status={status} body={job}")
+            return _smoke_resume_report(failures)
+
+        # SIGKILL mid-run: no atexit, no close() — the WAL alone must carry
+        # the job across.
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+        proc = start()
+        if not wait_healthy(time.monotonic() + 120):
+            failures.append("restarted server never became healthy")
+            return _smoke_resume_report(failures)
+
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            status, job = fetch("/v1/jobs/job-1")
+            if status == 200 and job.get("status") == "done":
+                break
+            time.sleep(0.3)
+        if job.get("status") != "done" or job.get("completed") != job.get("total"):
+            failures.append(f"resumed job never finished: {job}")
+        elif any(item.get("status") not in ("ok", "error", "dead_letter")
+                 for item in job.get("results", [])):
+            failures.append(f"resumed job has malformed item envelopes: {job}")
+
+        status, second = fetch("/v1/advise/batch",
+                               {"items": [{"code": code % 99}]})
+        if status != 202 or second.get("job_id") != "job-2":
+            failures.append(f"job ids recycled across restart: "
+                            f"status={status} body={second}")
+    finally:
+        if proc is not None:
+            proc.kill()
+            proc.wait(timeout=30)
+        shutil.rmtree(workdir, ignore_errors=True)
+    return _smoke_resume_report(failures, job_id="job-1")
+
+
+def _smoke_resume_report(failures: list[str], *, job_id: str = "") -> int:
+    if failures:
+        for failure in failures:
+            print(f"kill-and-resume smoke FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(f"kill-and-resume smoke ok: {job_id} survived SIGKILL, resumed to "
+          f"done, and ids did not recycle")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Serve MPI-RICAL advice over HTTP (stdlib only).")
@@ -473,6 +631,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--checkpoint", default=None,
                         help="model directory saved via MPIRical.save(); "
                              "omitted = train a small demo model")
+    parser.add_argument("--registry-root", default=None,
+                        help="durable-state directory; enables the batch-job "
+                             "WAL at <root>/jobs/jobs.wal and crash resume")
     parser.add_argument("--max-batch-size", type=int, default=8)
     parser.add_argument("--max-wait-ms", type=float, default=5.0)
     parser.add_argument("--workers", type=int, default=2)
@@ -480,13 +641,30 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="start, exercise every advise route, the model "
                              "listing and one batch job round-trip, exit")
+    parser.add_argument("--smoke-resume", action="store_true",
+                        help="durability smoke: subprocess server + submit + "
+                             "SIGKILL + restart + poll the job to done, exit")
     args = parser.parse_args(argv)
+
+    if args.smoke_resume:
+        return _run_smoke_resume(args)
 
     service = _demo_service(args.checkpoint, max_batch_size=args.max_batch_size,
                             max_wait_ms=args.max_wait_ms, num_workers=args.workers,
-                            cache_capacity=args.cache_capacity)
+                            cache_capacity=args.cache_capacity,
+                            registry_root=args.registry_root)
     if args.smoke:
         return _run_smoke(service)
+
+    if args.registry_root is not None:
+        # Eager recovery: opening the store replays the WAL and re-enqueues
+        # unfinished jobs *now*, not on the first batch request.
+        snapshot = service.jobs.snapshot()
+        if snapshot["resumed_jobs"] or snapshot["retained"]:
+            print(f"job WAL replayed: {snapshot['retained']} job(s) retained, "
+                  f"{snapshot['resumed_jobs']} resumed, "
+                  f"{snapshot['restored_items']} item result(s) restored",
+                  file=sys.stderr)
 
     server = make_server(service, args.host, args.port)
     host, port = server.server_address[:2]

@@ -60,9 +60,10 @@ import time
 import warnings
 from concurrent.futures import Future
 from dataclasses import dataclass
+from pathlib import Path
 from queue import SimpleQueue
 from threading import Lock, Thread
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from ..api import AdviseRequest, AdviseResponse, ApiError, advice_items
 from ..clang.parser import parse_source_with_diagnostics
@@ -83,6 +84,9 @@ from ..xsbt.xsbt import xsbt_string
 from .batching import MicroBatcher
 from .cache import LRUCache, canonical_cache_key
 from .metrics import ServingMetrics
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from .jobs import JobPolicy, JobStore
 
 
 def anchor_result(source_code: str, result: PredictionResult) -> PredictionResult:
@@ -164,17 +168,32 @@ class InferenceService:
     generation:
         Optional legacy decoding override applied to every request that does
         not pin a strategy; also supplies ``max_length`` for every decode.
+    registry_root:
+        Durable-state directory for the batch-job tier; the job WAL lives at
+        ``<registry_root>/jobs/jobs.wal``.  Defaults to the registry's own
+        ``root`` when it has one; ``None`` (and no registry root) keeps jobs
+        in-memory only.
+    job_policy:
+        Backpressure/hygiene knobs for the job store
+        (:class:`repro.serving.jobs.JobPolicy`); ``None`` uses the defaults.
     """
 
     def __init__(self, model: MPIRical | MPIAssistant | ModelRegistry, *,
                  max_batch_size: int = 8, max_wait_ms: float = 5.0,
                  num_workers: int = 1, cache_capacity: int = 256,
                  generation: GenerationConfig | None = None,
-                 metrics_window: int = 1024) -> None:
+                 metrics_window: int = 1024,
+                 registry_root: "str | Path | None" = None,
+                 job_policy: "JobPolicy | None" = None) -> None:
         if isinstance(model, ModelRegistry):
             self.registry = model
         else:
             self.registry = ModelRegistry(model)
+        if registry_root is None:
+            registry_root = self.registry.root
+        self._job_log_dir = (Path(registry_root) / "jobs"
+                             if registry_root is not None else None)
+        self._job_policy = job_policy
         self.generation = generation
         self.metrics_ = ServingMetrics(window=metrics_window)
         self.cache = LRUCache(cache_capacity) if cache_capacity > 0 else None
@@ -199,17 +218,35 @@ class InferenceService:
         self._closed = False
 
     @property
-    def jobs(self):
+    def jobs(self) -> "JobStore":
         """The async batch-job store (:class:`repro.serving.jobs.JobStore`),
-        created on first use and closed with the service."""
+        created on first use and closed with the service.
+
+        When the service has a durable root (``registry_root``, or the
+        registry's own ``root``), first access opens the store *over its
+        WAL* — replaying finished jobs and re-enqueueing unfinished ones —
+        which is why server startup touches this property eagerly.  Access
+        after :meth:`close` answers the contract's 503 ``unavailable``
+        envelope: a shutting-down replica is not a server bug.
+        """
         with self._jobs_lock:
             if self._jobs is None:
                 if self._closed:
-                    raise RuntimeError(
-                        "cannot use jobs on a closed InferenceService")
+                    raise ApiError.unavailable(
+                        "the service is shutting down; retry against a "
+                        "healthy replica")
                 from .jobs import JobStore
 
-                self._jobs = JobStore(self)
+                self._jobs = JobStore(self, policy=self._job_policy,
+                                      log_dir=self._job_log_dir,
+                                      metrics=self.metrics_)
+            return self._jobs
+
+    def job_store(self) -> "JobStore | None":
+        """The job store if one has been created, else ``None`` — a
+        peek that (unlike :attr:`jobs`) never opens the WAL or starts the
+        worker thread; used by ``/metrics`` and ``/healthz``."""
+        with self._jobs_lock:
             return self._jobs
 
     @property
@@ -424,10 +461,20 @@ class InferenceService:
         snapshot["max_batch_size"] = self.batcher.max_batch_size
         snapshot["max_wait_ms"] = self.batcher.max_wait * 1000.0
         snapshot["registry"] = self.registry.snapshot()
+        jobs = self.job_store()
+        snapshot["jobs"] = (jobs.snapshot() if jobs is not None
+                            else {"enabled": False})
         return snapshot
 
-    def close(self) -> None:
-        """Drain queued requests and stop the worker pool (and job store)."""
+    def close(self, *, job_drain_timeout: float | None = 5.0) -> None:
+        """Drain queued requests and stop the worker pool (and job store).
+
+        The job store closes *first* and with a **bounded** join (its items
+        run through the batcher, so the batcher must outlive the drain) —
+        one hung decode ends the wait after ``job_drain_timeout`` seconds
+        instead of hanging server shutdown forever.  With durability on, the
+        abandoned work is simply re-enqueued on the next open.
+        """
         if not self._closed:
             # The closed flag flips under the jobs lock so a racing first
             # access of .jobs either sees it and refuses, or wins the race
@@ -436,7 +483,7 @@ class InferenceService:
                 self._closed = True
                 jobs = self._jobs
             if jobs is not None:
-                jobs.close(wait=False)
+                jobs.close(wait=True, timeout=job_drain_timeout)
             self.batcher.close()
 
     def __enter__(self) -> "InferenceService":

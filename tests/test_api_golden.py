@@ -116,10 +116,11 @@ def test_golden_api_v1(endpoint, case_path):
 
 
 def test_golden_directory_covers_the_required_cases():
-    """ISSUE 4 + 5 satellites: the advise strategies, two malformed bodies,
-    and the model-lifecycle surface (models/swap/batch/jobs/unknown-model)."""
+    """ISSUE 4 + 5 + 7 satellites: the advise strategies, two malformed
+    bodies, the model-lifecycle surface (models/swap/batch/jobs/unknown-model)
+    and the durable-job error envelopes (never-issued job id)."""
     stems = {path.stem for path in CASES}
     assert {"greedy", "beam", "sample", "stream"} <= stems
     assert {"models_list", "swap", "batch_submit", "job_poll",
-            "unknown_model"} <= stems
+            "job_unknown", "unknown_model"} <= stems
     assert len([s for s in stems if s.startswith("malformed")]) >= 2

@@ -1,0 +1,393 @@
+"""Durable batch-job tier: WAL persistence, crash resume, backpressure,
+worker supervision, item timeouts, TTL eviction and dead-lettering.
+
+These are unit tests over :class:`repro.serving.jobs.JobStore` with scripted
+service stubs (no model), so every crash/restart scenario is deterministic:
+"crash" = bounded-close a store mid-run and open a fresh one over the same
+WAL directory, exactly what a SIGKILLed server's successor does.  The stubs
+share a cache dict and per-item decode counters **across store generations**
+— the stand-in for the real advice cache keyed on canonical cache keys —
+which is what lets the resume differential assert *zero duplicate decodes*.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import Counter
+from concurrent.futures import Future
+from types import SimpleNamespace
+
+import pytest
+
+from repro.api import AdviseRequest, ApiError
+from repro.serving import JobLog, JobPolicy, JobStore
+from repro.serving.joblog import WAL_FILENAME
+
+
+def _response(code: str) -> SimpleNamespace:
+    return SimpleNamespace(to_dict=lambda code=code: {"generated_code": code})
+
+
+class _SharedCacheService:
+    """advise_request_async stub with a cross-"restart" cache + decode counts.
+
+    ``cache`` and ``decodes`` are shared between the stub instances handed to
+    successive store generations, mirroring how the real service's advice
+    cache keeps decoded results addressable by canonical cache key across a
+    job-store reopen.  A code containing a key of ``gates`` resolves only
+    once its gate opens (the hung/in-flight decode); everything else resolves
+    synchronously — from the cache when present (no decode counted), else
+    decoding once and populating the cache.
+    """
+
+    def __init__(self, cache: dict, decodes: Counter,
+                 gates: dict[str, threading.Event] | None = None) -> None:
+        self.cache = cache
+        self.decodes = decodes
+        self.gates = gates or {}
+        self.calls: list[str] = []
+        self.first_call = threading.Event()
+
+    def advise_request_async(self, request: AdviseRequest) -> Future:
+        self.calls.append(request.code)
+        self.first_call.set()
+        future: Future = Future()
+        gate = next((gate for key, gate in self.gates.items()
+                     if key in request.code), None)
+        if gate is not None:
+            def _decode_when_released(code: str = request.code) -> None:
+                gate.wait()
+                if code not in self.cache:
+                    self.decodes[code] += 1
+                    self.cache[code] = _response(code)
+                future.set_result(self.cache[code])
+
+            threading.Thread(target=_decode_when_released, daemon=True).start()
+            return future
+        if request.code not in self.cache:
+            self.decodes[request.code] += 1
+            self.cache[request.code] = _response(request.code)
+        future.set_result(self.cache[request.code])
+        return future
+
+
+def _requests(*codes: str) -> list[AdviseRequest]:
+    return [AdviseRequest(code=code) for code in codes]
+
+
+# ------------------------------------------------------------- WAL basics
+
+
+def test_finished_jobs_survive_restart_with_results(tmp_path):
+    cache, decodes = {}, Counter()
+    store = JobStore(_SharedCacheService(cache, decodes), log_dir=tmp_path)
+    job = store.submit(_requests("int a;", "int b;"))
+    assert job.wait(timeout=30)
+    first_body = job.to_dict()
+    store.close()
+
+    reopened = JobStore(_SharedCacheService({}, Counter()), log_dir=tmp_path)
+    try:
+        restored = reopened.get("job-1")
+        assert restored.to_dict() == first_body
+        assert reopened.snapshot()["restored_items"] == 2
+        # The watermark survived too: ids are never recycled.
+        assert reopened.submit(_requests("int c;")).job_id == "job-2"
+    finally:
+        reopened.close()
+
+
+def test_restart_resume_differential_no_duplicate_decodes(tmp_path):
+    """The tentpole acceptance test.
+
+    A three-item job is torn down mid-run: item a was collected into the
+    WAL, item c decoded (and cached) but was never collected, item b is
+    still in flight.  The successor store must finish the job with every
+    item resolved exactly once, ``completed == total``, **zero** duplicate
+    decodes (b and c are answered from the shared cache), and without
+    recycling ids.
+    """
+    cache: dict = {}
+    decodes: Counter = Counter()
+    gate = threading.Event()
+    svc1 = _SharedCacheService(cache, decodes, gates={"GATED": gate})
+
+    store1 = JobStore(svc1, log_dir=tmp_path)
+    job = store1.submit(_requests("int a;", "int GATED_b;", "int c;"))
+    assert job.job_id == "job-1"
+    # The worker collects in index order: a lands, b wedges the collection
+    # loop, c's decode already finished into the shared cache uncollected.
+    deadline = time.monotonic() + 30
+    while job.to_dict()["completed"] < 1 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert job.to_dict()["completed"] >= 1
+    assert decodes["int c;"] == 1  # decoded pre-crash, result stranded
+    # "Crash": bounded close abandons the wedged worker; the WAL is all
+    # that survives.
+    assert store1.close(wait=True, timeout=0.5) is False
+
+    # The in-flight decode completes after the crash (as a real model decode
+    # would) — into the shared cache, where the successor can find it.
+    gate.set()
+    while decodes["int GATED_b;"] == 0 and time.monotonic() < deadline:
+        time.sleep(0.01)
+
+    svc2 = _SharedCacheService(cache, decodes)
+    store2 = JobStore(svc2, log_dir=tmp_path)
+    try:
+        resumed = store2.get("job-1")
+        assert resumed is not job  # a fresh object, rebuilt from the WAL
+        assert resumed.wait(timeout=30)
+        body = resumed.to_dict()
+        assert body["status"] == "done"
+        assert body["completed"] == body["total"] == 3
+        assert sorted(item["index"] for item in body["results"]) == [0, 1, 2]
+        assert all(item["status"] == "ok" for item in body["results"])
+        # Exactly one decode per distinct item, ever: the restored item was
+        # never re-run, and the re-enqueued items hit the cache.
+        assert decodes == {"int a;": 1, "int GATED_b;": 1, "int c;": 1}
+        # The restored item (a) was answered from the WAL, not the service.
+        assert "int a;" not in svc2.calls
+        snapshot = store2.snapshot()
+        assert snapshot["resumed_jobs"] == 1
+        assert snapshot["restored_items"] == 1
+        # Ids never recycle across the restart.
+        assert store2.submit(_requests("int later;")).job_id == "job-2"
+    finally:
+        store2.close()
+
+
+def test_replay_tolerates_a_torn_tail_and_compacts(tmp_path):
+    cache, decodes = {}, Counter()
+    store = JobStore(_SharedCacheService(cache, decodes), log_dir=tmp_path)
+    job = store.submit(_requests("int a;"))
+    assert job.wait(timeout=30)
+    store.close()
+    wal = tmp_path / WAL_FILENAME
+    with open(wal, "a", encoding="utf-8") as handle:
+        handle.write('{"type": "item", "id": "job-1", "ind')  # crash mid-write
+
+    reopened = JobStore(_SharedCacheService({}, Counter()), log_dir=tmp_path)
+    try:
+        assert reopened.get("job-1").to_dict()["status"] == "done"
+        assert reopened.snapshot()["wal_torn_records"] == 1
+        # Reopen compacted the log: pure current state, no torn tail, the
+        # watermark first.
+        records = JobLog(tmp_path).replay()
+        assert records[0]["type"] == "meta" and records[0]["next_id"] == 2
+        assert all(json.dumps(record) for record in records)
+        assert not any(record.get("type") == "evict" for record in records)
+    finally:
+        reopened.close()
+
+
+# --------------------------------------------------------------- satellites
+
+
+def test_worker_survives_exceptions_escaping_run_job(tmp_path):
+    """A crash inside the job-run machinery itself (not an item decode) must
+    fail that job's items with ``internal`` envelopes and keep the worker
+    consuming — the PR 5 store silently lost its only worker thread here."""
+    store = JobStore(_SharedCacheService({}, Counter()))
+    original = store._run_job
+
+    def exploding(job):
+        if any("poison" in request.code for request in job.requests):
+            raise RuntimeError("boom outside any item decode")
+        original(job)
+
+    store._run_job = exploding
+    try:
+        poisoned = store.submit(_requests("int poison;", "int poison2;"))
+        assert poisoned.wait(timeout=30)
+        body = poisoned.to_dict()
+        assert body["status"] == "done"
+        assert [item["error"]["code"] for item in body["results"]] == \
+            ["internal", "internal"]
+        # The worker is still alive: the next job runs normally.
+        healthy = store.submit(_requests("int fine;"))
+        assert healthy.wait(timeout=30)
+        assert healthy.to_dict()["results"][0]["status"] == "ok"
+    finally:
+        store.close()
+
+
+def test_hung_decode_times_out_into_an_error_envelope():
+    gate = threading.Event()
+    service = _SharedCacheService({}, Counter(), gates={"HUNG": gate})
+    store = JobStore(service, policy=JobPolicy(item_timeout=0.2))
+    try:
+        job = store.submit(_requests("int HUNG_x;", "int ok;"))
+        assert job.wait(timeout=30)
+        by_index = {item["index"]: item for item in job.to_dict()["results"]}
+        assert by_index[0]["status"] == "error"
+        assert by_index[0]["error"]["code"] == "timeout"
+        assert by_index[1]["status"] == "ok"
+    finally:
+        gate.set()  # release the stub thread
+        store.close()
+
+
+def test_close_is_bounded_even_with_a_wedged_worker():
+    gate = threading.Event()
+    service = _SharedCacheService({}, Counter(), gates={"HUNG": gate})
+    store = JobStore(service, policy=JobPolicy(item_timeout=60.0))
+    store.submit(_requests("int HUNG_x;"))
+    service.first_call.wait(timeout=30)
+    started = time.monotonic()
+    assert store.close(wait=True, timeout=0.3) is False
+    assert time.monotonic() - started < 5.0
+    gate.set()
+
+
+def test_closed_store_submit_is_unavailable_not_internal():
+    store = JobStore(_SharedCacheService({}, Counter()))
+    store.close()
+    with pytest.raises(ApiError) as excinfo:
+        store.submit(_requests("int late;"))
+    assert excinfo.value.status == 503
+    assert excinfo.value.code == "unavailable"
+
+
+def test_expired_vs_unknown_jobs_are_distinguishable():
+    store = JobStore(_SharedCacheService({}, Counter()),
+                     policy=JobPolicy(ttl_seconds=0.05))
+    try:
+        job = store.submit(_requests("int a;"))
+        assert job.wait(timeout=30)
+        time.sleep(0.1)
+        with pytest.raises(ApiError) as excinfo:
+            store.get("job-1")
+        assert excinfo.value.status == 410
+        assert excinfo.value.code == "expired"
+        with pytest.raises(ApiError) as excinfo:
+            store.get("job-7")  # never issued
+        assert excinfo.value.status == 404
+        with pytest.raises(ApiError) as excinfo:
+            store.get("job-0")  # not even a well-formed issued id
+        assert excinfo.value.status == 404
+        assert store.snapshot()["evicted_total"] == 1
+    finally:
+        store.close()
+
+
+def test_backpressure_queue_full_and_per_client_quotas():
+    gate = threading.Event()
+    service = _SharedCacheService({}, Counter(), gates={"GATED": gate})
+    store = JobStore(service, policy=JobPolicy(
+        max_queue=2, max_inflight_per_client=1, item_timeout=60.0))
+    try:
+        first = store.submit(_requests("int GATED_1;"), client="alice")
+        with pytest.raises(ApiError) as excinfo:
+            store.submit(_requests("int GATED_2;"), client="alice")
+        assert excinfo.value.status == 429
+        assert excinfo.value.code == "quota_exceeded"
+        second = store.submit(_requests("int GATED_3;"), client="bob")
+        with pytest.raises(ApiError) as excinfo:
+            store.submit(_requests("int GATED_4;"), client="carol")
+        assert excinfo.value.status == 429
+        assert excinfo.value.code == "queue_full"
+        snapshot = store.snapshot()
+        assert snapshot["rejected_by_reason"] == {
+            "queue_full": 1, "quota_exceeded": 1}
+        assert snapshot["backlog"] == 2
+        gate.set()
+        assert first.wait(timeout=30) and second.wait(timeout=30)
+        # Backlog drained: the same clients can submit again.
+        assert store.submit(_requests("int done;"), client="alice").wait(30)
+    finally:
+        gate.set()
+        store.close()
+
+
+def test_poison_items_dead_letter_after_repeated_crashes(tmp_path):
+    """An item whose WAL ``attempt`` count crosses the limit without ever
+    recording a result — the signature of an input that keeps killing the
+    process — is parked as ``dead_letter`` instead of retried forever."""
+    cache: dict = {}
+    decodes: Counter = Counter()
+    gate = threading.Event()  # never opens until the very end: the item
+    # "crashes the process" every time it is attempted
+    policy = JobPolicy(max_attempts=2, item_timeout=60.0)
+
+    service = _SharedCacheService(cache, decodes, gates={"POISON": gate})
+    store = JobStore(service, policy=policy, log_dir=tmp_path)
+    store.submit(_requests("int POISON_x;"))
+    assert service.first_call.wait(timeout=30)  # attempt 1 logged
+    assert store.close(wait=True, timeout=0.2) is False
+
+    service = _SharedCacheService(cache, decodes, gates={"POISON": gate})
+    store = JobStore(service, policy=policy, log_dir=tmp_path)
+    assert service.first_call.wait(timeout=30)  # attempt 2 logged on resume
+    assert store.close(wait=True, timeout=0.2) is False
+
+    service = _SharedCacheService(cache, decodes, gates={"POISON": gate})
+    store = JobStore(service, policy=policy, log_dir=tmp_path)
+    try:
+        job = store.get("job-1")
+        assert job.wait(timeout=30)  # attempt 3 > max_attempts: dead-letter
+        item = job.to_dict()["results"][0]
+        assert item["status"] == "dead_letter"
+        assert item["error"]["code"] == "internal"
+        assert "int POISON_x;" not in service.calls  # never attempted again
+        assert store.snapshot()["dead_letter_items_total"] == 1
+    finally:
+        gate.set()  # unblock the two abandoned stub threads
+        store.close()
+
+
+def test_capacity_eviction_never_drops_unfinished_jobs_and_logs_tombstones(tmp_path):
+    gate = threading.Event()
+    service = _SharedCacheService({}, Counter(), gates={"GATED": gate})
+    store = JobStore(service, policy=JobPolicy(
+        max_jobs=2, max_queue=8, item_timeout=60.0))
+    try:
+        done1 = store.submit(_requests("int a;"))
+        assert done1.wait(timeout=30)
+        done2 = store.submit(_requests("int b;"))
+        assert done2.wait(timeout=30)
+        # The third submission pushes the store over capacity: the *oldest
+        # finished* job is evicted; the new live job is untouchable.
+        live = store.submit(_requests("int GATED_live;"))
+        with pytest.raises(ApiError) as excinfo:
+            store.get("job-1")
+        assert excinfo.value.code == "expired"
+        assert store.get("job-2") is done2
+        assert store.get("job-3") is live
+        gate.set()
+        assert live.wait(timeout=30)
+    finally:
+        gate.set()
+        store.close()
+
+
+# ------------------------------------------------- InferenceService plumbing
+
+
+def test_closed_service_jobs_property_is_unavailable(tiny_model):
+    from repro.serving import InferenceService
+
+    service = InferenceService(tiny_model, cache_capacity=8)
+    service.close()
+    with pytest.raises(ApiError) as excinfo:
+        service.jobs
+    assert excinfo.value.status == 503
+    assert excinfo.value.code == "unavailable"
+
+
+def test_service_registry_root_enables_the_wal(tiny_model, tmp_path):
+    from repro.serving import InferenceService
+
+    service = InferenceService(tiny_model, cache_capacity=8,
+                               registry_root=tmp_path)
+    try:
+        assert service.metrics()["jobs"] == {"enabled": False}  # lazy
+        assert service.job_store() is None
+        snapshot = service.jobs.snapshot()
+        assert snapshot["durable"] is True
+        assert (tmp_path / "jobs" / WAL_FILENAME).exists()
+        assert service.metrics()["jobs"]["enabled"] is True
+    finally:
+        service.close()

@@ -235,9 +235,15 @@ def test_job_store_ids_are_sequential_and_finished_jobs_are_evicted():
             assert job.wait(timeout=30)
             jobs.append(job)
         assert [job.job_id for job in jobs] == ["job-1", "job-2", "job-3"]
-        # Capacity 2: the oldest finished job was evicted at submit time.
+        # Capacity 2: the oldest finished job was evicted at submit time —
+        # and because it *was* issued, polling it answers 410 expired, not
+        # the never-existed 404.
         with pytest.raises(ApiError) as excinfo:
             store.get("job-1")
+        assert excinfo.value.status == 410
+        assert excinfo.value.code == "expired"
+        with pytest.raises(ApiError) as excinfo:
+            store.get("job-999")
         assert excinfo.value.status == 404
         assert store.get("job-3").to_dict()["status"] == "done"
     finally:
@@ -250,5 +256,8 @@ def test_job_store_rejects_empty_submissions_and_closes_cleanly():
         store.submit([])
     assert excinfo.value.status == 400
     store.close()
-    with pytest.raises(ApiError):
+    # A closed store is *unavailable* (503) — shutting down is not a 500.
+    with pytest.raises(ApiError) as excinfo:
         store.submit([AdviseRequest(code="int late;")])
+    assert excinfo.value.status == 503
+    assert excinfo.value.code == "unavailable"

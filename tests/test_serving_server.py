@@ -466,3 +466,173 @@ def test_concurrent_http_clients(endpoint, small_dataset):
     assert len(results) == len(sources)
     for body in results.values():
         assert "generated_code" in body
+
+
+# ----------------------------------------------------- durable job tier (HTTP)
+
+
+def _post_headers(url: str, payload: dict, headers: dict):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json", **headers})
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return response.status, json.loads(response.read())
+
+
+@pytest.fixture()
+def backpressure_endpoint(tiny_model):
+    """A server whose job store is tight (queue of 2, one job per client) and
+    *gated*: decodes only complete once the yielded gate opens, so unfinished
+    backlog is deterministic."""
+    from concurrent.futures import Future
+
+    from repro.serving import JobPolicy, JobStore
+
+    service = InferenceService(tiny_model, max_batch_size=4, max_wait_ms=5,
+                               cache_capacity=16,
+                               generation=GenerationConfig(max_length=60))
+    gate = threading.Event()
+
+    class _GatedProxy:
+        """Forwards decodes to the real service, but only after the gate."""
+
+        def advise_request_async(self, request):
+            future: Future = Future()
+
+            def _run() -> None:
+                gate.wait()
+                try:
+                    future.set_result(service.advise_request(request))
+                except Exception as exc:  # noqa: BLE001 — delivered via future
+                    future.set_exception(exc)
+
+            threading.Thread(target=_run, daemon=True).start()
+            return future
+
+    store = JobStore(_GatedProxy(), policy=JobPolicy(
+        max_queue=2, max_inflight_per_client=1, item_timeout=60.0),
+        metrics=service.metrics_)
+    with service._jobs_lock:
+        service._jobs = store
+    server = make_server(service, port=0, quiet=True)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}", gate, store
+    gate.set()
+    server.shutdown()
+    server.server_close()
+    store.close(wait=True, timeout=10)
+    service.close()
+
+
+def test_http_backpressure_and_unavailable_envelopes(backpressure_endpoint,
+                                                     pi_source):
+    """429 queue_full / 429 quota_exceeded (X-Client-Id keyed) on the way up,
+    503 unavailable once the store is closed — all as structured envelopes."""
+    url, gate, store = backpressure_endpoint
+    body = {"items": [{"code": pi_source}]}
+
+    status, first = _post_headers(f"{url}/v1/advise/batch", body,
+                                  {"X-Client-Id": "alice"})
+    assert status == 202 and first["job_id"] == "job-1"
+
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post_headers(f"{url}/v1/advise/batch", body, {"X-Client-Id": "alice"})
+    assert excinfo.value.code == 429
+    assert _error_body(excinfo)["code"] == "quota_exceeded"
+
+    status, second = _post_headers(f"{url}/v1/advise/batch", body,
+                                   {"X-Client-Id": "bob"})
+    assert status == 202 and second["job_id"] == "job-2"
+
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post_headers(f"{url}/v1/advise/batch", body, {"X-Client-Id": "carol"})
+    assert excinfo.value.code == 429
+    assert _error_body(excinfo)["code"] == "queue_full"
+
+    # The rejections are observable at /metrics and /healthz.
+    _, metrics = _get(f"{url}/metrics")
+    assert metrics["jobs_rejected_total"] == 2
+    assert metrics["jobs_rejected_by_reason"] == {"queue_full": 1,
+                                                  "quota_exceeded": 1}
+    assert metrics["jobs"]["backlog"] == 2
+    _, health = _get(f"{url}/healthz")
+    assert health["jobs"]["rejected_by_reason"]["quota_exceeded"] == 1
+
+    # Open the gate, drain, close the store: submits now answer 503.
+    gate.set()
+    import time
+    deadline = time.monotonic() + 120
+    for job_id in ("job-1", "job-2"):
+        job = {"status": ""}
+        while job["status"] != "done" and time.monotonic() < deadline:
+            time.sleep(0.05)
+            _, job = _get(f"{url}/v1/jobs/{job_id}")
+        assert job["status"] == "done"
+
+    _, health = _get(f"{url}/healthz")
+    assert health["jobs"]["closed"] is False
+
+    # Close just the job tier (what service shutdown does first): further
+    # submits are a 503 unavailable, not a 500.
+    assert store.close(wait=True, timeout=10) is True
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post_headers(f"{url}/v1/advise/batch", body, {"X-Client-Id": "dave"})
+    assert excinfo.value.code == 503
+    assert _error_body(excinfo)["code"] == "unavailable"
+    _, health = _get(f"{url}/healthz")
+    assert health["jobs"]["closed"] is True
+
+
+def test_http_expired_vs_unknown_job(tiny_model, pi_source):
+    """A TTL-evicted job answers 410 expired; a never-issued id stays 404."""
+    import time
+
+    from repro.serving import JobPolicy
+
+    service = InferenceService(tiny_model, max_batch_size=4, max_wait_ms=5,
+                               cache_capacity=16,
+                               generation=GenerationConfig(max_length=60),
+                               job_policy=JobPolicy(ttl_seconds=0.05))
+    server = make_server(service, port=0, quiet=True)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    url = f"http://{host}:{port}"
+    try:
+        status, job = _post(f"{url}/v1/advise/batch",
+                            json.dumps({"items": [{"code": pi_source}]}).encode())
+        assert status == 202
+        deadline = time.monotonic() + 120
+        while job["status"] != "done" and time.monotonic() < deadline:
+            time.sleep(0.05)
+            _, job = _get(f"{url}/v1/jobs/{job['job_id']}")
+        assert job["status"] == "done"
+        time.sleep(0.15)
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{url}/v1/jobs/job-1")
+        assert excinfo.value.code == 410
+        assert _error_body(excinfo)["code"] == "expired"
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{url}/v1/jobs/job-42")
+        assert excinfo.value.code == 404
+        assert _error_body(excinfo)["code"] == "not_found"
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+
+def test_healthz_and_metrics_report_job_tier(endpoint):
+    """An untouched job tier reports enabled: False (the probes must not
+    create the store); metrics always carry the job counters."""
+    _, health = _get(f"{endpoint}/healthz")
+    assert "jobs" in health
+    _, metrics = _get(f"{endpoint}/metrics")
+    assert "jobs" in metrics
+    assert {"jobs_submitted_total", "jobs_rejected_total",
+            "jobs_rejected_by_reason",
+            "jobs_dead_letter_total"} <= set(metrics)
