@@ -1,0 +1,196 @@
+"""Worker-pool demo: a self-healing fleet of model servers behind a router.
+
+Trains a small MPI-RICAL model, saves it as a checkpoint, then boots the
+horizontal-scale-out tier on top of it:
+
+* :class:`repro.serving.pool.WorkerPool` — 3 supervised ``server.py``
+  subprocesses, each owning a registry replica over the same checkpoint and
+  its own job WAL under ``<pool root>/workers/wN/``;
+* :class:`repro.serving.router.Router` + ``make_router`` — the HTTP front
+  speaking the exact same contract as a single server, with consistent-hash
+  dispatch on the canonical cache key, health probes, retry/backoff and
+  per-worker circuit breakers.
+
+Then it runs the operational drills from the README runbook, live:
+
+1. **hash affinity** — replaying a program (even reformatted) is a cache
+   hit, because equal canonical keys always route to the same worker: the
+   N per-process LRU caches behave like one sharded cache;
+2. **SIGKILL under load** — one worker is killed mid-traffic; every request
+   still answers 2xx (connect failures fail over along the hash ring) and
+   the supervisor respawns the worker on the same port;
+3. **graceful drain** — ``POST /admin/workers/w0/drain`` stops routing to
+   one worker, waits out its in-flight work, and bounces it — the
+   maintenance primitive;
+4. **rolling alias swap** — a second model name is loaded fleet-wide, then
+   the ``default`` alias is flipped worker-by-worker under traffic with
+   zero dropped requests (the single-process hot-swap guarantee,
+   generalised to a fleet).
+
+Run with:  PYTHONPATH=src python examples/pool_demo.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.corpus import MiningConfig, build_corpus
+from repro.dataset import build_dataset
+from repro.model.config import tiny_config
+from repro.mpirical import MPIRical
+from repro.serving.pool import WorkerPool, server_worker_command
+from repro.serving.router import Router, RouterPolicy, make_router
+
+
+def train_checkpoint(workdir: Path) -> tuple[str, list[str]]:
+    print("mining corpus + training a small demo model ...")
+    corpus = build_corpus(MiningConfig(num_repositories=35, seed=101))
+    dataset = build_dataset(corpus)
+    config = tiny_config()
+    config.training.max_steps_per_epoch = 8
+    model = MPIRical.fit(dataset.splits.train[:40],
+                         dataset.splits.validation[:8], config)
+    checkpoint = str(model.save(workdir / "checkpoint"))
+    programs = [ex.source_code for ex in dataset.splits.test[:4]]
+    return checkpoint, programs
+
+
+def worker_info(pool: WorkerPool, worker_id: str) -> dict:
+    return next(w for w in pool.snapshot()["workers"] if w["id"] == worker_id)
+
+
+def post(base: str, path: str, payload: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        f"{base}{path}", data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def get(base: str, path: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(f"{base}{path}", timeout=120) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="pool-demo-"))
+    checkpoint, programs = train_checkpoint(workdir)
+
+    # The workers are `python -m repro.serving.server` subprocesses; hand
+    # them this checkout's src/ so they resolve the same package.
+    src_dir = str(Path(__file__).resolve().parents[1] / "src")
+    env = {"PYTHONPATH": src_dir + os.pathsep + os.environ.get("PYTHONPATH", "")}
+
+    print("\n--- booting a 3-worker fleet behind the router")
+    pool = WorkerPool(3, server_worker_command(checkpoint),
+                      root=workdir / "pool", env=env,
+                      restart_backoff_base=0.25)
+    pool.start()
+    router = Router(pool=pool, policy=RouterPolicy(read_timeout=120.0)).start()
+    front = make_router(router, port=0, quiet=True)
+    base = "http://%s:%s" % front.server_address[:2]
+    threading.Thread(target=front.serve_forever, daemon=True).start()
+    try:
+        assert router.wait_full_strength(120.0), router.health()[1]
+        status, health = get(base, "/healthz")
+        print(f"    fleet up at {base}: status={health['status']!r} "
+              f"alive={health['pool']['alive']}/{health['pool']['size']}")
+
+        print("\n--- wave 1: hash affinity shards the per-worker caches")
+        code = programs[0]
+        post(base, "/v1/advise", {"code": code})          # cold decode
+        _, warm = post(base, "/v1/advise", {"code": code})
+        _, edited = post(base, "/v1/advise",
+                         {"code": f"// reviewed\n{code}\n"})
+        key = router.affinity_key(json.dumps({"code": code}).encode())
+        home = router.plan(key)[0].worker_id
+        print(f"    replay cached={warm['cached']}, reformatted replay "
+              f"cached={edited['cached']} — both homed on {home} "
+              f"(canonical-key dispatch, not raw-byte dispatch)")
+
+        print("\n--- wave 2: SIGKILL w1 under concurrent traffic")
+        victim_pid = worker_info(pool, "w1")["pid"]
+        statuses: list[int] = []
+        lock = threading.Lock()
+
+        def fire(n: int) -> None:
+            status, _ = post(base, "/v1/advise",
+                             {"code": programs[n % len(programs)]})
+            with lock:
+                statuses.append(status)
+                if len(statuses) == 4:      # mid-load, not before, not after
+                    pool.kill("w1")
+
+        with ThreadPoolExecutor(max_workers=4) as executor:
+            list(executor.map(fire, range(24)))
+        healed = router.wait_full_strength(60.0)
+        respawned = worker_info(pool, "w1")
+        metrics = router.metrics.snapshot()
+        print(f"    {len(statuses)} requests during the kill, "
+              f"non-2xx: {sum(1 for s in statuses if s >= 300)} "
+              f"({metrics['failovers_total']} failover(s), "
+              f"{metrics['retries_total']} retrie(s))")
+        print(f"    supervisor respawned w1: pid {victim_pid} -> "
+              f"{respawned['pid']} (restarts={respawned['restarts']}); "
+              f"pool back at full strength: {healed}")
+
+        print("\n--- wave 3: graceful drain of w0 (the maintenance primitive)")
+        pid_before = worker_info(pool, "w0")["pid"]
+        status, drained = post(base, "/admin/workers/w0/drain", {})
+        assert router.wait_full_strength(60.0)
+        pid_after = worker_info(pool, "w0")["pid"]
+        print(f"    drain => {status}: acknowledged={drained['acknowledged']} "
+              f"drained={drained['drained']} pending={drained['pending']} "
+              f"restarted={drained['restarted']}")
+        print(f"    w0 bounced cleanly: pid {pid_before} -> {pid_after}")
+
+        print("\n--- wave 4: rolling alias swap under traffic, zero drops")
+        status, loaded = post(base, "/v1/models/demo-next/load",
+                              {"checkpoint": checkpoint})
+        assert status == 200, loaded
+        swap_statuses: list[int] = []
+
+        def traffic() -> None:
+            for n in range(8):
+                status, _ = post(base, "/v1/advise",
+                                 {"code": programs[n % len(programs)]})
+                swap_statuses.append(status)
+
+        thread = threading.Thread(target=traffic)
+        thread.start()
+        time.sleep(0.05)
+        swap = router.rolling_swap("demo-next")
+        thread.join()
+        status, models = get(base, "/v1/models")
+        print(f"    swap status={swap['status']} converged={swap['converged']} "
+              f"-> {swap['current']}; per-worker: "
+              f"{[(w['worker'], w['current']) for w in swap['workers']]}")
+        print(f"    traffic during the swap: {len(swap_statuses)} requests, "
+              f"non-2xx: {sum(1 for s in swap_statuses if s >= 300)}")
+        print(f"    every replica now serves default={models['default']!r}")
+
+        print("\n--- router /metrics snapshot")
+        print(json.dumps(router.metrics_body(), indent=2))
+    finally:
+        front.shutdown()
+        front.server_close()
+        router.close()
+        pool.stop()
+
+
+if __name__ == "__main__":
+    main()

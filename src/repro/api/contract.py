@@ -51,16 +51,20 @@ class ApiError(Exception):
     ``code`` is a stable machine-readable slug, ``message`` the human
     explanation, ``field`` the offending request field (or None when the
     problem is the request as a whole), ``status`` the HTTP status the
-    transport layer should answer with.
+    transport layer should answer with.  ``retry_after`` (seconds) is set on
+    transient conditions — backpressure 429s and draining/shutdown 503s — and
+    the HTTP layer surfaces it as a ``Retry-After`` header so well-behaved
+    clients (and the pool router) back off instead of hammering.
     """
 
     def __init__(self, code: str, message: str, *, field: str | None = None,
-                 status: int = 400) -> None:
+                 status: int = 400, retry_after: float | None = None) -> None:
         super().__init__(message)
         self.code = code
         self.message = message
         self.field = field
         self.status = status
+        self.retry_after = retry_after
 
     # ----------------------------------------------------------- builders
 
@@ -89,24 +93,33 @@ class ApiError(Exception):
         return cls("internal", message, status=500)
 
     @classmethod
-    def unavailable(cls, message: str) -> "ApiError":
+    def unavailable(cls, message: str, *,
+                    retry_after: float = 2.0) -> "ApiError":
         """The server is shutting down (or a subsystem is closed): HTTP 503.
 
         Distinct from :meth:`internal` — a draining process is not a server
         bug, and a client seeing 503 should retry against a healthy replica
-        rather than report an error.
+        rather than report an error.  Carries a ``Retry-After`` hint.
         """
-        return cls("unavailable", message, status=503)
+        return cls("unavailable", message, status=503,
+                   retry_after=retry_after)
 
     @classmethod
-    def queue_full(cls, message: str) -> "ApiError":
-        """The bounded job queue is at capacity (backpressure): HTTP 429."""
-        return cls("queue_full", message, status=429)
+    def queue_full(cls, message: str, *,
+                   retry_after: float = 1.0) -> "ApiError":
+        """The bounded job queue is at capacity (backpressure): HTTP 429.
+
+        Carries a ``Retry-After`` hint: the backlog drains on the order of a
+        decode, so a short pause is usually enough.
+        """
+        return cls("queue_full", message, status=429, retry_after=retry_after)
 
     @classmethod
-    def quota_exceeded(cls, message: str, *, field: str | None = None) -> "ApiError":
+    def quota_exceeded(cls, message: str, *, field: str | None = None,
+                       retry_after: float = 1.0) -> "ApiError":
         """One client holds too many in-flight jobs: HTTP 429."""
-        return cls("quota_exceeded", message, field=field, status=429)
+        return cls("quota_exceeded", message, field=field, status=429,
+                   retry_after=retry_after)
 
     @classmethod
     def expired(cls, message: str) -> "ApiError":

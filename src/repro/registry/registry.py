@@ -417,4 +417,9 @@ class ModelRegistry:
             "aliases": aliases,
             "models": [entry.info() for entry in
                        sorted(entries, key=lambda e: e.name)],
+            # Which durable-state replica this registry owns — in the pool
+            # topology every worker has its own root under the shared pool
+            # directory, and this is how an operator (or the router's
+            # aggregated health view) tells the replicas apart.
+            "root": str(self.root) if self.root is not None else None,
         }

@@ -22,8 +22,17 @@ turns it into a concurrent service:
 ``repro.serving.server``    stdlib HTTP endpoint (/v1/advise,
                             /v1/advise/stream, /v1/advise/batch, /v1/jobs,
                             /v1/models [list/load/swap], legacy /advise,
-                            /healthz, /metrics)
+                            /healthz, /metrics, /admin/drain)
                             (import explicitly: ``repro.serving.server``)
+``repro.serving.pool``      :class:`WorkerPool`: N supervised ``server.py``
+                            subprocess replicas with restart backoff and
+                            fault-injection hooks
+                            (import explicitly: ``repro.serving.pool``)
+``repro.serving.router``    self-healing front router over the pool —
+                            consistent-hash dispatch on the canonical cache
+                            key, health probes, retry/backoff + circuit
+                            breaking, graceful drain, rolling alias swaps
+                            (import explicitly: ``repro.serving.router``)
 
 Quick start
 -----------
@@ -38,19 +47,23 @@ Quick start
 from .batching import MicroBatcher
 from .cache import CacheStats, LRUCache, canonical_cache_key
 from .joblog import JobLog
-from .jobs import Job, JobPolicy, JobStore
-from .metrics import ServingMetrics, percentile
+from .jobs import Job, JobPolicy, JobStore, validate_client_id
+from .metrics import RouterMetrics, ServingMetrics, percentile
 from .service import InferenceService, ServedAdvice, generation_label
 
-# NOTE: the HTTP layer (repro.serving.server) is intentionally not imported
-# here so that `python -m repro.serving.server` does not double-import the
-# module; use `from repro.serving.server import make_server`.
+# NOTE: the HTTP layers (repro.serving.server, repro.serving.router) are
+# intentionally not imported here so that `python -m repro.serving.server` /
+# `... .router` does not double-import the module; use
+# `from repro.serving.server import make_server`,
+# `from repro.serving.pool import WorkerPool`,
+# `from repro.serving.router import Router, make_router`.
 
 __all__ = [
     "MicroBatcher",
     "CacheStats",
     "LRUCache",
     "canonical_cache_key",
+    "RouterMetrics",
     "ServingMetrics",
     "percentile",
     "InferenceService",
@@ -60,4 +73,5 @@ __all__ = [
     "JobStore",
     "ServedAdvice",
     "generation_label",
+    "validate_client_id",
 ]

@@ -72,6 +72,21 @@ class JobLog:
         #: Undecodable lines skipped by the last :meth:`replay` (torn tail).
         self.torn_records = 0
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: Stale compaction temp files removed on open.  :meth:`rewrite`
+        #: writes ``jobs.wal.tmp`` and renames it over the live WAL; a crash
+        #: between the write and the rename leaves the tmp file behind, and
+        #: without cleanup every such crash would leak one orphan forever
+        #: (and a later compaction would silently reuse a stale path).  The
+        #: tmp file is *never* recovery state — the rename is atomic, so the
+        #: live WAL is always the authority — which is what makes deleting
+        #: it on reopen safe.
+        self.orphaned_tmp_removed = 0
+        for orphan in self.directory.glob(WAL_FILENAME + "*.tmp"):
+            try:
+                orphan.unlink()
+                self.orphaned_tmp_removed += 1
+            except OSError:
+                pass  # already gone, or unreadable — replay works regardless
 
     # ----------------------------------------------------------------- write
 

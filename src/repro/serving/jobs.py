@@ -71,7 +71,41 @@ DEAD_LETTER = "dead_letter"
 #: The client-quota bucket for submissions that carry no client key.
 ANONYMOUS_CLIENT = "anonymous"
 
+#: Longest accepted client key (the ``X-Client-Id`` header).  The key is
+#: used verbatim as a quota-map key, so without a bound a hostile client
+#: minting a fresh multi-megabyte id per submit would grow server memory
+#: (and the per-submit quota scan) without limit.
+MAX_CLIENT_ID_LENGTH = 128
+
+#: Accepted client-key charset: printable, log-safe, header-safe.
+_CLIENT_ID = re.compile(r"^[A-Za-z0-9._:@-]+$")
+
 _JOB_ID = re.compile(r"^job-([1-9]\d*)$")
+
+
+def validate_client_id(client: str | None) -> str | None:
+    """Validate a caller-supplied quota key before it becomes a map key.
+
+    Returns the key unchanged (or None for anonymous callers).  Raises the
+    400 :class:`repro.api.ApiError` envelope on an oversized or
+    out-of-charset id — quota keys are adversarial input, and an unbounded
+    id would inflate per-client quota-map cardinality (and WAL record size,
+    since the key is persisted with every submit).
+    """
+    if client is None:
+        return None
+    if not isinstance(client, str):
+        raise ApiError.invalid_request(
+            "X-Client-Id must be a string", field="X-Client-Id")
+    if len(client) > MAX_CLIENT_ID_LENGTH:
+        raise ApiError.invalid_request(
+            f"X-Client-Id is {len(client)} characters; the limit is "
+            f"{MAX_CLIENT_ID_LENGTH}", field="X-Client-Id")
+    if not _CLIENT_ID.match(client):
+        raise ApiError.invalid_request(
+            "X-Client-Id may only contain letters, digits and '._:@-'",
+            field="X-Client-Id")
+    return client
 
 
 @dataclass(frozen=True)
@@ -277,7 +311,7 @@ class JobStore:
             raise ApiError.invalid_request(
                 '"items" must be a non-empty list of advise requests',
                 field="items")
-        client_key = client or ANONYMOUS_CLIENT
+        client_key = validate_client_id(client) or ANONYMOUS_CLIENT
         with self._cond:
             if self._closed:
                 raise ApiError.unavailable(
@@ -386,6 +420,7 @@ class JobStore:
         if self._log is not None:
             snapshot["wal_dropped_appends"] = self._log.dropped_appends
             snapshot["wal_torn_records"] = self._log.torn_records
+            snapshot["wal_orphaned_tmp_removed"] = self._log.orphaned_tmp_removed
         return snapshot
 
     # -------------------------------------------------------------- recovery

@@ -199,3 +199,98 @@ class ServingMetrics:
             "decode_latency_ms_p95": percentile(decode_latencies, 0.95),
             "decode_latency_window": len(decode_latencies),
         }
+
+
+class RouterMetrics:
+    """Thread-safe counters for the pool router (:mod:`repro.serving.router`).
+
+    Where :class:`ServingMetrics` answers "is the model layer keeping up",
+    these answer the fleet-health questions the router's self-healing story
+    hangs on: *are retries absorbing worker failures* (``retries_total`` vs
+    ``exhausted_total`` — the first should move under chaos, the second
+    should stay at zero), *which workers are taking traffic*
+    (``forwards_by_worker``), and *how often is the breaker saving us from a
+    dead endpoint* (``breaker_trips_total``, ``breaker_skips_total``).
+    """
+
+    def __init__(self, window: int = 1024) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._lock = threading.Lock()
+        self._latencies_ms: deque[float] = deque(maxlen=window)
+        self._forwards_by_worker: Counter[str] = Counter()
+        self._failures_by_worker: Counter[str] = Counter()
+        self.requests_total = 0
+        #: Requests answered by a worker other than their first-choice ring
+        #: replica — the failover count the chaos differential watches.
+        self.failovers_total = 0
+        self.retries_total = 0
+        #: Requests that ran out of candidates/attempts and answered 502/503
+        #: from the router itself.  Non-zero under single-worker loss means
+        #: the retry budget is misconfigured.
+        self.exhausted_total = 0
+        self.breaker_trips_total = 0
+        #: Dispatch decisions that skipped a worker because its breaker was
+        #: open — each one is a connect timeout the router did not pay.
+        self.breaker_skips_total = 0
+        self.probe_failures_total = 0
+
+    # ------------------------------------------------------------- recording
+
+    def record_forward(self, worker: str, latency_ms: float, *,
+                       attempt: int) -> None:
+        """One request successfully answered by ``worker`` on ``attempt``
+        (0-based; a non-zero attempt is a failover)."""
+        with self._lock:
+            self.requests_total += 1
+            self._forwards_by_worker[worker] += 1
+            self._latencies_ms.append(latency_ms)
+            if attempt > 0:
+                self.failovers_total += 1
+
+    def record_retry(self, worker: str) -> None:
+        """One failed attempt against ``worker`` that the router will retry
+        (or has no candidates left for — see :meth:`record_exhausted`)."""
+        with self._lock:
+            self.retries_total += 1
+            self._failures_by_worker[worker] += 1
+
+    def record_exhausted(self) -> None:
+        with self._lock:
+            self.requests_total += 1
+            self.exhausted_total += 1
+
+    def record_breaker_trip(self) -> None:
+        with self._lock:
+            self.breaker_trips_total += 1
+
+    def record_breaker_skip(self) -> None:
+        with self._lock:
+            self.breaker_skips_total += 1
+
+    def record_probe_failure(self) -> None:
+        with self._lock:
+            self.probe_failures_total += 1
+
+    # ------------------------------------------------------------- reporting
+
+    def snapshot(self) -> dict[str, Any]:
+        """A point-in-time dict of every router metric (JSON-serialisable)."""
+        with self._lock:
+            latencies = list(self._latencies_ms)
+            return {
+                "requests_total": self.requests_total,
+                "failovers_total": self.failovers_total,
+                "retries_total": self.retries_total,
+                "exhausted_total": self.exhausted_total,
+                "breaker_trips_total": self.breaker_trips_total,
+                "breaker_skips_total": self.breaker_skips_total,
+                "probe_failures_total": self.probe_failures_total,
+                "forwards_by_worker": dict(sorted(
+                    self._forwards_by_worker.items())),
+                "failures_by_worker": dict(sorted(
+                    self._failures_by_worker.items())),
+                "latency_ms_p50": percentile(latencies, 0.50),
+                "latency_ms_p95": percentile(latencies, 0.95),
+                "latency_window": len(latencies),
+            }

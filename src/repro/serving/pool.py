@@ -1,0 +1,351 @@
+"""Self-healing multi-process worker pool for the serving layer.
+
+NumPy decode is GIL-bound: one ``server.py`` process caps out a single core
+complex and — worse for the robustness story — is a single point of failure.
+:class:`WorkerPool` turns the single server into a shared-nothing fleet:
+
+* **N subprocess replicas** of ``repro.serving.server``, each owning its own
+  model registry (and durable job WAL) under a per-worker directory of the
+  shared pool root, all loading the same checkpoint.  Nothing is shared
+  between worker processes but the read-only checkpoint files, so one
+  worker's death cannot corrupt another's state;
+* **supervision with restart backoff** — a monitor thread polls every
+  worker; a crashed one (SIGKILL, OOM, bug) is respawned after an
+  exponential per-worker backoff (reset once the worker stays up for
+  ``stable_seconds``), so a crash-looping worker cannot spin the supervisor
+  while a one-off kill restarts almost immediately.  Because workers keep
+  their ports and registry roots across restarts, a respawned worker replays
+  its job WAL and resumes its unfinished jobs — the PR 6 crash-safety story
+  carried up to the process level;
+* **fault-injection hooks** — :meth:`WorkerPool.kill` delivers an arbitrary
+  signal to a chosen worker, which is how the chaos tests (and the router's
+  ``--smoke-chaos`` CI drill) murder replicas under load.
+
+The pool is transport-agnostic: it spawns and supervises processes, while
+routing, health checking and retries live in :mod:`repro.serving.router`.
+The ``command_for`` factory decides what a worker *is* — the default
+(:func:`server_worker_command`) runs the real HTTP server, and the chaos
+tests substitute a lightweight stub with the same wire contract.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+__all__ = ["WorkerSpec", "WorkerHandle", "WorkerPool",
+           "allocate_port", "server_worker_command"]
+
+
+def allocate_port(host: str = "127.0.0.1") -> int:
+    """Reserve an ephemeral port by binding and releasing it.
+
+    The worker keeps this port across restarts (the router's ring is built
+    over stable worker addresses), which is why the pool allocates ports up
+    front instead of letting each worker bind port 0.
+    """
+    probe = socket.socket()
+    try:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+    finally:
+        probe.close()
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """The stable identity of one pool slot: id, address, state directory."""
+
+    worker_id: str
+    host: str
+    port: int
+    #: Per-worker durable-state directory (registry root + job WAL); kept
+    #: across restarts so a respawned worker resumes its own jobs.
+    registry_root: Path
+
+    @property
+    def endpoint(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+
+def server_worker_command(checkpoint: str | Path,
+                          *, extra_args: Sequence[str] = ()) -> Callable:
+    """A ``command_for`` factory running the real ``repro.serving.server``."""
+
+    def command(spec: WorkerSpec) -> list[str]:
+        return [sys.executable, "-m", "repro.serving.server",
+                "--host", spec.host, "--port", str(spec.port),
+                "--checkpoint", str(checkpoint),
+                "--registry-root", str(spec.registry_root),
+                *extra_args]
+
+    return command
+
+
+class WorkerHandle:
+    """One supervised worker slot: its spec, live process and restart state."""
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        self.spec = spec
+        self.proc: subprocess.Popen | None = None
+        #: False once the pool deliberately stopped this worker — the
+        #: monitor only respawns workers that are *supposed* to be up.
+        self.desired_up = True
+        self.restarts = 0
+        #: Restarts since the worker last proved stable; drives the
+        #: exponential backoff and resets after ``stable_seconds`` of uptime.
+        self.consecutive_restarts = 0
+        self.started_at: float | None = None
+        self.restart_at: float | None = None
+        self.last_exit_code: int | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    @property
+    def pid(self) -> int | None:
+        return self.proc.pid if self.proc is not None else None
+
+    def info(self) -> dict[str, Any]:
+        now = time.monotonic()
+        return {
+            "id": self.spec.worker_id,
+            "endpoint": self.spec.endpoint,
+            "pid": self.pid,
+            "alive": self.alive,
+            "desired_up": self.desired_up,
+            "restarts": self.restarts,
+            "consecutive_restarts": self.consecutive_restarts,
+            "last_exit_code": self.last_exit_code,
+            "uptime_seconds": (now - self.started_at
+                               if self.alive and self.started_at is not None
+                               else None),
+            "restart_in_seconds": (max(0.0, self.restart_at - now)
+                                   if self.desired_up and not self.alive
+                                   and self.restart_at is not None else None),
+        }
+
+
+class WorkerPool:
+    """Spawn and supervise N worker subprocesses with restart backoff.
+
+    Parameters
+    ----------
+    num_workers:
+        Replica count.
+    command_for:
+        ``WorkerSpec -> argv`` factory for one worker process.
+    root:
+        Pool state directory; each worker owns ``<root>/workers/<id>``.
+    host:
+        Interface the workers bind (ports are allocated automatically).
+    restart_backoff_base / restart_backoff_max:
+        Exponential respawn delay: ``base * 2**(consecutive_restarts - 1)``
+        capped at ``max`` — one kill restarts in ``base`` seconds, a crash
+        loop converges to one attempt per ``max`` seconds.
+    stable_seconds:
+        Uptime after which the consecutive-restart counter (and so the
+        backoff) resets.
+    env:
+        Extra environment merged over ``os.environ`` for the workers
+        (the tests inject ``PYTHONPATH`` here).
+    """
+
+    def __init__(self, num_workers: int, command_for: Callable, *,
+                 root: str | Path, host: str = "127.0.0.1",
+                 restart_backoff_base: float = 0.25,
+                 restart_backoff_max: float = 5.0,
+                 stable_seconds: float = 10.0,
+                 poll_interval: float = 0.05,
+                 env: dict[str, str] | None = None,
+                 quiet: bool = True) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if restart_backoff_base <= 0 or restart_backoff_max < restart_backoff_base:
+            raise ValueError("restart backoff must satisfy 0 < base <= max")
+        self.command_for = command_for
+        self.root = Path(root)
+        self.host = host
+        self.restart_backoff_base = restart_backoff_base
+        self.restart_backoff_max = restart_backoff_max
+        self.stable_seconds = stable_seconds
+        self.poll_interval = poll_interval
+        self.quiet = quiet
+        self._env = dict(os.environ)
+        if env:
+            self._env.update(env)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._monitor: threading.Thread | None = None
+        self._workers: dict[str, WorkerHandle] = {}
+        for index in range(num_workers):
+            worker_id = f"w{index}"
+            spec = WorkerSpec(worker_id=worker_id, host=host,
+                              port=allocate_port(host),
+                              registry_root=self.root / "workers" / worker_id)
+            self._workers[worker_id] = WorkerHandle(spec)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> "WorkerPool":
+        """Spawn every worker and start the supervision loop."""
+        with self._lock:
+            for handle in self._workers.values():
+                if not handle.alive:
+                    self._spawn_locked(handle)
+        self._monitor = threading.Thread(target=self._monitor_loop,
+                                         name="worker-pool-monitor",
+                                         daemon=True)
+        self._monitor.start()
+        return self
+
+    def stop(self, *, timeout: float = 10.0) -> None:
+        """Terminate every worker and stop supervising."""
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout)
+        with self._lock:
+            handles = list(self._workers.values())
+            for handle in handles:
+                handle.desired_up = False
+        for handle in handles:
+            self._terminate_process(handle, timeout=timeout)
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------ operations
+
+    def kill(self, worker_id: str, sig: int = signal.SIGKILL) -> bool:
+        """Deliver ``sig`` to a worker — the fault-injection entry point.
+
+        The supervisor sees the death on its next poll and respawns the
+        worker after its backoff (``desired_up`` stays True).  Returns False
+        when the worker was not running.
+        """
+        handle = self._handle(worker_id)
+        proc = handle.proc
+        if proc is None or proc.poll() is not None:
+            return False
+        proc.send_signal(sig)
+        return True
+
+    def restart(self, worker_id: str, *, timeout: float = 10.0) -> None:
+        """Deliberate bounce: terminate now, respawn immediately.
+
+        Unlike a crash, an operator-requested restart (the tail of a drain)
+        pays no backoff — the worker was healthy, its replacement should be
+        routable as soon as it boots.
+        """
+        handle = self._handle(worker_id)
+        self._terminate_process(handle, timeout=timeout)
+        with self._lock:
+            handle.desired_up = True
+            handle.consecutive_restarts = 0
+            handle.restart_at = time.monotonic()
+
+    def stop_worker(self, worker_id: str, *, timeout: float = 10.0) -> None:
+        """Take one worker down without respawn (scale-in / maintenance)."""
+        handle = self._handle(worker_id)
+        with self._lock:
+            handle.desired_up = False
+        self._terminate_process(handle, timeout=timeout)
+
+    # ------------------------------------------------------------- reporting
+
+    def specs(self) -> list[WorkerSpec]:
+        with self._lock:
+            return [handle.spec for handle in self._workers.values()]
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            workers = [handle.info() for handle in self._workers.values()]
+        return {
+            "workers": workers,
+            "alive": sum(1 for worker in workers if worker["alive"]),
+            "size": len(workers),
+            "restarts_total": sum(worker["restarts"] for worker in workers),
+        }
+
+    # ------------------------------------------------------------- internals
+
+    def _handle(self, worker_id: str) -> WorkerHandle:
+        with self._lock:
+            handle = self._workers.get(worker_id)
+        if handle is None:
+            raise KeyError(f"unknown worker {worker_id!r}")
+        return handle
+
+    def _spawn_locked(self, handle: WorkerHandle) -> None:
+        handle.spec.registry_root.mkdir(parents=True, exist_ok=True)
+        output = subprocess.DEVNULL if self.quiet else None
+        handle.proc = subprocess.Popen(self.command_for(handle.spec),
+                                       env=self._env,
+                                       stdout=output, stderr=output)
+        handle.started_at = time.monotonic()
+        handle.restart_at = None
+
+    def _terminate_process(self, handle: WorkerHandle, *,
+                           timeout: float) -> None:
+        proc = handle.proc
+        if proc is None:
+            return
+        if proc.poll() is None:
+            proc.terminate()
+            try:
+                proc.wait(timeout)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout)
+        handle.last_exit_code = proc.returncode
+        handle.proc = None
+
+    def _backoff(self, consecutive_restarts: int) -> float:
+        delay = self.restart_backoff_base * (2 ** max(0, consecutive_restarts - 1))
+        return min(delay, self.restart_backoff_max)
+
+    def _monitor_loop(self) -> None:
+        """Poll every worker; respawn the dead after their backoff."""
+        while not self._stop.wait(self.poll_interval):
+            now = time.monotonic()
+            with self._lock:
+                for handle in self._workers.values():
+                    if not handle.desired_up:
+                        continue
+                    proc = handle.proc
+                    if proc is not None:
+                        if proc.poll() is None:
+                            # Stable uptime earns the backoff reset.
+                            if (handle.consecutive_restarts
+                                    and handle.started_at is not None
+                                    and now - handle.started_at
+                                    >= self.stable_seconds):
+                                handle.consecutive_restarts = 0
+                            continue
+                        # Died behind our back: schedule the respawn.
+                        handle.last_exit_code = proc.returncode
+                        handle.proc = None
+                        handle.restarts += 1
+                        handle.consecutive_restarts += 1
+                        handle.restart_at = now + self._backoff(
+                            handle.consecutive_restarts)
+                        if not self.quiet:
+                            print(f"worker {handle.spec.worker_id} exited "
+                                  f"with {handle.last_exit_code}; respawning "
+                                  f"in {handle.restart_at - now:.2f}s",
+                                  file=sys.stderr)
+                    elif (handle.restart_at is not None
+                          and now >= handle.restart_at):
+                        self._spawn_locked(handle)

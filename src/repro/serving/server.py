@@ -95,7 +95,7 @@ from ..api import AdviseRequest, ApiError, parse_batch_advise, parse_legacy_advi
 from ..model.checkpoints import CheckpointError
 from ..model.decoding import MAX_BEAM_SIZE  # re-export for back-compat
 from ..registry import RegistryError
-from .jobs import JobStore
+from .jobs import JobStore, validate_client_id
 from .service import InferenceService, ServedAdvice
 
 #: Largest accepted request body; a source buffer bigger than this is a
@@ -193,9 +193,10 @@ class AdviseRequestHandler(BaseHTTPRequestHandler):
             "/v1/advise": self._post_advise_v1,
             "/v1/advise/stream": self._post_advise_stream,
             "/v1/advise/batch": self._post_advise_batch,
+            "/admin/drain": self._post_drain,
         }
         handler = routes.get(self.path)
-        allow_empty = False
+        allow_empty = self.path == "/admin/drain"  # the drain body is optional
         if handler is None:
             handler = self._model_route(self.path)
             allow_empty = True  # lifecycle bodies are optional
@@ -225,8 +226,14 @@ class AdviseRequestHandler(BaseHTTPRequestHandler):
     def _get_healthz(self) -> None:
         registry = self.service.registry.snapshot()
         jobs = self.service.job_store()
-        self._send_json(200, {
-            "status": "ok",
+        draining = self.service.draining
+        # A draining worker answers 503 so load balancers (and the pool
+        # router) stop routing to it; the body still carries the pending
+        # count the drain coordinator polls down to zero.
+        self._send_json(503 if draining else 200, {
+            "status": "draining" if draining else "ok",
+            "draining": draining,
+            "pending": self.service.pending_work() if draining else None,
             "default": registry["default"],
             "models": {model["name"]: {"revision": model["revision"],
                                        "loaded": model["loaded"],
@@ -266,8 +273,10 @@ class AdviseRequestHandler(BaseHTTPRequestHandler):
         survives a crash.
         """
         requests = parse_batch_advise(payload)
-        job = self.service.jobs.submit(
-            requests, client=self.headers.get("X-Client-Id"))
+        # The quota key is adversarial input: bound its length and charset
+        # *before* it becomes a quota-map key or a WAL record field.
+        client = validate_client_id(self.headers.get("X-Client-Id"))
+        job = self.service.submit_job(requests, client=client)
         self._send_json(202, job.to_dict())
 
     def _post_model_load(self, name: str, payload: dict) -> None:
@@ -305,6 +314,18 @@ class AdviseRequestHandler(BaseHTTPRequestHandler):
         previous, current = self.service.registry.swap(name, alias=alias)
         self._send_json(200, {"api_version": "v1", "alias": alias,
                               "previous": previous, "current": current})
+
+    def _post_drain(self, payload: dict) -> None:
+        """Flip this worker into draining mode (idempotent).
+
+        New advise/stream/job submissions answer 503 from here on;
+        in-flight work finishes.  The response (and subsequent
+        ``/healthz`` bodies) carries the remaining ``pending`` count the
+        drain coordinator — the pool router, or an operator's curl loop —
+        polls down to zero before terminating the process.
+        """
+        del payload  # no body fields yet; accepted for forward compatibility
+        self._send_json(200, {"api_version": "v1", **self.service.drain()})
 
     def _post_advise_stream(self, payload: dict) -> None:
         """NDJSON streaming: one chunk per line, flushed as decoded.
@@ -363,13 +384,18 @@ class AdviseRequestHandler(BaseHTTPRequestHandler):
         return payload
 
     def _send_error(self, error: ApiError) -> None:
-        self._send_json(error.status, error.to_dict())
+        self._send_json(error.status, error.to_dict(),
+                        retry_after=error.retry_after)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict, *,
+                   retry_after: float | None = None) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            # Whole seconds, rounded up: RFC 9110 allows only delta-seconds.
+            self.send_header("Retry-After", str(max(1, int(-(-retry_after // 1)))))
         self.end_headers()
         self.wfile.write(body)
 

@@ -216,6 +216,7 @@ class InferenceService:
         self._jobs = None
         self._jobs_lock = Lock()
         self._closed = False
+        self._draining = False
 
     @property
     def jobs(self) -> "JobStore":
@@ -245,9 +246,70 @@ class InferenceService:
     def job_store(self) -> "JobStore | None":
         """The job store if one has been created, else ``None`` — a
         peek that (unlike :attr:`jobs`) never opens the WAL or starts the
-        worker thread; used by ``/metrics`` and ``/healthz``."""
-        with self._jobs_lock:
-            return self._jobs
+        worker thread; used by ``/metrics`` and ``/healthz``.
+
+        Deliberately **lock-free**: the jobs lock is held for the whole WAL
+        replay on first access and across the bounded job drain during
+        :meth:`close`, and a liveness probe must never block behind either
+        (a router health-checking a worker that is replaying a large WAL or
+        draining would otherwise time it out and mark it dead).  The
+        attribute is only ever written once, after the store is fully
+        constructed, so the probe reads either ``None`` or a usable store.
+        """
+        return self._jobs
+
+    def submit_job(self, requests: "list[AdviseRequest]", *,
+                   client: str | None = None):
+        """Queue one batch job (the ``POST /v1/advise/batch`` entry point).
+
+        Refused with the 503 ``unavailable`` envelope while the service is
+        draining — new work must land on a healthy replica — while job
+        *polls* keep working so clients can collect what already ran.
+        """
+        self._require_not_draining()
+        return self.jobs.submit(requests, client=client)
+
+    # ---------------------------------------------------------------- drain
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self) -> dict:
+        """Stop accepting new work; in-flight work keeps running.
+
+        The graceful half of a worker shutdown: after ``drain()`` every new
+        advise/stream/job submission answers the 503 ``unavailable``
+        envelope (with a ``Retry-After`` hint), while queued micro-batches,
+        in-flight decodes and running jobs finish normally.  The pool
+        router calls this, stops routing to the worker, waits for
+        :meth:`pending_work` to reach zero, and only then terminates the
+        process — which is what makes a rolling restart lose nothing.
+
+        Returns the drain status snapshot (also on ``/healthz``).
+        """
+        self._draining = True
+        return {"draining": True, "pending": self.pending_work()}
+
+    def pending_work(self) -> int:
+        """Work still owed to callers: queued batches, in-flight decodes
+        and unfinished jobs.  Zero means terminating the process drops
+        nothing (streams are best-effort and excluded — a stream's client
+        observes the cut and simply retries)."""
+        with self._inflight_lock:
+            inflight = len(self._inflight)
+        pending = self.batcher.pending() + inflight
+        jobs = self.job_store()
+        if jobs is not None:
+            snapshot = jobs.snapshot()
+            pending += snapshot["queued"] + snapshot["running"]
+        return pending
+
+    def _require_not_draining(self) -> None:
+        if self._draining:
+            raise ApiError.unavailable(
+                "this replica is draining; retry against the pool",
+                retry_after=1.0)
 
     @property
     def assistant(self) -> MPIAssistant:
@@ -310,6 +372,7 @@ class InferenceService:
         4xx before committing to a 200 stream).
         """
         request.validate()
+        self._require_not_draining()
         strategy = self._resolve_strategy(request.strategy)
         entry = self._resolve_entry(request.model)
         return self._stream(request, strategy, entry,
@@ -461,6 +524,7 @@ class InferenceService:
         snapshot["max_batch_size"] = self.batcher.max_batch_size
         snapshot["max_wait_ms"] = self.batcher.max_wait * 1000.0
         snapshot["registry"] = self.registry.snapshot()
+        snapshot["draining"] = self._draining
         jobs = self.job_store()
         snapshot["jobs"] = (jobs.snapshot() if jobs is not None
                             else {"enabled": False})
@@ -594,6 +658,7 @@ class InferenceService:
         entry from submit until the decode resolves, so a concurrent
         hot-swap drains behind queued work instead of dropping it.
         """
+        self._require_not_draining()
         start = time.perf_counter()
         response: Future = Future()
         if entry is None:

@@ -391,3 +391,37 @@ def test_service_registry_root_enables_the_wal(tiny_model, tmp_path):
         assert service.metrics()["jobs"]["enabled"] is True
     finally:
         service.close()
+
+
+def test_orphaned_compaction_tmp_is_removed_on_reopen(tmp_path):
+    """A crash between the compaction write and its atomic rename leaves a
+    ``jobs.wal.tmp`` behind; reopening must delete it (it is dead weight that
+    would otherwise accumulate forever) and replay only the real WAL."""
+    cache, decodes = {}, Counter()
+    store = JobStore(_SharedCacheService(cache, decodes), log_dir=tmp_path)
+    job = store.submit(_requests("int a;"))
+    assert job.wait(timeout=30)
+    store.close()
+
+    orphan = tmp_path / (WAL_FILENAME + ".tmp")
+    orphan.write_text('{"type": "meta", "next_id": 99}\n', encoding="utf-8")
+
+    reopened = JobStore(_SharedCacheService({}, Counter()), log_dir=tmp_path)
+    try:
+        assert not orphan.exists()
+        assert reopened.snapshot()["wal_orphaned_tmp_removed"] == 1
+        # State came from the real WAL, not the orphan: the watermark is
+        # intact and ids continue, not jump to the orphan's 99.
+        assert reopened.get("job-1").to_dict()["status"] == "done"
+        assert reopened.submit(_requests("int b;")).job_id == "job-2"
+    finally:
+        reopened.close()
+
+
+def test_joblog_open_reports_each_removed_orphan(tmp_path):
+    (tmp_path / (WAL_FILENAME + ".tmp")).write_text("garbage", encoding="utf-8")
+    log = JobLog(tmp_path)
+    assert log.orphaned_tmp_removed == 1
+    assert not (tmp_path / (WAL_FILENAME + ".tmp")).exists()
+    # A clean reopen has nothing to remove.
+    assert JobLog(tmp_path).orphaned_tmp_removed == 0

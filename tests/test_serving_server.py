@@ -636,3 +636,199 @@ def test_healthz_and_metrics_report_job_tier(endpoint):
     assert {"jobs_submitted_total", "jobs_rejected_total",
             "jobs_rejected_by_reason",
             "jobs_dead_letter_total"} <= set(metrics)
+
+
+# ------------------------------------------------------ robustness satellites
+
+
+def test_client_id_is_validated_before_use_as_quota_key(endpoint, pi_source):
+    """The quota key is adversarial input: an oversized or out-of-charset
+    ``X-Client-Id`` is a 400 envelope *before* it touches the quota map or
+    the WAL; a sane id still gets its own budget."""
+    body = {"items": [{"code": pi_source}]}
+
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post_headers(f"{endpoint}/v1/advise/batch", body,
+                      {"X-Client-Id": "x" * 300})
+    assert excinfo.value.code == 400
+    error = _error_body(excinfo)
+    assert error["code"] == "invalid_request"
+    assert error["field"] == "X-Client-Id"
+
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post_headers(f"{endpoint}/v1/advise/batch", body,
+                      {"X-Client-Id": "spaces are not ok"})
+    assert excinfo.value.code == 400
+    assert _error_body(excinfo)["field"] == "X-Client-Id"
+
+    # Dots, dashes, colons and @ are all in the allowed charset.
+    status, job = _post_headers(f"{endpoint}/v1/advise/batch", body,
+                                {"X-Client-Id": "ci-bot.eu:1@host"})
+    assert status == 202 and job["job_id"]
+
+
+def test_backpressure_rejections_carry_retry_after(backpressure_endpoint,
+                                                   pi_source):
+    """Every backpressure answer tells the client *when* to come back:
+    429 quota/queue rejections and the closed-store 503 all carry a
+    ``Retry-After`` header (whole seconds, RFC 9110)."""
+    url, gate, store = backpressure_endpoint
+    body = {"items": [{"code": pi_source}]}
+
+    status, _ = _post_headers(f"{url}/v1/advise/batch", body,
+                              {"X-Client-Id": "alice"})
+    assert status == 202
+
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post_headers(f"{url}/v1/advise/batch", body, {"X-Client-Id": "alice"})
+    assert excinfo.value.code == 429
+    assert _error_body(excinfo)["code"] == "quota_exceeded"
+    assert excinfo.value.headers["Retry-After"] == "1"
+
+    status, _ = _post_headers(f"{url}/v1/advise/batch", body,
+                              {"X-Client-Id": "bob"})
+    assert status == 202
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post_headers(f"{url}/v1/advise/batch", body, {"X-Client-Id": "carol"})
+    assert excinfo.value.code == 429
+    assert _error_body(excinfo)["code"] == "queue_full"
+    assert excinfo.value.headers["Retry-After"] == "1"
+
+    # Drain and close the store: unavailable hints a longer pause.
+    gate.set()
+    assert store.close(wait=True, timeout=30) is True
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post_headers(f"{url}/v1/advise/batch", body, {"X-Client-Id": "dave"})
+    assert excinfo.value.code == 503
+    assert _error_body(excinfo)["code"] == "unavailable"
+    assert excinfo.value.headers["Retry-After"] == "2"
+
+
+def test_drain_mode_stops_new_work_and_reports_pending(tiny_model, pi_source):
+    """POST /admin/drain flips the worker into drain mode: /healthz answers
+    503 with the pending count, new advise/stream/batch work gets a 503
+    unavailable with Retry-After, and /metrics stays observable."""
+    service = InferenceService(tiny_model, max_batch_size=4, max_wait_ms=5,
+                               cache_capacity=16,
+                               generation=GenerationConfig(max_length=60))
+    server = make_server(service, port=0, quiet=True)
+    host, port = server.server_address[:2]
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    url = f"http://{host}:{port}"
+    try:
+        payload = json.dumps({"code": pi_source}).encode()
+        status, _ = _post(f"{url}/v1/advise", payload)
+        assert status == 200
+
+        status, drain = _post(f"{url}/admin/drain", b"")
+        assert status == 200
+        assert drain["draining"] is True and drain["pending"] == 0
+        status, again = _post(f"{url}/admin/drain", b"")  # idempotent
+        assert status == 200 and again["draining"] is True
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{url}/healthz")
+        assert excinfo.value.code == 503
+        health = json.loads(excinfo.value.read())
+        assert health["status"] == "draining"
+        assert health["draining"] is True and health["pending"] == 0
+
+        for path in ("/v1/advise", "/v1/advise/stream"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(f"{url}{path}", payload)
+            assert excinfo.value.code == 503
+            assert _error_body(excinfo)["code"] == "unavailable"
+            assert excinfo.value.headers["Retry-After"] == "1"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{url}/v1/advise/batch",
+                  json.dumps({"items": [{"code": pi_source}]}).encode())
+        assert excinfo.value.code == 503
+
+        status, metrics = _get(f"{url}/metrics")
+        assert status == 200 and metrics["draining"] is True
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+
+def test_probes_race_wal_replay_and_store_close_without_blocking(
+        tiny_model, pi_source, tmp_path):
+    """Liveness probes must stay cheap no matter what the job tier is doing:
+    hammering /healthz + /metrics must never *create* the job store, and
+    probes must keep answering promptly while the first submit replays the
+    WAL, while the store closes, and while the worker drains."""
+    import time
+
+    service = InferenceService(tiny_model, max_batch_size=4, max_wait_ms=5,
+                               cache_capacity=16,
+                               generation=GenerationConfig(max_length=60),
+                               registry_root=str(tmp_path / "root"))
+    server = make_server(service, port=0, quiet=True)
+    host, port = server.server_address[:2]
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    url = f"http://{host}:{port}"
+
+    failures: list[str] = []
+    probes = [0]
+    stop = threading.Event()
+    lock = threading.Lock()
+
+    def probe_loop() -> None:
+        while not stop.is_set():
+            for path in ("/healthz", "/metrics"):
+                started = time.monotonic()
+                try:
+                    with urllib.request.urlopen(f"{url}{path}",
+                                                timeout=5) as response:
+                        response.read()
+                except urllib.error.HTTPError as exc:
+                    exc.read()  # 503 while draining is fine — just answer
+                except Exception as exc:  # noqa: BLE001 — a blocked probe
+                    with lock:
+                        failures.append(
+                            f"{path}: {type(exc).__name__}: {exc}")
+                    continue
+                finally:
+                    with lock:
+                        probes[0] += 1
+                elapsed = time.monotonic() - started
+                if elapsed > 5.0:
+                    with lock:
+                        failures.append(f"{path} blocked {elapsed:.1f}s")
+
+    threads = [threading.Thread(target=probe_loop) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    try:
+        time.sleep(0.3)
+        # Probes alone must not have opened the WAL.
+        assert service.job_store() is None
+
+        # First submit replays the WAL under live probe fire.
+        status, job = _post(
+            f"{url}/v1/advise/batch",
+            json.dumps({"items": [{"code": pi_source}]}).encode())
+        assert status == 202
+        deadline = time.monotonic() + 120
+        while job["status"] != "done" and time.monotonic() < deadline:
+            time.sleep(0.05)
+            _, job = _get(f"{url}/v1/jobs/{job['job_id']}")
+        assert job["status"] == "done"
+        store = service.job_store()
+        assert store is not None
+
+        # Store close and drain mode, still under probe fire.
+        assert store.close(wait=True, timeout=30) is True
+        status, drained = _post(f"{url}/admin/drain", b"")
+        assert status == 200 and drained["draining"] is True
+        time.sleep(0.3)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(10)
+        server.shutdown()
+        server.server_close()
+        service.close()
+    assert not failures, failures
+    assert probes[0] > 0
