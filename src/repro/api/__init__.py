@@ -24,6 +24,7 @@ from .contract import (
     AdviseRequest,
     AdviseResponse,
     ApiError,
+    VerifyOptions,
     advice_items,
     parse_batch_advise,
     parse_legacy_advise,
@@ -36,6 +37,7 @@ __all__ = [
     "AdviseRequest",
     "AdviseResponse",
     "ApiError",
+    "VerifyOptions",
     "advice_items",
     "parse_batch_advise",
     "parse_legacy_advise",

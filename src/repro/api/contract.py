@@ -32,7 +32,7 @@ All three round-trip losslessly through ``to_dict``/``from_dict`` —
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, ClassVar, Mapping
 
 from ..model.decoding import (
     DecodingStrategy,
@@ -156,6 +156,119 @@ class ApiError(Exception):
 
 
 @dataclass(frozen=True)
+class VerifyOptions:
+    """The (v1.2) ``verify`` request block: simulate-and-rerank bounds.
+
+    ``ranks`` is the simulated rank-count sweep every candidate must pass,
+    ``timeout_ms`` the total wall-clock budget for the whole verification
+    (reference capture plus every candidate), ``candidates`` how many decode
+    hypotheses to consider (candidate 0 is always the normally-served
+    result), ``tolerance`` the numerical equivalence threshold.  The wire
+    form accepts ``"verify": true`` (all defaults) or an options object;
+    omitting the field keeps the request — and the response shape —
+    byte-identical to v1.1.
+    """
+
+    ranks: tuple[int, ...] = (1, 2, 4)
+    timeout_ms: int = 2000
+    candidates: int = 4
+    tolerance: float = 1e-6
+
+    #: Hard caps, shared with :mod:`repro.verify` — the sweep and candidate
+    #: count multiply simulation cost.
+    MAX_RANKS: ClassVar[int] = 8
+    MAX_SWEEP: ClassVar[int] = 4
+    MAX_CANDIDATES: ClassVar[int] = 8
+    MAX_TIMEOUT_MS: ClassVar[int] = 30_000
+
+    def validate(self) -> "VerifyOptions":
+        import math
+
+        if (not isinstance(self.ranks, tuple)
+                or not all(isinstance(r, int) and not isinstance(r, bool)
+                           for r in self.ranks)):
+            raise ApiError.invalid_request(
+                '"verify.ranks" must be a list of integers',
+                field="verify.ranks")
+        if not self.ranks or len(self.ranks) > self.MAX_SWEEP:
+            raise ApiError.invalid_parameter(
+                f'"verify.ranks" must hold 1..{self.MAX_SWEEP} rank counts',
+                field="verify.ranks")
+        for count in self.ranks:
+            if not 1 <= count <= self.MAX_RANKS:
+                raise ApiError.invalid_parameter(
+                    f'"verify.ranks" entries must be in [1, {self.MAX_RANKS}]',
+                    field="verify.ranks")
+        if isinstance(self.timeout_ms, bool) or not isinstance(self.timeout_ms, int):
+            raise ApiError.invalid_request(
+                '"verify.timeout_ms" must be an integer',
+                field="verify.timeout_ms")
+        if not 1 <= self.timeout_ms <= self.MAX_TIMEOUT_MS:
+            raise ApiError.invalid_parameter(
+                f'"verify.timeout_ms" must be in [1, {self.MAX_TIMEOUT_MS}]',
+                field="verify.timeout_ms")
+        if isinstance(self.candidates, bool) or not isinstance(self.candidates, int):
+            raise ApiError.invalid_request(
+                '"verify.candidates" must be an integer',
+                field="verify.candidates")
+        if not 1 <= self.candidates <= self.MAX_CANDIDATES:
+            raise ApiError.invalid_parameter(
+                f'"verify.candidates" must be in [1, {self.MAX_CANDIDATES}]',
+                field="verify.candidates")
+        if isinstance(self.tolerance, bool) or not isinstance(self.tolerance,
+                                                              (int, float)):
+            raise ApiError.invalid_request(
+                '"verify.tolerance" must be a number', field="verify.tolerance")
+        if not math.isfinite(self.tolerance) or self.tolerance < 0:
+            raise ApiError.invalid_parameter(
+                '"verify.tolerance" must be finite and >= 0',
+                field="verify.tolerance")
+        return self
+
+    def canonical(self) -> str:
+        """Canonical form — the verification half of a verify-cache key."""
+        ranks = ",".join(str(r) for r in self.ranks)
+        return (f"ranks={ranks};timeout_ms={self.timeout_ms};"
+                f"candidates={self.candidates};tolerance={float(self.tolerance)!r}")
+
+    def to_dict(self) -> dict:
+        return {"ranks": list(self.ranks), "timeout_ms": self.timeout_ms,
+                "candidates": self.candidates, "tolerance": float(self.tolerance)}
+
+    @classmethod
+    def from_value(cls, value: Any) -> "VerifyOptions | None":
+        """Parse the wire spellings: absent/false → None, true → defaults,
+        object → explicit options (unknown keys rejected by name)."""
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls().validate()
+        if not isinstance(value, Mapping):
+            raise ApiError.invalid_request(
+                '"verify" must be true, false, or an options object',
+                field="verify")
+        known = {"ranks", "timeout_ms", "candidates", "tolerance"}
+        for key in value:
+            if key not in known:
+                raise ApiError.invalid_request(
+                    f'unknown field "verify.{key}" (accepted: ranks, '
+                    f'timeout_ms, candidates, tolerance)',
+                    field=f"verify.{key}")
+        ranks = value.get("ranks", [1, 2, 4])
+        if not isinstance(ranks, list):
+            raise ApiError.invalid_request(
+                '"verify.ranks" must be a list of integers',
+                field="verify.ranks")
+        defaults = cls()
+        return cls(
+            ranks=tuple(ranks),
+            timeout_ms=value.get("timeout_ms", defaults.timeout_ms),
+            candidates=value.get("candidates", defaults.candidates),
+            tolerance=value.get("tolerance", defaults.tolerance),
+        ).validate()
+
+
+@dataclass(frozen=True)
 class AdviseRequest:
     """One advising request: a source buffer, a decoding strategy and an
     optional model reference (None = the registry's ``default`` alias)."""
@@ -165,6 +278,9 @@ class AdviseRequest:
     #: Alias, registered name, or pinned ``name@revision``.  Omitted (None)
     #: keeps the wire form — and the response shape — identical to v1.0.
     model: str | None = None
+    #: v1.2 simulate-and-rerank options.  Omitted (None) keeps the wire
+    #: form — and the response shape — identical to v1.1.
+    verify: VerifyOptions | None = None
 
     # ----------------------------------------------------------- validation
 
@@ -198,6 +314,12 @@ class AdviseRequest:
             self.strategy.validate()
         except StrategyParamError as exc:
             raise ApiError.from_strategy_error(exc) from exc
+        if self.verify is not None:
+            if not isinstance(self.verify, VerifyOptions):
+                raise ApiError.invalid_request(
+                    '"verify" must be true, false, or an options object',
+                    field="verify")
+            self.verify.validate()
         return self
 
     # -------------------------------------------------------- serialisation
@@ -206,6 +328,8 @@ class AdviseRequest:
         payload = {"code": self.code, "strategy": self.strategy.to_dict()}
         if self.model is not None:
             payload["model"] = self.model
+        if self.verify is not None:
+            payload["verify"] = self.verify.to_dict()
         return payload
 
     @classmethod
@@ -219,11 +343,12 @@ class AdviseRequest:
         """
         if not isinstance(data, Mapping):
             raise ApiError.invalid_request("request body must be a JSON object")
-        known = {"code", "strategy", "model"}
+        known = {"code", "strategy", "model", "verify"}
         for key in data:
             if key not in known:
                 raise ApiError.invalid_request(
-                    f'unknown field "{key}" (accepted: code, strategy, model)',
+                    f'unknown field "{key}" (accepted: code, strategy, model, '
+                    f'verify)',
                     field=str(key))
         if "code" not in data:
             raise ApiError.invalid_request('"code" is required', field="code")
@@ -236,7 +361,8 @@ class AdviseRequest:
             raise ApiError.invalid_request(
                 f'invalid "strategy": {exc}', field="strategy") from exc
         return cls(code=data["code"], strategy=strategy,
-                   model=data.get("model")).validate()
+                   model=data.get("model"),
+                   verify=VerifyOptions.from_value(data.get("verify"))).validate()
 
 
 
@@ -297,6 +423,11 @@ class AdviseResponse:
     #: the wire only when the request named a model, so requests that omit
     #: ``model`` keep the exact v1.0 response shape.
     model: str | None = None
+    #: The v1.2 ``verification`` object
+    #: (:meth:`repro.verify.VerificationReport.to_payload`) — present on the
+    #: wire only when the request asked for verification, so requests that
+    #: omit ``verify`` keep the exact v1.1 response shape.
+    verification: dict | None = None
     api_version: str = API_VERSION
 
     def to_dict(self) -> dict:
@@ -312,6 +443,8 @@ class AdviseResponse:
         }
         if self.model is not None:
             payload["model"] = self.model
+        if self.verification is not None:
+            payload["verification"] = dict(self.verification)
         return payload
 
     @classmethod
@@ -329,6 +462,7 @@ class AdviseResponse:
             latency_ms=float(data.get("latency_ms", 0.0)),
             cache_key=str(data.get("cache_key", "")),
             model=data.get("model"),
+            verification=data.get("verification"),
             api_version=str(data.get("api_version", API_VERSION)),
         )
 
@@ -387,20 +521,23 @@ def parse_batch_advise(data: Mapping[str, Any]) -> list[AdviseRequest]:
     """Parse and validate a ``POST /v1/advise/batch`` submission.
 
     The body is ``{"items": [<AdviseRequest dict>, ...]}`` plus optional
-    top-level ``model`` and ``strategy`` defaults merged into every item that
-    does not set its own.  Parsing is atomic: any malformed item rejects the
-    whole submission (400/422 with the offending index in ``field``), so a
-    job never holds half a workload.  Serve-time failures (e.g. a model
-    unloaded between submit and run) are *not* detected here — they become
-    per-item error envelopes in the job results.
+    top-level ``model``, ``strategy`` and (v1.2) ``verify`` defaults merged
+    into every item that does not set its own — a top-level ``verify`` turns
+    the whole submission into an asynchronous batch audit.  Parsing is
+    atomic: any malformed item rejects the whole submission (400/422 with
+    the offending index in ``field``), so a job never holds half a workload.
+    Serve-time failures (e.g. a model unloaded between submit and run) are
+    *not* detected here — they become per-item error envelopes in the job
+    results.
     """
     if not isinstance(data, Mapping):
         raise ApiError.invalid_request("request body must be a JSON object")
-    known = {"items", "model", "strategy"}
+    known = {"items", "model", "strategy", "verify"}
     for key in data:
         if key not in known:
             raise ApiError.invalid_request(
-                f'unknown field "{key}" (accepted: items, model, strategy)',
+                f'unknown field "{key}" (accepted: items, model, strategy, '
+                f'verify)',
                 field=str(key))
     items = data.get("items")
     if not isinstance(items, list) or not items:
@@ -411,7 +548,8 @@ def parse_batch_advise(data: Mapping[str, Any]) -> list[AdviseRequest]:
         raise ApiError.invalid_parameter(
             f'"items" holds {len(items)} requests; the batch limit is '
             f'{MAX_BATCH_ITEMS}', field="items")
-    defaults = {key: data[key] for key in ("model", "strategy") if key in data}
+    defaults = {key: data[key] for key in ("model", "strategy", "verify")
+                if key in data}
     requests = []
     for index, item in enumerate(items):
         if not isinstance(item, Mapping):

@@ -52,6 +52,7 @@ from .generation import (
     _decode_mode,
     beam_search_decode,
     beam_search_decode_batch,
+    beam_search_nbest,
     greedy_decode,
     greedy_decode_batch,
 )
@@ -209,6 +210,33 @@ class DecodingStrategy:
                      eos_id: int, pad_id: int, max_length: int = 400,
                      on_token: OnTokenBatch | None = None) -> list[list[int]]:
         raise NotImplementedError
+
+    # ------------------------------------------------------------- candidates
+
+    def nbest_limit(self) -> int:
+        """How many distinct candidates this strategy can produce per source.
+
+        Deterministic single-hypothesis strategies (greedy) return 1; beam
+        search is bounded by its beam size; sampling is effectively unbounded
+        (each extra candidate re-seeds the stream).  Verification uses this
+        to avoid asking for candidates a strategy cannot provide.
+        """
+        return 1
+
+    def decode_nbest(self, model: Seq2SeqTransformer, source_ids: list[int], *,
+                     sos_id: int, eos_id: int, pad_id: int,
+                     max_length: int = 400,
+                     max_candidates: int = 1) -> list[list[int]]:
+        """Up to ``max_candidates`` candidate generations, best first.
+
+        Candidate 0 is **always** exactly what :meth:`decode` returns — the
+        verification layer relies on that to reuse the already-served result
+        as the first candidate without re-decoding.  The default produces the
+        single :meth:`decode` hypothesis.
+        """
+        del max_candidates
+        return [self.decode(model, source_ids, sos_id=sos_id, eos_id=eos_id,
+                            pad_id=pad_id, max_length=max_length)]
 
 
 # --------------------------------------------------------------------------
@@ -373,6 +401,17 @@ class BeamStrategy(DecodingStrategy):
                 for token in ids:
                     on_token(index, token)
         return outputs
+
+    def nbest_limit(self) -> int:
+        return self.beam_size
+
+    def decode_nbest(self, model, source_ids, *, sos_id, eos_id, pad_id,
+                     max_length=400, max_candidates=1):
+        hypotheses = beam_search_nbest(
+            model, source_ids, sos_id=sos_id, eos_id=eos_id, pad_id=pad_id,
+            beam_size=self.beam_size, max_length=max_length,
+            length_penalty=self.length_penalty)
+        return hypotheses[:max(1, max_candidates)]
 
 
 # --------------------------------------------------------------------------
@@ -562,6 +601,24 @@ class SampleStrategy(DecodingStrategy):
                                    eos_id=eos_id, pad_id=pad_id,
                                    max_length=max_length, on_token=on_token,
                                    **self._kwargs())
+
+    def nbest_limit(self) -> int:
+        # Each extra candidate re-seeds the stream, so the supply is bounded
+        # only by the caller's budget; the cap lives at the API layer.
+        return 2**31
+
+    def decode_nbest(self, model, source_ids, *, sos_id, eos_id, pad_id,
+                     max_length=400, max_candidates=1):
+        # Candidate k samples under seed + k: candidate 0 is bitwise the
+        # decode() output, and every candidate is itself reproducible (the
+        # derived seeds are a pure function of the request's seed).
+        candidates: list[list[int]] = []
+        for k in range(max(1, max_candidates)):
+            variant = self.with_seed(self.seed + k)
+            candidates.append(variant.decode(
+                model, source_ids, sos_id=sos_id, eos_id=eos_id, pad_id=pad_id,
+                max_length=max_length))
+        return candidates
 
 
 def iter_strategy_examples() -> Iterator[DecodingStrategy]:

@@ -125,7 +125,42 @@ def beam_search_decode(model: Seq2SeqTransformer, source_ids: list[int], *, sos_
                              pad_id=pad_id, max_length=max_length)
     if not source_ids:
         return []
+    beams = _beam_search_beams(model, source_ids, sos_id=sos_id, eos_id=eos_id,
+                               pad_id=pad_id, beam_size=beam_size,
+                               max_length=max_length,
+                               length_penalty=length_penalty)
+    # Beams are kept in candidate order, so the best hypothesis is beams[0].
+    return _strip_eos(beams[0].ids, eos_id)
 
+
+def beam_search_nbest(model: Seq2SeqTransformer, source_ids: list[int], *, sos_id: int,
+                      eos_id: int, pad_id: int, beam_size: int = 3,
+                      max_length: int = 400,
+                      length_penalty: float = 0.6) -> list[list[int]]:
+    """All final beam hypotheses, best first.
+
+    Element 0 is exactly what :func:`beam_search_decode` returns (both read
+    the same final beam list in candidate order); the remainder are the
+    runner-up hypotheses, which verification can promote when the top beam
+    fails under simulation.  ``beam_size <= 1`` degenerates to a single
+    greedy hypothesis; an empty source has no hypotheses at all.
+    """
+    if beam_size <= 1:
+        return [greedy_decode(model, source_ids, sos_id=sos_id, eos_id=eos_id,
+                              pad_id=pad_id, max_length=max_length)]
+    if not source_ids:
+        return []
+    beams = _beam_search_beams(model, source_ids, sos_id=sos_id, eos_id=eos_id,
+                               pad_id=pad_id, beam_size=beam_size,
+                               max_length=max_length,
+                               length_penalty=length_penalty)
+    return [_strip_eos(beam.ids, eos_id) for beam in beams]
+
+
+def _beam_search_beams(model: Seq2SeqTransformer, source_ids: list[int], *,
+                       sos_id: int, eos_id: int, pad_id: int, beam_size: int,
+                       max_length: int, length_penalty: float) -> list[_Beam]:
+    """The beam-search loop; returns the final beams in candidate order."""
     with _decode_mode():
         src = np.asarray([source_ids], dtype=np.int64)
         memory = model.encode(src, pad_id, training=False)
@@ -154,9 +189,7 @@ def beam_search_decode(model: Seq2SeqTransformer, source_ids: list[int], *, sos_
             beams = _materialise_kept(candidates[:beam_size])
             if all(b.finished for b in beams):
                 break
-
-        # Beams are kept in candidate order, so the best hypothesis is beams[0].
-        return _strip_eos(beams[0].ids, eos_id)
+        return beams
 
 
 def _materialise_kept(kept: list[tuple]) -> list[_Beam]:

@@ -242,6 +242,44 @@ class MPIRical:
                                      on_token=on_token)
         return self._package_prediction(source_code, tokens)
 
+    def predict_code_candidates(self, source_code: str, xsbt: str | None = None, *,
+                                generation: GenerationConfig | None = None,
+                                strategy: DecodingStrategy | None = None,
+                                source_tokens: list[str] | None = None,
+                                max_candidates: int = 1) -> list[PredictionResult]:
+        """Up to ``max_candidates`` packaged candidate predictions, best first.
+
+        Candidate 0 is exactly the :meth:`predict_code` result for the same
+        arguments (beam: the winning hypothesis; sampling: the request's own
+        seed), so a caller that already holds the served prediction can treat
+        it as candidate 0 without re-decoding.  Duplicate token sequences —
+        beam runner-ups frequently converge — are dropped, so the list may be
+        shorter than requested.  The source is encoded once for all
+        candidates.
+        """
+        strategy, max_length = self._resolve_decode(generation, strategy)
+        max_candidates = min(max(1, max_candidates), strategy.nbest_limit())
+        source_ids = self._encode_for_inference(source_code, xsbt, source_tokens)
+        vocab = self.encoder.vocab
+        candidate_ids = strategy.decode_nbest(
+            self.model, source_ids, sos_id=vocab.sos_id, eos_id=vocab.eos_id,
+            pad_id=vocab.pad_id, max_length=max_length,
+            max_candidates=max_candidates)
+        results: list[PredictionResult] = []
+        seen: set[tuple[int, ...]] = set()
+        for ids in candidate_ids:
+            key = tuple(ids)
+            if key in seen:
+                continue
+            seen.add(key)
+            results.append(self._package_prediction(source_code,
+                                                    vocab.decode(ids)))
+        # An empty source yields no hypotheses at all; keep the
+        # predict_code contract of always returning at least one result.
+        if not results:
+            results.append(self._package_prediction(source_code, []))
+        return results
+
     def predict_code_batch(self, sources: list[str],
                            xsbts: list[str | None] | None = None, *,
                            generation: GenerationConfig | None = None,

@@ -74,24 +74,28 @@ class CollectiveExchange:
         self._slots: list = [None] * size
         self._barrier = threading.Barrier(size)
 
-    def _wait(self) -> None:
+    def _wait(self, rank: int | None = None, label: str | None = None) -> None:
         try:
             self._barrier.wait(timeout=self.timeout)
         except threading.BrokenBarrierError as exc:
+            who = f"rank {rank}" if rank is not None else "a rank"
+            call = label or "a collective operation"
             raise SimulationDeadlock(
-                "collective operation timed out — ranks diverged or deadlocked"
+                f"{who} timed out in {call} after {self.timeout:g}s — "
+                f"not all {self.size} ranks reached the call "
+                f"(ranks diverged or deadlocked)"
             ) from exc
 
-    def exchange(self, rank: int, contribution) -> list:
+    def exchange(self, rank: int, contribution, label: str | None = None) -> list:
         """Deposit ``contribution`` and return every rank's contribution."""
         self._slots[rank] = contribution
-        self._wait()
+        self._wait(rank, label)
         snapshot = list(self._slots)
-        self._wait()
+        self._wait(rank, label)
         return snapshot
 
-    def barrier(self, rank: int) -> None:  # noqa: ARG002 - symmetry with exchange
-        self._wait()
+    def barrier(self, rank: int, label: str | None = None) -> None:
+        self._wait(rank, label or "MPI_Barrier")
 
 
 @dataclass
@@ -142,26 +146,31 @@ class SimCommunicator:
         self.group.collective.barrier(self.rank)
 
     def bcast(self, payload: list | None, root: int) -> list:
-        contributions = self.group.collective.exchange(self.rank, payload)
+        contributions = self.group.collective.exchange(self.rank, payload,
+                                                       "MPI_Bcast")
         result = contributions[root]
         return list(result) if result is not None else []
 
     def reduce(self, payload: list, op: MPIOp, root: int) -> list | None:
-        contributions = self.group.collective.exchange(self.rank, list(payload))
+        contributions = self.group.collective.exchange(self.rank, list(payload),
+                                                       "MPI_Reduce")
         if self.rank != root:
             return None
         return _elementwise_reduce(contributions, op)
 
     def allreduce(self, payload: list, op: MPIOp) -> list:
-        contributions = self.group.collective.exchange(self.rank, list(payload))
+        contributions = self.group.collective.exchange(self.rank, list(payload),
+                                                       "MPI_Allreduce")
         return _elementwise_reduce(contributions, op)
 
     def scan(self, payload: list, op: MPIOp) -> list:
-        contributions = self.group.collective.exchange(self.rank, list(payload))
+        contributions = self.group.collective.exchange(self.rank, list(payload),
+                                                       "MPI_Scan")
         return _elementwise_reduce(contributions[: self.rank + 1], op)
 
     def scatter(self, payload: list | None, count: int, root: int) -> list:
-        contributions = self.group.collective.exchange(self.rank, payload)
+        contributions = self.group.collective.exchange(self.rank, payload,
+                                                       "MPI_Scatter")
         source = contributions[root]
         if source is None:
             raise ValueError(f"MPI_Scatter: root {root} provided no send buffer")
@@ -169,7 +178,8 @@ class SimCommunicator:
         return list(source[start:start + count])
 
     def gather(self, payload: list, root: int) -> list | None:
-        contributions = self.group.collective.exchange(self.rank, list(payload))
+        contributions = self.group.collective.exchange(self.rank, list(payload),
+                                                       "MPI_Gather")
         if self.rank != root:
             return None
         flattened: list = []
@@ -178,14 +188,16 @@ class SimCommunicator:
         return flattened
 
     def allgather(self, payload: list) -> list:
-        contributions = self.group.collective.exchange(self.rank, list(payload))
+        contributions = self.group.collective.exchange(self.rank, list(payload),
+                                                       "MPI_Allgather")
         flattened: list = []
         for chunk in contributions:
             flattened.extend(chunk)
         return flattened
 
     def alltoall(self, payload: list, count: int) -> list:
-        contributions = self.group.collective.exchange(self.rank, list(payload))
+        contributions = self.group.collective.exchange(self.rank, list(payload),
+                                                       "MPI_Alltoall")
         received: list = []
         for source_chunk in contributions:
             start = self.rank * count
@@ -198,7 +210,8 @@ class SimCommunicator:
               split_registry: "SplitRegistry") -> "SimCommunicator":
         """MPI_Comm_split: ranks with the same ``color`` form a child
         communicator ordered by ``key`` (ties broken by world rank)."""
-        contributions = self.group.collective.exchange(self.rank, (color, key, self.rank))
+        contributions = self.group.collective.exchange(
+            self.rank, (color, key, self.rank), "MPI_Comm_split")
         members = sorted(
             (k, r) for (c, k, r) in contributions if c == color
         )

@@ -15,8 +15,9 @@ standard functions (printf, malloc/free, math, rand) plus the MPI bindings in
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from ..clang import ast_nodes as ast
 from ..clang.errors import InterpreterError
@@ -57,6 +58,13 @@ class RankContext:
     rand_state: int = 1
     initialized: bool = False
     finalized: bool = False
+    #: The blocking MPI call this rank is currently inside (e.g.
+    #: ``"MPI_Recv(source=1, tag=0)"``), or None when it is computing.  Set by
+    #: :class:`MPIBindings` around every potentially blocking operation and
+    #: deliberately *left set* when that operation raises
+    #: :class:`repro.mpisim.comm.SimulationDeadlock` — the runtime reads it to
+    #: report which ranks were blocked in which call.
+    blocked_in: str | None = None
 
     def srand(self, seed: int) -> None:
         self.rand_state = (int(seed) & 0x7FFFFFFF) or 1
@@ -80,6 +88,20 @@ class MPIBindings:
         #: request id -> ("send", None) | ("recv", (buffer, source, tag))
         self._pending: dict[int, tuple[str, Any]] = {}
         self._next_request = 1
+
+    @contextmanager
+    def _blocking(self, label: str) -> Iterator[None]:
+        """Mark this rank as blocked in ``label`` for the duration of a call.
+
+        On success the marker is cleared; on failure (deadlock timeout, or a
+        rank thread that never returns at all) it stays set, so the runtime
+        and the exception handler can report *which call* the rank was stuck
+        in.  Nested blocking calls cannot occur (the interpreter is
+        single-threaded per rank), so a plain attribute is enough.
+        """
+        self.context.blocked_in = label
+        yield
+        self.context.blocked_in = None
 
     # ----------------------------------------------------------- environment
 
@@ -118,7 +140,9 @@ class MPIBindings:
         return self.context.wtime()
 
     def MPI_Barrier(self, comm) -> int:
-        self._resolve_comm(comm).barrier()
+        communicator = self._resolve_comm(comm)
+        with self._blocking("MPI_Barrier"):
+            communicator.barrier()
         return 0
 
     # --------------------------------------------------------- point to point
@@ -140,7 +164,8 @@ class MPIBindings:
         source = int(source)
         if source < 0:
             return 0
-        values = communicator.recv(source, int(tag))
+        with self._blocking(f"MPI_Recv(source={source}, tag={int(tag)})"):
+            values = communicator.recv(source, int(tag))
         write_buffer(buf, values[: int(count)])
         return 0
 
@@ -177,7 +202,9 @@ class MPIBindings:
         if dest >= 0:
             communicator.send(read_buffer(sendbuf, int(sendcount)), dest, int(sendtag))
         if source >= 0:
-            values = communicator.recv(source, int(recvtag))
+            with self._blocking(
+                    f"MPI_Sendrecv(source={source}, recvtag={int(recvtag)})"):
+                values = communicator.recv(source, int(recvtag))
             write_buffer(recvbuf, values[: int(recvcount)])
         return 0
 
@@ -190,29 +217,33 @@ class MPIBindings:
     def MPI_Bcast(self, buf, count, _dtype, root, comm) -> int:
         communicator = self._resolve_comm(comm)
         payload = read_buffer(buf, int(count)) if communicator.rank == int(root) else None
-        result = communicator.bcast(payload, int(root))
+        with self._blocking(f"MPI_Bcast(root={int(root)})"):
+            result = communicator.bcast(payload, int(root))
         write_buffer(buf, result[: int(count)])
         return 0
 
     def MPI_Reduce(self, sendbuf, recvbuf, count, _dtype, op, root, comm) -> int:
         communicator = self._resolve_comm(comm)
-        result = communicator.reduce(read_buffer(sendbuf, int(count)),
-                                     self._resolve_op(op), int(root))
+        with self._blocking(f"MPI_Reduce(root={int(root)})"):
+            result = communicator.reduce(read_buffer(sendbuf, int(count)),
+                                         self._resolve_op(op), int(root))
         if result is not None:
             write_buffer(recvbuf, result[: int(count)])
         return 0
 
     def MPI_Allreduce(self, sendbuf, recvbuf, count, _dtype, op, comm) -> int:
         communicator = self._resolve_comm(comm)
-        result = communicator.allreduce(read_buffer(sendbuf, int(count)),
-                                        self._resolve_op(op))
+        with self._blocking("MPI_Allreduce"):
+            result = communicator.allreduce(read_buffer(sendbuf, int(count)),
+                                            self._resolve_op(op))
         write_buffer(recvbuf, result[: int(count)])
         return 0
 
     def MPI_Scan(self, sendbuf, recvbuf, count, _dtype, op, comm) -> int:
         communicator = self._resolve_comm(comm)
-        result = communicator.scan(read_buffer(sendbuf, int(count)),
-                                   self._resolve_op(op))
+        with self._blocking("MPI_Scan"):
+            result = communicator.scan(read_buffer(sendbuf, int(count)),
+                                       self._resolve_op(op))
         write_buffer(recvbuf, result[: int(count)])
         return 0
 
@@ -222,14 +253,17 @@ class MPIBindings:
         payload = None
         if communicator.rank == int(root):
             payload = read_buffer(sendbuf, int(sendcount) * communicator.size)
-        received = communicator.scatter(payload, int(sendcount), int(root))
+        with self._blocking(f"MPI_Scatter(root={int(root)})"):
+            received = communicator.scatter(payload, int(sendcount), int(root))
         write_buffer(recvbuf, received[: int(recvcount)])
         return 0
 
     def MPI_Gather(self, sendbuf, sendcount, _sdtype, recvbuf, recvcount, _rdtype,
                    root, comm) -> int:
         communicator = self._resolve_comm(comm)
-        gathered = communicator.gather(read_buffer(sendbuf, int(sendcount)), int(root))
+        with self._blocking(f"MPI_Gather(root={int(root)})"):
+            gathered = communicator.gather(read_buffer(sendbuf, int(sendcount)),
+                                           int(root))
         if gathered is not None:
             write_buffer(recvbuf, gathered)
         return 0
@@ -237,7 +271,8 @@ class MPIBindings:
     def MPI_Allgather(self, sendbuf, sendcount, _sdtype, recvbuf, _recvcount, _rdtype,
                       comm) -> int:
         communicator = self._resolve_comm(comm)
-        gathered = communicator.allgather(read_buffer(sendbuf, int(sendcount)))
+        with self._blocking("MPI_Allgather"):
+            gathered = communicator.allgather(read_buffer(sendbuf, int(sendcount)))
         write_buffer(recvbuf, gathered)
         return 0
 
@@ -245,7 +280,8 @@ class MPIBindings:
                      comm) -> int:
         communicator = self._resolve_comm(comm)
         payload = read_buffer(sendbuf, int(sendcount) * communicator.size)
-        received = communicator.alltoall(payload, int(sendcount))
+        with self._blocking("MPI_Alltoall"):
+            received = communicator.alltoall(payload, int(sendcount))
         write_buffer(recvbuf, received)
         return 0
 
@@ -253,7 +289,9 @@ class MPIBindings:
 
     def MPI_Comm_split(self, comm, color, key, newcomm_out) -> int:
         communicator = self._resolve_comm(comm)
-        child = communicator.split(int(color), int(key), self.context.split_registry)
+        with self._blocking("MPI_Comm_split"):
+            child = communicator.split(int(color), int(key),
+                                       self.context.split_registry)
         write_buffer(newcomm_out, [child])
         return 0
 
@@ -323,7 +361,8 @@ class MPIBindings:
             buf, count, source, tag, comm = payload
             communicator = self._resolve_comm(comm)
             if source >= 0:
-                values = communicator.recv(source, tag)
+                with self._blocking(f"MPI_Wait(recv source={source}, tag={tag})"):
+                    values = communicator.recv(source, tag)
                 write_buffer(buf, values[:count])
 
     def _resolve_comm(self, comm) -> SimCommunicator:

@@ -9,6 +9,7 @@ complete within the timeout).
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 from ..clang.parser import parse_source
@@ -24,6 +25,10 @@ class RankResult:
     exit_code: int = 0
     stdout: str = ""
     error: str | None = None
+    #: The blocking MPI call the rank was inside when it failed or was
+    #: declared stuck (e.g. ``"MPI_Recv(source=1, tag=0)"``); None when the
+    #: rank finished, or failed outside any blocking MPI call.
+    blocked_in: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -65,6 +70,7 @@ class MPIRuntime:
         split_registry = SplitRegistry(timeout=self.timeout)
         result = RunResult(num_ranks=self.num_ranks,
                            ranks=[RankResult(rank=r) for r in range(self.num_ranks)])
+        contexts: list[RankContext | None] = [None] * self.num_ranks
 
         def worker(rank: int) -> None:
             rank_result = result.ranks[rank]
@@ -72,24 +78,49 @@ class MPIRuntime:
                 unit = parse_source(source, tolerant=False)
                 context = RankContext(rank=rank, comm_world=communicators[rank],
                                       split_registry=split_registry)
+                contexts[rank] = context
                 interpreter = CInterpreter(unit, context)
                 rank_result.exit_code = interpreter.run_main(argv)
                 rank_result.stdout = interpreter.stdout
             except Exception as exc:  # noqa: BLE001 - reported to the caller
                 rank_result.error = f"{type(exc).__name__}: {exc}"
+                context = contexts[rank]
+                if context is not None:
+                    # A deadlock exception leaves the marker set (see
+                    # MPIBindings._blocking); keep it on the result so
+                    # callers can report which call the rank was stuck in.
+                    rank_result.blocked_in = context.blocked_in
+                    rank_result.stdout = "".join(context.stdout)
 
         threads = [threading.Thread(target=worker, args=(rank,), daemon=True)
                    for rank in range(self.num_ranks)]
         for thread in threads:
             thread.start()
+        # One shared deadline for the whole world: the ranks run concurrently,
+        # so the grace window is paid once, not once per stuck thread.
+        deadline = time.monotonic() + self.timeout + 5.0
         for thread in threads:
-            thread.join(timeout=self.timeout + 5.0)
-            if thread.is_alive():
-                # A stuck rank: report it as a deadlock instead of hanging the caller.
-                for rank_result in result.ranks:
-                    if rank_result.error is None and not rank_result.stdout:
-                        rank_result.error = rank_result.error or "deadlock: rank did not finish"
-                break
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        for rank, thread in enumerate(threads):
+            if not thread.is_alive():
+                continue
+            # Only genuinely unfinished ranks are marked (a rank that
+            # completed without printing anything is *not* a deadlock).
+            rank_result = result.ranks[rank]
+            if rank_result.error is not None:
+                continue
+            context = contexts[rank]
+            where = context.blocked_in if context is not None else None
+            rank_result.blocked_in = where
+            if where is not None:
+                rank_result.error = (
+                    f"deadlock: rank {rank} did not finish within "
+                    f"{self.timeout:g}s (blocked in {where})")
+            else:
+                rank_result.error = (
+                    f"deadlock: rank {rank} did not finish within "
+                    f"{self.timeout:g}s (no blocking MPI call in progress — "
+                    f"runaway computation?)")
         return result
 
 

@@ -48,12 +48,27 @@ def validate_program(source: str, *, num_ranks: int = 4,
     run = run_program(source, num_ranks=num_ranks, timeout=timeout)
     if not run.ok:
         return ValidationResult(parses=True, runs=False, check_passed=None, run_result=run,
-                                message="; ".join(run.errors()) or "non-zero exit")
+                                message=run_failure_message(run))
     if check is None:
         return ValidationResult(parses=True, runs=True, check_passed=None, run_result=run)
     passed = bool(check(run.stdout))
     return ValidationResult(parses=True, runs=True, check_passed=passed, run_result=run,
                             message="" if passed else "numerical check failed")
+
+
+def run_failure_message(run: RunResult) -> str:
+    """A never-empty, actionable description of why a run failed.
+
+    Rank errors (which, post-diagnostics, name the blocking MPI call a
+    deadlocked rank was stuck in) come first; ranks that merely exited
+    non-zero are listed with their exit codes, so the message can no longer
+    be the bare ``"non-zero exit"`` with no rank attribution — let alone
+    empty.
+    """
+    parts = run.errors()
+    parts.extend(f"rank {r.rank}: non-zero exit code {r.exit_code}"
+                 for r in run.ranks if r.error is None and r.exit_code != 0)
+    return "; ".join(parts) or "run failed with no per-rank detail"
 
 
 def first_float(text: str) -> float | None:

@@ -657,6 +657,12 @@ class JobStore:
         for index, future in pending:
             try:
                 response = future.result(timeout=self.policy.item_timeout)
+                if job.requests[index].verify is not None:
+                    # Batch audits verify off the request path: the decode
+                    # already resolved, so the simulation sweep here costs
+                    # only this job's wall-clock, never a live request's.
+                    response = self.service.apply_verification(
+                        job.requests[index], response)
                 envelope = {"status": "ok", "response": response.to_dict()}
             except FutureTimeoutError:
                 envelope = _error_envelope(ApiError.timeout(

@@ -52,6 +52,14 @@ class ServingMetrics:
         #: ``quota_exceeded``) — the backpressure signal an operator alarms
         #: on before clients start seeing sustained 429s.
         self._jobs_rejected: Counter[str] = Counter()
+        #: Verification latency per verified request (simulate-and-rerank
+        #: wall time, on top of the decode) — its own window because verify
+        #: cost is simulation-bound, not model-bound.
+        self._verify_ms: deque[float] = deque(maxlen=window)
+        #: Per-verdict verification counters (``verified`` / ``failed`` /
+        #: ``skipped``), capped like the per-config histograms so a buggy
+        #: caller cannot grow label cardinality.
+        self._verify_by_verdict: Counter[str] = Counter()
         self.requests_total = 0
         self.cache_hits = 0
         self.cache_misses = 0
@@ -60,6 +68,7 @@ class ServingMetrics:
         self.streams_total = 0
         self.jobs_submitted_total = 0
         self.jobs_dead_letter_total = 0
+        self.verify_total = 0
 
     # ------------------------------------------------------------- recording
 
@@ -146,6 +155,22 @@ class ServingMetrics:
         with self._lock:
             self.jobs_dead_letter_total += 1
 
+    def record_verify(self, latency_ms: float, verdict: str) -> None:
+        """Record one verification pass and its response-level verdict.
+
+        ``verdict`` is the report status (``verified``/``failed``/
+        ``skipped``); labels beyond :attr:`MAX_CONFIG_LABELS` lump under
+        ``"other"`` like every other client-influenced label family.
+        """
+        with self._lock:
+            self.verify_total += 1
+            self._verify_ms.append(latency_ms)
+            label = verdict
+            if (label not in self._verify_by_verdict
+                    and len(self._verify_by_verdict) >= self.MAX_CONFIG_LABELS):
+                label = "other"
+            self._verify_by_verdict[label] += 1
+
     # ------------------------------------------------------------- reporting
 
     def snapshot(self) -> dict[str, Any]:
@@ -166,6 +191,9 @@ class ServingMetrics:
             jobs_submitted = self.jobs_submitted_total
             jobs_dead_letter = self.jobs_dead_letter_total
             jobs_rejected = dict(sorted(self._jobs_rejected.items()))
+            verify_total = self.verify_total
+            verify_latencies = list(self._verify_ms)
+            verify_by_verdict = dict(sorted(self._verify_by_verdict.items()))
         batched_requests = sum(size * count for size, count in batch_sizes.items())
         batches_by_config = {
             label: {
@@ -198,6 +226,11 @@ class ServingMetrics:
             "decode_latency_ms_p50": percentile(decode_latencies, 0.50),
             "decode_latency_ms_p95": percentile(decode_latencies, 0.95),
             "decode_latency_window": len(decode_latencies),
+            "verify_total": verify_total,
+            "verify_by_verdict": verify_by_verdict,
+            "verify_latency_ms_p50": percentile(verify_latencies, 0.50),
+            "verify_latency_ms_p95": percentile(verify_latencies, 0.95),
+            "verify_latency_window": len(verify_latencies),
         }
 
 

@@ -433,6 +433,41 @@ class Router:
             "router": self.metrics.snapshot(),
             "workers": [client.info() for client in self._clients],
             "pool": self.pool.snapshot() if self.pool is not None else None,
+            "verify": self._aggregate_verify(),
+        }
+
+    def _aggregate_verify(self) -> dict[str, Any]:
+        """Pool-wide verification counters, summed across live workers.
+
+        Best-effort by design: a worker that cannot answer ``/metrics``
+        inside the health timeout is counted in ``workers_unreachable``
+        rather than failing the router's own metrics route.
+        """
+        total = 0
+        by_verdict: dict[str, int] = {}
+        reached = unreachable = 0
+        for client in self._clients:
+            try:
+                outcome = self._request(
+                    client, "GET", "/metrics", None,
+                    connect_timeout=self.policy.health_timeout,
+                    read_timeout=self.policy.health_timeout)
+                if outcome.status != 200:
+                    raise OSError(f"HTTP {outcome.status}")
+                snapshot = json.loads(outcome.body)
+            except Exception:  # noqa: BLE001 — degraded workers stay countable
+                unreachable += 1
+                continue
+            reached += 1
+            total += int(snapshot.get("verify_total", 0))
+            for verdict, count in (snapshot.get("verify_by_verdict")
+                                   or {}).items():
+                by_verdict[verdict] = by_verdict.get(verdict, 0) + int(count)
+        return {
+            "verify_total": total,
+            "verify_by_verdict": by_verdict,
+            "workers_reporting": reached,
+            "workers_unreachable": unreachable,
         }
 
     # ---------------------------------------------------------- dispatch core

@@ -59,7 +59,7 @@ from __future__ import annotations
 import time
 import warnings
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from queue import SimpleQueue
 from threading import Lock, Thread
@@ -80,6 +80,7 @@ from ..mpirical.pipeline import MPIRical, PredictionResult
 from ..mpirical.suggestions import extract_suggestions
 from ..registry import ModelEntry, ModelRegistry, RegistryError
 from ..tokenization.code_tokenizer import tokenize_code
+from ..verify import VerificationReport, VerifyConfig, verify_candidates
 from ..xsbt.xsbt import xsbt_string
 from .batching import MicroBatcher
 from .cache import LRUCache, canonical_cache_key
@@ -197,6 +198,12 @@ class InferenceService:
         self.generation = generation
         self.metrics_ = ServingMetrics(window=metrics_window)
         self.cache = LRUCache(cache_capacity) if cache_capacity > 0 else None
+        #: Verification results keyed by ``<decode cache key>|verify:<options>``
+        #: — a repeat verified request replays both the decode *and* the
+        #: simulation sweep from memory.  Skipped reports are never cached
+        #: (a transient budget exhaustion must not stick).
+        self.verify_cache = (LRUCache(cache_capacity)
+                             if cache_capacity > 0 else None)
         self._inflight: dict[str, Future] = {}
         self._inflight_lock = Lock()
         self.batcher = MicroBatcher(
@@ -323,8 +330,17 @@ class InferenceService:
 
     def advise_request(self, request: AdviseRequest, *,
                        timeout: float | None = None) -> AdviseResponse:
-        """Serve one v1 :class:`AdviseRequest`, blocking until done."""
-        return self.advise_request_async(request).result(timeout)
+        """Serve one v1 :class:`AdviseRequest`, blocking until done.
+
+        When the request carries a ``verify`` block, the response is taken
+        through bounded synchronous verification on the calling thread
+        (simulate-and-rerank; see :meth:`apply_verification`) before it is
+        returned — the decode itself still rides the shared batcher.
+        """
+        response = self.advise_request_async(request).result(timeout)
+        if request.verify is not None:
+            response = self.apply_verification(request, response)
+        return response
 
     def advise_request_async(self, request: AdviseRequest) -> Future:
         """Non-blocking :meth:`advise_request`; resolves to an
@@ -352,6 +368,95 @@ class InferenceService:
 
         inner.add_done_callback(_on_done)
         return response
+
+    # -------------------------------------------------------- verification
+
+    def apply_verification(self, request: AdviseRequest,
+                           response: AdviseResponse) -> AdviseResponse:
+        """Take a served response through simulate-and-rerank verification.
+
+        Bounded and non-fatal by construction: the whole pass runs inside the
+        request's ``verify.timeout_ms`` budget, any internal failure (or an
+        original program that does not simulate) degrades to
+        ``verification: {"verified": "skipped", ...}``, and the normally
+        served advice always survives.  When a runner-up candidate is the
+        first to prove equivalent under simulation, the response's
+        ``generated_code``/``advice`` are rebuilt from that winner
+        (``reranked: true``).  Results are cached under the decode cache key
+        plus the canonical options, so a repeat hit pays neither the decode
+        nor the simulation sweep.
+        """
+        options = request.verify
+        if options is None:
+            return response
+        start = time.perf_counter()
+        verify_key = f"{response.cache_key}|verify:{options.canonical()}"
+        if self.verify_cache is not None:
+            hit = self.verify_cache.get(verify_key)
+            if hit is not None:
+                status, payload, generated_code, advice, diagnostics = hit
+                self.metrics_.record_verify(
+                    (time.perf_counter() - start) * 1000.0, status)
+                return replace(response, generated_code=generated_code,
+                               advice=advice, diagnostics=diagnostics,
+                               verification=dict(payload))
+        try:
+            report, candidates = self._run_verification(request, response,
+                                                        options)
+        except Exception as exc:  # noqa: BLE001 — verification never fails a request
+            report = VerificationReport.skipped(
+                f"verification error: {type(exc).__name__}: {exc}")
+            candidates = []
+        payload = report.to_payload()
+        verified = response
+        if report.reranked and report.winner_index < len(candidates):
+            winner = candidates[report.winner_index]
+            if isinstance(winner, PredictionResult):
+                _, diagnostics = parse_source_with_diagnostics(request.code)
+                session = build_advice_session(
+                    diagnostics, anchor_result(request.code, winner))
+                verified = replace(response,
+                                   generated_code=session.generated_code,
+                                   advice=advice_items(session),
+                                   diagnostics=tuple(session.parse_diagnostics))
+        verified = replace(verified, verification=payload)
+        self.metrics_.record_verify((time.perf_counter() - start) * 1000.0,
+                                    report.status)
+        if report.status != "skipped" and self.verify_cache is not None:
+            self.verify_cache.put(verify_key, (
+                report.status, payload, verified.generated_code,
+                verified.advice, verified.diagnostics))
+        return verified
+
+    def _run_verification(self, request: AdviseRequest,
+                          response: AdviseResponse, options) -> tuple:
+        """Decode extra candidates (when the strategy can supply them) and run
+        the rank-sweep verification; returns ``(report, candidates)``."""
+        strategy = request.strategy.normalised()
+        limit = min(options.candidates, strategy.nbest_limit())
+        if limit > 1:
+            entry = self._resolve_entry(request.model)
+            mpirical = entry.ensure_loaded()
+            entry.acquire()
+            try:
+                candidates = mpirical.predict_code_candidates(
+                    request.code, strategy=strategy,
+                    generation=self._default_generation(entry),
+                    max_candidates=limit)
+            finally:
+                entry.release()
+        else:
+            # Single-candidate strategies reuse the served generation as-is;
+            # no re-decode happens at all.
+            candidates = [response.generated_code]
+        config = VerifyConfig(
+            ranks=tuple(options.ranks),
+            tolerance=float(options.tolerance),
+            timeout=options.timeout_ms / 1000.0,
+            sim_timeout=min(5.0, options.timeout_ms / 1000.0),
+        )
+        return verify_candidates(request.code, candidates,
+                                 config=config), candidates
 
     def advise_stream(self, request: AdviseRequest) -> Iterator[dict]:
         """Serve ``request`` as a stream of chunk dicts.
@@ -398,7 +503,8 @@ class InferenceService:
             yield self._final_chunk(request.code, diagnostics, result,
                                     strategy=strategy, cached=True,
                                     start=start, key=key, entry=entry,
-                                    echo_model=echo_model)
+                                    echo_model=echo_model,
+                                    verify_requested=request.verify is not None)
             return
 
         chunks: SimpleQueue = SimpleQueue()
@@ -449,7 +555,8 @@ class InferenceService:
                 yield self._final_chunk(request.code, diagnostics, payload,
                                         strategy=strategy, cached=False,
                                         start=start, key=key, entry=entry,
-                                        echo_model=echo_model)
+                                        echo_model=echo_model,
+                                        verify_requested=request.verify is not None)
                 return
             else:
                 self.metrics_.record_error()
@@ -625,7 +732,7 @@ class InferenceService:
     def _final_chunk(self, source_code: str, diagnostics: list,
                      result: PredictionResult, *, strategy: DecodingStrategy,
                      cached: bool, start: float, key: str, entry: ModelEntry,
-                     echo_model: bool) -> dict:
+                     echo_model: bool, verify_requested: bool = False) -> dict:
         """Record metrics for a finished stream and build its final chunk."""
         session = build_advice_session(diagnostics, result)
         latency_ms = (time.perf_counter() - start) * 1000.0
@@ -633,6 +740,14 @@ class InferenceService:
                                      model=entry.identity)
         entry.record_request()
         self.metrics_.record_stream()
+        verification = None
+        if verify_requested:
+            # Streams never block on simulation; the explicit skip marker
+            # tells the caller where the verified path lives.
+            verification = VerificationReport.skipped(
+                "streaming responses are not verified; "
+                "use POST /v1/advise").to_payload()
+            self.metrics_.record_verify(0.0, "skipped")
         response = AdviseResponse(
             generated_code=session.generated_code,
             advice=advice_items(session),
@@ -642,6 +757,7 @@ class InferenceService:
             latency_ms=latency_ms,
             cache_key=key,
             model=entry.identity if echo_model else None,
+            verification=verification,
         )
         return {"type": "final", "response": response.to_dict()}
 

@@ -1,0 +1,54 @@
+"""Verified advice: simulate-and-rerank verification of decode candidates.
+
+The package closes the loop between the model and the simulated MPI
+runtime: candidates are materialised into runnable C
+(:mod:`repro.verify.materialize`), executed across a sweep of rank counts
+against the serial original's captured output
+(:mod:`repro.verify.runner`), folded into structured verdicts
+(:mod:`repro.verify.verdict`), and reranked so the best *verified*
+candidate wins (:mod:`repro.verify.rerank`).  A seeded adversarial fuzz
+fleet (:mod:`repro.verify.fuzz`) holds the whole pipeline — and the
+lexer/parser/advisor front end — to a no-crash contract.
+"""
+
+from .materialize import materialize_candidate
+from .rerank import (
+    MAX_CANDIDATES,
+    MAX_RANK_SWEEP,
+    MAX_VERIFY_RANKS,
+    VerifyConfig,
+    verify_candidates,
+)
+from .runner import (
+    Budget,
+    ReferenceError,
+    capture_reference,
+    numeric_values,
+    outputs_match,
+    run_candidate,
+)
+from .verdict import (
+    VERDICT_STATUSES,
+    RankDiagnostic,
+    VerificationReport,
+    Verdict,
+)
+
+__all__ = [
+    "MAX_CANDIDATES",
+    "MAX_RANK_SWEEP",
+    "MAX_VERIFY_RANKS",
+    "VERDICT_STATUSES",
+    "Budget",
+    "RankDiagnostic",
+    "ReferenceError",
+    "VerificationReport",
+    "Verdict",
+    "VerifyConfig",
+    "capture_reference",
+    "materialize_candidate",
+    "numeric_values",
+    "outputs_match",
+    "run_candidate",
+    "verify_candidates",
+]

@@ -1,0 +1,286 @@
+"""Seeded adversarial program generator and fuzz fleet.
+
+Property-based fuzzing for the verification pipeline: each
+:class:`FuzzCase` pairs a generated **serial** C program (the reference)
+with a **parallel candidate** derived from it — either a correct strided
+MPI port, or a deliberate mutant (dropped reduction, wrong reduction
+operator, rank-conditional deadlock, truncated source) whose expected
+verdict is known by construction.  The generator mixes in the adversarial
+features the pipeline has to survive: nested loops, pointer aliasing,
+mixed int/double arithmetic and degenerate loop bounds (``n = 0`` and
+``n = 1`` included).
+
+The fleet (:func:`run_fleet`) drives every case through the full
+simulate-and-rerank pipeline *and* through the lexer / parser / suggestion
+extractor, holding the subsystem to its contract: every case must verify
+or fail with a structured verdict — never an uncaught exception.  All
+contributions are positive dyadic rationals (exact in double arithmetic),
+so correct ports match the serial reference exactly and the wrong-operator
+mutant is guaranteed to diverge on two or more ranks.
+
+Run as a CLI for the CI smoke: ``python -m repro.verify.fuzz --seed 7
+--cases 25``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+from dataclasses import dataclass, field
+
+from .rerank import VerifyConfig, verify_candidates
+from .verdict import VerificationReport
+
+#: Mutation kinds and the verdict each one must produce.
+EXPECTED_VERDICTS = {
+    "correct": "equivalent",
+    "dropped_reduce": "diverged",
+    "wrong_op": "diverged",
+    "deadlock": "deadlocked",
+    "parse_error": "parse_error",
+}
+
+#: Loop bounds for correct cases — degenerate values included on purpose.
+_CORRECT_BOUNDS = (0, 1, 2, 5, 8, 13, 16, 100)
+#: Mutant bounds start at 8 so every rank of a 4-rank sweep gets at least
+#: two loop iterations: partial sums are then strictly positive, which is
+#: what guarantees dropped/wrong reductions actually diverge.
+_MUTANT_BOUNDS = (8, 12, 16, 24)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated (serial reference, parallel candidate) pair."""
+
+    name: str
+    seed: int
+    kind: str
+    body: str
+    n: int
+    serial_source: str
+    parallel_source: str
+
+    @property
+    def expect(self) -> str:
+        return EXPECTED_VERDICTS[self.kind]
+
+
+# ---------------------------------------------------------------- templates
+
+
+def _body(kind: str) -> tuple[str, str, str]:
+    """(extra declarations, loop body, whether ``j`` is needed)."""
+    if kind == "weighted":
+        return "", "        acc = acc + ((double) i * 0.5 + 1.25);", ""
+    if kind == "nested":
+        return "", ("        for (j = 0; j < 3; j++) {\n"
+                    "            acc = acc + ((double) (i + j) * 0.25);\n"
+                    "        }"), "j"
+    if kind == "alias":
+        decls = ("    double *vals = (double *) malloc((n + 1) * sizeof(double));\n"
+                 "    double *alias = vals;")
+        return decls, ("        vals[i] = (double) i * 0.5;\n"
+                       "        acc = acc + (alias[i] + 0.25);"), ""
+    if kind == "mixed":
+        return "", ("        w = i % 7;\n"
+                    "        acc = acc + ((double) w + 0.5);"), "w"
+    raise ValueError(f"unknown body kind {kind!r}")
+
+
+def _serial_source(body_kind: str, n: int) -> str:
+    decls, body, extra = _body(body_kind)
+    extra_decl = f"    int {extra};\n" if extra else ""
+    decls = decls + "\n" if decls else ""
+    return (
+        "#include <stdio.h>\n"
+        "#include <stdlib.h>\n"
+        "int main(int argc, char **argv) {\n"
+        "    int i;\n"
+        f"{extra_decl}"
+        f"    int n = {n};\n"
+        "    double acc = 0.0;\n"
+        f"{decls}"
+        "    for (i = 0; i < n; i++) {\n"
+        f"{body}\n"
+        "    }\n"
+        '    printf("result = %f\\n", acc);\n'
+        "    return 0;\n"
+        "}\n"
+    )
+
+
+def _parallel_source(body_kind: str, n: int, mutation: str) -> str:
+    decls, body, extra = _body(body_kind)
+    extra_decl = f"    int {extra};\n" if extra else ""
+    decls = decls + "\n" if decls else ""
+    reduce_stmt = ("    MPI_Reduce(&acc, &total, 1, MPI_DOUBLE, MPI_SUM, 0, "
+                   "MPI_COMM_WORLD);\n")
+    printed = "total"
+    if mutation == "dropped_reduce":
+        reduce_stmt = ""
+        printed = "acc"
+    elif mutation == "wrong_op":
+        reduce_stmt = ("    MPI_Reduce(&acc, &total, 1, MPI_DOUBLE, MPI_MAX, 0, "
+                       "MPI_COMM_WORLD);\n")
+    elif mutation == "deadlock":
+        reduce_stmt = ("    if (rank != 1) {\n"
+                       "        MPI_Reduce(&acc, &total, 1, MPI_DOUBLE, MPI_SUM, "
+                       "0, MPI_COMM_WORLD);\n"
+                       "    }\n")
+    source = (
+        "#include <stdio.h>\n"
+        "#include <stdlib.h>\n"
+        "#include <mpi.h>\n"
+        "int main(int argc, char **argv) {\n"
+        "    int rank, size, i;\n"
+        f"{extra_decl}"
+        f"    int n = {n};\n"
+        "    double acc = 0.0;\n"
+        "    double total = 0.0;\n"
+        f"{decls}"
+        "    MPI_Init(&argc, &argv);\n"
+        "    MPI_Comm_rank(MPI_COMM_WORLD, &rank);\n"
+        "    MPI_Comm_size(MPI_COMM_WORLD, &size);\n"
+        "    for (i = rank; i < n; i += size) {\n"
+        f"{body}\n"
+        "    }\n"
+        f"{reduce_stmt}"
+        "    if (rank == 0) {\n"
+        f'        printf("result = %f\\n", {printed});\n'
+        "    }\n"
+        "    MPI_Finalize();\n"
+        "    return 0;\n"
+        "}\n"
+    )
+    if mutation == "parse_error":
+        # Chop the closing brace and the return: structurally broken, but
+        # still lexes — the parser, not the lexer, must reject it.
+        source = source.rsplit("    return 0;", 1)[0]
+    return source
+
+
+# ---------------------------------------------------------------- generator
+
+
+def fuzz_case(seed: int, index: int) -> FuzzCase:
+    """Deterministically generate case ``index`` of the ``seed`` corpus."""
+    rng = random.Random((seed << 20) ^ index)
+    kind = rng.choices(list(EXPECTED_VERDICTS),
+                       weights=(40, 16, 14, 15, 15))[0]
+    body_kind = rng.choice(("weighted", "nested", "alias", "mixed"))
+    bounds = _CORRECT_BOUNDS if kind == "correct" else _MUTANT_BOUNDS
+    n = rng.choice(bounds)
+    return FuzzCase(
+        name=f"fuzz-{seed}-{index:03d}-{kind}-{body_kind}-n{n}",
+        seed=seed,
+        kind=kind,
+        body=body_kind,
+        n=n,
+        serial_source=_serial_source(body_kind, n),
+        parallel_source=_parallel_source(body_kind, n, kind),
+    )
+
+
+def fuzz_corpus(seed: int, count: int) -> list[FuzzCase]:
+    """``count`` deterministic cases for ``seed``."""
+    return [fuzz_case(seed, index) for index in range(count)]
+
+
+# -------------------------------------------------------------------- fleet
+
+
+@dataclass
+class FleetResult:
+    """Aggregate outcome of running a fuzz corpus through the pipeline."""
+
+    total: int = 0
+    matched: int = 0
+    by_status: dict[str, int] = field(default_factory=dict)
+    #: (case name, expected verdict, observed verdict)
+    mismatches: list[tuple[str, str, str]] = field(default_factory=list)
+    #: (case name, stage, exception) — must stay empty; any entry is a bug.
+    crashes: list[tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.crashes
+
+
+def _exercise_frontend(case: FuzzCase, result: FleetResult) -> None:
+    """Run both sources through the lexer/parser/advisor front end.
+
+    Malformed sources must come back as diagnostics, never exceptions —
+    the same contract the corpus pipeline holds the front end to.
+    """
+    from ..clang.parser import parse_source_with_diagnostics
+    from ..mpirical.suggestions import extract_suggestions
+    from ..tokenization.code_tokenizer import tokenize_code
+
+    for stage, action in (
+        ("lexer", lambda: (tokenize_code(case.serial_source),
+                           tokenize_code(case.parallel_source))),
+        ("parser", lambda: (parse_source_with_diagnostics(case.serial_source),
+                            parse_source_with_diagnostics(case.parallel_source))),
+        ("advisor", lambda: extract_suggestions(case.serial_source,
+                                                case.parallel_source)),
+    ):
+        try:
+            action()
+        except Exception as exc:  # noqa: BLE001 - the property under test
+            result.crashes.append((case.name, stage,
+                                   f"{type(exc).__name__}: {exc}"))
+
+
+def run_fleet(cases: list[FuzzCase], *, sim_timeout: float = 1.0,
+              frontend: bool = True) -> FleetResult:
+    """Verify every case and compare verdicts against expectations."""
+    result = FleetResult(total=len(cases))
+    config_timeout = sim_timeout * 4 + 2.0
+    for case in cases:
+        if frontend:
+            _exercise_frontend(case, result)
+        config = VerifyConfig(ranks=(1, 2, 4), tolerance=1e-6,
+                              timeout=config_timeout, sim_timeout=sim_timeout)
+        try:
+            report = verify_candidates(case.serial_source,
+                                       [case.parallel_source], config=config)
+        except Exception as exc:  # noqa: BLE001 - the property under test
+            result.crashes.append((case.name, "verify",
+                                   f"{type(exc).__name__}: {exc}"))
+            continue
+        observed = _observed_status(report)
+        result.by_status[observed] = result.by_status.get(observed, 0) + 1
+        if observed == case.expect:
+            result.matched += 1
+        else:
+            result.mismatches.append((case.name, case.expect, observed))
+    return result
+
+
+def _observed_status(report: VerificationReport) -> str:
+    if report.status == "skipped" or not report.verdicts:
+        return "skipped"
+    return report.verdicts[0].status
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the adversarial fuzz fleet against repro.verify")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--cases", type=int, default=25)
+    parser.add_argument("--sim-timeout", type=float, default=1.0)
+    args = parser.parse_args(argv)
+
+    cases = fuzz_corpus(args.seed, args.cases)
+    result = run_fleet(cases, sim_timeout=args.sim_timeout)
+    print(f"fuzz fleet: {result.total} cases, {result.matched} matched "
+          f"expectations, statuses {dict(sorted(result.by_status.items()))}")
+    for name, expected, observed in result.mismatches:
+        print(f"  MISMATCH {name}: expected {expected}, observed {observed}")
+    for name, stage, error in result.crashes:
+        print(f"  CRASH {name} [{stage}]: {error}")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

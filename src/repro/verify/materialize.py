@@ -1,0 +1,35 @@
+"""Materialising decode candidates into runnable C programs.
+
+The model's candidates arrive in two shapes — a full generated program
+(:class:`repro.mpirical.pipeline.PredictionResult`) or plain source text —
+and not every generation is directly runnable.  Materialisation picks the
+best runnable rendering of each candidate:
+
+1. the generated program itself, re-standardised, when it parses cleanly;
+2. otherwise the original program with the candidate's extracted
+   :class:`repro.mpirical.suggestions.MPISuggestion` insertions applied
+   (a malformed generation often still carries well-formed MPI insertions);
+3. otherwise the raw generated text, which the runner will report as a
+   structured ``parse_error`` verdict rather than an exception.
+"""
+
+from __future__ import annotations
+
+from ..clang.codegen import standardize
+from ..clang.parser import parses_cleanly
+from ..mpirical.pipeline import PredictionResult
+from ..mpirical.suggestions import apply_suggestions
+
+
+def materialize_candidate(original: str, candidate: "PredictionResult | str") -> str:
+    """The best runnable C rendering of ``candidate`` against ``original``."""
+    if isinstance(candidate, str):
+        return standardize(candidate) if parses_cleanly(candidate) else candidate
+    generated = candidate.generated_code
+    if parses_cleanly(generated):
+        return standardize(generated)
+    if candidate.suggestions:
+        patched = apply_suggestions(original, candidate.suggestions)
+        if parses_cleanly(patched):
+            return standardize(patched)
+    return generated

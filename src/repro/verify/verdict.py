@@ -1,0 +1,126 @@
+"""Structured verdicts: what happened when a candidate ran under simulation.
+
+A :class:`Verdict` records the outcome of taking **one** candidate program
+through the execution pipeline (parse → run on a sweep of rank counts →
+compare against the serial reference output); a :class:`VerificationReport`
+aggregates the verdicts of a whole candidate set plus the rerank decision,
+and renders the wire-format ``verification`` object the v1 API attaches to
+responses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Every status a candidate verdict can carry, roughly worst-first.
+VERDICT_STATUSES = (
+    "parse_error",    # candidate does not parse in strict mode
+    "runtime_error",  # a rank raised or exited non-zero
+    "deadlocked",     # a blocking MPI call never completed
+    "diverged",       # ran everywhere, output != serial reference
+    "timeout",        # verification budget expired before a verdict
+    "equivalent",     # ran on every rank count, output matches the reference
+)
+
+
+@dataclass(frozen=True)
+class RankDiagnostic:
+    """Per-rank detail from the run that decided a verdict."""
+
+    rank: int
+    exit_code: int
+    error: str | None = None
+    #: The blocking MPI call the rank was stuck in (deadlocks only).
+    blocked_in: str | None = None
+
+    def to_dict(self) -> dict:
+        data: dict = {"rank": self.rank, "exit_code": self.exit_code}
+        if self.error is not None:
+            data["error"] = self.error
+        if self.blocked_in is not None:
+            data["blocked_in"] = self.blocked_in
+        return data
+
+
+@dataclass
+class Verdict:
+    """Outcome of verifying one candidate program."""
+
+    candidate: int
+    status: str
+    detail: str = ""
+    #: Rank counts that were actually executed (in sweep order).
+    ranks_run: tuple[int, ...] = ()
+    wall_ms: float = 0.0
+    #: Per-rank diagnostics from the first failing run (empty on success).
+    diagnostics: list[RankDiagnostic] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.status not in VERDICT_STATUSES:
+            raise ValueError(f"unknown verdict status {self.status!r}")
+
+    @property
+    def equivalent(self) -> bool:
+        return self.status == "equivalent"
+
+    def to_dict(self) -> dict:
+        data: dict = {
+            "candidate": self.candidate,
+            "status": self.status,
+            "ranks_run": list(self.ranks_run),
+            "wall_ms": round(self.wall_ms, 3),
+        }
+        if self.detail:
+            data["detail"] = self.detail
+        if self.diagnostics:
+            data["diagnostics"] = [d.to_dict() for d in self.diagnostics]
+        return data
+
+
+@dataclass
+class VerificationReport:
+    """Aggregate outcome of verifying (and reranking) a candidate set.
+
+    ``status`` is the response-level verdict: ``"verified"`` (the winning
+    candidate is equivalent under simulation), ``"failed"`` (every candidate
+    failed) or ``"skipped"`` (verification could not run — budget exhausted,
+    the original program did not simulate, or streaming).  The wire form
+    (:meth:`to_payload`) spells the tri-state as
+    ``verified: true | false | "skipped"`` per the v1.2 contract.
+    """
+
+    status: str
+    reason: str = ""
+    winner_index: int = 0
+    reranked: bool = False
+    verdicts: list[Verdict] = field(default_factory=list)
+    wall_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.status not in ("verified", "failed", "skipped"):
+            raise ValueError(f"unknown report status {self.status!r}")
+
+    @classmethod
+    def skipped(cls, reason: str) -> "VerificationReport":
+        return cls(status="skipped", reason=reason)
+
+    @property
+    def verified(self) -> bool:
+        return self.status == "verified"
+
+    def to_payload(self) -> dict:
+        """The ``verification`` object attached to v1.2 responses."""
+        if self.status == "skipped":
+            payload: dict = {"verified": "skipped"}
+        else:
+            payload = {
+                "verified": self.status == "verified",
+                "winner": self.winner_index,
+                "reranked": self.reranked,
+            }
+        if self.reason:
+            payload["reason"] = self.reason
+        if self.verdicts:
+            payload["verdicts"] = [v.to_dict() for v in self.verdicts]
+        payload["wall_ms"] = round(self.wall_ms, 3)
+        return payload

@@ -124,3 +124,6 @@ def test_golden_directory_covers_the_required_cases():
     assert {"models_list", "swap", "batch_submit", "job_poll",
             "job_unknown", "unknown_model"} <= stems
     assert len([s for s in stems if s.startswith("malformed")]) >= 2
+    # PR 9: the v1.2 verification surface — one response carrying a full
+    # verification object and one explicitly skipped.
+    assert {"verify_advise", "verify_skipped"} <= stems

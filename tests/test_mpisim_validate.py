@@ -1,0 +1,149 @@
+"""Edge-matrix tests for :mod:`repro.mpisim.validate`.
+
+One test per failure mode the verifier must distinguish — parse failure,
+runtime error, deadlock timeout (with rank + blocked-call attribution),
+numerical-predicate false — plus a rank sweep of a real benchmark program.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchprograms import program_by_name
+from repro.benchprograms.references import check_for
+from repro.mpisim import run_failure_message, run_program, validate_program
+from repro.mpisim.runtime import RunResult, RankResult
+
+PI_RIEMANN = program_by_name("Pi Riemann Sum")
+
+
+def test_parse_failure() -> None:
+    result = validate_program("int main( {", num_ranks=2)
+    assert not result.parses
+    assert not result.runs
+    assert not result.valid
+    assert result.check_passed is None
+    assert result.message == "program does not parse cleanly"
+
+
+def test_runtime_error() -> None:
+    source = """
+#include <stdio.h>
+#include <mpi.h>
+int main(int argc, char **argv) {
+    int rank;
+    double *p = NULL;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    double x = p[3];
+    printf("%f\\n", x);
+    MPI_Finalize();
+    return 0;
+}
+"""
+    result = validate_program(source, num_ranks=2, timeout=5.0)
+    assert result.parses
+    assert not result.runs
+    assert not result.valid
+    assert result.message
+    assert "rank" in result.message
+
+
+def test_deadlock_timeout_names_rank_and_call() -> None:
+    source = """
+#include <stdio.h>
+#include <mpi.h>
+int main(int argc, char **argv) {
+    int rank;
+    double x = 0.0;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    if (rank == 0) {
+        MPI_Recv(&x, 1, MPI_DOUBLE, 1, 7, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    }
+    MPI_Finalize();
+    return 0;
+}
+"""
+    result = validate_program(source, num_ranks=2, timeout=1.0)
+    assert result.parses
+    assert not result.runs
+    assert "rank 0" in result.message
+    assert "rank 1" in result.message and "tag 7" in result.message
+    blocked = result.run_result.ranks[0]
+    assert blocked.blocked_in == "MPI_Recv(source=1, tag=7)"
+    assert result.run_result.ranks[1].blocked_in is None
+
+
+def test_collective_deadlock_names_blocked_call() -> None:
+    source = """
+#include <stdio.h>
+#include <mpi.h>
+int main(int argc, char **argv) {
+    int rank, size;
+    double local = 1.0;
+    double total = 0.0;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    if (rank < size - 1) {
+        MPI_Reduce(&local, &total, 1, MPI_DOUBLE, MPI_SUM, 0, MPI_COMM_WORLD);
+    }
+    MPI_Finalize();
+    return 0;
+}
+"""
+    result = validate_program(source, num_ranks=2, timeout=1.0)
+    assert not result.runs
+    assert "MPI_Reduce" in result.message
+    assert "not all 2 ranks reached the call" in result.message
+    assert result.run_result.ranks[0].blocked_in == "MPI_Reduce(root=0)"
+
+
+def test_numerical_predicate_false() -> None:
+    result = validate_program(PI_RIEMANN.source, num_ranks=4,
+                              check=lambda out: False, timeout=10.0)
+    assert result.parses
+    assert result.runs
+    assert result.check_passed is False
+    assert not result.valid
+    assert result.message == "numerical check failed"
+
+
+@pytest.mark.parametrize("num_ranks", [1, 2, 4])
+def test_rank_sweep_benchprogram(num_ranks: int) -> None:
+    check = check_for(PI_RIEMANN.name).check
+    result = validate_program(PI_RIEMANN.source, num_ranks=num_ranks,
+                              check=check, timeout=15.0)
+    assert result.valid, result.message
+
+
+def test_run_failure_message_never_empty() -> None:
+    run = RunResult(num_ranks=1, ranks=[RankResult(rank=0)])
+    assert run_failure_message(run) == "run failed with no per-rank detail"
+    run.ranks[0].exit_code = 3
+    assert run_failure_message(run) == "rank 0: non-zero exit code 3"
+    run.ranks.append(RankResult(rank=1, error="boom"))
+    assert run_failure_message(run) == "rank 1: boom; rank 0: non-zero exit code 3"
+
+
+def test_partial_stdout_preserved_on_deadlock() -> None:
+    source = """
+#include <stdio.h>
+#include <mpi.h>
+int main(int argc, char **argv) {
+    int rank;
+    double x = 0.0;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    printf("rank %d alive\\n", rank);
+    if (rank == 0) {
+        MPI_Recv(&x, 1, MPI_DOUBLE, 1, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    }
+    MPI_Finalize();
+    return 0;
+}
+"""
+    run = run_program(source, num_ranks=2, timeout=1.0)
+    assert not run.ok
+    assert "rank 0 alive" in run.ranks[0].stdout
