@@ -37,9 +37,21 @@ class KVCache:
     assignment of replacement arrays, which are adopted as the new buffers).
     Views returned before a growth keep referencing the old buffer, so they
     stay valid — growth copies, it never mutates the retired buffer.
+
+    Continuous batching extends the row axis at runtime: :meth:`insert_rows`
+    admits a freshly-encoded request mid-decode (with an initial history for
+    cross-attention caches, or length zero for self-attention caches) and
+    :meth:`retire_rows` compacts finished rows out.  Rows may then hold
+    histories of different lengths (*ragged* mode): each row's valid prefix
+    is ``[0, row_lengths[r])`` and :meth:`append` writes every row at its own
+    length, so the garbage is always *trailing* — the property the attention
+    mask and the fused softmax's exactness analysis rely on.  Spare capacity
+    is zero-filled whenever the cache is ragged: a masked score is overwritten
+    before the softmax, but the value rows are still multiplied by the
+    (exactly zero) weights, and ``0.0 * garbage`` must not produce NaN.
     """
 
-    __slots__ = ("_keys", "_values", "_length")
+    __slots__ = ("_keys", "_values", "_length", "_rows", "_row_lengths")
 
     #: Steps preallocated by the first single-step append; larger first
     #: appends preallocate twice their own length instead.
@@ -50,6 +62,10 @@ class KVCache:
         self._keys: np.ndarray | None = None
         self._values: np.ndarray | None = None
         self._length = 0
+        self._rows = 0
+        #: Per-row valid lengths; ``None`` means uniform (every row at
+        #: ``_length`` — the static decoders' fast path).
+        self._row_lengths: np.ndarray | None = None
         if (keys is None) != (values is None):
             raise ValueError("KVCache needs keys and values together (or neither)")
         if keys is not None:
@@ -63,7 +79,7 @@ class KVCache:
         """View of the cached keys (``None`` while the cache is empty)."""
         if self._keys is None:
             return None
-        return self._keys[:, :, :self._length, :]
+        return self._keys[:self._rows, :, :self._length, :]
 
     @keys.setter
     def keys(self, array: np.ndarray | None) -> None:
@@ -74,16 +90,20 @@ class KVCache:
             self._keys = None
             self._values = None
             self._length = 0
+            self._rows = 0
+            self._row_lengths = None
         else:
             self._keys = np.asarray(array)
             self._length = self._keys.shape[2]
+            self._rows = self._keys.shape[0]
+            self._row_lengths = None
 
     @property
     def values(self) -> np.ndarray | None:
         """View of the cached values (``None`` while the cache is empty)."""
         if self._values is None:
             return None
-        return self._values[:, :, :self._length, :]
+        return self._values[:self._rows, :, :self._length, :]
 
     @values.setter
     def values(self, array: np.ndarray | None) -> None:
@@ -91,12 +111,38 @@ class KVCache:
             self._keys = None
             self._values = None
             self._length = 0
+            self._rows = 0
+            self._row_lengths = None
         else:
             self._values = np.asarray(array)
 
     @property
     def length(self) -> int:
+        """The longest row's valid length (the width of the exposed views)."""
         return 0 if self._keys is None else self._length
+
+    @property
+    def rows(self) -> int:
+        """Number of live rows."""
+        return 0 if self._keys is None else self._rows
+
+    @property
+    def row_lengths(self) -> np.ndarray:
+        """Per-row valid lengths, shape ``(rows,)`` (a defensive copy)."""
+        if self._keys is None:
+            return np.zeros(0, dtype=np.int64)
+        if self._row_lengths is None:
+            return np.full(self._rows, self._length, dtype=np.int64)
+        return self._row_lengths.copy()
+
+    @property
+    def is_ragged(self) -> bool:
+        """True when rows hold histories of different lengths (some row's
+        exposed view therefore has a trailing zero-filled region that an
+        attention mask must exclude)."""
+        if self._row_lengths is None or not self._row_lengths.size:
+            return False
+        return int(self._row_lengths.min()) != self._length
 
     @property
     def capacity(self) -> int:
@@ -112,6 +158,10 @@ class KVCache:
         returned arrays are views of the valid prefix, not copies of the
         history.  When capacity runs out the buffers double (copying the
         valid prefix once into the new allocation).
+
+        When the cache is ragged every row writes at its *own* length, so a
+        freshly-joined row's history stays contiguous at the front and the
+        zero padding stays trailing.
         """
         if self._keys is not None and self._values is None:
             raise ValueError("KVCache has keys but no values; assign both "
@@ -119,24 +169,193 @@ class KVCache:
         new_keys = np.asarray(new_keys)
         new_values = np.asarray(new_values)
         steps = new_keys.shape[2]
-        needed = self._length + steps
-        if self._keys is None or needed > self._keys.shape[2]:
-            capacity = max(self.MIN_CAPACITY, 2 * needed,
-                           0 if self._keys is None else 2 * self._keys.shape[2])
-            batch, heads, _, head_dim = new_keys.shape
-            grown_keys = np.empty((batch, heads, capacity, head_dim),
-                                  dtype=new_keys.dtype)
-            grown_values = np.empty((batch, heads, capacity, head_dim),
-                                    dtype=new_values.dtype)
-            if self._keys is not None and self._length:
-                grown_keys[:, :, :self._length] = self._keys[:, :, :self._length]
-                grown_values[:, :, :self._length] = self._values[:, :, :self._length]
-            self._keys = grown_keys
-            self._values = grown_values
-        self._keys[:, :, self._length:needed] = new_keys
-        self._values[:, :, self._length:needed] = new_values
+        if self._keys is not None and new_keys.shape[0] != self._rows:
+            raise ValueError(f"append expects {self._rows} rows, "
+                             f"got {new_keys.shape[0]}")
+        if self._row_lengths is None:
+            # Uniform fast path: one contiguous write for the whole batch.
+            needed = self._length + steps
+            if self._keys is None or needed > self._keys.shape[2]:
+                self._grow(new_keys, new_values, needed)
+            rows = self._rows
+            self._keys[:rows, :, self._length:needed] = new_keys
+            self._values[:rows, :, self._length:needed] = new_values
+            self._length = needed
+            return self.keys, self.values
+        lengths = self._row_lengths
+        needed = (int(lengths.max()) if lengths.size else 0) + steps
+        if needed > self._keys.shape[2]:
+            self._grow(new_keys, new_values, needed)
+        if steps == 1:
+            # One decode step: a single scatter along (row, position) beats a
+            # Python loop over rows (the continuous scheduler lands here on
+            # every iteration of a ragged in-flight batch).
+            rows = np.arange(self._rows)
+            self._keys[rows, :, lengths] = new_keys[:, :, 0]
+            self._values[rows, :, lengths] = new_values[:, :, 0]
+        else:
+            for row in range(self._rows):
+                start = int(lengths[row])
+                self._keys[row, :, start:start + steps] = new_keys[row]
+                self._values[row, :, start:start + steps] = new_values[row]
+        lengths += steps
         self._length = needed
         return self.keys, self.values
+
+    def _grow(self, new_keys: np.ndarray, new_values: np.ndarray,
+              needed: int) -> None:
+        """Reallocate the step axis to hold ``needed`` steps (doubling).
+
+        Ragged buffers are zero-allocated so trailing regions of short rows
+        are never NaN-capable garbage (see the class docstring); uniform
+        buffers keep the cheaper uninitialised allocation — no position past
+        the shared length is ever read there.
+        """
+        capacity = max(self.MIN_CAPACITY, 2 * needed,
+                       0 if self._keys is None else 2 * self._keys.shape[2])
+        if self._keys is None:
+            batch, heads, _, head_dim = new_keys.shape
+            self._rows = batch
+        else:
+            batch = self._rows
+            _, heads, _, head_dim = self._keys.shape
+        alloc = np.empty if self._row_lengths is None else np.zeros
+        grown_keys = alloc((batch, heads, capacity, head_dim),
+                           dtype=new_keys.dtype)
+        grown_values = alloc((batch, heads, capacity, head_dim),
+                             dtype=new_values.dtype)
+        if self._keys is not None and self._length:
+            grown_keys[:, :, :self._length] = self._keys[:batch, :, :self._length]
+            grown_values[:, :, :self._length] = self._values[:batch, :, :self._length]
+        self._keys = grown_keys
+        self._values = grown_values
+
+    def insert_rows(self, index: int, keys: np.ndarray | None = None,
+                    values: np.ndarray | None = None, *,
+                    count: int | None = None) -> None:
+        """Insert rows at ``index``, admitting a request into a live batch.
+
+        Two call shapes:
+
+        * ``insert_rows(i, keys, values)`` — the new rows carry an initial
+          history (``(count, heads, steps, head_dim)``): how cross-attention
+          caches adopt a joining request's projected encoder memory.
+        * ``insert_rows(i, count=n)`` — ``n`` empty rows (length zero): how
+          self-attention caches make room before the joiner's first step.
+          On an *empty* cache this is a no-op — there is no history to be
+          ragged against, and the rows materialise at the first append.
+
+        The surviving rows' histories are preserved bit-for-bit; the row axis
+        is rebuilt around the insertion point into zero-filled buffers (the
+        cache is ragged from here on, see the class docstring).
+        """
+        if (keys is None) != (values is None):
+            raise ValueError("insert_rows needs keys and values together "
+                             "(or neither)")
+        if keys is not None:
+            keys = np.asarray(keys)
+            values = np.asarray(values)
+            if values.shape != keys.shape:
+                raise ValueError(f"keys shape {keys.shape} != values shape "
+                                 f"{values.shape}")
+            if count is not None and count != keys.shape[0]:
+                raise ValueError(f"count={count} disagrees with "
+                                 f"{keys.shape[0]} key rows")
+            count = keys.shape[0]
+            steps = keys.shape[2]
+        else:
+            if count is None:
+                raise ValueError("insert_rows needs keys/values or count")
+            steps = 0
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        rows = self.rows
+        if self._keys is None and keys is None:
+            # Empty cache, empty rows: a pure no-op at ANY index — several
+            # requests may join before the first append materialises the row
+            # axis, so ``index`` can legitimately exceed the (zero) row
+            # count here; the first append carries every pending row.
+            if index < 0:
+                raise ValueError(f"insert index {index} out of range")
+            return
+        if index < 0 or index > rows:
+            raise ValueError(f"insert index {index} out of range for "
+                             f"{rows} rows")
+        if self._keys is None:
+            batch, heads, _, head_dim = keys.shape
+            capacity = max(self.MIN_CAPACITY, 2 * steps)
+            self._keys = np.zeros((batch, heads, capacity, head_dim),
+                                  dtype=keys.dtype)
+            self._values = np.zeros((batch, heads, capacity, head_dim),
+                                    dtype=values.dtype)
+            self._keys[:, :, :steps] = keys
+            self._values[:, :, :steps] = values
+            self._rows = batch
+            self._length = steps
+            self._row_lengths = np.full(batch, steps, dtype=np.int64)
+            return
+        if self._values is None:
+            raise ValueError("KVCache has keys but no values; assign both "
+                             "before inserting rows")
+        lengths = self.row_lengths
+        new_length = max(self._length, steps)
+        capacity = self._keys.shape[2]
+        if new_length > capacity:
+            capacity = max(self.MIN_CAPACITY, 2 * new_length)
+        _, heads, _, head_dim = self._keys.shape
+        new_rows = rows + count
+        grown_keys = np.zeros((new_rows, heads, capacity, head_dim),
+                              dtype=self._keys.dtype)
+        grown_values = np.zeros((new_rows, heads, capacity, head_dim),
+                                dtype=self._values.dtype)
+        if self._length:
+            grown_keys[:index, :, :self._length] = \
+                self._keys[:index, :, :self._length]
+            grown_keys[index + count:, :, :self._length] = \
+                self._keys[index:rows, :, :self._length]
+            grown_values[:index, :, :self._length] = \
+                self._values[:index, :, :self._length]
+            grown_values[index + count:, :, :self._length] = \
+                self._values[index:rows, :, :self._length]
+        if steps:
+            grown_keys[index:index + count, :, :steps] = keys
+            grown_values[index:index + count, :, :steps] = values
+        self._keys = grown_keys
+        self._values = grown_values
+        self._rows = new_rows
+        self._length = new_length
+        self._row_lengths = np.concatenate(
+            [lengths[:index], np.full(count, steps, dtype=np.int64),
+             lengths[index:]])
+
+    def retire_rows(self, rows_to_remove) -> None:
+        """Remove the given row indices and compact the survivors in place.
+
+        The buffers are reused (surviving rows shift down inside the existing
+        allocation); the exposed view narrows to the surviving rows and to
+        their longest remaining history.  Retiring every row empties the
+        cache entirely.
+        """
+        drop = sorted(set(int(r) for r in rows_to_remove))
+        if not drop:
+            return
+        if self._keys is None:
+            raise ValueError("cannot retire rows from an empty cache")
+        if drop[0] < 0 or drop[-1] >= self._rows:
+            raise ValueError(f"retire indices {drop} out of range for "
+                             f"{self._rows} rows")
+        dropped = set(drop)
+        keep = [r for r in range(self._rows) if r not in dropped]
+        if not keep:
+            self.keys = None
+            return
+        lengths = self.row_lengths[keep]
+        prefix = self._length
+        self._keys[:len(keep), :, :prefix] = self._keys[keep, :, :prefix]
+        self._values[:len(keep), :, :prefix] = self._values[keep, :, :prefix]
+        self._rows = len(keep)
+        self._row_lengths = lengths
+        self._length = int(lengths.max())
 
     def reorder_rows(self, parents: np.ndarray) -> None:
         """In-place row gather: row ``r`` becomes old row ``parents[r]``.
@@ -148,10 +367,23 @@ class KVCache:
         if self._keys is None or not self._length:
             return
         parents = np.asarray(parents)
-        keys = self._keys[:, :, :self._length]
-        values = self._values[:, :, :self._length]
-        keys[:] = keys[parents]
-        values[:] = values[parents]
+        changed = np.nonzero(parents != np.arange(parents.size))[0]
+        if not changed.size:
+            return
+        lo, hi = int(changed[0]), int(changed[-1]) + 1
+        moved = parents[lo:hi]
+        if int(moved.min()) < lo or int(moved.max()) >= hi:
+            # The permutation crosses the untouched span: full gather.
+            lo, hi, moved = 0, self._rows, parents
+        keys = self._keys[:self._rows, :, :self._length]
+        values = self._values[:self._rows, :, :self._length]
+        keys[lo:hi] = keys[moved]
+        values[lo:hi] = values[moved]
+        if self._row_lengths is not None:
+            lengths = self._row_lengths.copy()
+            lengths[lo:hi] = self._row_lengths[moved]
+            self._row_lengths = lengths
+            self._length = int(lengths.max())
 
 
 class MultiHeadAttention(Module):

@@ -49,7 +49,11 @@ import numpy as np
 from .generation import (
     DecoderLoop,
     GenerationConfig,
+    _candidate_key,
     _decode_mode,
+    _log_softmax_rows,
+    _ranked_top_tokens,
+    _strip_eos,
     beam_search_decode,
     beam_search_decode_batch,
     beam_search_nbest,
@@ -211,6 +215,19 @@ class DecodingStrategy:
                      on_token: OnTokenBatch | None = None) -> list[list[int]]:
         raise NotImplementedError
 
+    def row_state(self, *, sos_id: int, eos_id: int, max_length: int = 400,
+                  on_token: OnToken | None = None) -> "RowDecodeState":
+        """The per-request state machine for continuous batching.
+
+        Returns a fresh :class:`RowDecodeState` that drives this strategy's
+        rows inside a shared iteration-level batch
+        (:class:`repro.serving.sched.InflightBatch`).  Strategies that cannot
+        guarantee batch-invariant outputs raise ``NotImplementedError`` — the
+        scheduler then routes such requests to the static micro-batcher.
+        """
+        raise NotImplementedError(
+            f"strategy {self.name!r} does not support continuous batching")
+
     # ------------------------------------------------------------- candidates
 
     def nbest_limit(self) -> int:
@@ -322,6 +339,191 @@ def merge_legacy_overrides(base: GenerationConfig, beam_size: int | None,
 
 
 # --------------------------------------------------------------------------
+# Per-row strategy state machines (continuous batching)
+# --------------------------------------------------------------------------
+
+
+class RowDecodeState:
+    """One request's decode state machine inside a continuous batch.
+
+    The scheduler owns a shared step loop
+    (:class:`repro.model.generation.ContinuousDecoderLoop`); each request
+    contributes :attr:`rows` rows plus a state machine that consumes its
+    block of logits every iteration and yields the tokens to feed next.
+    Implementations replicate the corresponding *batched* decoder's math
+    operation for operation (same argsort kinds, same float accumulation,
+    same tie-breaking), so a request's output is bitwise identical to its
+    sequential decode regardless of what joins or retires around it.
+    """
+
+    #: Rows this request occupies (``beam_size`` for beam search).
+    rows: int = 1
+
+    def __init__(self, *, sos_id: int, eos_id: int, max_length: int = 400,
+                 on_token: OnToken | None = None) -> None:
+        self.sos_id = sos_id
+        self.eos_id = eos_id
+        self.max_length = max_length
+        self.on_token = on_token
+        self.steps = 0
+        self.finished = False
+
+    def first_tokens(self) -> list[int]:
+        """The tokens fed at this request's first step (SOS per row)."""
+        return [self.sos_id] * self.rows
+
+    def advance(self, logits: np.ndarray) -> tuple[list[int], list[int] | None]:
+        """Consume this block's logits ``(rows, vocab)`` for one step.
+
+        Returns ``(next_tokens, parents)``: the token to feed each row next
+        step, and — for beam search — the block-local parent row each row
+        must continue (``None`` when every row continues itself).  Sets
+        :attr:`finished` once the request is complete.
+        """
+        raise NotImplementedError
+
+    def result(self) -> list[int]:
+        """The generated ids (no SOS/EOS), valid once :attr:`finished`."""
+        raise NotImplementedError
+
+
+class GreedyRowState(RowDecodeState):
+    """Replicates :func:`repro.model.generation.greedy_decode` per step:
+    argmax of the row's logits, stopping on EOS or ``max_length`` tokens."""
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.ids: list[int] = []
+
+    def advance(self, logits: np.ndarray) -> tuple[list[int], list[int] | None]:
+        token = int(np.argmax(logits[0]))
+        self.steps += 1
+        if token == self.eos_id:
+            self.finished = True
+        else:
+            self.ids.append(token)
+            if self.on_token is not None:
+                self.on_token(token)
+            if self.steps >= self.max_length:
+                self.finished = True
+        return [self.eos_id if self.finished else token], None
+
+    def result(self) -> list[int]:
+        return self.ids
+
+
+class SampleRowState(RowDecodeState):
+    """Replicates :func:`sample_decode`: a private ``default_rng(seed)``
+    stream with exactly one draw per emitted position — batch composition
+    can never perturb the stream, which is the sampling batch-invariance
+    property the static batched sampler already relies on."""
+
+    def __init__(self, *, temperature: float, top_k: int, top_p: float,
+                 seed: int, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.temperature = temperature
+        self.top_k = top_k
+        self.top_p = top_p
+        self.rng = np.random.default_rng(seed)
+        self.ids: list[int] = []
+
+    def advance(self, logits: np.ndarray) -> tuple[list[int], list[int] | None]:
+        z = _scaled_logits(logits[0], self.temperature)
+        order = np.argsort(-z, kind="stable")
+        token = _sample_from_order(z, order, top_k=self.top_k,
+                                   top_p=self.top_p, rng=self.rng)
+        self.steps += 1
+        if token == self.eos_id:
+            self.finished = True
+        else:
+            self.ids.append(token)
+            if self.on_token is not None:
+                self.on_token(token)
+            if self.steps >= self.max_length:
+                self.finished = True
+        return [self.eos_id if self.finished else token], None
+
+    def result(self) -> list[int]:
+        return self.ids
+
+
+class BeamRowState(RowDecodeState):
+    """Replicates one source block of :func:`beam_search_decode_batch`
+    bit-for-bit: same candidate enumeration order, same
+    :func:`_candidate_key` total order, same Python-float score
+    accumulation — which the differential harness proves equal to the
+    sequential beam search.  Block slot == sequential beam rank, so slot 0
+    is always the best hypothesis."""
+
+    def __init__(self, *, beam_size: int, length_penalty: float,
+                 **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.rows = beam_size
+        self.length_penalty = length_penalty
+        self.ids: list[list[int]] = [[] for _ in range(beam_size)]
+        self.scores: list[float] = [0.0] * beam_size
+        self.done: list[bool] = [False] * beam_size
+        # Only slot 0 is a real hypothesis before the first pruning pass
+        # (the sequential path starts from a single empty beam).
+        self.valid: list[bool] = [slot == 0 for slot in range(beam_size)]
+
+    def advance(self, logits: np.ndarray) -> tuple[list[int], list[int] | None]:
+        beam_size = self.rows
+        log_probs = _log_softmax_rows(logits)
+        candidates: list[tuple[tuple, list[int], float, bool, int]] = []
+        for rank in range(beam_size):
+            if not self.valid[rank]:
+                continue
+            if self.done[rank]:
+                key = _candidate_key(self.scores[rank], self.ids[rank],
+                                     self.length_penalty,
+                                     self.ids[rank][-1], rank)
+                candidates.append((key, self.ids[rank], self.scores[rank],
+                                   True, rank))
+                continue
+            row_log_probs = log_probs[rank]
+            for token in _ranked_top_tokens(row_log_probs, beam_size):
+                cand_ids = self.ids[rank] + [token]
+                score = self.scores[rank] + float(row_log_probs[token])
+                key = _candidate_key(score, cand_ids, self.length_penalty,
+                                     token, rank)
+                candidates.append((key, cand_ids, score,
+                                   token == self.eos_id, rank))
+        candidates.sort(key=lambda c: c[0])
+        next_ids = list(self.ids)
+        next_scores = list(self.scores)
+        next_done = list(self.done)
+        next_valid = list(self.valid)
+        parents = list(range(beam_size))
+        feed = [self.eos_id] * beam_size
+        for slot, (_, cand_ids, score, done, parent) in \
+                enumerate(candidates[:beam_size]):
+            next_ids[slot] = cand_ids
+            next_scores[slot] = score
+            next_done[slot] = done
+            next_valid[slot] = True
+            parents[slot] = parent
+            if not done:
+                feed[slot] = cand_ids[-1]
+        self.ids, self.scores = next_ids, next_scores
+        self.done, self.valid = next_done, next_valid
+        self.steps += 1
+        if (all(done for done, live in zip(self.done, self.valid) if live)
+                or self.steps >= self.max_length):
+            self.finished = True
+        return feed, parents
+
+    def result(self) -> list[int]:
+        ids = _strip_eos(self.ids[0], self.eos_id)
+        if self.on_token is not None:
+            # The winning hypothesis is only known once search finishes —
+            # replay it, exactly like the static BeamStrategy streaming.
+            for token in ids:
+                self.on_token(token)
+        return ids
+
+
+# --------------------------------------------------------------------------
 # Greedy / beam: thin strategy wrappers over the existing decoders
 # --------------------------------------------------------------------------
 
@@ -347,6 +549,10 @@ class GreedyStrategy(DecodingStrategy):
         return greedy_decode_batch(model, source_ids_batch, sos_id=sos_id,
                                    eos_id=eos_id, pad_id=pad_id,
                                    max_length=max_length, on_token=on_token)
+
+    def row_state(self, *, sos_id, eos_id, max_length=400, on_token=None):
+        return GreedyRowState(sos_id=sos_id, eos_id=eos_id,
+                              max_length=max_length, on_token=on_token)
 
 
 @register_strategy
@@ -401,6 +607,16 @@ class BeamStrategy(DecodingStrategy):
                 for token in ids:
                     on_token(index, token)
         return outputs
+
+    def row_state(self, *, sos_id, eos_id, max_length=400, on_token=None):
+        if self.beam_size <= 1:
+            # beam_size=1 *is* greedy — same delegation as decode().
+            return GreedyRowState(sos_id=sos_id, eos_id=eos_id,
+                                  max_length=max_length, on_token=on_token)
+        return BeamRowState(beam_size=self.beam_size,
+                            length_penalty=self.length_penalty,
+                            sos_id=sos_id, eos_id=eos_id,
+                            max_length=max_length, on_token=on_token)
 
     def nbest_limit(self) -> int:
         return self.beam_size
@@ -601,6 +817,12 @@ class SampleStrategy(DecodingStrategy):
                                    eos_id=eos_id, pad_id=pad_id,
                                    max_length=max_length, on_token=on_token,
                                    **self._kwargs())
+
+    def row_state(self, *, sos_id, eos_id, max_length=400, on_token=None):
+        return SampleRowState(temperature=self.temperature, top_k=self.top_k,
+                              top_p=self.top_p, seed=self.seed,
+                              sos_id=sos_id, eos_id=eos_id,
+                              max_length=max_length, on_token=on_token)
 
     def nbest_limit(self) -> int:
         # Each extra candidate re-seeds the stream, so the supply is bounded

@@ -36,7 +36,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .autograd import Tensor, inference_mode, mode_is_explicit
+from .attention import padding_mask
+from .autograd import Tensor, current_dtype, inference_mode, mode_is_explicit
 from .transformer import Seq2SeqTransformer
 
 
@@ -335,6 +336,175 @@ class DecoderLoop:
             raise ValueError("beam reorder must stay within each source's rows")
         for cache in self.state.self_caches:
             cache.reorder_rows(parents)
+
+
+# --------------------------------------------------------------------------
+# ContinuousDecoderLoop — the step-resumable core for continuous batching
+# --------------------------------------------------------------------------
+
+
+class ContinuousDecoderLoop:
+    """Step-resumable decode core whose row set changes *between* steps.
+
+    Where :class:`DecoderLoop` fixes its batch at construction and decodes to
+    completion, this loop owns a live row matrix that requests join and leave
+    mid-decode (Orca-style continuous batching, driven by
+    :mod:`repro.serving.sched`):
+
+    * :meth:`join` encodes one source **alone at its own width** — bitwise
+      the memory its sequential decode would see — inserts its rows into
+      every per-layer KV cache (cross-attention caches adopt the projected
+      memory up front, self-attention caches start at length zero) and
+      extends the padded source matrix, the per-row positions and the
+      memoised memory mask;
+    * :meth:`step` runs one batched ``decode_step`` over the live rows, each
+      row attending its own ragged history at its own position;
+    * :meth:`reorder_rows` re-gathers rows after a beam pruning pass;
+    * :meth:`retire` compacts a finished request's row block out.
+
+    Exactness: rows of a batched decode step are computed independently (the
+    property every batched ≡ sequential differential in this repo pins
+    down); per-row cache lengths keep each joiner's garbage *trailing*
+    behind the ragged mask; and the positional term is a per-row gather of
+    the very table rows the sequential decode reads — so a request's tokens
+    are bitwise identical to its sequential decode no matter what joins or
+    retires around it (``tests/test_decoding_differential.py``).
+    """
+
+    def __init__(self, model: Seq2SeqTransformer, *, pad_id: int) -> None:
+        self.model = model
+        self.pad_id = pad_id
+        self.state = model.start_decoding()
+        self.state.positions = np.zeros(0, dtype=np.int64)
+        self.src = np.zeros((0, 0), dtype=np.int64)
+        #: Per-row true (unpadded) source length; the source matrix is kept
+        #: exactly ``max(src_lengths)`` wide, which is also every
+        #: cross-attention cache's view width — the invariant that keeps the
+        #: memory mask and the cached projections aligned.
+        self.src_lengths: list[int] = []
+        self.num_rows = 0
+
+    # ------------------------------------------------------------------- api
+
+    def join(self, source_ids: list[int], rows: int = 1) -> int:
+        """Admit one request occupying ``rows`` rows; return its first row.
+
+        ``source_ids`` must be non-empty — an empty source has no memory to
+        attend over; callers answer those with an empty generation without
+        ever joining (the sequential decoders' contract).
+        """
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        if not source_ids:
+            raise ValueError("cannot join an empty source")
+        index = self.num_rows
+        with _decode_mode():
+            src_row = np.asarray([list(source_ids)], dtype=np.int64)
+            memory = self.model.encode(src_row, self.pad_id, training=False)
+            memory_data = (memory.data if isinstance(memory, Tensor)
+                           else np.asarray(memory))
+            self._insert_cross_rows(index, memory_data, rows)
+        for cache in self.state.self_caches:
+            cache.insert_rows(index, count=rows)
+        width = max(self.src.shape[1], len(source_ids))
+        src = np.full((index + rows, width), self.pad_id, dtype=np.int64)
+        src[:index, :self.src.shape[1]] = self.src
+        src[index:, :len(source_ids)] = source_ids
+        self.src = src
+        self.src_lengths.extend([len(source_ids)] * rows)
+        self.state.positions = np.concatenate(
+            [self.state.positions, np.zeros(rows, dtype=np.int64)])
+        self.num_rows = index + rows
+        self._refresh_memory_mask()
+        return index
+
+    def step(self, token_ids: np.ndarray) -> np.ndarray:
+        """One incremental decode step for every live row: (rows, vocab)."""
+        if not self.num_rows:
+            raise RuntimeError("ContinuousDecoderLoop.step with no live rows")
+        with _decode_mode():
+            memory = np.zeros((self.num_rows, 0, 1))
+            return self.model.decode_step(token_ids, memory, self.src,
+                                          self.pad_id, self.state)
+
+    def reorder_rows(self, parents: np.ndarray) -> None:
+        """Re-gather rows so row ``r`` continues ``parents[r]`` (beam pruning).
+
+        Callers must keep ``parents`` inside each request's row block (the
+        scheduler validates).  Cross-attention caches are not gathered: a
+        block's rows all project the same memory, so the gather would be an
+        identity — the same reasoning as :meth:`DecoderLoop.reorder_rows`.
+        """
+        parents = np.asarray(parents)
+        for cache in self.state.self_caches:
+            cache.reorder_rows(parents)
+        self.state.positions[:] = self.state.positions[parents]
+
+    def retire(self, index: int, rows: int = 1) -> None:
+        """Remove the row block ``[index, index + rows)`` (a finished request).
+
+        Every cache compacts in place, the source matrix re-narrows to the
+        widest surviving source, and the memory mask is rebuilt — joins after
+        a retire see exactly the state a fresh batch of the survivors would.
+        """
+        if rows < 1 or index < 0 or index + rows > self.num_rows:
+            raise ValueError(f"cannot retire rows [{index}, {index + rows}) "
+                             f"of {self.num_rows}")
+        block = range(index, index + rows)
+        for cache in self.state.self_caches:
+            if cache.rows:
+                cache.retire_rows(block)
+        for cache in self.state.cross_caches:
+            if cache.rows:
+                cache.retire_rows(block)
+        keep = [r for r in range(self.num_rows)
+                if r < index or r >= index + rows]
+        self.src_lengths = [self.src_lengths[r] for r in keep]
+        width = max(self.src_lengths, default=0)
+        self.src = self.src[keep, :width]
+        self.state.positions = self.state.positions[keep]
+        self.num_rows -= rows
+        self._refresh_memory_mask()
+
+    # ------------------------------------------------------------ internals
+
+    def _insert_cross_rows(self, index: int, memory_data: np.ndarray,
+                           rows: int) -> None:
+        """Pre-populate the cross-attention caches for a joining request.
+
+        Per decoder layer this is exactly what the first ``decode_step``'s
+        lazy population would compute from this memory (project, split
+        heads, repeat per hypothesis row), so the memory tensor is never
+        needed again — :meth:`step` passes a dummy.
+        """
+        caches = self.state.cross_caches
+        if not caches:
+            return
+        dtype = current_dtype()
+        width = memory_data.shape[1]
+        for layer, cache in zip(self.model.decoder_layers, caches):
+            attn = layer.cross_attn
+            k = attn._split_data(attn.k_proj.forward_data(memory_data, dtype),
+                                 1, width)
+            v = attn._split_data(attn.v_proj.forward_data(memory_data, dtype),
+                                 1, width)
+            if rows > 1:
+                k = np.repeat(k, rows, axis=0)
+                v = np.repeat(v, rows, axis=0)
+            cache.insert_rows(index, k, v)
+
+    def _refresh_memory_mask(self) -> None:
+        """Rebuild the cross-attention mask after any row change.
+
+        A *fresh* array every time: the decode step's memo is keyed on the
+        source matrix identity, so this is what invalidates it.
+        """
+        if self.num_rows:
+            self.state.memory_mask = padding_mask(self.src, self.pad_id)
+            self.state.memory_mask_source = self.src
+        else:
+            self.state.memory_mask = None
+            self.state.memory_mask_source = None
 
 
 # --------------------------------------------------------------------------

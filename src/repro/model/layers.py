@@ -213,12 +213,32 @@ class PositionalEncoding(Module):
         float32 decode reads a slice view rather than re-casting per step.
         """
         self._check_bounds(offset, length)
+        return self._cast_table(dtype)[offset:offset + length]
+
+    def rows_data(self, positions: np.ndarray, dtype) -> np.ndarray:
+        """Per-row encoding gather: row ``r`` gets position ``positions[r]``.
+
+        Shape ``(rows, 1, dim)`` — the continuous decode step's positional
+        term, where every batch row sits at its own decode position.  Each
+        row is the same table entry :meth:`slice_data` would return for that
+        position, so a row's sum is bitwise identical to its sequential
+        decode.
+        """
+        positions = np.asarray(positions)
+        if positions.size and int(positions.max()) >= self.max_length:
+            raise ValueError(
+                f"position {int(positions.max())} exceeds positional table "
+                f"({self.max_length}); increase ModelConfig.max_positions"
+            )
+        return self._cast_table(dtype)[positions][:, None, :]
+
+    def _cast_table(self, dtype) -> np.ndarray:
         key = np.dtype(dtype)
         table = self._cast_encoding.get(key)
         if table is None:
             table = self.encoding.astype(key, copy=False)
             self._cast_encoding[key] = table
-        return table[offset:offset + length]
+        return table
 
     def _check_bounds(self, offset: int, length: int) -> None:
         if offset + length > self.max_length:

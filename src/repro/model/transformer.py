@@ -119,9 +119,19 @@ class DecodingState:
     self_caches: list[KVCache] = field(default_factory=list)
     cross_caches: list[KVCache] = field(default_factory=list)
     position: int = 0
-    #: Memoised cross-attention padding mask — the source ids never change
-    #: during a decode, so it is computed once at the first step.
+    #: Memoised cross-attention padding mask.  For a static decode the source
+    #: ids never change, so it is computed once at the first step — but it is
+    #: keyed on :attr:`memory_mask_source` (the ids array it was built from)
+    #: so a continuous batch whose row composition changes between steps
+    #: never reuses a stale mask.
     memory_mask: np.ndarray | None = None
+    #: The ``source_ids`` array :attr:`memory_mask` was computed from; a
+    #: different array identity invalidates the memo.
+    memory_mask_source: np.ndarray | None = None
+    #: Per-row decode positions for continuous batching, where rows that
+    #: joined at different times sit at different positions.  ``None`` keeps
+    #: the scalar :attr:`position` fast path (all rows in lockstep).
+    positions: np.ndarray | None = None
 
 
 class Seq2SeqTransformer(Module):
@@ -218,9 +228,11 @@ class Seq2SeqTransformer(Module):
         if not is_grad_enabled():
             return self._decode_step_data(token_ids, memory, source_ids,
                                           pad_id, state)
-        if state.memory_mask is None:
-            state.memory_mask = padding_mask(source_ids, pad_id)
-        memory_mask = state.memory_mask
+        if state.positions is not None:
+            raise RuntimeError(
+                "per-row decode positions (continuous batching) require the "
+                "no-tape inference path; run under inference_mode()")
+        memory_mask = self._memory_mask(state, source_ids, pad_id)
         x = self.token_embedding(token_ids) * self.embed_scale
         x = self.positional(x, offset=state.position)
         for layer, self_cache, cross_cache in zip(self.decoder_layers, state.self_caches,
@@ -237,17 +249,58 @@ class Seq2SeqTransformer(Module):
                           state: DecodingState) -> np.ndarray:
         """Fused no-tape decode step (same op order as the tape path)."""
         dtype = current_dtype()
-        if state.memory_mask is None:
-            state.memory_mask = padding_mask(source_ids, pad_id)
+        memory_mask = self._memory_mask(state, source_ids, pad_id)
+        self_mask = self._ragged_self_mask(state, token_ids.shape[1])
         memory_data = memory.data if isinstance(memory, Tensor) else memory
         x = self.token_embedding.lookup_data(token_ids, dtype) * self.embed_scale
-        x = x + self.positional.slice_data(state.position, x.shape[-2], dtype)
+        if state.positions is not None:
+            x = x + self.positional.rows_data(state.positions, dtype)
+        else:
+            x = x + self.positional.slice_data(state.position, x.shape[-2], dtype)
         for layer, self_cache, cross_cache in zip(self.decoder_layers, state.self_caches,
                                                   state.cross_caches):
-            x = layer.forward_data(x, memory_data, None, state.memory_mask,
+            x = layer.forward_data(x, memory_data, self_mask, memory_mask,
                                    dtype=dtype, self_cache=self_cache,
                                    cross_cache=cross_cache)
         x = self.decoder_norm.forward_data(x, dtype)
         logits = self.output_proj.forward_data(x, dtype)
-        state.position += 1
+        if state.positions is not None:
+            state.positions += token_ids.shape[1]
+        else:
+            state.position += 1
         return logits[:, 0, :]
+
+    @staticmethod
+    def _memory_mask(state: DecodingState, source_ids: np.ndarray,
+                     pad_id: int) -> np.ndarray | None:
+        """The memoised cross-attention mask, recomputed on composition change.
+
+        The memo is keyed on the *identity* of ``source_ids``: a static
+        decode passes the same array every step (one computation total),
+        while a continuous batch rebuilds its source matrix whenever rows
+        join or retire — a new array, so the stale mask is never served.
+        """
+        if state.memory_mask is None or state.memory_mask_source is not source_ids:
+            state.memory_mask = padding_mask(source_ids, pad_id)
+            state.memory_mask_source = source_ids
+        return state.memory_mask
+
+    @staticmethod
+    def _ragged_self_mask(state: DecodingState, q_len: int) -> np.ndarray | None:
+        """Self-attention mask over ragged KV rows (``None`` when uniform).
+
+        Row ``r``'s valid history after this step's append is
+        ``row_lengths[r] + q_len``; positions at or beyond that are another
+        row's padding and must not be attended.  Built fresh every step from
+        the caches' current lengths — it cannot go stale across joins or
+        retires — and skipped entirely (``None``) for uniform caches, which
+        keeps the static decode path's masking bit-for-bit unchanged.
+        """
+        if not state.self_caches:
+            return None
+        first = state.self_caches[0]
+        if not first.is_ragged:
+            return None
+        post = first.row_lengths + q_len
+        width = int(post.max())
+        return (np.arange(width)[None, :] >= post[:, None])[:, None, None, :]

@@ -112,6 +112,23 @@ class MPIRical:
             xsbt = xsbt_for_source(source_code)
         return self.encoder.encode_source(source_code, xsbt, tokens=tokens)
 
+    def encode_source_ids(self, source_code: str, xsbt: str | None = None,
+                          tokens: list[str] | None = None) -> list[int]:
+        """Public source encoding: the exact id sequence the decode paths
+        feed the model (XSBT derivation, truncation, joint layout).  The
+        continuous-batching scheduler encodes through this so a request
+        joining an in-flight batch sees the same ids a sequential
+        :meth:`predict_code` would."""
+        return self._encode_for_inference(source_code, xsbt, tokens)
+
+    def package_prediction(self, source_code: str,
+                           generated_ids: list[int]) -> PredictionResult:
+        """Public packaging: decode ids through the vocabulary and package
+        exactly as :meth:`predict_code` does (standardise + suggestion
+        extraction)."""
+        return self._package_prediction(source_code,
+                                        self.encoder.vocab.decode(generated_ids))
+
     def _resolve_decode(self, generation: GenerationConfig | None,
                         strategy: DecodingStrategy | None,
                         beam_size: int | None = None,

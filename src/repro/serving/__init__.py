@@ -4,6 +4,13 @@ The seed pipeline answers one ``predict_code()`` call at a time; this package
 turns it into a concurrent service:
 
 ``repro.serving.batching``  dynamic micro-batching scheduler + worker pool
+``repro.serving.sched``     continuous batching (the default decode path):
+                            an iteration-level scheduler where requests
+                            join/retire the in-flight batch between decode
+                            steps, with per-row strategy state and
+                            bitwise-identical outputs
+                            (:class:`ContinuousScheduler`,
+                            :class:`InflightBatch`, :class:`SchedulerPolicy`)
 ``repro.serving.cache``     thread-safe LRU keyed on the canonical xSBT form
                             + decoding strategy + ``model@revision``
 ``repro.serving.metrics``   hit rate, batch-size histogram, p50/p95 latency,
@@ -49,6 +56,13 @@ from .cache import CacheStats, LRUCache, canonical_cache_key
 from .joblog import JobLog
 from .jobs import Job, JobPolicy, JobStore, validate_client_id
 from .metrics import RouterMetrics, ServingMetrics, percentile
+from .sched import (
+    ContinuousScheduler,
+    InflightBatch,
+    QueueFullError,
+    SchedulerPolicy,
+    SchedWork,
+)
 from .service import InferenceService, ServedAdvice, generation_label
 
 # NOTE: the HTTP layers (repro.serving.server, repro.serving.router) are
@@ -60,6 +74,11 @@ from .service import InferenceService, ServedAdvice, generation_label
 
 __all__ = [
     "MicroBatcher",
+    "ContinuousScheduler",
+    "InflightBatch",
+    "QueueFullError",
+    "SchedulerPolicy",
+    "SchedWork",
     "CacheStats",
     "LRUCache",
     "canonical_cache_key",

@@ -60,6 +60,13 @@ class ServingMetrics:
         #: ``skipped``), capped like the per-config histograms so a buggy
         #: caller cannot grow label cardinality.
         self._verify_by_verdict: Counter[str] = Counter()
+        #: Continuous-batching scheduler gauges: per-iteration batch
+        #: occupancy (rows live during the step) and per-request admission
+        #: wait (submit → join).  Occupancy says whether iteration-level
+        #: scheduling is actually filling the batch; queue wait is the
+        #: continuous analogue of the micro-batcher's ``max_wait_ms`` bound.
+        self._sched_occupancy: deque[int] = deque(maxlen=window)
+        self._sched_wait_ms: deque[float] = deque(maxlen=window)
         self.requests_total = 0
         self.cache_hits = 0
         self.cache_misses = 0
@@ -69,6 +76,10 @@ class ServingMetrics:
         self.jobs_submitted_total = 0
         self.jobs_dead_letter_total = 0
         self.verify_total = 0
+        self.sched_steps_total = 0
+        self.sched_joins_total = 0
+        self.sched_retires_total = 0
+        self.sched_starvation_total = 0
 
     # ------------------------------------------------------------- recording
 
@@ -155,6 +166,32 @@ class ServingMetrics:
         with self._lock:
             self.jobs_dead_letter_total += 1
 
+    def record_sched_step(self, occupancy: int, *, joins: int = 0,
+                          retires: int = 0) -> None:
+        """Record one continuous-batching iteration.
+
+        ``occupancy`` is the number of rows live during the decode step;
+        ``joins``/``retires`` count the requests that entered / left the
+        in-flight batch in the scheduling pass right before it.
+        """
+        with self._lock:
+            self.sched_steps_total += 1
+            self.sched_joins_total += joins
+            self.sched_retires_total += retires
+            self._sched_occupancy.append(occupancy)
+
+    def record_sched_wait(self, wait_ms: float) -> None:
+        """Record one request's admission wait (submit → batch join)."""
+        with self._lock:
+            self._sched_wait_ms.append(wait_ms)
+
+    def record_sched_starvation(self) -> None:
+        """Record one anti-starvation engagement: the queue head could not
+        fit and has waited long enough that smaller requests stop jumping
+        ahead of it."""
+        with self._lock:
+            self.sched_starvation_total += 1
+
     def record_verify(self, latency_ms: float, verdict: str) -> None:
         """Record one verification pass and its response-level verdict.
 
@@ -194,6 +231,12 @@ class ServingMetrics:
             verify_total = self.verify_total
             verify_latencies = list(self._verify_ms)
             verify_by_verdict = dict(sorted(self._verify_by_verdict.items()))
+            sched_steps = self.sched_steps_total
+            sched_joins = self.sched_joins_total
+            sched_retires = self.sched_retires_total
+            sched_starvation = self.sched_starvation_total
+            sched_occupancy = list(self._sched_occupancy)
+            sched_waits = list(self._sched_wait_ms)
         batched_requests = sum(size * count for size, count in batch_sizes.items())
         batches_by_config = {
             label: {
@@ -231,6 +274,16 @@ class ServingMetrics:
             "verify_latency_ms_p50": percentile(verify_latencies, 0.50),
             "verify_latency_ms_p95": percentile(verify_latencies, 0.95),
             "verify_latency_window": len(verify_latencies),
+            "sched_steps_total": sched_steps,
+            "sched_joins_total": sched_joins,
+            "sched_retires_total": sched_retires,
+            "sched_starvation_total": sched_starvation,
+            "sched_occupancy_mean": (sum(sched_occupancy) / len(sched_occupancy)
+                                     if sched_occupancy else 0.0),
+            "sched_occupancy_max": max(sched_occupancy, default=0),
+            "sched_queue_wait_ms_p50": percentile(sched_waits, 0.50),
+            "sched_queue_wait_ms_p95": percentile(sched_waits, 0.95),
+            "sched_queue_wait_window": len(sched_waits),
         }
 
 

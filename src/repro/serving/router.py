@@ -429,22 +429,29 @@ class Router:
         return (200 if any_routable else 503), body
 
     def metrics_body(self) -> dict[str, Any]:
+        verify, sched = self._aggregate_worker_metrics()
         return {
             "router": self.metrics.snapshot(),
             "workers": [client.info() for client in self._clients],
             "pool": self.pool.snapshot() if self.pool is not None else None,
-            "verify": self._aggregate_verify(),
+            "verify": verify,
+            "sched": sched,
         }
 
-    def _aggregate_verify(self) -> dict[str, Any]:
-        """Pool-wide verification counters, summed across live workers.
+    def _aggregate_worker_metrics(self) -> tuple[dict[str, Any], dict[str, Any]]:
+        """Pool-wide verification and continuous-batching counters, summed
+        across live workers (one ``/metrics`` fetch per worker feeds both).
 
         Best-effort by design: a worker that cannot answer ``/metrics``
         inside the health timeout is counted in ``workers_unreachable``
         rather than failing the router's own metrics route.
         """
-        total = 0
+        verify_total = 0
         by_verdict: dict[str, int] = {}
+        sched_totals = {"sched_steps_total": 0, "sched_joins_total": 0,
+                        "sched_retires_total": 0, "sched_starvation_total": 0}
+        occupancy_weight = 0.0
+        occupancy_steps = 0
         reached = unreachable = 0
         for client in self._clients:
             try:
@@ -459,16 +466,30 @@ class Router:
                 unreachable += 1
                 continue
             reached += 1
-            total += int(snapshot.get("verify_total", 0))
+            verify_total += int(snapshot.get("verify_total", 0))
             for verdict, count in (snapshot.get("verify_by_verdict")
                                    or {}).items():
                 by_verdict[verdict] = by_verdict.get(verdict, 0) + int(count)
-        return {
-            "verify_total": total,
+            for key in sched_totals:
+                sched_totals[key] += int(snapshot.get(key, 0))
+            # Pool occupancy is the step-weighted mean of each worker's
+            # windowed mean — workers that stepped more count for more.
+            steps = int(snapshot.get("sched_steps_total", 0))
+            occupancy_weight += (float(snapshot.get("sched_occupancy_mean",
+                                                    0.0)) * steps)
+            occupancy_steps += steps
+        verify = {
+            "verify_total": verify_total,
             "verify_by_verdict": by_verdict,
             "workers_reporting": reached,
             "workers_unreachable": unreachable,
         }
+        sched = dict(sched_totals)
+        sched["sched_occupancy_mean"] = (occupancy_weight / occupancy_steps
+                                         if occupancy_steps else 0.0)
+        sched["workers_reporting"] = reached
+        sched["workers_unreachable"] = unreachable
+        return verify, sched
 
     # ---------------------------------------------------------- dispatch core
 

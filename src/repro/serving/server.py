@@ -437,13 +437,15 @@ def _demo_model(checkpoint: str | None):
 
 def _demo_service(checkpoint: str | None, *, max_batch_size: int, max_wait_ms: float,
                   num_workers: int, cache_capacity: int,
-                  registry_root: str | None = None) -> InferenceService:
+                  registry_root: str | None = None,
+                  scheduler: str = "continuous") -> InferenceService:
     """A service over a checkpoint, or over a freshly trained small model."""
     return InferenceService(_demo_model(checkpoint),
                             max_batch_size=max_batch_size,
                             max_wait_ms=max_wait_ms, num_workers=num_workers,
                             cache_capacity=cache_capacity,
-                            registry_root=registry_root)
+                            registry_root=registry_root,
+                            scheduler=scheduler)
 
 
 def _run_smoke(service: InferenceService) -> int:
@@ -664,6 +666,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-wait-ms", type=float, default=5.0)
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--cache-capacity", type=int, default=256)
+    parser.add_argument("--scheduler", choices=("continuous", "static"),
+                        default="continuous",
+                        help="decode scheduling: iteration-level continuous "
+                             "batching (default) or the static micro-batcher")
     parser.add_argument("--smoke", action="store_true",
                         help="start, exercise every advise route, the model "
                              "listing and one batch job round-trip, exit")
@@ -678,7 +684,8 @@ def main(argv: list[str] | None = None) -> int:
     service = _demo_service(args.checkpoint, max_batch_size=args.max_batch_size,
                             max_wait_ms=args.max_wait_ms, num_workers=args.workers,
                             cache_capacity=args.cache_capacity,
-                            registry_root=args.registry_root)
+                            registry_root=args.registry_root,
+                            scheduler=args.scheduler)
     if args.smoke:
         return _run_smoke(service)
 

@@ -85,6 +85,7 @@ from ..xsbt.xsbt import xsbt_string
 from .batching import MicroBatcher
 from .cache import LRUCache, canonical_cache_key
 from .metrics import ServingMetrics
+from .sched import ContinuousScheduler, QueueFullError, SchedulerPolicy, SchedWork
 
 if TYPE_CHECKING:  # pragma: no cover — typing only
     from .jobs import JobPolicy, JobStore
@@ -177,6 +178,16 @@ class InferenceService:
     job_policy:
         Backpressure/hygiene knobs for the job store
         (:class:`repro.serving.jobs.JobPolicy`); ``None`` uses the defaults.
+    scheduler:
+        Decode scheduling mode.  ``"continuous"`` (the default) runs
+        iteration-level continuous batching (:mod:`repro.serving.sched`):
+        requests join and leave the in-flight batch between decode steps,
+        capped at ``max_batch_size`` rows.  ``"static"`` keeps every decode
+        on the request-level micro-batcher.  The micro-batcher always exists
+        as the fallback path — strategies without per-row state, oversized
+        beam requests and scheduler backpressure all shed to it — and both
+        paths produce bitwise-identical outputs, so the mode is purely an
+        efficiency/latency knob.
     """
 
     def __init__(self, model: MPIRical | MPIAssistant | ModelRegistry, *,
@@ -185,7 +196,8 @@ class InferenceService:
                  generation: GenerationConfig | None = None,
                  metrics_window: int = 1024,
                  registry_root: "str | Path | None" = None,
-                 job_policy: "JobPolicy | None" = None) -> None:
+                 job_policy: "JobPolicy | None" = None,
+                 scheduler: str = "continuous") -> None:
         if isinstance(model, ModelRegistry):
             self.registry = model
         else:
@@ -220,6 +232,13 @@ class InferenceService:
                 size, group=group[1]),
             num_workers=num_workers,
         )
+        if scheduler not in ("continuous", "static"):
+            raise ValueError(
+                f'scheduler must be "continuous" or "static", got {scheduler!r}')
+        self.scheduler = scheduler
+        self.sched = (ContinuousScheduler(
+            policy=SchedulerPolicy(max_rows=max_batch_size),
+            metrics=self.metrics_) if scheduler == "continuous" else None)
         self._jobs = None
         self._jobs_lock = Lock()
         self._closed = False
@@ -306,6 +325,10 @@ class InferenceService:
         with self._inflight_lock:
             inflight = len(self._inflight)
         pending = self.batcher.pending() + inflight
+        if self.sched is not None:
+            # In-flight scheduler decodes are already counted via the
+            # single-flight dict; only the admission queue adds new work.
+            pending += self.sched.queue_depth()
         jobs = self.job_store()
         if jobs is not None:
             snapshot = jobs.snapshot()
@@ -469,8 +492,12 @@ class InferenceService:
         chunks arrive just before the final result.
 
         Streams read and populate the shared LRU cache (a hit replays its
-        cached tokens immediately) but bypass the micro-batcher and
-        single-flight: a stream is one dedicated decode.
+        cached tokens immediately) and bypass single-flight.  Under the
+        default continuous scheduler the stream's decode joins the shared
+        in-flight batch — tokens surface per iteration while other requests
+        decode in the same steps; in static mode (or when the scheduler
+        cannot serve the strategy) a stream falls back to one dedicated
+        decode.
 
         Validation is eager — an invalid request raises here, at call time,
         not at the first ``next()`` (the HTTP layer relies on this to answer
@@ -525,13 +552,25 @@ class InferenceService:
                 chunks.put(("error", exc))
                 return
             try:
-                decode_start = time.perf_counter()
-                result = mpirical.predict_code(
-                    request.code, xsbt, strategy=strategy,
-                    generation=self._default_generation(entry),
-                    source_tokens=tokens, on_token=on_token)
-                decode_ms = (time.perf_counter() - decode_start) * 1000.0
-                self.metrics_.record_decode(decode_ms)
+                # Continuous mode folds the stream's decode into the shared
+                # in-flight batch — tokens surface per iteration while other
+                # requests decode in the same steps.  The static fallback
+                # (scheduler off / unsupported strategy) keeps the dedicated
+                # per-stream decode.
+                work = _AdviseWork(source_code=request.code, xsbt=xsbt,
+                                   tokens=tokens, strategy=strategy,
+                                   entry=entry)
+                shared = self._submit_sched(work, on_token=on_token)
+                if shared is not None:
+                    result = shared.result()
+                else:
+                    decode_start = time.perf_counter()
+                    result = mpirical.predict_code(
+                        request.code, xsbt, strategy=strategy,
+                        generation=self._default_generation(entry),
+                        source_tokens=tokens, on_token=on_token)
+                    decode_ms = (time.perf_counter() - decode_start) * 1000.0
+                    self.metrics_.record_decode(decode_ms)
                 # Cache here, on the worker: a completed decode must not be
                 # discarded just because the streaming client disconnected
                 # and abandoned the consuming generator — its retry should
@@ -627,9 +666,11 @@ class InferenceService:
         snapshot = self.metrics_.snapshot()
         snapshot["cache"] = (self.cache.stats().as_dict() if self.cache is not None
                              else {"enabled": False})
-        snapshot["queued_requests"] = self.batcher.pending()
+        snapshot["queued_requests"] = self.batcher.pending() + (
+            self.sched.queue_depth() if self.sched is not None else 0)
         snapshot["max_batch_size"] = self.batcher.max_batch_size
         snapshot["max_wait_ms"] = self.batcher.max_wait * 1000.0
+        snapshot["scheduler"] = self.scheduler
         snapshot["registry"] = self.registry.snapshot()
         snapshot["draining"] = self._draining
         jobs = self.job_store()
@@ -656,6 +697,8 @@ class InferenceService:
             if jobs is not None:
                 jobs.close(wait=True, timeout=job_drain_timeout)
             self.batcher.close()
+            if self.sched is not None:
+                self.sched.close(wait=True)
 
     def __enter__(self) -> "InferenceService":
         return self
@@ -811,7 +854,9 @@ class InferenceService:
                 if late_hit is None:
                     entry.acquire()
                     try:
-                        inflight = self.batcher.submit(work)
+                        inflight = self._submit_sched(work)
+                        if inflight is None:
+                            inflight = self.batcher.submit(work)
                     except BaseException:
                         entry.release()
                         raise
@@ -875,6 +920,35 @@ class InferenceService:
                                          latency_ms=latency_ms, cache_key=key,
                                          generation=view, strategy=strategy,
                                          model=identity))
+
+    def _submit_sched(self, work: _AdviseWork,
+                      on_token=None) -> Future | None:
+        """Submit ``work`` to the continuous scheduler, if it can serve it.
+
+        Returns ``None`` when the static path must serve the request instead:
+        the service runs in ``"static"`` mode, the strategy has no per-row
+        state machine, the request needs more rows than the whole batch has,
+        or the scheduler queue is full (backpressure sheds to the batcher
+        rather than failing — both paths are bit-identical).  ``on_token``
+        streams token ids per iteration (the streaming path).
+        """
+        if self.sched is None:
+            return None
+        try:
+            rows = work.strategy.row_state(sos_id=0, eos_id=0).rows
+        except NotImplementedError:
+            return None
+        if rows > self.sched.policy.max_rows:
+            return None
+        sched_work = SchedWork(
+            source_code=work.source_code, xsbt=work.xsbt, tokens=work.tokens,
+            strategy=work.strategy, entry=work.entry,
+            max_length=self._default_generation(work.entry).max_length,
+            on_token=on_token)
+        try:
+            return self.sched.submit(sched_work)
+        except QueueFullError:
+            return None
 
     def _process_batch(self, works: list[_AdviseWork]) -> list[PredictionResult]:
         """Flush one micro-batch through the batched decode path.

@@ -257,3 +257,190 @@ def test_pipeline_beam_batch_matches_per_example(tiny_model, beam_sources):
         assert result.generated_tokens == single.generated_tokens
         assert result.generated_code == single.generated_code
         assert result.suggestions == single.suggestions
+
+
+# ---------------------------------------- continuous batching ≡ sequential
+
+from repro.model.decoding import (  # noqa: E402  (section-local imports)
+    BeamStrategy,
+    GreedyStrategy,
+    SampleStrategy,
+)
+from repro.serving.sched import InflightBatch  # noqa: E402
+
+
+class ContinuousHistoryStubModel(HistoryStubModel):
+    """HistoryStubModel that also speaks the continuous decode protocol.
+
+    When the state carries per-row ``positions`` (a
+    :class:`ContinuousDecoderLoop` drives it), each row's step index is its
+    *own* position — exactly how the real transformer's ragged decode path
+    reads the positional table — so a row that joined at global step 40
+    computes the same logits it would have computed alone at step 0.
+    """
+
+    def decode_step(self, token_ids, memory, source_ids, pad_id, state):
+        positions = getattr(state, "positions", None)
+        if positions is None:
+            return super().decode_step(token_ids, memory, source_ids,
+                                       pad_id, state)
+        fed = token_ids[:, None, :, None].astype(np.float64)
+        keys, _ = state.self_caches[0].append(fed, fed)
+        history = keys[:, 0, :, 0].sum(axis=1)  # ragged zero tails drop out
+        batch = source_ids.shape[0]
+        logits = np.full((batch, self.vocab_size), -100.0)
+        for row in range(batch):
+            pos = int(positions[row])
+            logits[row, 3:] = self._row_logits(source_ids[row], pad_id,
+                                               int(history[row]), pos)
+            if self.eos_at_step0 and pos == 0:
+                logits[row, EOS] = 100.0
+            elif not self.never_eos:
+                logits[row, EOS] = logits[row, 3:].max() - float(
+                    (int(history[row]) + pos) % 3)
+        positions += token_ids.shape[1]
+        return logits
+
+
+class _Work:
+    future = None
+
+
+def continuous_decode(model, jobs, *, arrivals, max_rows, max_length):
+    """Drive an :class:`InflightBatch` by hand: job ``i`` becomes eligible at
+    global step ``arrivals[i]`` and joins FIFO as soon as its rows fit."""
+    batch = InflightBatch(model, sos_id=SOS, eos_id=EOS, pad_id=PAD)
+    pending = list(range(len(jobs)))
+    states: list = [None] * len(jobs)
+    step = 0
+    while pending or batch.num_rows:
+        while pending and arrivals[pending[0]] <= step:
+            i = pending[0]
+            source, strategy = jobs[i]
+            state = strategy.row_state(sos_id=SOS, eos_id=EOS,
+                                       max_length=max_length)
+            if state.rows > batch.free_rows(max_rows):
+                break
+            pending.pop(0)
+            batch.add(_Work(), state, source)
+            states[i] = state
+        if batch.num_rows:
+            batch.step()
+        step += 1
+        assert step < 10_000, "continuous differential driver did not converge"
+    return [state.result() for state in states]
+
+
+STRATEGY_POOL = [
+    GreedyStrategy(),
+    BeamStrategy(beam_size=2, length_penalty=0.6),
+    BeamStrategy(beam_size=3, length_penalty=0.0),
+    SampleStrategy(temperature=0.9, top_k=5, seed=17),
+    SampleStrategy(temperature=1.1, top_p=0.8, seed=4),
+]
+
+
+@st.composite
+def continuous_jobs(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    jobs = [(draw(st.lists(st.integers(min_value=3, max_value=VOCAB - 1),
+                           min_size=1, max_size=8)),
+             draw(st.sampled_from(STRATEGY_POOL)))
+            for _ in range(n)]
+    arrivals = sorted(draw(st.integers(min_value=0, max_value=6))
+                      for _ in range(n))
+    return jobs, arrivals
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=continuous_jobs(),
+       max_rows=st.integers(min_value=2, max_value=5),
+       max_length=st.integers(min_value=1, max_value=9))
+def test_continuous_matches_sequential_on_stub(spec, max_rows, max_length):
+    """Staggered joins/retires under a row-capacity limit never perturb any
+    request: every output equals its *sequential* decode bit-for-bit."""
+    jobs, arrivals = spec
+    # Capacity must admit the widest request eventually (the scheduler
+    # rejects oversized strategies up front; the hand driver just waits).
+    max_rows = max(max_rows,
+                   max(s.row_state(sos_id=SOS, eos_id=EOS).rows
+                       for _, s in jobs))
+    expected = [strategy.decode(ContinuousHistoryStubModel(), source, **DECODE,
+                                max_length=max_length)
+                for source, strategy in jobs]
+    got = continuous_decode(ContinuousHistoryStubModel(), jobs,
+                            arrivals=arrivals, max_rows=max_rows,
+                            max_length=max_length)
+    assert got == expected
+
+
+def test_continuous_retire_then_join_reuses_compacted_rows():
+    """A joiner that lands in rows vacated by a retired request still decodes
+    exactly its sequential output (the compaction left no residue)."""
+    jobs = [([3, 4], GreedyStrategy()),
+            ([5, 6, 7], BeamStrategy(beam_size=3, length_penalty=0.6)),
+            ([8, 9], GreedyStrategy()),
+            ([10, 4, 6], BeamStrategy(beam_size=2, length_penalty=0.0))]
+    arrivals = [0, 0, 4, 6]  # late arrivals join after earlier retires
+    expected = [strategy.decode(ContinuousHistoryStubModel(), source, **DECODE,
+                                max_length=6)
+                for source, strategy in jobs]
+    got = continuous_decode(ContinuousHistoryStubModel(), jobs,
+                            arrivals=arrivals, max_rows=4, max_length=6)
+    assert got == expected
+
+
+def test_continuous_never_eos_truncates_each_row_at_its_own_max_length():
+    model_factory = lambda: ContinuousHistoryStubModel(never_eos=True)
+    jobs = [([3, 4, 5], GreedyStrategy()),
+            ([6], BeamStrategy(beam_size=2, length_penalty=0.6)),
+            ([7, 8], GreedyStrategy())]
+    expected = [strategy.decode(model_factory(), source, **DECODE,
+                                max_length=5)
+                for source, strategy in jobs]
+    got = continuous_decode(model_factory(), jobs, arrivals=[0, 1, 2],
+                            max_rows=3, max_length=5)
+    assert got == expected
+    assert all(len(out) == 5 for out in got)
+
+
+def test_continuous_real_model_mixed_strategies(tiny_model, beam_sources):
+    """Real transformer: greedy, beam and seed-pinned sampling requests join
+    a capacity-limited batch at staggered steps; every request's tokens are
+    bitwise its sequential decode."""
+    vocab = tiny_model.encoder.vocab
+    encoded = [tiny_model.encoder.encode_source(src) for src in beam_sources
+               if src]  # continuous join requires a non-empty source
+    strategies = [GreedyStrategy(),
+                  BeamStrategy(beam_size=3, length_penalty=0.6),
+                  SampleStrategy(temperature=0.8, top_k=8, seed=11),
+                  BeamStrategy(beam_size=2, length_penalty=0.0),
+                  GreedyStrategy(),
+                  SampleStrategy(temperature=1.2, top_p=0.9, seed=3)]
+    jobs = list(zip(encoded, strategies))
+    kwargs = dict(sos_id=vocab.sos_id, eos_id=vocab.eos_id,
+                  pad_id=vocab.pad_id)
+    expected = [strategy.decode(tiny_model.model, ids, **kwargs,
+                                max_length=24)
+                for ids, strategy in jobs]
+
+    batch = InflightBatch(tiny_model.model, sos_id=vocab.sos_id,
+                          eos_id=vocab.eos_id, pad_id=vocab.pad_id)
+    pending = list(range(len(jobs)))
+    states: list = [None] * len(jobs)
+    step = 0
+    while pending or batch.num_rows:
+        while pending and 2 * pending[0] <= step:  # join every other step
+            i = pending[0]
+            ids, strategy = jobs[i]
+            state = strategy.row_state(sos_id=vocab.sos_id,
+                                       eos_id=vocab.eos_id, max_length=24)
+            if state.rows > batch.free_rows(5):
+                break
+            pending.pop(0)
+            batch.add(_Work(), state, ids)
+            states[i] = state
+        if batch.num_rows:
+            batch.step()
+        step += 1
+    assert [state.result() for state in states] == expected

@@ -251,3 +251,166 @@ def test_loop_reorder_rejects_cross_source_parents():
     loop = DecoderLoop(_CountingModel(), [[3, 4], [5]], pad_id=PAD, rows_per_source=2)
     with pytest.raises(ValueError, match="within each source"):
         loop.reorder_rows(np.asarray([0, 2, 2, 3]))
+
+# -------------------------------------------------- insert_rows / retire_rows
+
+
+def test_insert_rows_with_history_adopts_cross_memory_mid_batch():
+    """Cross-cache join: a new row arrives carrying its projected memory."""
+    cache = KVCache()
+    cache.append(history(2, 4), -history(2, 4))
+    joiner = np.full((1, 2, 3, 3), 7.0)
+    cache.insert_rows(1, joiner, -joiner)
+    assert cache.rows == 3
+    assert cache.length == 4          # longest survivor still rules the view
+    assert cache.is_ragged
+    np.testing.assert_array_equal(cache.row_lengths, [4, 3, 4])
+    np.testing.assert_array_equal(cache.keys[0], history(2, 4)[0])
+    np.testing.assert_array_equal(cache.keys[2], history(2, 4)[1])
+    np.testing.assert_array_equal(cache.keys[1, :, :3], joiner[0])
+    # The joiner's trailing region is zero-filled, never garbage.
+    np.testing.assert_array_equal(cache.keys[1, :, 3:], 0.0)
+
+
+def test_insert_rows_longer_history_widens_the_view():
+    cache = KVCache()
+    cache.append(history(2, 2), history(2, 2))
+    joiner = np.full((1, 2, 6, 3), 3.0)
+    cache.insert_rows(2, joiner, joiner)
+    assert cache.length == 6
+    np.testing.assert_array_equal(cache.row_lengths, [2, 2, 6])
+    np.testing.assert_array_equal(cache.keys[:2, :, :2], history(2, 2))
+    np.testing.assert_array_equal(cache.keys[:2, :, 2:], 0.0)
+    np.testing.assert_array_equal(cache.keys[2], joiner[0])
+
+
+def test_insert_empty_rows_then_append_writes_each_row_at_its_own_length():
+    """Self-cache join: empty rows stay contiguous-front / zero-tail under
+    the ragged per-row append."""
+    cache = KVCache()
+    cache.append(history(2, 3), history(2, 3))
+    cache.insert_rows(1, count=1)
+    np.testing.assert_array_equal(cache.row_lengths, [3, 0, 3])
+    step = step_block(3, 9)
+    cache.append(step, step)
+    np.testing.assert_array_equal(cache.row_lengths, [4, 1, 4])
+    # Veterans appended at position 3, the joiner at position 0.
+    np.testing.assert_array_equal(cache.keys[0, :, 3], step[0, :, 0])
+    np.testing.assert_array_equal(cache.keys[1, :, 0], step[1, :, 0])
+    np.testing.assert_array_equal(cache.keys[1, :, 1:], 0.0)
+    np.testing.assert_array_equal(cache.keys[2, :, 3], step[2, :, 0])
+
+
+def test_insert_count_only_on_empty_cache_is_noop_at_any_index():
+    """Regression: several requests may join before the first decode step
+    materialises the row axis, so the *second* join inserts at index 1 into
+    a cache that still reports zero rows — a no-op, not a range error."""
+    cache = KVCache()
+    for index in (0, 1, 5):
+        cache.insert_rows(index, count=2)  # must not raise
+    assert cache.rows == 0 and cache.keys is None
+    # The first append then carries every pending row at once.
+    cache.append(history(3, 1), history(3, 1))
+    assert cache.rows == 3 and cache.length == 1
+
+
+def test_insert_rows_validation_errors():
+    cache = KVCache()
+    cache.append(history(2, 2), history(2, 2))
+    with pytest.raises(ValueError, match="out of range"):
+        cache.insert_rows(3, count=1)
+    with pytest.raises(ValueError, match="out of range"):
+        cache.insert_rows(-1, count=1)
+    with pytest.raises(ValueError, match="count must be"):
+        cache.insert_rows(0, count=0)
+    with pytest.raises(ValueError, match="together"):
+        cache.insert_rows(0, history(1, 2))
+    with pytest.raises(ValueError, match="disagrees"):
+        cache.insert_rows(0, history(2, 2), history(2, 2), count=3)
+    with pytest.raises(ValueError, match="keys/values or count"):
+        cache.insert_rows(0)
+    empty = KVCache()
+    with pytest.raises(ValueError, match="out of range"):
+        empty.insert_rows(-2, count=1)
+
+
+def test_retire_rows_compacts_in_place_and_renarrows_the_view():
+    cache = KVCache()
+    cache.append(history(4, 5), -history(4, 5))
+    buffer_id = id(cache._keys)
+    cache.retire_rows([1, 3])
+    assert id(cache._keys) == buffer_id  # compaction reuses the buffers
+    assert cache.rows == 2
+    expected = history(4, 5)[[0, 2]]
+    np.testing.assert_array_equal(cache.keys, expected)
+    np.testing.assert_array_equal(cache.values, -expected)
+
+
+def test_retire_longest_row_shrinks_length_to_survivors():
+    cache = KVCache()
+    cache.append(history(2, 2), history(2, 2))
+    long_row = np.full((1, 2, 8, 3), 5.0)
+    cache.insert_rows(2, long_row, long_row)
+    assert cache.length == 8
+    cache.retire_rows([2])
+    assert cache.length == 2          # view re-narrows to the survivors
+    assert not cache.is_ragged
+    np.testing.assert_array_equal(cache.keys, history(2, 2))
+
+
+def test_retire_all_rows_empties_the_cache():
+    cache = KVCache()
+    cache.append(history(3, 2), history(3, 2))
+    cache.retire_rows([2, 0, 1, 1])   # duplicates and any order are fine
+    assert cache.keys is None and cache.rows == 0 and cache.length == 0
+    cache.append(history(2, 1), history(2, 1))  # accepts a fresh start
+    assert cache.rows == 2
+
+
+def test_retire_rows_validation_errors():
+    cache = KVCache()
+    with pytest.raises(ValueError, match="empty cache"):
+        cache.retire_rows([0])
+    cache.append(history(2, 2), history(2, 2))
+    with pytest.raises(ValueError, match="out of range"):
+        cache.retire_rows([2])
+    with pytest.raises(ValueError, match="out of range"):
+        cache.retire_rows([-1])
+    cache.retire_rows([])             # no-op
+    assert cache.rows == 2
+
+
+def test_interleaved_insert_reorder_retire_keeps_histories_straight():
+    """The full continuous-batching life cycle on one cache: join, beam
+    reorder, retire, join again — every row's history stays bit-exact."""
+    cache = KVCache()
+    cache.append(history(2, 2), history(2, 2))          # rows A, B
+    cache.insert_rows(2, count=1)                       # row C joins empty
+    step = step_block(3, 5)
+    cache.append(step, step)                            # lengths 3, 3, 1
+    cache.reorder_rows(np.asarray([1, 1, 2]))           # A <- B (beam prune)
+    np.testing.assert_array_equal(cache.row_lengths, [3, 3, 1])
+    np.testing.assert_array_equal(cache.keys[0, :, :3], cache.keys[1, :, :3])
+    cache.retire_rows([0])                              # pruned copy leaves
+    assert cache.rows == 2
+    np.testing.assert_array_equal(cache.keys[1, :, 0], step[2, :, 0])
+    joiner = np.full((2, 2, 4, 3), 9.0)
+    cache.insert_rows(1, joiner, joiner)                # two-row join mid-deck
+    np.testing.assert_array_equal(cache.row_lengths, [3, 4, 4, 1])
+    assert cache.rows == 4 and cache.length == 4
+    np.testing.assert_array_equal(cache.keys[1], joiner[0])
+    np.testing.assert_array_equal(cache.keys[2], joiner[1])
+
+
+def test_ragged_growth_zero_fills_new_capacity():
+    """Growth while ragged allocates zeroed buffers: the short rows' trailing
+    regions must stay 0.0 (a NaN there would poison ``0 * garbage``)."""
+    cache = KVCache()
+    cache.append(history(2, 2), history(2, 2))
+    cache.insert_rows(2, count=1)
+    for step in range(2, 2 + KVCache.MIN_CAPACITY + 2):  # force a growth
+        block = step_block(3, step)
+        cache.append(block, block)
+    lengths = cache.row_lengths
+    assert lengths[2] == lengths[0] - 2
+    np.testing.assert_array_equal(cache.keys[2, :, lengths[2]:], 0.0)
